@@ -1,0 +1,224 @@
+// Google-benchmark micro-ablations for the design choices DESIGN.md calls
+// out: BFS vs union-find components, conflict-detection granularity,
+// scheduling policy, executor overheads, and substrate throughputs.
+#include <benchmark/benchmark.h>
+
+#include "analysis/block_analyzer.h"
+#include "account/contracts.h"
+#include "account/runtime.h"
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "core/components.h"
+#include "core/scheduling.h"
+#include "exec/executor.h"
+#include "workload/account_workload.h"
+#include "workload/profiles.h"
+#include "workload/utxo_workload.h"
+
+namespace {
+
+using namespace txconc;
+
+// ---------------------------------------------------------- graph algorithms
+
+core::Tdg random_graph(std::size_t nodes, std::size_t edges,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  core::Tdg g(nodes);
+  for (std::size_t i = 0; i < edges; ++i) {
+    g.add_edge(static_cast<core::NodeId>(rng.uniform(nodes)),
+               static_cast<core::NodeId>(rng.uniform(nodes)));
+  }
+  return g;
+}
+
+void BM_ComponentsBfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::Tdg g = random_graph(n, n / 2, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::connected_components_bfs(g));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ComponentsBfs)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ComponentsDsu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::Tdg g = random_graph(n, n / 2, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::connected_components_dsu(g));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ComponentsDsu)->Arg(100)->Arg(1000)->Arg(10000);
+
+// -------------------------------------------------------------- scheduling
+
+void BM_ScheduleLpt(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> jobs(static_cast<std::size_t>(state.range(0)));
+  for (double& j : jobs) j = 1.0 + static_cast<double>(rng.uniform(50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_lpt(jobs, 8));
+  }
+}
+BENCHMARK(BM_ScheduleLpt)->Arg(100)->Arg(10000);
+
+void BM_ScheduleList(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> jobs(static_cast<std::size_t>(state.range(0)));
+  for (double& j : jobs) j = 1.0 + static_cast<double>(rng.uniform(50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_list(jobs, 8));
+  }
+}
+BENCHMARK(BM_ScheduleList)->Arg(100)->Arg(10000);
+
+// -------------------------------------------------------------- substrates
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_VmTokenTransfer(benchmark::State& state) {
+  account::StateDb db;
+  const Address owner = Address::from_seed(1);
+  const Address token = Address::from_seed(50);
+  const Address sender = Address::from_seed(2);
+  const Address recipient = Address::from_seed(3);
+  account::genesis_deploy(db, token, account::contracts::token(owner));
+  db.set_balance(sender, ~std::uint64_t{0} / 2);
+  db.set_storage(token, sender.low64(), ~std::uint64_t{0} / 2);
+  db.flush_journal();
+
+  account::RuntimeConfig config;
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    account::AccountTx tx;
+    tx.from = sender;
+    tx.to = token;
+    tx.args = {1, 1};
+    tx.address_args = {recipient};
+    tx.gas_limit = 80000;
+    tx.nonce = nonce++;
+    benchmark::DoNotOptimize(account::apply_transaction(db, tx, config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmTokenTransfer);
+
+void BM_UtxoBlockGeneration(benchmark::State& state) {
+  workload::ChainProfile profile = workload::bitcoin_cash_profile();
+  for (auto _ : state) {
+    state.PauseTiming();
+    workload::UtxoWorkloadGenerator gen(profile, 42, 30);
+    state.ResumeTiming();
+    std::size_t txs = 0;
+    for (int b = 0; b < 30; ++b) txs += gen.next_block().utxo_txs.size();
+    benchmark::DoNotOptimize(txs);
+  }
+}
+BENCHMARK(BM_UtxoBlockGeneration)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------- conflict-analysis granularity
+
+struct AnalysisFixture {
+  std::vector<account::AccountTx> txs;
+  std::vector<account::Receipt> receipts;
+
+  AnalysisFixture() {
+    workload::ChainProfile profile = workload::ethereum_profile();
+    workload::AccountWorkloadGenerator gen(profile, 42, 400);
+    for (int i = 0; i < 350; ++i) gen.next_block();
+    auto block = gen.next_block();
+    txs = std::move(block.account_txs);
+    receipts = std::move(block.receipts);
+  }
+};
+
+void BM_AnalyzeAddressGranularity(benchmark::State& state) {
+  static const AnalysisFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::analyze_account_block(fixture.txs, fixture.receipts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fixture.txs.size()));
+}
+BENCHMARK(BM_AnalyzeAddressGranularity);
+
+void BM_AnalyzeSlotGranularity(benchmark::State& state) {
+  static const AnalysisFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::analyze_account_block_slots(fixture.txs, fixture.receipts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fixture.txs.size()));
+}
+BENCHMARK(BM_AnalyzeSlotGranularity);
+
+// ------------------------------------------------------------ real executors
+
+struct ExecFixture {
+  workload::ChainProfile profile = workload::ethereum_profile();
+  std::vector<account::AccountTx> block;
+  account::StateDb genesis;
+
+  ExecFixture() {
+    workload::AccountWorkloadGenerator gen(profile, 42, 400);
+    genesis = gen.state();
+    block = gen.next_block().account_txs;
+    // Replay needs fee-free config and rich balances.
+    for (const auto& tx : block) {
+      genesis.set_balance(tx.from, 1'000'000'000'000'000ULL);
+    }
+    genesis.flush_journal();
+  }
+};
+
+void run_executor_benchmark(benchmark::State& state,
+                            exec::BlockExecutor& executor) {
+  static const ExecFixture fixture;
+  account::RuntimeConfig config;
+  config.charge_fees = false;
+  config.enforce_nonce = false;  // replay the same block repeatedly
+  for (auto _ : state) {
+    state.PauseTiming();
+    account::StateDb db = fixture.genesis;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        executor.execute_block(db, fixture.block, config));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fixture.block.size()));
+}
+
+void BM_ExecSequential(benchmark::State& state) {
+  auto executor = exec::make_sequential_executor();
+  run_executor_benchmark(state, *executor);
+}
+BENCHMARK(BM_ExecSequential)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecSpeculative(benchmark::State& state) {
+  auto executor = exec::make_speculative_executor(
+      static_cast<unsigned>(state.range(0)));
+  run_executor_benchmark(state, *executor);
+}
+BENCHMARK(BM_ExecSpeculative)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecGroupLpt(benchmark::State& state) {
+  auto executor =
+      exec::make_group_executor(static_cast<unsigned>(state.range(0)));
+  run_executor_benchmark(state, *executor);
+}
+BENCHMARK(BM_ExecGroupLpt)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Shared helpers for the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/series.h"
+#include "workload/account_workload.h"
+#include "workload/profiles.h"
+#include "workload/utxo_workload.h"
+
+namespace txconc::bench {
+
+/// Deterministic seed shared by all benches so figures reproduce exactly.
+constexpr std::uint64_t kSeed = 20200714;  // the paper's arXiv v2 date
+
+/// Build the right generator for a profile.
+inline std::unique_ptr<workload::HistoryGenerator> make_generator(
+    const workload::ChainProfile& profile, std::uint64_t seed = kSeed,
+    std::uint64_t num_blocks = 0) {
+  if (profile.model == workload::DataModel::kUtxo) {
+    return std::make_unique<workload::UtxoWorkloadGenerator>(profile, seed,
+                                                             num_blocks);
+  }
+  return std::make_unique<workload::AccountWorkloadGenerator>(profile, seed,
+                                                              num_blocks);
+}
+
+/// Generate and analyze a chain's full (scaled) history.
+inline analysis::ChainSeries run_chain(
+    const workload::ChainProfile& profile,
+    const analysis::CollectOptions& options = {},
+    std::uint64_t num_blocks = 0) {
+  const auto generator = make_generator(profile, kSeed, num_blocks);
+  return analysis::collect_series(*generator, options);
+}
+
+/// Label series positions in years for a profile's history.
+inline LabelledSeries years(const analysis::ChainSeries& cs,
+                            const std::vector<SeriesPoint>& points,
+                            const std::string& label) {
+  return {label, cs.in_years(points)};
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << std::string(74, '=') << "\n"
+            << title << "\n"
+            << "reproduces: " << paper << "\n"
+            << std::string(74, '=') << "\n\n";
+}
+
+}  // namespace txconc::bench

@@ -1,0 +1,122 @@
+// Component census — the distributional view behind the paper's Section IV
+// prose: component-size histograms for Bitcoin and Ethereum, and the most
+// extreme block in the generated Bitcoin history, mirroring the paper's
+// block-358624 example ("3217 out of the total 3264 transactions are
+// dependent on each other").
+#include "bench_util.h"
+
+#include "analysis/block_analyzer.h"
+#include "core/components.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+namespace {
+
+struct Census {
+  // Size buckets: 1, 2, 3-5, 6-10, 11-50, 51+.
+  std::array<std::uint64_t, 6> buckets{};
+  std::uint64_t total_components = 0;
+
+  // Extreme block tracking.
+  double worst_single_rate = 0.0;
+  std::size_t worst_conflicted = 0;
+  std::size_t worst_total = 0;
+  std::uint64_t worst_height = 0;
+
+  void add_component(std::size_t size) {
+    ++total_components;
+    if (size == 1) ++buckets[0];
+    else if (size == 2) ++buckets[1];
+    else if (size <= 5) ++buckets[2];
+    else if (size <= 10) ++buckets[3];
+    else if (size <= 50) ++buckets[4];
+    else ++buckets[5];
+  }
+
+  void consider_block(const core::ConflictStats& stats, std::uint64_t height) {
+    if (stats.total_transactions < 20) return;  // skip tiny early blocks
+    if (stats.single_rate() > worst_single_rate) {
+      worst_single_rate = stats.single_rate();
+      worst_conflicted = stats.conflicted_transactions;
+      worst_total = stats.total_transactions;
+      worst_height = height;
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  print_header("Component census — dependency structure inside blocks",
+               "Section IV prose (incl. the block 358624 outlier)");
+
+  // ---- Bitcoin.
+  Census btc;
+  {
+    workload::UtxoWorkloadGenerator generator(workload::bitcoin_profile(),
+                                              kSeed);
+    for (std::uint64_t h = 0; h < generator.num_blocks(); ++h) {
+      const workload::GeneratedBlock block = generator.next_block();
+      const auto tdg = analysis::build_utxo_tdg(block.utxo_txs);
+      const auto components = core::connected_components_bfs(tdg.graph());
+      for (std::size_t size : components.sizes()) btc.add_component(size);
+      btc.consider_block(core::utxo_conflict_stats(components), h);
+    }
+  }
+
+  // ---- Ethereum (components counted in transactions).
+  Census eth;
+  {
+    workload::AccountWorkloadGenerator generator(workload::ethereum_profile(),
+                                                 kSeed);
+    for (std::uint64_t h = 0; h < generator.num_blocks(); ++h) {
+      const workload::GeneratedBlock block = generator.next_block();
+      const auto tdg =
+          analysis::build_account_tdg(block.account_txs, block.receipts);
+      const auto components =
+          core::connected_components_bfs(tdg.addresses.graph());
+      std::vector<std::size_t> tx_counts(components.num_components(), 0);
+      for (const auto& ref : tdg.tx_refs) {
+        ++tx_counts[components.component_of(ref.sender)];
+      }
+      for (std::size_t c : tx_counts) {
+        if (c > 0) eth.add_component(c);
+      }
+      eth.consider_block(
+          core::account_conflict_stats(components, tdg.tx_refs), h);
+    }
+  }
+
+  analysis::TextTable table({"component size", "Bitcoin", "Ethereum"});
+  const char* labels[] = {"1 (unconflicted)", "2", "3-5", "6-10", "11-50",
+                          "51+"};
+  for (std::size_t b = 0; b < 6; ++b) {
+    table.row({labels[b],
+               analysis::fmt_double(
+                   100.0 * btc.buckets[b] / std::max<std::uint64_t>(
+                                                btc.total_components, 1),
+                   2) + "%",
+               analysis::fmt_double(
+                   100.0 * eth.buckets[b] / std::max<std::uint64_t>(
+                                                eth.total_components, 1),
+                   2) + "%"});
+  }
+  std::cout << "share of connected components by size (whole history):\n"
+            << table.render() << "\n";
+
+  std::cout << "most dependent Bitcoin block in the generated history:\n"
+            << "  block " << btc.worst_height << ": " << btc.worst_conflicted
+            << " of " << btc.worst_total
+            << " transactions dependent on each other ("
+            << analysis::fmt_double(100.0 * btc.worst_single_rate, 1)
+            << "%)\n"
+            << "  paper reference: block 358624 with 3217 of 3264 (98.6%)\n\n";
+
+  std::cout << "reading: the vast majority of UTXO components are "
+               "singletons, so group scheduling wins; account components "
+               "have a heavy tail (exchanges, hot contracts), which is why "
+               "the single-transaction rate overstates the lost "
+               "concurrency.\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Figure 1: the paper's two example transaction dependency graphs,
+// Ethereum blocks 1000007 and 1000124, reconstructed from the paper's
+// description and executed through the real account runtime so the
+// internal transactions come from genuine VM traces.
+//
+// Expected metrics (paper Section III-A.4):
+//   block 1000007: c = 40%,   l = 40%    (5 txs, 4 components)
+//   block 1000124: c = 87.5%, l = 56.25% (16 txs, 5 components)
+#include "bench_util.h"
+
+#include "account/contracts.h"
+#include "account/runtime.h"
+#include "analysis/block_analyzer.h"
+#include "core/components.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+namespace {
+
+struct ExecutedBlock {
+  std::vector<account::AccountTx> txs;
+  std::vector<account::Receipt> receipts;
+};
+
+account::AccountTx plain(account::StateDb& state, const Address& from,
+                         const Address& to, std::uint64_t value) {
+  account::AccountTx tx;
+  tx.from = from;
+  tx.to = to;
+  tx.value = value;
+  tx.gas_limit = 100000;
+  tx.nonce = state.nonce(from);
+  return tx;
+}
+
+ExecutedBlock execute(account::StateDb& state,
+                      std::vector<account::AccountTx> txs) {
+  ExecutedBlock block;
+  for (auto& tx : txs) {
+    tx.nonce = state.nonce(tx.from);
+    block.receipts.push_back(account::apply_transaction(state, tx));
+    block.txs.push_back(tx);
+  }
+  return block;
+}
+
+void report(const std::string& title, const ExecutedBlock& block,
+            double expected_single, double expected_group) {
+  const analysis::AccountTdg tdg =
+      analysis::build_account_tdg(block.txs, block.receipts);
+  const core::ComponentSet components =
+      core::connected_components_bfs(tdg.addresses.graph());
+  const core::ConflictStats stats =
+      core::account_conflict_stats(components, tdg.tx_refs);
+
+  std::cout << "-- " << title << " --\n";
+  std::cout << "  transaction edges (sender -> receiver, * = internal):\n";
+  for (std::size_t i = 0; i < block.txs.size(); ++i) {
+    std::cout << "    tx " << i << ": " << block.txs[i].from.short_hex()
+              << " -> "
+              << (block.txs[i].to ? block.txs[i].to->short_hex()
+                                  : std::string("(create)"));
+    for (const auto& itx : block.receipts[i].internal_txs) {
+      std::cout << "  *" << itx.from.short_hex() << "->"
+                << itx.to.short_hex();
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  components (by transaction count): ";
+  std::vector<std::size_t> tx_counts(components.num_components(), 0);
+  for (const auto& ref : tdg.tx_refs) {
+    ++tx_counts[components.component_of(ref.sender)];
+  }
+  std::size_t populated = 0;
+  for (std::size_t c : tx_counts) {
+    if (c > 0) {
+      std::cout << c << " ";
+      ++populated;
+    }
+  }
+  std::cout << "(" << populated << " components)\n";
+  std::cout << "  single-transaction conflict rate: "
+            << analysis::fmt_double(100 * stats.single_rate(), 2)
+            << "%   (paper: " << analysis::fmt_double(100 * expected_single, 2)
+            << "%)\n";
+  std::cout << "  group conflict rate:              "
+            << analysis::fmt_double(100 * stats.group_rate(), 2)
+            << "%   (paper: " << analysis::fmt_double(100 * expected_group, 2)
+            << "%)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 1 — example transaction dependency graphs",
+               "Fig. 1a/1b of Reijsbergen & Dinh, ICDCS 2020");
+
+  // ---- Block 1000007 (Figure 1a): five payments; txs 3 and 4 share the
+  // DwarfPool sender 0x2a6.
+  {
+    account::StateDb state;
+    std::vector<Address> users;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      users.push_back(Address::from_seed(100 + i));
+      state.set_balance(users.back(), 1'000'000'000);
+    }
+    const Address dwarfpool = users[6];
+    const ExecutedBlock block = execute(
+        state, {plain(state, users[0], users[1], 100),
+                plain(state, users[2], users[3], 200),
+                plain(state, users[4], users[5], 300),
+                plain(state, dwarfpool, users[7], 400),
+                plain(state, dwarfpool, users[8], 500)});
+    report("Ethereum block 1000007 (Fig. 1a)", block, 0.40, 0.40);
+  }
+
+  // ---- Block 1000124 (Figure 1b): 16 transactions — tx 0 independent,
+  // txs 1-9 deposit at Poloniex (0x32b), txs 10-12 call a contract that
+  // relays through another contract to ElcoinDb (0x276), txs 13-14 come
+  // from the same DwarfPool sender, tx 15 independent.
+  {
+    account::StateDb state;
+    std::vector<Address> users;
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      users.push_back(Address::from_seed(200 + i));
+      state.set_balance(users.back(), 1'000'000'000);
+    }
+    const Address poloniex = Address::from_seed(900);  // 0x32b-style sink
+    const Address elcoin_db = Address::from_seed(901);
+    const Address inner = Address::from_seed(902);   // unverified contract
+    const Address entry = Address::from_seed(903);   // contract of txs 10-12
+    account::genesis_deploy(state, inner,
+                            account::contracts::relay(elcoin_db));
+    account::genesis_deploy(state, entry, account::contracts::relay(inner));
+    const Address dwarfpool = users[20];
+
+    std::vector<account::AccountTx> txs;
+    txs.push_back(plain(state, users[0], users[1], 1));      // tx 0
+    for (int i = 0; i < 9; ++i) {                            // txs 1-9
+      txs.push_back(plain(state, users[2 + i], poloniex, 50 + i));
+    }
+    for (int i = 0; i < 3; ++i) {                            // txs 10-12
+      account::AccountTx call = plain(state, users[11 + i], entry, 10);
+      call.args = {0};
+      txs.push_back(call);
+    }
+    txs.push_back(plain(state, dwarfpool, users[21], 7));    // tx 13
+    txs.push_back(plain(state, dwarfpool, users[22], 8));    // tx 14
+    txs.push_back(plain(state, users[14], users[23], 9));    // tx 15
+
+    const ExecutedBlock block = execute(state, std::move(txs));
+    report("Ethereum block 1000124 (Fig. 1b)", block, 0.875, 0.5625);
+  }
+
+  // ---- The same two blocks through the Section V-A worked examples are
+  // exercised in bench/fig10_speedups and tests/core_test.cpp.
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 4: Ethereum — evolution over time of the transaction load and the
+// conflict rates, with the paper's digitized anchors for comparison.
+#include "bench_util.h"
+
+#include "analysis/paper_reference.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+int main() {
+  print_header("Figure 4 — Ethereum transaction load and conflict rates",
+               "Fig. 4a-4c of Reijsbergen & Dinh, ICDCS 2020");
+
+  const analysis::ChainSeries eth = run_chain(workload::ethereum_profile());
+
+  PlotOptions log_opt;
+  log_opt.log_y = true;
+  log_opt.x_label = "year";
+  analysis::print_panel(
+      std::cout, "Fig. 4a — number of regular/total transactions per block",
+      {years(eth, eth.total_txs, "all TXs"),
+       years(eth, eth.regular_txs, "regular TXs")},
+      log_opt);
+
+  PlotOptions rate_opt;
+  rate_opt.y_min = 0.0;
+  rate_opt.y_max = 1.0;
+  rate_opt.x_label = "year";
+  analysis::print_panel(
+      std::cout, "Fig. 4b — single-transaction conflict rate (weighted)",
+      {years(eth, eth.single_rate_txw, "#TX-weighted"),
+       years(eth, eth.single_rate_gasw, "gas-weighted")},
+      rate_opt);
+  analysis::print_panel(
+      std::cout, "Fig. 4c — group conflict rate (weighted)",
+      {years(eth, eth.group_rate_txw, "#TX-weighted"),
+       years(eth, eth.group_rate_gasw, "gas-weighted")},
+      rate_opt);
+
+  // Paper-vs-measured at the digitized anchor years.
+  const auto single_ref = analysis::ethereum_single_rate_reference();
+  const auto group_ref = analysis::ethereum_group_rate_reference();
+  analysis::TextTable table(
+      {"year", "single (paper)", "single (measured)", "group (paper)",
+       "group (measured)"});
+  const auto single_years = eth.in_years(eth.single_rate_txw);
+  const auto group_years = eth.in_years(eth.group_rate_txw);
+  for (double year : {2016.0, 2017.0, 2018.0, 2019.0}) {
+    auto nearest = [&](const std::vector<SeriesPoint>& series) {
+      double best = 0.0;
+      double best_distance = 1e18;
+      for (const auto& p : series) {
+        const double d = std::abs(p.position - year);
+        if (d < best_distance) {
+          best_distance = d;
+          best = p.value;
+        }
+      }
+      return best;
+    };
+    table.row({analysis::fmt_double(year, 0),
+               analysis::fmt_double(single_ref.at(year)),
+               analysis::fmt_double(nearest(single_years)),
+               analysis::fmt_double(group_ref.at(year)),
+               analysis::fmt_double(nearest(group_years))});
+  }
+  std::cout << "paper vs measured (tx-weighted conflict rates):\n"
+            << table.render();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 5: Bitcoin — evolution over time of the transaction load and the
+// conflict rates.
+#include "bench_util.h"
+
+#include "analysis/paper_reference.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+int main() {
+  print_header("Figure 5 — Bitcoin transaction load and conflict rates",
+               "Fig. 5a-5c of Reijsbergen & Dinh, ICDCS 2020");
+
+  const analysis::ChainSeries btc = run_chain(workload::bitcoin_profile());
+
+  PlotOptions log_opt;
+  log_opt.log_y = true;
+  log_opt.x_label = "year";
+  analysis::print_panel(
+      std::cout, "Fig. 5a — number of transactions / input TXOs per block",
+      {years(btc, btc.regular_txs, "transactions"),
+       years(btc, btc.input_txos, "input TXOs")},
+      log_opt);
+
+  PlotOptions rate_opt;
+  rate_opt.y_min = 0.0;
+  rate_opt.y_max = 1.0;
+  rate_opt.x_label = "year";
+  analysis::print_panel(std::cout,
+                        "Fig. 5b — single-transaction conflict rate (weighted)",
+                        {years(btc, btc.single_rate_txw, "#TX-weighted")},
+                        rate_opt);
+  analysis::print_panel(std::cout, "Fig. 5c — group conflict rate (weighted)",
+                        {years(btc, btc.group_rate_txw, "#TX-weighted")},
+                        rate_opt);
+
+  const auto single_ref = analysis::bitcoin_single_rate_reference();
+  const auto group_ref = analysis::bitcoin_group_rate_reference();
+  const auto single_years = btc.in_years(btc.single_rate_txw);
+  const auto group_years = btc.in_years(btc.group_rate_txw);
+  analysis::TextTable table(
+      {"year", "single (paper)", "single (measured)", "group (paper)",
+       "group (measured)"});
+  for (double year : {2012.0, 2014.0, 2016.0, 2018.0, 2019.0}) {
+    auto nearest = [&](const std::vector<SeriesPoint>& series) {
+      double best = 0.0;
+      double best_distance = 1e18;
+      for (const auto& p : series) {
+        const double d = std::abs(p.position - year);
+        if (d < best_distance) {
+          best_distance = d;
+          best = p.value;
+        }
+      }
+      return best;
+    };
+    table.row({analysis::fmt_double(year, 0),
+               analysis::fmt_double(single_ref.at(year)),
+               analysis::fmt_double(nearest(single_years)),
+               analysis::fmt_double(group_ref.at(year)),
+               analysis::fmt_double(nearest(group_years))});
+  }
+  std::cout << "paper vs measured (tx-weighted conflict rates):\n"
+            << table.render();
+
+  std::cout
+      << "\npaper observation check: the single-transaction conflict rate "
+         "stays far below Ethereum's (~13% vs ~60%), and the group rate "
+         "stays around 1%.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 7: the evolution over time of the conflict rates for all seven
+// blockchains, grouped by data model (four panels), plus a whole-history
+// summary table with the paper's qualitative expectations.
+#include "bench_util.h"
+
+#include "analysis/paper_reference.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+int main() {
+  print_header("Figure 7 — conflict rates for all 7 blockchains",
+               "Fig. 7a-7d of Reijsbergen & Dinh, ICDCS 2020");
+
+  std::vector<analysis::ChainSeries> all;
+  for (const workload::ChainProfile& profile : workload::all_profiles()) {
+    std::cout << "generating " << profile.name << " ("
+              << profile.default_blocks << " blocks)...\n";
+    all.push_back(run_chain(profile));
+  }
+  std::cout << "\n";
+
+  auto panel = [&](const std::string& title, workload::DataModel model,
+                   bool group_rate) {
+    std::vector<LabelledSeries> series;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const workload::ChainProfile profile = workload::all_profiles()[i];
+      if (profile.model != model) continue;
+      series.push_back(years(
+          all[i], group_rate ? all[i].group_rate_txw : all[i].single_rate_txw,
+          profile.name));
+    }
+    PlotOptions opt;
+    opt.y_min = 0.0;
+    opt.y_max = 1.0;
+    opt.x_label = "year";
+    analysis::print_panel(std::cout, title, series, opt, false);
+  };
+
+  panel("Fig. 7a — single-transaction conflict rate (account-based)",
+        workload::DataModel::kAccount, false);
+  panel("Fig. 7b — single-transaction conflict rate (UTXO-based)",
+        workload::DataModel::kUtxo, false);
+  panel("Fig. 7c — group conflict rate (account-based)",
+        workload::DataModel::kAccount, true);
+  panel("Fig. 7d — group conflict rate (UTXO-based)",
+        workload::DataModel::kUtxo, true);
+
+  // Whole-history summary vs the digitized paper targets.
+  analysis::TextTable table({"chain", "txs/blk", "single", "group",
+                             "single(paper)", "group(paper)"});
+  const auto targets = analysis::chain_targets();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    table.row({all[i].chain, analysis::fmt_double(all[i].mean_txs_per_block, 1),
+               analysis::fmt_double(all[i].overall_single_rate),
+               analysis::fmt_double(all[i].overall_group_rate),
+               analysis::fmt_double(targets[i].single_rate_late),
+               analysis::fmt_double(targets[i].group_rate_late)});
+  }
+  std::cout << "whole-history tx-weighted averages (late-history paper "
+               "targets for reference):\n"
+            << table.render() << "\n";
+
+  // The paper's two headline orderings.
+  std::cout << "expected orderings (paper Sections IV-A/IV-B):\n"
+            << "  * every UTXO chain's rates are below every account "
+               "chain's;\n"
+            << "  * every chain's group rate is below its single rate.\n";
+  return 0;
+}

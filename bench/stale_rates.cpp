@@ -1,0 +1,47 @@
+// Stale-block rates at the seven chains' block intervals (Table I
+// context): why Bitcoin mines every 600 s while Ethereum can afford 15 s,
+// and what Dogecoin's 60 s costs under identical propagation conditions.
+// Exercises the miner-network simulation end to end.
+#include "bench_util.h"
+
+#include "chain/network.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+int main() {
+  print_header(
+      "Stale-block rates at each chain's block interval",
+      "Table I block-interval context (network substrate validation)");
+
+  constexpr double kDelaySeconds = 4.0;  // broadcast delay, all pairs
+  constexpr std::uint64_t kBlocks = 800;
+
+  analysis::TextTable table({"chain", "interval", "stale rate", "reorgs",
+                             "max reorg depth"});
+  for (const workload::ChainProfile& profile : workload::all_profiles()) {
+    chain::NetworkConfig config;
+    config.hashrate = {2.0, 1.5, 1.0, 1.0, 0.5};  // a small miner oligopoly
+    config.propagation_delay = kDelaySeconds;
+    config.block_interval = profile.block_interval_seconds;
+    chain::NetworkSimulator simulator(kSeed, config);
+    const chain::NetworkStats stats = simulator.run(kBlocks);
+
+    table.row({profile.name,
+               analysis::fmt_double(profile.block_interval_seconds, 0) + " s",
+               analysis::fmt_double(100.0 * stats.stale_rate, 2) + "%",
+               std::to_string(stats.reorgs),
+               std::to_string(stats.max_reorg_depth)});
+  }
+  std::cout << "five miners, " << analysis::fmt_double(kDelaySeconds, 0)
+            << " s broadcast delay, " << kBlocks << " blocks each:\n"
+            << table.render() << "\n";
+
+  std::cout
+      << "reading: the stale rate scales with delay / interval — Zilliqa\n"
+         "and Ethereum-class intervals waste a measurable share of work,\n"
+         "which is part of why such chains move consensus off pure PoW\n"
+         "(Zilliqa's PBFT committees) and why speeding up the execution\n"
+         "layer, not just block frequency, matters (paper Section II-C).\n";
+  return 0;
+}

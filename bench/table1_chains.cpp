@@ -1,0 +1,42 @@
+// Table I: comparison of the seven public blockchains, extended with the
+// measured whole-history statistics of the generated (scaled) histories.
+#include "bench_util.h"
+
+using namespace txconc;
+using namespace txconc::bench;
+
+int main() {
+  print_header("Table I — comparison of seven public blockchains",
+               "Table I of Reijsbergen & Dinh, ICDCS 2020");
+
+  analysis::TextTable paper_table(
+      {"Blockchain", "Data model", "Consensus", "Smart contracts",
+       "Data source"});
+  for (const auto& profile : workload::all_profiles()) {
+    paper_table.row({profile.name,
+                     profile.model == workload::DataModel::kUtxo ? "UTXO"
+                                                                 : "Account",
+                     profile.consensus,
+                     profile.smart_contracts ? "Yes" : "No",
+                     profile.data_source == "BigQuery"
+                         ? "BigQuery (simulated)"
+                         : "client scrape (simulated)"});
+  }
+  std::cout << paper_table.render() << "\n";
+
+  std::cout << "measured statistics of the generated (scaled) histories:\n";
+  analysis::TextTable measured(
+      {"Blockchain", "blocks", "txs", "internal", "mean txs/blk",
+       "block interval"});
+  for (const auto& profile : workload::all_profiles()) {
+    const analysis::ChainSeries series = run_chain(profile);
+    measured.row(
+        {series.chain, std::to_string(series.blocks),
+         std::to_string(series.total_transactions),
+         std::to_string(series.total_internal),
+         analysis::fmt_double(series.mean_txs_per_block, 1),
+         analysis::fmt_double(profile.block_interval_seconds, 0) + " s"});
+  }
+  std::cout << measured.render();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Exchange hot-spot study: how deposit concentration at a handful of
+// exchange addresses (the Poloniex pattern of the paper's Figure 1b)
+// destroys parallelism — and how much group scheduling recovers.
+//
+// Sweeps the exchange share of a synthetic Ethereum-like workload and
+// reports both conflict metrics plus the predicted 8-core speed-ups.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "analysis/series.h"
+#include "core/speedup_model.h"
+#include "workload/account_workload.h"
+#include "workload/profiles.h"
+
+using namespace txconc;
+
+int main() {
+  std::cout << "exchange hot-spot study (120-tx blocks, 8 cores)\n\n";
+
+  analysis::TextTable table({"exchange share", "single rate", "group rate",
+                             "speculative x", "group x"});
+
+  for (double share : {0.0, 0.1, 0.2, 0.3, 0.5, 0.7}) {
+    // A single-era profile so the share is the only moving part.
+    workload::ChainProfile profile = workload::ethereum_profile();
+    profile.default_blocks = 40;
+    workload::EraParams era = profile.at(1.0);  // late-history Ethereum
+    era.position = 0.0;
+    era.txs_per_block = 120.0;
+    era.exchange_share = share;
+    // Keep total traffic constant by shifting the remainder into p2p.
+    workload::EraParams late = era;
+    late.position = 1.0;
+    profile.eras = {era, late};
+
+    workload::AccountWorkloadGenerator generator(profile, 99);
+    const analysis::ChainSeries series =
+        analysis::collect_series(generator, {.num_buckets = 8});
+
+    const double c = series.overall_single_rate;
+    const double l = series.overall_group_rate;
+    table.row({analysis::fmt_double(share, 2), analysis::fmt_double(c),
+               analysis::fmt_double(l),
+               analysis::fmt_double(
+                   core::SpeculativeModel::speedup(120, c, 8), 2),
+               analysis::fmt_double(core::GroupModel::speedup_bound(8, l), 2)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout
+      << "observations:\n"
+         "  * the single-transaction conflict rate climbs quickly with the\n"
+         "    exchange share - speculative re-execution pays for every\n"
+         "    deposit;\n"
+         "  * the group rate climbs more slowly: deposits to one exchange\n"
+         "    form one component that a group scheduler can still overlap\n"
+         "    with everything else;\n"
+         "  * batching deposits per exchange (group concurrency) is "
+         "exactly\n"
+         "    the paper's argument for why group conflict rates matter "
+         "more\n"
+         "    than single-transaction rates (Section IV-B).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Zilliqa-style sharding walkthrough: pending transactions are partitioned
+// into committees by sender address, each committee runs a PBFT round over
+// its micro-block, the DS committee aggregates, and cross-shard traffic is
+// rejected — reproducing the sharded substrate behind the paper's Zilliqa
+// measurements.
+#include <iostream>
+
+#include "analysis/block_analyzer.h"
+#include "analysis/report.h"
+#include "core/components.h"
+#include "shard/sharding.h"
+#include "workload/account_workload.h"
+#include "workload/profiles.h"
+
+using namespace txconc;
+
+int main() {
+  shard::ShardConfig config;
+  config.num_shards = 4;
+  config.pbft.committee_size = 600;  // Zilliqa-scale committees
+  config.pbft.message_latency = 0.05;
+  config.pbft.faulty_leader_probability = 0.05;
+  config.shard_capacity = 200;
+  config.state_sync_latency = 10.0;
+
+  shard::ZilliqaSimulator simulator(7, config);
+
+  // Pending traffic: a mix of shard-friendly and naive transactions.
+  workload::ChainProfile profile = workload::zilliqa_profile();
+  profile.num_shards = config.num_shards;
+  workload::AccountWorkloadGenerator generator(profile, 7, 50);
+  std::vector<account::AccountTx> pending;
+  for (int b = 0; b < 20; ++b) {
+    auto block = generator.next_block();
+    pending.insert(pending.end(), block.account_txs.begin(),
+                   block.account_txs.end());
+  }
+  // Sprinkle in naive cross-shard transfers users might attempt.
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    account::AccountTx tx;
+    tx.from = Address::from_seed(90000 + s);
+    tx.to = Address::from_seed(91000 + s);
+    pending.push_back(tx);
+  }
+
+  std::cout << "running one Zilliqa epoch over " << pending.size()
+            << " pending transactions, " << config.num_shards
+            << " committees of " << config.pbft.committee_size << " nodes\n\n";
+
+  const shard::EpochResult epoch = simulator.run_epoch(std::move(pending));
+
+  analysis::TextTable table(
+      {"committee", "txs", "pbft latency", "view changes", "messages"});
+  for (const auto& micro : epoch.micro_blocks) {
+    table.row({std::to_string(micro.shard),
+               std::to_string(micro.transactions.size()),
+               analysis::fmt_double(micro.consensus.latency_seconds, 2) + " s",
+               std::to_string(micro.consensus.view_changes),
+               std::to_string(micro.consensus.messages)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "final block:      " << epoch.final_block.size()
+            << " transactions\n"
+            << "rejected (cross): " << epoch.rejected_cross_shard.size()
+            << "  <- Zilliqa's no-cross-shard limitation\n"
+            << "deferred (full):  " << epoch.deferred.size() << "\n"
+            << "epoch latency:    "
+            << analysis::fmt_double(epoch.latency_seconds, 2)
+            << " s (slowest committee + DS round + state sync)\n"
+            << "total messages:   " << epoch.total_messages << "\n\n";
+
+  // Conflict structure of the aggregated final block (what the paper's
+  // Zilliqa measurements analyze).
+  std::vector<account::Receipt> no_receipts;
+  const core::ConflictStats stats = analysis::analyze_account_block(
+      epoch.final_block, no_receipts, /*include_internal=*/false);
+  std::cout << "final-block conflict metrics (regular-tx TDG):\n"
+            << "  single-transaction conflict rate: "
+            << analysis::fmt_double(stats.single_rate()) << "\n"
+            << "  group conflict rate:              "
+            << analysis::fmt_double(stats.group_rate()) << "\n"
+            << "as the paper observes, Zilliqa's sharding does not by itself "
+               "reduce conflict rates - the workload does that.\n";
+  return 0;
+}

@@ -1,0 +1,231 @@
+#include "account/contracts.h"
+
+#include "common/error.h"
+
+namespace txconc::account {
+
+Assembler& Assembler::op(OpCode opcode) {
+  code_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+Assembler& Assembler::push(std::uint64_t value) {
+  op(OpCode::kPush);
+  for (std::size_t i = 0; i < 8; ++i) {
+    code_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  return *this;
+}
+
+Assembler& Assembler::jump(const std::string& label) {
+  op(OpCode::kJump);
+  fixups_.emplace_back(code_.size(), label);
+  code_.insert(code_.end(), 4, 0);
+  return *this;
+}
+
+Assembler& Assembler::jumpi(const std::string& label) {
+  op(OpCode::kJumpi);
+  fixups_.emplace_back(code_.size(), label);
+  code_.insert(code_.end(), 4, 0);
+  return *this;
+}
+
+Assembler& Assembler::label(const std::string& name) {
+  const auto [it, inserted] =
+      labels_.emplace(name, static_cast<std::uint32_t>(code_.size()));
+  if (!inserted) throw UsageError("Assembler: duplicate label " + name);
+  return *this;
+}
+
+Bytes Assembler::build() {
+  for (const auto& [pos, name] : fixups_) {
+    const auto it = labels_.find(name);
+    if (it == labels_.end()) {
+      throw UsageError("Assembler: unresolved label " + name);
+    }
+    const std::uint32_t target = it->second;
+    for (std::size_t i = 0; i < 4; ++i) {
+      code_[pos + i] = static_cast<std::uint8_t>(target >> (8 * i));
+    }
+  }
+  fixups_.clear();
+  return code_;
+}
+
+namespace contracts {
+
+ContractCode token(const Address& owner) {
+  Assembler a;
+  // Dispatch on args[0].
+  a.push(0).op(OpCode::kArg);                         // [op]
+  a.op(OpCode::kDup).push(0).op(OpCode::kEq).jumpi("mint");
+  a.op(OpCode::kDup).push(1).op(OpCode::kEq).jumpi("transfer");
+  a.op(OpCode::kDup).push(2).op(OpCode::kEq).jumpi("balance");
+  a.push(0).op(OpCode::kReturn);                      // unknown op -> 0
+
+  a.label("mint");
+  a.op(OpCode::kPop);                                 // []
+  a.op(OpCode::kCaller64).push(owner.low64()).op(OpCode::kEq)
+      .op(OpCode::kIsZero).jumpi("failret");
+  a.op(OpCode::kCaller64).op(OpCode::kDup).op(OpCode::kSload);  // [key, bal]
+  a.push(1).op(OpCode::kArg).op(OpCode::kAdd);        // [key, bal+amt]
+  a.op(OpCode::kSstore);
+  a.push(1).op(OpCode::kReturn);
+
+  a.label("transfer");
+  a.op(OpCode::kPop);                                 // []
+  // Insufficient balance?  storage[caller] < amount -> fail.
+  a.op(OpCode::kCaller64).op(OpCode::kSload);         // [from_bal]
+  a.push(1).op(OpCode::kArg);                         // [from_bal, amt]
+  a.op(OpCode::kLt).jumpi("failret");                 // from_bal < amt
+  // storage[caller] -= amount
+  a.op(OpCode::kCaller64).op(OpCode::kDup).op(OpCode::kSload);  // [key, fb]
+  a.push(1).op(OpCode::kArg).op(OpCode::kSub);        // [key, fb-amt]
+  a.op(OpCode::kSstore);
+  // storage[address_args[0]] += amount
+  a.push(0).op(OpCode::kAddr64);                      // [tkey]
+  a.op(OpCode::kDup).op(OpCode::kSload);              // [tkey, tb]
+  a.push(1).op(OpCode::kArg).op(OpCode::kAdd);        // [tkey, tb+amt]
+  a.op(OpCode::kSstore);
+  a.push(1).op(OpCode::kReturn);
+
+  a.label("balance");
+  a.op(OpCode::kPop);
+  a.op(OpCode::kCaller64).op(OpCode::kSload).op(OpCode::kReturn);
+
+  a.label("failret");
+  a.push(0).op(OpCode::kReturn);
+
+  return ContractCode{a.build(), {}};
+}
+
+ContractCode hot_wallet(const Address& cold_storage) {
+  Assembler a;
+  // Sweep the whole balance (deposit included) to cold storage.
+  a.push(0);                     // address-table index of cold storage
+  a.op(OpCode::kSelfBalance);    // [idx, balance]
+  a.op(OpCode::kTransfer);       // [ok]
+  a.op(OpCode::kReturn);
+  return ContractCode{a.build(), {cold_storage}};
+}
+
+ContractCode payout_splitter() {
+  Assembler a;
+  a.push(0);                                         // [i]
+  a.label("loop");
+  a.op(OpCode::kDup);                                // [i, i]
+  a.op(OpCode::kNumAddrs).op(OpCode::kLt);           // [i, i<n]
+  a.op(OpCode::kIsZero).jumpi("end");                // [i]
+  a.op(OpCode::kDup);                                // [i, i]
+  a.op(OpCode::kCallValue).op(OpCode::kNumAddrs).op(OpCode::kDiv);
+  a.op(OpCode::kTransfer);                           // [i, ok]
+  a.op(OpCode::kPop);                                // [i]
+  a.push(1).op(OpCode::kAdd);                        // [i+1]
+  a.jump("loop");
+  a.label("end");
+  a.op(OpCode::kPop);
+  a.push(1).op(OpCode::kReturn);
+  return ContractCode{a.build(), {}};
+}
+
+ContractCode relay(const Address& next_hop) {
+  Assembler a;
+  a.push(0);                     // next hop index
+  a.op(OpCode::kCallValue);      // [idx, value]
+  a.push(0).op(OpCode::kArg);    // [idx, value, args[0]]
+  a.op(OpCode::kCall);           // [ret]
+  a.push(1).op(OpCode::kAdd);    // hop counter: ret + 1
+  a.op(OpCode::kReturn);
+  return ContractCode{a.build(), {next_hop}};
+}
+
+ContractCode crowdsale(const Address& beneficiary) {
+  Assembler a;
+  // storage[caller] += callvalue
+  a.op(OpCode::kCaller64).op(OpCode::kDup).op(OpCode::kSload);
+  a.op(OpCode::kCallValue).op(OpCode::kAdd);
+  a.op(OpCode::kSstore);
+  // Forward the contribution.
+  a.push(0).op(OpCode::kCallValue).op(OpCode::kTransfer);
+  a.op(OpCode::kPop);
+  a.push(1).op(OpCode::kReturn);
+  return ContractCode{a.build(), {beneficiary}};
+}
+
+ContractCode storage_churn() {
+  Assembler a;
+  a.push(0);                                          // [i]
+  a.label("loop");
+  a.op(OpCode::kDup).push(0).op(OpCode::kArg);        // [i, i, n]
+  a.op(OpCode::kLt).op(OpCode::kIsZero).jumpi("end"); // [i]
+  a.op(OpCode::kDup).push(1).op(OpCode::kArg).op(OpCode::kAdd);  // [i, key]
+  a.op(OpCode::kDup).op(OpCode::kSstore);             // store key at key -> [i]
+  a.push(1).op(OpCode::kAdd);                         // [i+1]
+  a.jump("loop");
+  a.label("end");
+  a.op(OpCode::kPop);
+  a.push(1).op(OpCode::kReturn);
+  return ContractCode{a.build(), {}};
+}
+
+ContractCode auction(const Address& beneficiary) {
+  Assembler a;
+  a.push(0).op(OpCode::kArg);                          // [op]
+  a.op(OpCode::kDup).push(0).op(OpCode::kEq).jumpi("bid");
+  a.op(OpCode::kDup).push(1).op(OpCode::kEq).jumpi("withdraw");
+  a.op(OpCode::kDup).push(2).op(OpCode::kEq).jumpi("close");
+  a.op(OpCode::kRevert);                               // unknown op
+
+  // ---- bid ----
+  a.label("bid");
+  a.op(OpCode::kPop);                                  // []
+  // Closed or not beating the current highest: revert (value bounces).
+  a.push(2).op(OpCode::kSload).jumpi("fail");
+  a.op(OpCode::kCallValue).push(0).op(OpCode::kSload); // [v, hi]
+  a.op(OpCode::kGt).op(OpCode::kIsZero).jumpi("fail"); // v > hi required
+  // Refund the previous leader into its withdrawable slot (skip when
+  // there is no previous leader).
+  a.push(1).op(OpCode::kSload).op(OpCode::kIsZero).jumpi("record");
+  a.push(1).op(OpCode::kSload);                        // [pk]
+  a.op(OpCode::kDup).op(OpCode::kSload);               // [pk, w]
+  a.push(0).op(OpCode::kSload).op(OpCode::kAdd);       // [pk, w+hi]
+  a.op(OpCode::kSstore);
+  a.label("record");
+  a.push(0).op(OpCode::kCallValue).op(OpCode::kSstore);  // highest = value
+  a.push(1).op(OpCode::kCaller64).op(OpCode::kSstore);   // leader = caller
+  a.push(1).op(OpCode::kReturn);
+
+  // ---- withdraw ----
+  a.label("withdraw");
+  a.op(OpCode::kPop);
+  // The payout target must be the caller itself.
+  a.push(0).op(OpCode::kAddr64).op(OpCode::kCaller64).op(OpCode::kEq)
+      .op(OpCode::kIsZero).jumpi("fail");
+  a.op(OpCode::kCaller64).op(OpCode::kSload);           // [amount]
+  a.op(OpCode::kDup).op(OpCode::kIsZero).jumpi("zero"); // nothing to pull
+  a.op(OpCode::kCaller64).push(0).op(OpCode::kSstore);  // clear first
+  a.push(0).op(OpCode::kSwap).op(OpCode::kTransfer);    // pay table[0]
+  a.op(OpCode::kReturn);
+  a.label("zero");
+  a.op(OpCode::kPop);
+  a.push(0).op(OpCode::kReturn);
+
+  // ---- close ----
+  a.label("close");
+  a.op(OpCode::kPop);
+  a.push(2).op(OpCode::kSload).jumpi("fail");           // already closed
+  a.push(2).push(1).op(OpCode::kSstore);                // closed = 1
+  a.push(0);                                            // beneficiary index
+  a.push(0).op(OpCode::kSload);                         // [idx, highest]
+  a.op(OpCode::kTransfer).op(OpCode::kPop);
+  a.push(1).op(OpCode::kReturn);
+
+  a.label("fail");
+  a.op(OpCode::kRevert);
+
+  return ContractCode{a.build(), {beneficiary}};
+}
+
+}  // namespace contracts
+}  // namespace txconc::account

@@ -1,0 +1,86 @@
+// SVM assembler and the built-in contract library.
+//
+// The contracts model the workload patterns the paper identifies as the
+// sources of account-model conflicts: exchange hot wallets (Poloniex in
+// Figure 1b), chained contract calls producing internal transactions, token
+// transfers, and gas-heavy storage churn (the 2017 DoS-attack spikes in
+// Figure 4a).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "account/types.h"
+#include "account/vm.h"
+
+namespace txconc::account {
+
+/// Tiny assembler with label fix-up for SVM bytecode.
+class Assembler {
+ public:
+  Assembler& op(OpCode opcode);
+  Assembler& push(std::uint64_t value);
+  /// Jump to a label (forward references allowed).
+  Assembler& jump(const std::string& label);
+  Assembler& jumpi(const std::string& label);
+  /// Bind a label to the current position.
+  Assembler& label(const std::string& name);
+
+  /// Resolve labels and return the bytecode. Throws UsageError on
+  /// unresolved labels.
+  Bytes build();
+
+ private:
+  Bytes code_;
+  std::unordered_map<std::string, std::uint32_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+namespace contracts {
+
+/// ERC20-style token. Balances live in storage keyed by address low64.
+///   args[0] == 0: mint(args[1]) — only the owner may mint.
+///   args[0] == 1: transfer(args[1]) to address_args[0] — moves token
+///                 balance from caller to recipient; returns 1 on success.
+///   args[0] == 2: balance_of(caller) — returns the caller's balance.
+ContractCode token(const Address& owner);
+
+/// Exchange hot wallet: any call sweeps the wallet's entire balance
+/// (including the call value) to the cold-storage address. This is the
+/// fan-in pattern of Figure 1b's Poloniex deposits.
+ContractCode hot_wallet(const Address& cold_storage);
+
+/// Mining-pool payout splitter: splits the call value evenly across all
+/// dynamic address arguments (one TRANSFER trace per recipient).
+ContractCode payout_splitter();
+
+/// Call relay: forwards (value, args[0]) to the next hop, mimicking the
+/// chained unverified contracts of Figure 1b (tx -> contract -> contract
+/// -> ElcoinDb). Returns 1 + the downstream return value.
+ContractCode relay(const Address& next_hop);
+
+/// Crowdsale: records each caller's cumulative contribution in storage and
+/// forwards the funds to the beneficiary.
+ContractCode crowdsale(const Address& beneficiary);
+
+/// Storage churn: writes args[0] distinct storage slots (starting at
+/// args[1]) — a gas-heavy load used to model the 2017 DoS-style internal
+/// transaction storms and to stress gas-weighted metrics.
+ContractCode storage_churn();
+
+/// English auction with pull-payment refunds.
+///   args[0] == 0: bid — the attached value must beat the current highest
+///                 bid or the call reverts (value bounces back). The
+///                 previous leader's bid becomes withdrawable.
+///   args[0] == 1: withdraw — pays the caller's withdrawable balance to
+///                 address_args[0], which must be the caller itself
+///                 (verified via its low-64 tag).
+///   args[0] == 2: close — pays the highest bid to the beneficiary and
+///                 rejects further bids. Call without address_args so the
+///                 static table (the beneficiary) is in scope.
+/// Storage: slot 0 = highest bid, slot 1 = leader tag, slot 2 = closed,
+/// slot caller-low64 = withdrawable refund.
+ContractCode auction(const Address& beneficiary);
+
+}  // namespace contracts
+}  // namespace txconc::account

@@ -1,0 +1,130 @@
+#include "account/runtime.h"
+
+#include "common/error.h"
+
+namespace txconc::account {
+
+std::uint64_t creation_gas(const GasSchedule& gas, std::size_t code_size) {
+  return gas.create_base + gas.create_per_byte * code_size;
+}
+
+Receipt apply_transaction(State& state, const AccountTx& tx,
+                          const RuntimeConfig& config) {
+  // ---- Validity checks: failures here mean the transaction could never
+  // have been included in a block, so the state must remain untouched.
+  if (config.enforce_nonce && state.nonce(tx.from) != tx.nonce) {
+    throw ValidationError(
+        "bad nonce for " + tx.from.short_hex() + ": expected " +
+        std::to_string(state.nonce(tx.from)) + ", got " +
+        std::to_string(tx.nonce));
+  }
+  const std::uint64_t max_fee =
+      config.charge_fees ? tx.gas_limit * tx.gas_price : 0;
+  if (state.balance(tx.from) < tx.value + max_fee) {
+    throw ValidationError("sender cannot cover value plus max fee");
+  }
+  const std::uint64_t intrinsic =
+      config.gas.tx_base +
+      (tx.is_creation() ? creation_gas(config.gas, tx.init_code.code.size())
+                        : 0);
+  if (tx.gas_limit < intrinsic) {
+    throw ValidationError("gas limit below intrinsic cost");
+  }
+
+  Receipt receipt;
+  AccessTracker tracker;
+  AccessTracker* tracker_ptr = config.track_accesses ? &tracker : nullptr;
+
+  state.set_nonce(tx.from, state.nonce(tx.from) + 1);
+  // Charge the full fee upfront; refund after execution.
+  if (config.charge_fees) state.debit(tx.from, max_fee);
+
+  // Changes beyond this snapshot are rolled back on execution failure,
+  // while the nonce bump and fee survive.
+  const Snapshot exec_snapshot = state.snapshot();
+  std::uint64_t gas_used = intrinsic;
+  bool success = true;
+
+  if (tracker_ptr) {
+    tracker_ptr->read_balance(tx.from);
+    tracker_ptr->write_balance(tx.from);
+  }
+
+  try {
+    if (tx.is_creation()) {
+      const Address contract_addr =
+          Address::derive_contract(tx.from, tx.nonce);
+      state.transfer(tx.from, contract_addr, tx.value);
+      state.set_code(contract_addr, tx.init_code);
+      receipt.created = contract_addr;
+      receipt.internal_txs.push_back(
+          {tx.from, contract_addr, tx.value, TraceKind::kCreate, 1});
+      if (tracker_ptr) tracker_ptr->write_balance(contract_addr);
+    } else {
+      const Address to = *tx.to;
+      if (tracker_ptr && tx.value > 0) tracker_ptr->write_balance(to);
+      state.transfer(tx.from, to, tx.value);
+      const ContractCode* code = state.code(to);
+      if (code != nullptr) {
+        Vm vm(state, config.gas, config.limits);
+        CallContext context;
+        context.self = to;
+        context.caller = tx.from;
+        context.value = tx.value;
+        context.args = tx.args;
+        // The top frame sees the transaction's dynamic address arguments
+        // when provided, otherwise the contract's static table.
+        context.address_table = tx.address_args.empty()
+                                    ? std::span<const Address>(
+                                          code->address_table)
+                                    : std::span<const Address>(
+                                          tx.address_args);
+        context.depth = 0;
+
+        ExecutionHooks hooks;
+        hooks.traces = &receipt.internal_txs;
+        hooks.tracker = tracker_ptr;
+        hooks.logs = &receipt.logs;
+
+        const VmResult vm_result =
+            vm.execute(*code, context, tx.gas_limit - intrinsic, hooks);
+        gas_used += vm_result.gas_used;
+        if (!vm_result.success) {
+          success = false;
+          receipt.error = vm_result.error;
+        } else {
+          receipt.return_value = vm_result.return_value;
+        }
+      }
+    }
+  } catch (const ValidationError& e) {
+    // e.g. value transfer underflow after fee accounting races; treat as
+    // execution failure, consistent with EVM call semantics.
+    success = false;
+    receipt.error = e.what();
+  }
+
+  if (!success) {
+    state.revert(exec_snapshot);
+    receipt.created.reset();
+  }
+
+  // Refund the unused portion of the fee.
+  if (config.charge_fees) {
+    state.credit(tx.from, (tx.gas_limit - gas_used) * tx.gas_price);
+  }
+
+  receipt.success = success;
+  receipt.gas_used = gas_used;
+  if (tracker_ptr) {
+    receipt.reads = tracker_ptr->reads();
+    receipt.writes = tracker_ptr->writes();
+  }
+  return receipt;
+}
+
+void genesis_deploy(State& state, const Address& addr, ContractCode code) {
+  state.set_code(addr, std::move(code));
+}
+
+}  // namespace txconc::account

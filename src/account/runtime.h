@@ -1,0 +1,45 @@
+// Transaction application for the account model.
+//
+// apply_transaction is the single entry point every executor (sequential,
+// speculative, group-scheduled) uses to run one transaction against a State.
+#pragma once
+
+#include "account/state.h"
+#include "account/types.h"
+#include "account/vm.h"
+
+namespace txconc::account {
+
+/// Configuration of the runtime semantics.
+struct RuntimeConfig {
+  GasSchedule gas;
+  VmLimits limits;
+  /// Enforce sender nonces (transactions must apply in nonce order).
+  bool enforce_nonce = true;
+  /// Charge gas fees from the sender (fees are burned — crediting a miner
+  /// would make every transaction conflict on the miner's balance, which
+  /// the paper's TDG, like its coinbase handling, deliberately excludes).
+  bool charge_fees = true;
+  /// Record storage/balance read-write sets in the receipt.
+  bool track_accesses = true;
+};
+
+/// Apply one transaction to the state.
+///
+/// Invalid transactions — bad nonce, sender cannot cover value plus the
+/// maximum fee — throw ValidationError and leave the state untouched (they
+/// would never have entered a block). Execution failures (out of gas,
+/// contract fault, revert) return an unsuccessful Receipt: the state
+/// changes are rolled back but gas is still consumed, exactly as on
+/// Ethereum.
+Receipt apply_transaction(State& state, const AccountTx& tx,
+                          const RuntimeConfig& config = {});
+
+/// Install a contract at an address without a creation transaction
+/// (genesis-style bootstrap used by tests and the workload generator).
+void genesis_deploy(State& state, const Address& addr, ContractCode code);
+
+/// Gas cost of a contract creation with the given code size.
+std::uint64_t creation_gas(const GasSchedule& gas, std::size_t code_size);
+
+}  // namespace txconc::account

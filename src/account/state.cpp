@@ -1,0 +1,304 @@
+#include "account/state.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace txconc::account {
+
+void State::transfer(const Address& from, const Address& to,
+                     std::uint64_t value) {
+  debit(from, value);
+  credit(to, value);
+}
+
+void State::debit(const Address& addr, std::uint64_t value) {
+  // Zero-value operations must not touch state: a no-op write would still
+  // be journaled and merged by overlay commits, clobbering concurrent
+  // updates from other transactions.
+  if (value == 0) return;
+  const std::uint64_t current = balance(addr);
+  if (current < value) {
+    throw ValidationError("insufficient balance at " + addr.short_hex());
+  }
+  set_balance(addr, current - value);
+}
+
+void State::credit(const Address& addr, std::uint64_t value) {
+  if (value == 0) return;
+  set_balance(addr, balance(addr) + value);
+}
+
+// ------------------------------------------------------------------- StateDb
+
+const StateDb::AccountRecord* StateDb::find(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t StateDb::balance(const Address& addr) const {
+  const AccountRecord* rec = find(addr);
+  return rec ? rec->balance : 0;
+}
+
+void StateDb::set_balance(const Address& addr, std::uint64_t value) {
+  AccountRecord& rec = record(addr);
+  journal_.push_back(BalanceEntry{addr, rec.balance});
+  rec.balance = value;
+}
+
+std::uint64_t StateDb::nonce(const Address& addr) const {
+  const AccountRecord* rec = find(addr);
+  return rec ? rec->nonce : 0;
+}
+
+void StateDb::set_nonce(const Address& addr, std::uint64_t value) {
+  AccountRecord& rec = record(addr);
+  journal_.push_back(NonceEntry{addr, rec.nonce});
+  rec.nonce = value;
+}
+
+const ContractCode* StateDb::code(const Address& addr) const {
+  const AccountRecord* rec = find(addr);
+  return rec && rec->code ? rec->code.get() : nullptr;
+}
+
+void StateDb::set_code(const Address& addr, ContractCode new_code) {
+  AccountRecord& rec = record(addr);
+  journal_.push_back(CodeEntry{addr, rec.code});
+  rec.code = std::make_shared<const ContractCode>(std::move(new_code));
+}
+
+std::uint64_t StateDb::storage(const Address& addr, StorageKey key) const {
+  const AccountRecord* rec = find(addr);
+  if (!rec) return 0;
+  const auto it = rec->storage.find(key);
+  return it == rec->storage.end() ? 0 : it->second;
+}
+
+void StateDb::set_storage(const Address& addr, StorageKey key,
+                          std::uint64_t value) {
+  AccountRecord& rec = record(addr);
+  const auto it = rec.storage.find(key);
+  journal_.push_back(
+      StorageEntry{addr, key, it == rec.storage.end() ? 0 : it->second});
+  rec.storage[key] = value;
+}
+
+Snapshot StateDb::snapshot() const { return journal_.size(); }
+
+void StateDb::revert(Snapshot snap) {
+  if (snap > journal_.size()) {
+    throw UsageError("StateDb::revert: snapshot from the future");
+  }
+  while (journal_.size() > snap) {
+    const JournalEntry entry = std::move(journal_.back());
+    journal_.pop_back();
+    std::visit(
+        [this](const auto& e) {
+          using T = std::decay_t<decltype(e)>;
+          AccountRecord& rec = accounts_[e.addr];
+          if constexpr (std::is_same_v<T, BalanceEntry>) {
+            rec.balance = e.old_value;
+          } else if constexpr (std::is_same_v<T, NonceEntry>) {
+            rec.nonce = e.old_value;
+          } else if constexpr (std::is_same_v<T, CodeEntry>) {
+            rec.code = e.old_code;
+          } else {
+            rec.storage[e.key] = e.old_value;
+          }
+        },
+        entry);
+  }
+}
+
+void StateDb::flush_journal() { journal_.clear(); }
+
+std::uint64_t StateDb::total_supply() const {
+  std::uint64_t sum = 0;
+  for (const auto& [addr, rec] : accounts_) sum += rec.balance;
+  return sum;
+}
+
+Hash256 StateDb::account_digest(const Address& addr) const {
+  const AccountRecord* rec = find(addr);
+  if (rec == nullptr) return Hash256{};
+
+  // Storage entries XOR-combined (order-independent), with zero-valued
+  // slots treated as absent.
+  std::array<std::uint8_t, 32> storage_acc{};
+  bool any_storage = false;
+  for (const auto& [key, value] : rec->storage) {
+    if (value == 0) continue;
+    any_storage = true;
+    ByteWriter sw;
+    sw.u64(key);
+    sw.u64(value);
+    const Hash256 sh = Hash256::digest_of(sw.data());
+    for (std::size_t i = 0; i < 32; ++i) storage_acc[i] ^= sh.bytes[i];
+  }
+  // Accounts in their default state digest like absent accounts.
+  if (rec->balance == 0 && rec->nonce == 0 && !rec->code && !any_storage) {
+    return Hash256{};
+  }
+  ByteWriter w;
+  w.raw(addr.bytes);
+  w.u64(rec->balance);
+  w.u64(rec->nonce);
+  w.raw(storage_acc);
+  if (rec->code) {
+    w.bytes(rec->code->code);
+    w.u32(static_cast<std::uint32_t>(rec->code->address_table.size()));
+    for (const Address& a : rec->code->address_table) w.raw(a.bytes);
+  }
+  return Hash256::digest_of(w.data());
+}
+
+void StateDb::for_each_account(
+    const std::function<void(const Address&)>& fn) const {
+  for (const auto& [addr, rec] : accounts_) fn(addr);
+}
+
+Hash256 StateDb::digest() const {
+  // XOR-combine per-account digests: order-independent without sorting.
+  std::array<std::uint8_t, 32> acc{};
+  for (const auto& [addr, rec] : accounts_) {
+    const Hash256 h = account_digest(addr);
+    for (std::size_t i = 0; i < 32; ++i) acc[i] ^= h.bytes[i];
+  }
+  Hash256 out;
+  out.bytes = acc;
+  return out;
+}
+
+// -------------------------------------------------------------- OverlayState
+
+std::uint64_t OverlayState::balance(const Address& addr) const {
+  const auto it = balances_.find(addr);
+  return it != balances_.end() ? it->second : base_.balance(addr);
+}
+
+void OverlayState::set_balance(const Address& addr, std::uint64_t value) {
+  const auto it = balances_.find(addr);
+  journal_.push_back(BalanceEntry{
+      addr, it != balances_.end(), it != balances_.end() ? it->second : 0});
+  balances_[addr] = value;
+}
+
+std::uint64_t OverlayState::nonce(const Address& addr) const {
+  const auto it = nonces_.find(addr);
+  return it != nonces_.end() ? it->second : base_.nonce(addr);
+}
+
+void OverlayState::set_nonce(const Address& addr, std::uint64_t value) {
+  const auto it = nonces_.find(addr);
+  journal_.push_back(NonceEntry{
+      addr, it != nonces_.end(), it != nonces_.end() ? it->second : 0});
+  nonces_[addr] = value;
+}
+
+const ContractCode* OverlayState::code(const Address& addr) const {
+  const auto it = codes_.find(addr);
+  return it != codes_.end() ? it->second.get() : base_.code(addr);
+}
+
+void OverlayState::set_code(const Address& addr, ContractCode new_code) {
+  const auto it = codes_.find(addr);
+  journal_.push_back(CodeEntry{addr, it != codes_.end(),
+                               it != codes_.end() ? it->second : nullptr});
+  codes_[addr] = std::make_shared<const ContractCode>(std::move(new_code));
+}
+
+std::uint64_t OverlayState::storage(const Address& addr,
+                                    StorageKey key) const {
+  const auto it = storage_.find(SlotId{addr, key});
+  return it != storage_.end() ? it->second : base_.storage(addr, key);
+}
+
+void OverlayState::set_storage(const Address& addr, StorageKey key,
+                               std::uint64_t value) {
+  const SlotId slot{addr, key};
+  const auto it = storage_.find(slot);
+  journal_.push_back(StorageEntry{
+      slot, it != storage_.end(), it != storage_.end() ? it->second : 0});
+  storage_[slot] = value;
+}
+
+Snapshot OverlayState::snapshot() const { return journal_.size(); }
+
+void OverlayState::revert(Snapshot snap) {
+  if (snap > journal_.size()) {
+    throw UsageError("OverlayState::revert: snapshot from the future");
+  }
+  while (journal_.size() > snap) {
+    const JournalEntry entry = std::move(journal_.back());
+    journal_.pop_back();
+    std::visit(
+        [this](const auto& e) {
+          using T = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<T, BalanceEntry>) {
+            if (e.existed) {
+              balances_[e.addr] = e.old_value;
+            } else {
+              balances_.erase(e.addr);
+            }
+          } else if constexpr (std::is_same_v<T, NonceEntry>) {
+            if (e.existed) {
+              nonces_[e.addr] = e.old_value;
+            } else {
+              nonces_.erase(e.addr);
+            }
+          } else if constexpr (std::is_same_v<T, CodeEntry>) {
+            if (e.existed) {
+              codes_[e.addr] = e.old_code;
+            } else {
+              codes_.erase(e.addr);
+            }
+          } else {
+            if (e.existed) {
+              storage_[e.slot] = e.old_value;
+            } else {
+              storage_.erase(e.slot);
+            }
+          }
+        },
+        entry);
+  }
+}
+
+void OverlayState::apply_to(State& target) const {
+  for (const auto& [addr, value] : balances_) target.set_balance(addr, value);
+  for (const auto& [addr, value] : nonces_) target.set_nonce(addr, value);
+  for (const auto& [addr, code] : codes_) target.set_code(addr, *code);
+  for (const auto& [slot, value] : storage_) {
+    target.set_storage(slot.addr, slot.key, value);
+  }
+}
+
+bool OverlayState::dirty() const {
+  return !balances_.empty() || !nonces_.empty() || !codes_.empty() ||
+         !storage_.empty();
+}
+
+// ------------------------------------------------------------- AccessTracker
+
+namespace {
+
+std::vector<SlotAccess> sorted_unique(std::vector<SlotAccess> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::vector<SlotAccess> AccessTracker::reads() const {
+  return sorted_unique(reads_);
+}
+
+std::vector<SlotAccess> AccessTracker::writes() const {
+  return sorted_unique(writes_);
+}
+
+}  // namespace txconc::account

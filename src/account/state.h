@@ -1,0 +1,223 @@
+// World state for the account model, with journaling and overlays.
+//
+// State is the abstract interface the VM and runtime execute against.
+// StateDb is the authoritative store; OverlayState is a copy-on-write view
+// over a frozen base used by the speculative executors, so parallel workers
+// never contend on shared mutable data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "account/types.h"
+#include "common/hash.h"
+
+namespace txconc::account {
+
+/// Storage key within one account.
+using StorageKey = std::uint64_t;
+
+/// Opaque journal position returned by snapshot().
+using Snapshot = std::size_t;
+
+/// Abstract mutable world state with nested rollback.
+///
+/// All mutations are journaled; revert(snapshot()) undoes everything since.
+/// Implementations are NOT thread-safe; give each worker its own overlay.
+class State {
+ public:
+  virtual ~State() = default;
+
+  virtual std::uint64_t balance(const Address& addr) const = 0;
+  virtual void set_balance(const Address& addr, std::uint64_t value) = 0;
+
+  virtual std::uint64_t nonce(const Address& addr) const = 0;
+  virtual void set_nonce(const Address& addr, std::uint64_t value) = 0;
+
+  /// nullptr when the account has no code.
+  virtual const ContractCode* code(const Address& addr) const = 0;
+  virtual void set_code(const Address& addr, ContractCode code) = 0;
+
+  virtual std::uint64_t storage(const Address& addr, StorageKey key) const = 0;
+  virtual void set_storage(const Address& addr, StorageKey key,
+                           std::uint64_t value) = 0;
+
+  virtual Snapshot snapshot() const = 0;
+  virtual void revert(Snapshot snap) = 0;
+
+  // Non-virtual helpers.
+  /// Throws ValidationError when the payer lacks funds.
+  void transfer(const Address& from, const Address& to, std::uint64_t value);
+  /// Balance decrease that throws ValidationError on underflow.
+  void debit(const Address& addr, std::uint64_t value);
+  void credit(const Address& addr, std::uint64_t value);
+};
+
+/// The authoritative account store.
+class StateDb final : public State {
+ public:
+  StateDb() = default;
+
+  std::uint64_t balance(const Address& addr) const override;
+  void set_balance(const Address& addr, std::uint64_t value) override;
+  std::uint64_t nonce(const Address& addr) const override;
+  void set_nonce(const Address& addr, std::uint64_t value) override;
+  const ContractCode* code(const Address& addr) const override;
+  void set_code(const Address& addr, ContractCode code) override;
+  std::uint64_t storage(const Address& addr, StorageKey key) const override;
+  void set_storage(const Address& addr, StorageKey key,
+                   std::uint64_t value) override;
+  Snapshot snapshot() const override;
+  void revert(Snapshot snap) override;
+
+  /// Drop the journal (changes become permanent; snapshots invalidated).
+  void flush_journal();
+
+  std::size_t num_accounts() const { return accounts_.size(); }
+  /// Sum of all balances (invariant checks in tests).
+  std::uint64_t total_supply() const;
+
+  /// Order-independent digest over the full state (balances, nonces,
+  /// storage, code). Two StateDbs with equal digests hold equal state;
+  /// used by the executor-equivalence tests.
+  Hash256 digest() const;
+
+  /// Canonical digest of one account (the state-trie leaf value); the
+  /// zero hash for accounts in their default state.
+  Hash256 account_digest(const Address& addr) const;
+
+  /// Invoke fn for every stored account address (unspecified order).
+  void for_each_account(
+      const std::function<void(const Address&)>& fn) const;
+
+ private:
+  struct AccountRecord {
+    std::uint64_t balance = 0;
+    std::uint64_t nonce = 0;
+    std::shared_ptr<const ContractCode> code;  // shared with overlays
+    std::unordered_map<StorageKey, std::uint64_t> storage;
+  };
+
+  struct BalanceEntry {
+    Address addr;
+    std::uint64_t old_value;
+  };
+  struct NonceEntry {
+    Address addr;
+    std::uint64_t old_value;
+  };
+  struct CodeEntry {
+    Address addr;
+    std::shared_ptr<const ContractCode> old_code;
+  };
+  struct StorageEntry {
+    Address addr;
+    StorageKey key;
+    std::uint64_t old_value;
+  };
+  using JournalEntry =
+      std::variant<BalanceEntry, NonceEntry, CodeEntry, StorageEntry>;
+
+  AccountRecord& record(const Address& addr) { return accounts_[addr]; }
+  const AccountRecord* find(const Address& addr) const;
+
+  std::unordered_map<Address, AccountRecord> accounts_;
+  mutable std::vector<JournalEntry> journal_;
+};
+
+/// Copy-on-write view over a frozen base state.
+///
+/// Reads fall through to the base until the overlay has written the entry;
+/// writes stay local. apply_to() merges the overlay's final values into a
+/// mutable target (normally the base itself, after conflict checks pass).
+class OverlayState final : public State {
+ public:
+  explicit OverlayState(const State& base) : base_(base) {}
+
+  std::uint64_t balance(const Address& addr) const override;
+  void set_balance(const Address& addr, std::uint64_t value) override;
+  std::uint64_t nonce(const Address& addr) const override;
+  void set_nonce(const Address& addr, std::uint64_t value) override;
+  const ContractCode* code(const Address& addr) const override;
+  void set_code(const Address& addr, ContractCode code) override;
+  std::uint64_t storage(const Address& addr, StorageKey key) const override;
+  void set_storage(const Address& addr, StorageKey key,
+                   std::uint64_t value) override;
+  Snapshot snapshot() const override;
+  void revert(Snapshot snap) override;
+
+  /// Write every overlay value into the target state.
+  void apply_to(State& target) const;
+
+  bool dirty() const;
+
+ private:
+  struct SlotId {
+    Address addr;
+    StorageKey key;
+    bool operator==(const SlotId&) const = default;
+  };
+  struct SlotIdHash {
+    std::size_t operator()(const SlotId& s) const noexcept {
+      return std::hash<Address>{}(s.addr) ^
+             (s.key * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  struct BalanceEntry {
+    Address addr;
+    bool existed;
+    std::uint64_t old_value;
+  };
+  struct NonceEntry {
+    Address addr;
+    bool existed;
+    std::uint64_t old_value;
+  };
+  struct CodeEntry {
+    Address addr;
+    bool existed;
+    std::shared_ptr<const ContractCode> old_code;
+  };
+  struct StorageEntry {
+    SlotId slot;
+    bool existed;
+    std::uint64_t old_value;
+  };
+  using JournalEntry =
+      std::variant<BalanceEntry, NonceEntry, CodeEntry, StorageEntry>;
+
+  const State& base_;
+  std::unordered_map<Address, std::uint64_t> balances_;
+  std::unordered_map<Address, std::uint64_t> nonces_;
+  std::unordered_map<Address, std::shared_ptr<const ContractCode>> codes_;
+  std::unordered_map<SlotId, std::uint64_t, SlotIdHash> storage_;
+  mutable std::vector<JournalEntry> journal_;
+};
+
+/// Records the read/write sets of one transaction, at account and slot
+/// granularity; attached to the VM by the runtime.
+class AccessTracker {
+ public:
+  void read_balance(const Address& addr) { reads_.push_back({addr, kBalanceKey}); }
+  void write_balance(const Address& addr) { writes_.push_back({addr, kBalanceKey}); }
+  void read_slot(const Address& addr, StorageKey key) { reads_.push_back({addr, key}); }
+  void write_slot(const Address& addr, StorageKey key) { writes_.push_back({addr, key}); }
+
+  /// Sorted, deduplicated access lists.
+  std::vector<SlotAccess> reads() const;
+  std::vector<SlotAccess> writes() const;
+
+  /// Sentinel storage key representing the account balance/nonce itself.
+  static constexpr StorageKey kBalanceKey = ~StorageKey{0};
+
+ private:
+  std::vector<SlotAccess> reads_;
+  std::vector<SlotAccess> writes_;
+};
+
+}  // namespace txconc::account

@@ -1,0 +1,135 @@
+#include "account/state_trie.h"
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/sha256.h"
+
+namespace txconc::account {
+
+namespace {
+
+/// Leaf marker for absent/default accounts.
+const Hash256 kEmptyLeaf{};
+
+}  // namespace
+
+const std::vector<Hash256>& StateTrie::empty_hashes() {
+  // empty_hashes()[d] = hash of an empty subtree whose leaves sit d levels
+  // below; [0] is the empty leaf itself.
+  static const std::vector<Hash256> kEmpty = [] {
+    std::vector<Hash256> out;
+    out.push_back(kEmptyLeaf);
+    for (unsigned d = 1; d <= kDepth; ++d) {
+      out.push_back(combine(out.back(), out.back()));
+    }
+    return out;
+  }();
+  return kEmpty;
+}
+
+Hash256 StateTrie::combine(const Hash256& left, const Hash256& right) {
+  ByteWriter w(64);
+  w.raw(left.bytes);
+  w.raw(right.bytes);
+  return Hash256::digest_of(w.data());
+}
+
+bool StateTrie::bit_at(const Address& addr, unsigned depth) {
+  // Traverse the bits of the address hash (uniform even for adversarially
+  // chosen addresses).
+  const Hash256 h = Hash256::digest_of(addr.bytes);
+  return (h.bytes[depth / 8] >> (7 - depth % 8)) & 1;
+}
+
+StateTrie::StateTrie() : root_(std::make_unique<Node>()) {
+  root_->hash = empty_hashes()[kDepth];
+}
+
+Hash256 StateTrie::root() const { return root_->hash; }
+
+void StateTrie::update_path(Node& node, const Address& addr, unsigned depth,
+                            const Hash256& leaf_digest, bool erasing) {
+  if (depth == kDepth) {
+    if (node.is_leaf && erasing) --size_;
+    if (!node.is_leaf && !erasing) ++size_;
+    node.is_leaf = !erasing;
+    node.hash = erasing ? kEmptyLeaf : leaf_digest;
+    return;
+  }
+  const unsigned direction = bit_at(addr, depth) ? 1 : 0;
+  if (!node.child[direction]) {
+    if (erasing) return;  // erasing an absent key is a no-op
+    node.child[direction] = std::make_unique<Node>();
+    node.child[direction]->hash = empty_hashes()[kDepth - depth - 1];
+  }
+  update_path(*node.child[direction], addr, depth + 1, leaf_digest, erasing);
+
+  const Hash256 left = node.child[0]
+                           ? node.child[0]->hash
+                           : empty_hashes()[kDepth - depth - 1];
+  const Hash256 right = node.child[1]
+                            ? node.child[1]->hash
+                            : empty_hashes()[kDepth - depth - 1];
+  node.hash = combine(left, right);
+}
+
+void StateTrie::update(const Address& addr, const Hash256& leaf_digest) {
+  if (leaf_digest.is_zero()) {
+    erase(addr);
+    return;
+  }
+  update_path(*root_, addr, 0, leaf_digest, /*erasing=*/false);
+}
+
+void StateTrie::erase(const Address& addr) {
+  update_path(*root_, addr, 0, kEmptyLeaf, /*erasing=*/true);
+}
+
+StateTrie::Proof StateTrie::prove(const Address& addr) const {
+  Proof proof;
+  proof.address = addr;
+
+  // Walk down, recording siblings; missing children stand in as empty
+  // subtree hashes.
+  std::vector<Hash256> top_down;
+  const Node* node = root_.get();
+  for (unsigned depth = 0; depth < kDepth; ++depth) {
+    const unsigned direction = bit_at(addr, depth) ? 1 : 0;
+    const Node* sibling = node ? node->child[1 - direction].get() : nullptr;
+    top_down.push_back(sibling ? sibling->hash
+                               : empty_hashes()[kDepth - depth - 1]);
+    node = node ? node->child[direction].get() : nullptr;
+  }
+  proof.leaf = node && node->is_leaf ? node->hash : kEmptyLeaf;
+  proof.siblings.assign(top_down.rbegin(), top_down.rend());
+  return proof;
+}
+
+bool StateTrie::verify(const Proof& proof, const Hash256& root) {
+  if (proof.siblings.size() != kDepth) return false;
+  Hash256 acc = proof.leaf;
+  for (unsigned level = 0; level < kDepth; ++level) {
+    const unsigned depth = kDepth - 1 - level;  // depth of this step's bit
+    const bool right = bit_at(proof.address, depth);
+    acc = right ? combine(proof.siblings[level], acc)
+                : combine(acc, proof.siblings[level]);
+  }
+  return acc == root;
+}
+
+Hash256 account_leaf_digest(const StateDb& state, const Address& addr) {
+  return state.account_digest(addr);
+}
+
+StateTrie build_state_trie(const StateDb& state) {
+  StateTrie trie;
+  state.for_each_account([&](const Address& addr) {
+    const Hash256 digest = state.account_digest(addr);
+    if (!digest.is_zero()) {
+      trie.update(addr, digest);
+    }
+  });
+  return trie;
+}
+
+}  // namespace txconc::account

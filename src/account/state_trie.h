@@ -1,0 +1,79 @@
+// Authenticated state commitments: a binary Merkle trie over account
+// digests, giving blocks an Ethereum-style state root plus compact
+// membership proofs.
+//
+// Keys are addresses (traversed bit-by-bit over the first kDepth bits of
+// the address hash); leaves hold the account digest. Empty subtrees hash
+// to known per-level constants so sparse tries stay O(accounts).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "account/state.h"
+#include "common/hash.h"
+
+namespace txconc::account {
+
+/// A sparse binary Merkle trie keyed by address.
+class StateTrie {
+ public:
+  StateTrie();
+
+  /// Insert or update the digest stored for an address.
+  void update(const Address& addr, const Hash256& leaf_digest);
+
+  /// Remove an address (resets its leaf to the empty marker).
+  void erase(const Address& addr);
+
+  /// Root hash of the trie (the block header's state root).
+  Hash256 root() const;
+
+  std::size_t size() const { return size_; }
+
+  /// Membership proof: sibling hashes from leaf to root.
+  struct Proof {
+    Address address;
+    Hash256 leaf;
+    std::vector<Hash256> siblings;  ///< Bottom-up.
+  };
+
+  /// Prove the digest stored for an address (the empty marker when the
+  /// address is absent).
+  Proof prove(const Address& addr) const;
+
+  /// Verify a proof against a root.
+  static bool verify(const Proof& proof, const Hash256& root);
+
+  /// Trie depth in bits.
+  static constexpr unsigned kDepth = 48;
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    Hash256 hash;
+    bool is_leaf = false;
+  };
+
+  static const std::vector<Hash256>& empty_hashes();
+  static Hash256 combine(const Hash256& left, const Hash256& right);
+  static bool bit_at(const Address& addr, unsigned depth);
+
+  void update_path(Node& node, const Address& addr, unsigned depth,
+                   const Hash256& leaf_digest, bool erasing);
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Compute the canonical digest of one account's state (balance, nonce,
+/// storage, code) as stored in trie leaves.
+Hash256 account_leaf_digest(const StateDb& state, const Address& addr);
+
+/// Build the full state trie of a StateDb — O(accounts). Used when a
+/// block producer commits to its post-state.
+StateTrie build_state_trie(const StateDb& state);
+
+}  // namespace txconc::account

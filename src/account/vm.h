@@ -1,0 +1,135 @@
+// SVM — a small stack virtual machine with gas metering.
+//
+// Plays the role of the EVM in the reproduction: "Ethereum miners and other
+// validating nodes execute the transactions in the blocks in the Ethereum
+// Virtual Machine. Each operation in the EVM incurs a cost called gas."
+// Contract-to-contract CALLs emit geth-style traces, which is where the
+// paper's *internal transactions* come from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "account/state.h"
+#include "account/types.h"
+
+namespace txconc::account {
+
+/// SVM opcodes. kPush is followed by a u64 little-endian immediate;
+/// kJump/kJumpi by a u32 little-endian code offset.
+enum class OpCode : std::uint8_t {
+  kStop = 0x00,
+  kPush = 0x01,
+  kPop = 0x02,
+  kDup = 0x03,   ///< Duplicate top of stack.
+  kSwap = 0x04,  ///< Swap top two.
+
+  kAdd = 0x10,
+  kSub = 0x11,  ///< push(a - b) where b is top.
+  kMul = 0x12,
+  kDiv = 0x13,  ///< push(a / b); 0 when b == 0 (EVM semantics).
+  kMod = 0x14,  ///< push(a % b); 0 when b == 0.
+  kLt = 0x15,   ///< push(a < b).
+  kGt = 0x16,
+  kEq = 0x17,
+  kIsZero = 0x18,
+  kAnd = 0x19,
+  kOr = 0x1a,
+  kXor = 0x1b,
+  kNot = 0x1c,
+
+  kJump = 0x20,   ///< Unconditional, immediate target.
+  kJumpi = 0x21,  ///< Pop condition; jump when truthy.
+
+  kCaller64 = 0x30,     ///< Push low 64 bits of the caller address.
+  kSelf64 = 0x31,       ///< Push low 64 bits of the executing address.
+  kCallValue = 0x32,    ///< Push the value sent with the call.
+  kNumArgs = 0x33,      ///< Push the number of call arguments.
+  kArg = 0x34,          ///< Pop i; push args[i] (0 when out of range).
+  kSelfBalance = 0x35,  ///< Push the executing account's balance.
+  kBalanceOf = 0x36,    ///< Pop address-table index; push that balance.
+  kNumAddrs = 0x37,     ///< Push the size of the frame's address table.
+  kAddr64 = 0x38,       ///< Pop address-table index; push that address's low 64 bits.
+
+  kSload = 0x40,   ///< Pop key; push storage[self][key].
+  kSstore = 0x41,  ///< Pop value, pop key; storage[self][key] = value.
+
+  kLog = 0x50,  ///< Pop value; append to the receipt's logs.
+
+  kTransfer = 0x60,  ///< Pop value, pop addr index; plain send; push 0/1.
+  kCall = 0x61,      ///< Pop arg, value, addr index; call; push return.
+
+  kReturn = 0x70,  ///< Pop value; stop frame successfully.
+  kRevert = 0x71,  ///< Undo the frame's state changes; frame fails.
+};
+
+/// Gas cost table (Ethereum-flavoured magnitudes).
+struct GasSchedule {
+  std::uint64_t base_op = 3;
+  std::uint64_t sload = 200;
+  std::uint64_t sstore = 5000;
+  std::uint64_t log = 375;
+  std::uint64_t transfer = 9000;   ///< Value-bearing send.
+  std::uint64_t call = 700;        ///< Call base, before callee execution.
+  std::uint64_t tx_base = 21000;   ///< Intrinsic cost of any transaction.
+  std::uint64_t create_base = 32000;
+  std::uint64_t create_per_byte = 200;
+};
+
+/// Limits protecting the VM from runaway programs.
+struct VmLimits {
+  std::size_t max_stack = 256;
+  std::uint32_t max_call_depth = 32;
+};
+
+/// Outcome of one frame execution.
+struct VmResult {
+  bool success = false;
+  std::uint64_t return_value = 0;
+  std::uint64_t gas_used = 0;
+  std::string error;  ///< Empty on success.
+};
+
+/// The execution context of a frame.
+struct CallContext {
+  Address self;
+  Address caller;
+  std::uint64_t value = 0;
+  std::span<const std::uint64_t> args;
+  /// Address table that kTransfer/kCall/kBalanceOf indices resolve against.
+  std::span<const Address> address_table;
+  std::uint32_t depth = 0;
+};
+
+/// Side-channel sinks filled during execution (any may be null).
+struct ExecutionHooks {
+  std::vector<InternalTx>* traces = nullptr;
+  AccessTracker* tracker = nullptr;
+  std::vector<std::uint64_t>* logs = nullptr;
+};
+
+/// The virtual machine. Stateless apart from the bound State reference;
+/// one instance may execute many frames sequentially.
+class Vm {
+ public:
+  explicit Vm(State& state, GasSchedule gas = {}, VmLimits limits = {})
+      : state_(state), gas_(gas), limits_(limits) {}
+
+  /// Execute a code object within a context under a gas budget.
+  ///
+  /// On failure the frame's state changes are rolled back. Out-of-gas
+  /// consumes the entire budget; an explicit kRevert consumes only what ran.
+  VmResult execute(const ContractCode& code, const CallContext& context,
+                   std::uint64_t gas_limit, const ExecutionHooks& hooks);
+
+  const GasSchedule& gas_schedule() const { return gas_; }
+
+ private:
+  State& state_;
+  GasSchedule gas_;
+  VmLimits limits_;
+};
+
+}  // namespace txconc::account

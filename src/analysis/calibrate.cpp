@@ -1,0 +1,177 @@
+#include "analysis/calibrate.h"
+
+#include "analysis/block_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "workload/account_workload.h"
+#include "workload/utxo_workload.h"
+
+namespace txconc::analysis {
+
+namespace {
+
+struct Measured {
+  double single_rate = 0.0;
+  double group_rate = 0.0;
+  /// Mean transactions and mean LCC (in transactions) per era window.
+  std::vector<double> era_txs;
+  double mean_lcc = 1.0;
+};
+
+Measured measure_dataset(const Dataset& dataset, unsigned num_eras) {
+  const std::vector<core::ConflictStats> per_block = analyze_dataset(dataset);
+  if (per_block.empty()) throw UsageError("fit_profile: empty dataset");
+
+  Measured out;
+  WeightedMean single;
+  WeightedMean group;
+  RunningStats lcc;
+  std::vector<RunningStats> era_txs(num_eras);
+
+  for (std::size_t h = 0; h < per_block.size(); ++h) {
+    const core::ConflictStats& stats = per_block[h];
+    const std::size_t era =
+        std::min<std::size_t>(h * num_eras / per_block.size(), num_eras - 1);
+    era_txs[era].add(static_cast<double>(stats.total_transactions));
+    if (stats.total_transactions == 0) continue;
+    const double weight = static_cast<double>(stats.total_transactions);
+    single.add(stats.single_rate(), weight);
+    group.add(stats.group_rate(), weight);
+    lcc.add(static_cast<double>(stats.lcc_transactions));
+  }
+  out.single_rate = single.mean();
+  out.group_rate = group.mean();
+  out.mean_lcc = std::max(1.0, lcc.mean());
+  for (auto& stats : era_txs) {
+    out.era_txs.push_back(std::max(1.0, stats.mean()));
+  }
+  return out;
+}
+
+/// Generate a short history from the candidate and measure its rates.
+std::pair<double, double> evaluate(const workload::ChainProfile& profile,
+                                   std::uint64_t blocks, std::uint64_t seed) {
+  std::unique_ptr<workload::HistoryGenerator> generator;
+  if (profile.model == workload::DataModel::kUtxo) {
+    generator = std::make_unique<workload::UtxoWorkloadGenerator>(
+        profile, seed, blocks);
+  } else {
+    generator = std::make_unique<workload::AccountWorkloadGenerator>(
+        profile, seed, blocks);
+  }
+  WeightedMean single;
+  WeightedMean group;
+  for (std::uint64_t h = 0; h < blocks; ++h) {
+    const workload::GeneratedBlock block = generator->next_block();
+    const std::size_t n = block.num_regular_txs();
+    if (n == 0) continue;
+    core::ConflictStats stats;
+    if (block.model == workload::DataModel::kUtxo) {
+      stats = analyze_utxo_block(block.utxo_txs);
+    } else {
+      stats = analyze_account_block(block.account_txs, block.receipts);
+    }
+    single.add(stats.single_rate(), static_cast<double>(n));
+    group.add(stats.group_rate(), static_cast<double>(n));
+  }
+  return {single.mean(), group.mean()};
+}
+
+double clamp_ratio(double ratio) { return std::clamp(ratio, 0.6, 1.7); }
+
+}  // namespace
+
+FitResult fit_profile(const Dataset& dataset, const FitOptions& options) {
+  if (options.num_eras == 0 || options.eval_blocks == 0) {
+    throw UsageError("fit_profile: bad options");
+  }
+  const Measured measured = measure_dataset(dataset, options.num_eras);
+
+  FitResult result;
+  result.source_single_rate = measured.single_rate;
+  result.source_group_rate = measured.group_rate;
+
+  // ---- Skeleton profile with heuristic knob seeds.
+  workload::ChainProfile profile;
+  profile.name = dataset.chain + " (fitted)";
+  profile.model = dataset.model;
+  profile.default_blocks = std::max<std::uint64_t>(dataset.num_blocks, 10);
+
+  for (unsigned e = 0; e < options.num_eras; ++e) {
+    workload::EraParams era;
+    era.position = options.num_eras == 1
+                       ? static_cast<double>(e)
+                       : static_cast<double>(e) /
+                             static_cast<double>(options.num_eras - 1);
+    era.txs_per_block = measured.era_txs[e];
+    if (dataset.model == workload::DataModel::kUtxo) {
+      // Each in-block chain spend conflicts roughly two transactions.
+      era.chain_spend_prob = std::clamp(measured.single_rate / 2.2, 0.0, 0.4);
+      // Sweep chains reproduce the observed mean LCC length.
+      era.sweeps_per_block = 0.5;
+      era.sweep_continue_prob =
+          std::clamp(1.0 - 1.0 / std::max(2.0, measured.mean_lcc), 0.3, 0.97);
+    } else {
+      // The group rate is driven by cross-category bridging, the single
+      // rate by exchange fan-in; both get refined below.
+      era.population_overlap = std::clamp(measured.group_rate * 1.1, 0.02, 0.95);
+      era.exchange_share = std::clamp(measured.single_rate * 0.45, 0.05, 0.6);
+      era.num_users = std::clamp(
+          era.txs_per_block * 40.0 * (1.0 - measured.single_rate) + 30.0,
+          30.0, 100000.0);
+      era.contract_share = 0.15;
+      era.pool_share = 0.05;
+      era.creation_share = 0.01;
+    }
+    profile.eras.push_back(era);
+  }
+
+  // ---- Refine the dominant knobs against short generated histories.
+  for (unsigned iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    const auto [single, group] =
+        evaluate(profile, options.eval_blocks, options.seed);
+    result.fitted_single_rate = single;
+    result.fitted_group_rate = group;
+    result.iterations = iteration + 1;
+
+    const bool single_ok =
+        std::abs(single - measured.single_rate) <= options.tolerance;
+    const bool group_ok =
+        std::abs(group - measured.group_rate) <= options.tolerance;
+    if (single_ok && group_ok) break;
+
+    const double single_ratio =
+        clamp_ratio((measured.single_rate + 0.01) / (single + 0.01));
+    const double group_ratio =
+        clamp_ratio((measured.group_rate + 0.01) / (group + 0.01));
+    for (workload::EraParams& era : profile.eras) {
+      if (dataset.model == workload::DataModel::kUtxo) {
+        era.chain_spend_prob =
+            std::clamp(era.chain_spend_prob * single_ratio, 0.0, 0.45);
+        era.sweeps_per_block =
+            std::clamp(era.sweeps_per_block * group_ratio, 0.0, 5.0);
+      } else {
+        era.exchange_share =
+            std::clamp(era.exchange_share * single_ratio, 0.02, 0.65);
+        era.population_overlap =
+            std::clamp(era.population_overlap * group_ratio, 0.02, 0.95);
+        // A too-low single rate also responds to population size.
+        if (single_ratio > 1.2) {
+          era.num_users = std::max(30.0, era.num_users / 1.5);
+        } else if (single_ratio < 0.8) {
+          era.num_users = std::min(100000.0, era.num_users * 1.5);
+        }
+      }
+    }
+  }
+
+  result.profile = std::move(profile);
+  return result;
+}
+
+}  // namespace txconc::analysis

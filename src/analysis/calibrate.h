@@ -1,0 +1,47 @@
+// Profile fitting: the inverse of the workload generators. Given a
+// dataset (exported by this library, or your own chain's data shaped the
+// same way), estimate a ChainProfile whose generated histories reproduce
+// the dataset's transaction load and conflict rates.
+//
+// This automates the loop used to calibrate the seven shipped profiles:
+// measure the dataset per era, seed the behavioural knobs from closed-form
+// heuristics, then refine the dominant knobs against short generated
+// histories until the rates converge.
+#pragma once
+
+#include "analysis/dataset.h"
+#include "workload/profile.h"
+
+namespace txconc::analysis {
+
+/// What the fitter measured and produced.
+struct FitResult {
+  workload::ChainProfile profile;
+  /// Tx-weighted rates measured from the source dataset.
+  double source_single_rate = 0.0;
+  double source_group_rate = 0.0;
+  /// Rates of a short history generated from the fitted profile.
+  double fitted_single_rate = 0.0;
+  double fitted_group_rate = 0.0;
+  /// Refinement iterations spent.
+  unsigned iterations = 0;
+};
+
+struct FitOptions {
+  /// Era points in the fitted profile.
+  unsigned num_eras = 4;
+  /// Blocks generated per refinement evaluation.
+  std::uint64_t eval_blocks = 60;
+  /// Maximum refinement iterations.
+  unsigned max_iterations = 8;
+  /// Stop refining once both rates are within this of the source.
+  double tolerance = 0.05;
+  /// Seed for the evaluation generator.
+  std::uint64_t seed = 1;
+};
+
+/// Fit a profile to a dataset. Works for both data models; throws
+/// UsageError on an empty dataset.
+FitResult fit_profile(const Dataset& dataset, const FitOptions& options = {});
+
+}  // namespace txconc::analysis

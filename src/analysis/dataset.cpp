@@ -1,0 +1,245 @@
+#include "analysis/dataset.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/block_analyzer.h"
+#include "common/error.h"
+#include "core/components.h"
+
+namespace txconc::analysis {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep = ',') {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, sep)) {
+    out.push_back(cell);
+  }
+  return out;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw ParseError("dataset: bad integer '" + s + "'");
+  }
+}
+
+}  // namespace
+
+Dataset export_dataset(workload::HistoryGenerator& generator) {
+  Dataset out;
+  out.chain = generator.profile().name;
+  out.model = generator.profile().model;
+  out.num_blocks = generator.num_blocks();
+
+  for (std::uint64_t h = 0; h < out.num_blocks; ++h) {
+    const workload::GeneratedBlock block = generator.next_block();
+    out.txs_per_block.push_back(
+        static_cast<std::uint32_t>(block.num_regular_txs()));
+
+    if (block.model == workload::DataModel::kUtxo) {
+      for (const utxo::Transaction& tx : block.utxo_txs) {
+        if (tx.is_coinbase()) {
+          out.utxo_inputs.push_back({h, tx.txid(), Hash256{}, 0, true});
+          continue;
+        }
+        for (const utxo::TxInput& in : tx.inputs()) {
+          out.utxo_inputs.push_back(
+              {h, tx.txid(), in.prevout.txid, in.prevout.index, false});
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < block.account_txs.size(); ++i) {
+        const account::AccountTx& tx = block.account_txs[i];
+        const account::Receipt& receipt = block.receipts[i];
+        AccountRow row;
+        row.block_number = h;
+        row.tx_index = i;
+        row.sender = tx.from;
+        row.receiver = tx.to.has_value()
+                           ? *tx.to
+                           : receipt.created.value_or(
+                                 Address::derive_contract(tx.from, tx.nonce));
+        row.value = tx.value;
+        row.gas_used = receipt.gas_used;
+        row.creation = tx.is_creation();
+        out.account_rows.push_back(row);
+
+        for (const account::InternalTx& itx : receipt.internal_txs) {
+          AccountRow trace;
+          trace.block_number = h;
+          trace.tx_index = i;
+          trace.sender = itx.from;
+          trace.receiver = itx.to;
+          trace.value = itx.value;
+          trace.internal = true;
+          out.account_rows.push_back(trace);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void write_csv(std::ostream& out, const Dataset& dataset) {
+  out << "# txconc-dataset v1\n";
+  out << "# chain," << dataset.chain << "\n";
+  out << "# model,"
+      << (dataset.model == workload::DataModel::kUtxo ? "utxo" : "account")
+      << "\n";
+  out << "# blocks," << dataset.num_blocks << "\n";
+  out << "# txs_per_block";
+  for (std::uint32_t n : dataset.txs_per_block) out << ',' << n;
+  out << "\n";
+
+  if (dataset.model == workload::DataModel::kUtxo) {
+    out << "block_number,tx_hash,spent_tx_hash,spent_index,coinbase\n";
+    for (const UtxoInputRow& row : dataset.utxo_inputs) {
+      out << row.block_number << ',' << row.tx_hash.to_hex() << ','
+          << row.spent_tx_hash.to_hex() << ',' << row.spent_index << ','
+          << (row.coinbase ? 1 : 0) << "\n";
+    }
+  } else {
+    out << "block_number,tx_index,sender,receiver,value,gas_used,internal,"
+           "creation\n";
+    for (const AccountRow& row : dataset.account_rows) {
+      out << row.block_number << ',' << row.tx_index << ','
+          << row.sender.to_hex() << ',' << row.receiver.to_hex() << ','
+          << row.value << ',' << row.gas_used << ','
+          << (row.internal ? 1 : 0) << ',' << (row.creation ? 1 : 0) << "\n";
+    }
+  }
+}
+
+Dataset read_csv(std::istream& in) {
+  Dataset out;
+  std::string line;
+  if (!std::getline(in, line) || line != "# txconc-dataset v1") {
+    throw ParseError("dataset: missing magic header");
+  }
+  // Metadata lines.
+  bool have_model = false;
+  while (in.peek() == '#') {
+    std::getline(in, line);
+    const auto cells = split(line.substr(2));
+    if (cells.empty()) throw ParseError("dataset: bad metadata line");
+    if (cells[0] == "chain" && cells.size() >= 2) {
+      out.chain = cells[1];
+    } else if (cells[0] == "model" && cells.size() >= 2) {
+      if (cells[1] == "utxo") {
+        out.model = workload::DataModel::kUtxo;
+      } else if (cells[1] == "account") {
+        out.model = workload::DataModel::kAccount;
+      } else {
+        throw ParseError("dataset: unknown model " + cells[1]);
+      }
+      have_model = true;
+    } else if (cells[0] == "blocks" && cells.size() >= 2) {
+      out.num_blocks = to_u64(cells[1]);
+    } else if (cells[0] == "txs_per_block") {
+      for (std::size_t i = 1; i < cells.size(); ++i) {
+        out.txs_per_block.push_back(
+            static_cast<std::uint32_t>(to_u64(cells[i])));
+      }
+    }
+  }
+  if (!have_model) throw ParseError("dataset: missing model metadata");
+
+  // Column header.
+  if (!std::getline(in, line)) throw ParseError("dataset: missing header");
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split(line);
+    if (out.model == workload::DataModel::kUtxo) {
+      if (cells.size() != 5) throw ParseError("dataset: bad utxo row");
+      UtxoInputRow row;
+      row.block_number = to_u64(cells[0]);
+      row.tx_hash = Hash256::from_hex(cells[1]);
+      row.spent_tx_hash = Hash256::from_hex(cells[2]);
+      row.spent_index = static_cast<std::uint32_t>(to_u64(cells[3]));
+      row.coinbase = cells[4] == "1";
+      out.utxo_inputs.push_back(row);
+    } else {
+      if (cells.size() != 8) throw ParseError("dataset: bad account row");
+      AccountRow row;
+      row.block_number = to_u64(cells[0]);
+      row.tx_index = to_u64(cells[1]);
+      row.sender = Address::from_hex(cells[2]);
+      row.receiver = Address::from_hex(cells[3]);
+      row.value = to_u64(cells[4]);
+      row.gas_used = to_u64(cells[5]);
+      row.internal = cells[6] == "1";
+      row.creation = cells[7] == "1";
+      out.account_rows.push_back(row);
+    }
+  }
+  return out;
+}
+
+std::vector<core::ConflictStats> analyze_dataset(const Dataset& dataset) {
+  std::vector<core::ConflictStats> out(dataset.num_blocks);
+
+  if (dataset.model == workload::DataModel::kUtxo) {
+    // Group rows by block; within a block, nodes are the non-coinbase
+    // spending transactions and edges the in-block spends — exactly the
+    // paper's Figure 2 query.
+    std::size_t i = 0;
+    while (i < dataset.utxo_inputs.size()) {
+      const std::uint64_t block = dataset.utxo_inputs[i].block_number;
+      core::KeyedTdg<Hash256> tdg;
+      const std::size_t begin = i;
+      for (; i < dataset.utxo_inputs.size() &&
+             dataset.utxo_inputs[i].block_number == block;
+           ++i) {
+        if (!dataset.utxo_inputs[i].coinbase) {
+          tdg.node(dataset.utxo_inputs[i].tx_hash);
+        }
+      }
+      for (std::size_t j = begin; j < i; ++j) {
+        const UtxoInputRow& row = dataset.utxo_inputs[j];
+        if (row.coinbase) continue;
+        if (tdg.contains(row.spent_tx_hash)) {
+          tdg.add_edge(row.spent_tx_hash, row.tx_hash);
+        }
+      }
+      if (block < out.size()) {
+        out[block] = core::utxo_conflict_stats(
+            core::connected_components_bfs(tdg.graph()));
+      }
+    }
+  } else {
+    std::size_t i = 0;
+    while (i < dataset.account_rows.size()) {
+      const std::uint64_t block = dataset.account_rows[i].block_number;
+      core::KeyedTdg<Address> tdg;
+      std::vector<core::AccountTxRef> refs;
+      for (; i < dataset.account_rows.size() &&
+             dataset.account_rows[i].block_number == block;
+           ++i) {
+        const AccountRow& row = dataset.account_rows[i];
+        tdg.add_edge(row.sender, row.receiver);
+        if (!row.internal) {
+          core::AccountTxRef ref;
+          ref.sender = tdg.node(row.sender);
+          ref.receiver = tdg.node(row.receiver);
+          ref.weight = static_cast<double>(row.gas_used);
+          refs.push_back(ref);
+        }
+      }
+      if (block < out.size()) {
+        out[block] = core::account_conflict_stats(
+            core::connected_components_bfs(tdg.graph()), refs);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace txconc::analysis

@@ -1,0 +1,69 @@
+// Dataset export/import: the BigQuery-shaped data pipeline.
+//
+// The paper queries public CSV-ish datasets (one row per transaction with
+// block number, hash, inputs / sender, receiver, gas). This module dumps
+// generated histories in the same spirit — a transactions table plus a
+// traces table — and can load them back for analysis, so downstream users
+// can run the measurement pipeline on exported data without the
+// generators (or on their own data shaped the same way).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "workload/history.h"
+
+namespace txconc::analysis {
+
+/// One row of the UTXO-model transactions table (paper Fig. 2's shape:
+/// spending tx hash + spent tx hash per input).
+struct UtxoInputRow {
+  std::uint64_t block_number = 0;
+  Hash256 tx_hash;              ///< The spending transaction.
+  Hash256 spent_tx_hash;        ///< Creator of the consumed TXO.
+  std::uint32_t spent_index = 0;
+  bool coinbase = false;        ///< The spending tx is a coinbase.
+};
+
+/// One row of the account-model transactions/traces table (the Ethereum
+/// dataset's shape: regular transactions and internal traces share it).
+struct AccountRow {
+  std::uint64_t block_number = 0;
+  std::uint64_t tx_index = 0;   ///< Position in the block.
+  Address sender;
+  Address receiver;
+  std::uint64_t value = 0;
+  std::uint64_t gas_used = 0;   ///< 0 for internal traces.
+  bool internal = false;        ///< geth-style trace rather than a tx.
+  bool creation = false;
+};
+
+/// An exported dataset (one chain).
+struct Dataset {
+  std::string chain;
+  workload::DataModel model = workload::DataModel::kAccount;
+  std::uint64_t num_blocks = 0;
+  std::vector<UtxoInputRow> utxo_inputs;   ///< UTXO chains.
+  std::vector<AccountRow> account_rows;    ///< Account chains.
+  /// Regular-transaction counts per block (blocks with no inputs/rows
+  /// would otherwise be invisible).
+  std::vector<std::uint32_t> txs_per_block;
+};
+
+/// Drain a generator into a dataset.
+Dataset export_dataset(workload::HistoryGenerator& generator);
+
+/// CSV round-trip. write_csv emits a two-section file (header comments
+/// carry the metadata); read_csv parses it back. Throws ParseError on
+/// malformed input.
+void write_csv(std::ostream& out, const Dataset& dataset);
+Dataset read_csv(std::istream& in);
+
+/// Per-block conflict stats straight from a dataset (no generator, no
+/// receipts — the paper's SQL pipeline shape). Returns one entry per
+/// block, in height order.
+std::vector<core::ConflictStats> analyze_dataset(const Dataset& dataset);
+
+}  // namespace txconc::analysis

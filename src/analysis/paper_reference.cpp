@@ -1,0 +1,80 @@
+#include "analysis/paper_reference.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace txconc::analysis {
+
+double ReferenceSeries::at(double year) const {
+  if (points.empty()) throw UsageError("empty reference series");
+  if (year <= points.front().year) return points.front().value;
+  if (year >= points.back().year) return points.back().value;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (year <= points[i].year) {
+      const ReferencePoint& lo = points[i - 1];
+      const ReferencePoint& hi = points[i];
+      const double t = (year - lo.year) / (hi.year - lo.year);
+      return lo.value + t * (hi.value - lo.value);
+    }
+  }
+  return points.back().value;
+}
+
+std::vector<ChainTargets> chain_targets() {
+  return {
+      // chain           single  tol    group  tol    txs/blk (late)
+      {"Bitcoin",          0.14, 0.06,  0.015, 0.015, 2200},
+      {"Bitcoin Cash",     0.30, 0.15,  0.07,  0.06,  180},
+      {"Litecoin",         0.10, 0.07,  0.05,  0.04,  80},
+      {"Dogecoin",         0.13, 0.08,  0.07,  0.06,  35},
+      {"Ethereum",         0.60, 0.10,  0.20,  0.09,  110},
+      {"Ethereum Classic", 0.80, 0.12,  0.70,  0.15,  8},
+      {"Zilliqa",          0.90, 0.10,  0.80,  0.15,  25},
+  };
+}
+
+ReferenceSeries ethereum_single_rate_reference() {
+  return {"Fig. 4b (tx-weighted)",
+          "Ethereum",
+          {{2016.0, 0.80},
+           {2017.0, 0.78},
+           {2018.0, 0.68},
+           {2019.0, 0.62},
+           {2019.5, 0.60}}};
+}
+
+ReferenceSeries ethereum_group_rate_reference() {
+  return {"Fig. 4c (tx-weighted)",
+          "Ethereum",
+          {{2016.0, 0.50},
+           {2017.0, 0.38},
+           {2018.0, 0.22},
+           {2019.0, 0.20},
+           {2019.5, 0.20}}};
+}
+
+ReferenceSeries bitcoin_single_rate_reference() {
+  return {"Fig. 5b",
+          "Bitcoin",
+          {{2010.0, 0.05},
+           {2012.0, 0.08},
+           {2014.0, 0.10},
+           {2016.0, 0.12},
+           {2018.0, 0.14},
+           {2019.5, 0.14}}};
+}
+
+ReferenceSeries bitcoin_group_rate_reference() {
+  return {"Fig. 5c",
+          "Bitcoin",
+          {{2010.0, 0.02},
+           {2012.0, 0.015},
+           {2014.0, 0.012},
+           {2016.0, 0.010},
+           {2019.5, 0.010}}};
+}
+
+HeadlineNumbers headline_numbers() { return {}; }
+
+}  // namespace txconc::analysis

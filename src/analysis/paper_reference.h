@@ -1,0 +1,66 @@
+// Reference values digitized from the paper's figures, used by the bench
+// binaries to print paper-vs-measured comparisons and by the calibration
+// tests to keep the workload profiles honest.
+//
+// Values are approximate anchor points read off the published plots; each
+// comes with the tolerance the calibration tests assert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace txconc::analysis {
+
+/// One digitized anchor point of a paper figure.
+struct ReferencePoint {
+  double year;
+  double value;
+};
+
+/// A digitized curve from one figure panel.
+struct ReferenceSeries {
+  std::string figure;  ///< e.g. "Fig. 4b (tx-weighted)"
+  std::string chain;
+  std::vector<ReferencePoint> points;
+
+  /// Linear interpolation at a year (clamped at the ends).
+  double at(double year) const;
+};
+
+/// Whole-history summary targets per chain (tx-weighted), used by the
+/// calibration tests. Tolerances are generous: the goal is the paper's
+/// *shape* (who is high, who is low, what the trend is), not pixel-perfect
+/// curve matching.
+struct ChainTargets {
+  std::string chain;
+  double single_rate_late;       ///< Rate near the end of the history.
+  double single_rate_tolerance;
+  double group_rate_late;
+  double group_rate_tolerance;
+  double txs_per_block_late;     ///< Regular txs near the end.
+};
+
+/// Targets for all seven chains (Table I order).
+std::vector<ChainTargets> chain_targets();
+
+/// Ethereum single-transaction conflict rate over time (Fig. 4b).
+ReferenceSeries ethereum_single_rate_reference();
+/// Ethereum group conflict rate over time (Fig. 4c).
+ReferenceSeries ethereum_group_rate_reference();
+/// Bitcoin single-transaction conflict rate over time (Fig. 5b).
+ReferenceSeries bitcoin_single_rate_reference();
+/// Bitcoin group conflict rate over time (Fig. 5c).
+ReferenceSeries bitcoin_group_rate_reference();
+
+/// The paper's headline numbers (abstract / Section V-C).
+struct HeadlineNumbers {
+  double ethereum_group_speedup_8_cores = 6.0;   ///< "up to 6x with 8 cores"
+  double ethereum_group_speedup_64_cores = 8.0;  ///< "8x with 64 cores"
+  double ethereum_single_rate = 0.6;   ///< "single-transaction ... ~60%"
+  double ethereum_group_rate = 0.2;    ///< "group conflict rate ~20%"
+  double bitcoin_single_rate = 0.13;   ///< "~13%"
+};
+
+HeadlineNumbers headline_numbers();
+
+}  // namespace txconc::analysis

@@ -1,0 +1,74 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/fmt.h"
+
+namespace txconc::analysis {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) throw UsageError("TextTable: no columns");
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw UsageError("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      line += std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + '\n';
+  };
+
+  std::string out = render_row(columns_);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  out += std::string(rule > 2 ? rule - 2 : rule, '-') + '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void print_panel(std::ostream& out, const std::string& title,
+                 const std::vector<LabelledSeries>& series,
+                 const PlotOptions& options, bool dump_values) {
+  out << "== " << title << " ==\n";
+  PlotOptions with_title = options;
+  with_title.title = title;
+  out << render_plot(series, with_title);
+  if (dump_values) {
+    out << "  series values (position, value):\n";
+    for (const LabelledSeries& s : series) {
+      out << "  " << s.label << ":";
+      for (const SeriesPoint& p : s.points) {
+        out << strfmt(" (%.4g, %.4g)", p.position, p.value);
+      }
+      out << "\n";
+    }
+  }
+  out << "\n";
+}
+
+std::string fmt_double(double v, int decimals) {
+  return strfmt("%.*f", decimals, v);
+}
+
+}  // namespace txconc::analysis

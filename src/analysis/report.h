@@ -1,0 +1,38 @@
+// Text report helpers shared by the bench binaries: fixed-width tables and
+// figure-panel rendering (series + ASCII plot + CSV dump).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/ascii_plot.h"
+#include "common/stats.h"
+
+namespace txconc::analysis {
+
+/// Fixed-width text table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void row(std::vector<std::string> cells);
+
+  /// Render with a header rule, columns padded to their widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render one figure panel: title, ASCII plot of the series, and the
+/// series values as CSV-ish rows for machine consumption.
+void print_panel(std::ostream& out, const std::string& title,
+                 const std::vector<LabelledSeries>& series,
+                 const PlotOptions& options, bool dump_values = true);
+
+/// Round to a fixed number of decimals as a string.
+std::string fmt_double(double v, int decimals = 3);
+
+}  // namespace txconc::analysis

@@ -1,0 +1,101 @@
+#include "analysis/series.h"
+
+#include "analysis/block_analyzer.h"
+#include "common/error.h"
+
+namespace txconc::analysis {
+
+std::vector<SeriesPoint> ChainSeries::in_years(
+    const std::vector<SeriesPoint>& s) const {
+  std::vector<SeriesPoint> out = s;
+  const double span = blocks > 1 ? static_cast<double>(blocks - 1) : 1.0;
+  for (SeriesPoint& p : out) {
+    p.position = start_year + (p.position / span) * (end_year - start_year);
+  }
+  return out;
+}
+
+ChainSeries collect_series(workload::HistoryGenerator& generator,
+                           const CollectOptions& options) {
+  const workload::ChainProfile& profile = generator.profile();
+  const std::uint64_t blocks = generator.num_blocks();
+  if (blocks == 0) throw UsageError("collect_series: empty history");
+
+  ChainSeries out;
+  out.chain = profile.name;
+  out.start_year = profile.start_year;
+  out.end_year = profile.end_year;
+  out.blocks = blocks;
+
+  const std::uint64_t last = blocks - 1;
+  Bucketizer regular_txs(options.num_buckets, 0, last);
+  Bucketizer total_txs(options.num_buckets, 0, last);
+  Bucketizer input_txos(options.num_buckets, 0, last);
+  Bucketizer single_txw(options.num_buckets, 0, last);
+  Bucketizer single_gasw(options.num_buckets, 0, last);
+  Bucketizer group_txw(options.num_buckets, 0, last);
+  Bucketizer group_gasw(options.num_buckets, 0, last);
+  Bucketizer abs_lcc(options.num_buckets, 0, last);
+
+  WeightedMean overall_single;
+  WeightedMean overall_group;
+  WeightedMean overall_single_gas;
+  WeightedMean overall_group_gas;
+  RunningStats txs_per_block;
+
+  for (std::uint64_t h = 0; h < blocks; ++h) {
+    const workload::GeneratedBlock block = generator.next_block();
+    const std::size_t regular = block.num_regular_txs();
+    const std::size_t total = block.num_total_txs();
+
+    regular_txs.add(h, static_cast<double>(regular), 1.0);
+    total_txs.add(h, static_cast<double>(total), 1.0);
+    txs_per_block.add(static_cast<double>(regular));
+    out.total_transactions += regular;
+    out.total_internal += total - regular;
+
+    core::ConflictStats stats;
+    if (block.model == workload::DataModel::kUtxo) {
+      stats = analyze_utxo_block(block.utxo_txs);
+      input_txos.add(h, static_cast<double>(block.num_input_txos), 1.0);
+    } else {
+      stats = analyze_account_block(block.account_txs, block.receipts,
+                                    options.include_internal);
+    }
+
+    if (regular == 0) continue;
+    const double tx_weight = static_cast<double>(regular);
+    const double gas_weight = static_cast<double>(block.gas_used);
+
+    single_txw.add(h, stats.single_rate(), tx_weight);
+    group_txw.add(h, stats.group_rate(), tx_weight);
+    abs_lcc.add(h, static_cast<double>(stats.lcc_transactions), 1.0);
+    overall_single.add(stats.single_rate(), tx_weight);
+    overall_group.add(stats.group_rate(), tx_weight);
+
+    if (block.model == workload::DataModel::kAccount && gas_weight > 0.0) {
+      single_gasw.add(h, stats.weighted_single_rate(), gas_weight);
+      group_gasw.add(h, stats.weighted_group_rate(), gas_weight);
+      overall_single_gas.add(stats.weighted_single_rate(), gas_weight);
+      overall_group_gas.add(stats.weighted_group_rate(), gas_weight);
+    }
+  }
+
+  out.regular_txs = regular_txs.series();
+  out.total_txs = total_txs.series();
+  out.input_txos = input_txos.series();
+  out.single_rate_txw = single_txw.series();
+  out.single_rate_gasw = single_gasw.series();
+  out.group_rate_txw = group_txw.series();
+  out.group_rate_gasw = group_gasw.series();
+  out.abs_lcc = abs_lcc.series();
+
+  out.overall_single_rate = overall_single.mean();
+  out.overall_group_rate = overall_group.mean();
+  out.overall_single_rate_gasw = overall_single_gas.mean();
+  out.overall_group_rate_gasw = overall_group_gas.mean();
+  out.mean_txs_per_block = txs_per_block.mean();
+  return out;
+}
+
+}  // namespace txconc::analysis

@@ -1,0 +1,68 @@
+// History sweeps: run a generator to completion, analyze every block, and
+// bucket the metrics exactly as the paper prepares its figures
+// ("dividing these histories into fixed-size buckets for which we compute
+// weighted averages", Section IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/metrics.h"
+#include "workload/history.h"
+
+namespace txconc::analysis {
+
+/// All bucketed series for one chain history, named after the figure
+/// panels they feed.
+struct ChainSeries {
+  std::string chain;
+  double start_year = 0.0;
+  double end_year = 0.0;
+  std::uint64_t blocks = 0;
+
+  /// Mean regular transactions per block (Figs. 4a, 5a, 8a, 9a).
+  std::vector<SeriesPoint> regular_txs;
+  /// Regular plus internal transactions (the "all TXs" curve of Fig. 4a).
+  std::vector<SeriesPoint> total_txs;
+  /// Input TXOs per block (UTXO chains; Fig. 5a).
+  std::vector<SeriesPoint> input_txos;
+
+  /// Single-transaction conflict rate, blocks weighted by tx count.
+  std::vector<SeriesPoint> single_rate_txw;
+  /// Single-transaction conflict rate, gas-weighted within and across
+  /// blocks (account chains only; thin line of Fig. 4b).
+  std::vector<SeriesPoint> single_rate_gasw;
+  /// Group conflict rate, tx-weighted.
+  std::vector<SeriesPoint> group_rate_txw;
+  /// Group conflict rate, gas-weighted.
+  std::vector<SeriesPoint> group_rate_gasw;
+  /// Absolute LCC size (Fig. 9c).
+  std::vector<SeriesPoint> abs_lcc;
+
+  // Whole-history aggregates (tx-weighted), used for calibration checks
+  // and the summary tables.
+  double overall_single_rate = 0.0;
+  double overall_group_rate = 0.0;
+  double overall_single_rate_gasw = 0.0;
+  double overall_group_rate_gasw = 0.0;
+  double mean_txs_per_block = 0.0;
+  std::uint64_t total_transactions = 0;
+  std::uint64_t total_internal = 0;
+
+  /// Convert a series' positions from block heights to years for display.
+  std::vector<SeriesPoint> in_years(const std::vector<SeriesPoint>& s) const;
+};
+
+struct CollectOptions {
+  std::size_t num_buckets = 40;  ///< The paper uses 20 to 200.
+  /// Include internal transactions in the account TDG (true = the paper's
+  /// full analysis; false = the "approximate TDG" of Section V-C).
+  bool include_internal = true;
+};
+
+/// Run the generator to completion and collect every series.
+ChainSeries collect_series(workload::HistoryGenerator& generator,
+                           const CollectOptions& options = {});
+
+}  // namespace txconc::analysis

@@ -1,0 +1,61 @@
+#include "analysis/speedup.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/speedup_model.h"
+
+namespace txconc::analysis {
+
+SpeedupSeries compute_speedup_series(const ChainSeries& series,
+                                     unsigned cores) {
+  if (cores == 0) throw UsageError("compute_speedup_series: cores must be > 0");
+  SpeedupSeries out;
+  out.cores = cores;
+
+  const std::size_t buckets =
+      std::min({series.single_rate_txw.size(), series.group_rate_txw.size(),
+                series.regular_txs.size()});
+  out.speculative.reserve(buckets);
+  out.group.reserve(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const auto x =
+        static_cast<std::size_t>(series.regular_txs[i].value + 0.5);
+
+    SeriesPoint spec = series.single_rate_txw[i];
+    spec.value = x == 0 ? 1.0
+                        : core::SpeculativeModel::speedup(
+                              x, series.single_rate_txw[i].value, cores);
+    out.speculative.push_back(spec);
+
+    SeriesPoint group = series.group_rate_txw[i];
+    group.value =
+        core::GroupModel::speedup_bound(cores, series.group_rate_txw[i].value);
+    out.group.push_back(group);
+  }
+  return out;
+}
+
+SpeedupSummary summarize_late(const std::vector<SeriesPoint>& curve,
+                              double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw UsageError("summarize_late: fraction must be in (0, 1]");
+  }
+  SpeedupSummary out;
+  if (curve.empty()) return out;
+
+  const std::size_t window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(curve.size())));
+  double sum = 0.0;
+  for (std::size_t i = curve.size() - window; i < curve.size(); ++i) {
+    sum += curve[i].value;
+  }
+  out.mean = sum / static_cast<double>(window);
+  out.peak = 0.0;
+  for (const SeriesPoint& p : curve) {
+    out.peak = std::max(out.peak, p.value);
+  }
+  return out;
+}
+
+}  // namespace txconc::analysis

@@ -1,0 +1,34 @@
+// Speed-up series: Figure 10's computation as a library — combine a
+// chain's bucketed conflict-rate series with the Section V closed forms.
+#pragma once
+
+#include "analysis/series.h"
+
+namespace txconc::analysis {
+
+/// The two Figure 10 curves for one core count.
+struct SpeedupSeries {
+  unsigned cores = 0;
+  /// Equation (1) applied bucket-by-bucket to the single-transaction
+  /// conflict rate and the mean block size.
+  std::vector<SeriesPoint> speculative;
+  /// Equation (2) applied to the group conflict rate.
+  std::vector<SeriesPoint> group;
+};
+
+/// Aggregates over a (suffix of a) speed-up curve.
+struct SpeedupSummary {
+  double mean = 1.0;
+  double peak = 1.0;
+};
+
+/// Compute both model curves from a collected history.
+SpeedupSeries compute_speedup_series(const ChainSeries& series,
+                                     unsigned cores);
+
+/// Mean/peak over the last `fraction` of a curve (Fig. 10's headline
+/// numbers use the late history).
+SpeedupSummary summarize_late(const std::vector<SeriesPoint>& curve,
+                              double fraction = 0.25);
+
+}  // namespace txconc::analysis

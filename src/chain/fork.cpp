@@ -1,0 +1,104 @@
+#include "chain/fork.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace txconc::chain {
+
+ForkTree::ForkTree(const BlockHeader& genesis) {
+  if (genesis.height != 0) {
+    throw UsageError("ForkTree: genesis must have height 0");
+  }
+  Node node;
+  node.header = genesis;
+  node.total_difficulty = genesis.difficulty;
+  best_tip_ = genesis.hash();
+  nodes_.emplace(best_tip_, std::move(node));
+}
+
+const ForkTree::Node& ForkTree::node(const Hash256& hash) const {
+  const auto it = nodes_.find(hash);
+  if (it == nodes_.end()) throw UsageError("ForkTree: unknown block");
+  return it->second;
+}
+
+std::uint64_t ForkTree::best_height() const {
+  return node(best_tip_).header.height;
+}
+
+std::uint64_t ForkTree::cumulative_difficulty(const Hash256& hash) const {
+  return node(hash).total_difficulty;
+}
+
+std::optional<Reorg> ForkTree::insert(const BlockHeader& header) {
+  const Hash256 hash = header.hash();
+  if (nodes_.contains(hash)) {
+    throw ValidationError("ForkTree: duplicate block");
+  }
+  const auto parent_it = nodes_.find(header.prev_hash);
+  if (parent_it == nodes_.end()) {
+    throw ValidationError("ForkTree: unknown parent");
+  }
+  if (header.height != parent_it->second.header.height + 1) {
+    throw ValidationError("ForkTree: height does not follow parent");
+  }
+
+  Node node;
+  node.header = header;
+  node.parent = header.prev_hash;
+  node.total_difficulty =
+      parent_it->second.total_difficulty + header.difficulty;
+  nodes_.emplace(hash, node);
+
+  // Heaviest chain wins; first-seen wins ties (Bitcoin-style).
+  if (node.total_difficulty <= nodes_.at(best_tip_).total_difficulty) {
+    return std::nullopt;
+  }
+  const Hash256 old_tip = best_tip_;
+  best_tip_ = hash;
+  if (header.prev_hash == old_tip) {
+    return Reorg{};  // plain extension, nothing to undo
+  }
+  return compute_reorg(old_tip, hash);
+}
+
+Reorg ForkTree::compute_reorg(const Hash256& old_tip,
+                              const Hash256& new_tip) const {
+  Reorg reorg;
+  Hash256 a = old_tip;
+  Hash256 b = new_tip;
+  // Walk the deeper side up until the heights agree.
+  while (node(a).header.height > node(b).header.height) {
+    reorg.disconnect.push_back(a);
+    a = node(a).parent;
+  }
+  while (node(b).header.height > node(a).header.height) {
+    reorg.connect.push_back(b);
+    b = node(b).parent;
+  }
+  // Then walk both sides in lock step until they meet.
+  while (a != b) {
+    reorg.disconnect.push_back(a);
+    reorg.connect.push_back(b);
+    a = node(a).parent;
+    b = node(b).parent;
+  }
+  std::reverse(reorg.connect.begin(), reorg.connect.end());
+  return reorg;
+}
+
+std::vector<BlockHeader> ForkTree::best_chain() const {
+  std::vector<BlockHeader> chain;
+  Hash256 at = best_tip_;
+  for (;;) {
+    const Node& n = node(at);
+    chain.push_back(n.header);
+    if (n.header.height == 0) break;
+    at = n.parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace txconc::chain

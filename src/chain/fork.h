@@ -1,0 +1,61 @@
+// Fork choice: a block tree with the heaviest-chain (cumulative
+// difficulty) rule, tracking the best tip and computing reorg paths.
+//
+// The Ledger in block.h is deliberately linear; ForkTree is the layer a
+// node uses when competing branches exist (PoW races), yielding the
+// sequence of blocks to disconnect/connect when the best tip changes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.h"
+
+namespace txconc::chain {
+
+/// A reorganization plan: blocks to undo (tip-down) and apply (fork-up).
+struct Reorg {
+  std::vector<Hash256> disconnect;  ///< Old-branch hashes, tip first.
+  std::vector<Hash256> connect;     ///< New-branch hashes, fork-point first.
+};
+
+/// A tree of block headers with cumulative-difficulty fork choice.
+class ForkTree {
+ public:
+  /// Create with the genesis header (height 0).
+  explicit ForkTree(const BlockHeader& genesis);
+
+  /// Insert a header whose parent is already in the tree.
+  /// Returns the reorg needed if the best tip changed (empty plan when the
+  /// new block simply extends the current best chain), or std::nullopt if
+  /// the best tip did not change.
+  /// Throws ValidationError for unknown parents or duplicate blocks.
+  std::optional<Reorg> insert(const BlockHeader& header);
+
+  const Hash256& best_tip() const { return best_tip_; }
+  std::uint64_t best_height() const;
+  std::uint64_t cumulative_difficulty(const Hash256& hash) const;
+  bool contains(const Hash256& hash) const { return nodes_.contains(hash); }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Headers of the best chain, genesis first.
+  std::vector<BlockHeader> best_chain() const;
+
+ private:
+  struct Node {
+    BlockHeader header;
+    Hash256 parent;
+    std::uint64_t total_difficulty = 0;
+  };
+
+  const Node& node(const Hash256& hash) const;
+  /// Path from `hash` back to the fork point with `other` (exclusive).
+  Reorg compute_reorg(const Hash256& old_tip, const Hash256& new_tip) const;
+
+  std::unordered_map<Hash256, Node> nodes_;
+  Hash256 best_tip_;
+};
+
+}  // namespace txconc::chain

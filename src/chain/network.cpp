@@ -1,0 +1,166 @@
+#include "chain/network.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace txconc::chain {
+
+namespace {
+
+BlockHeader make_genesis() {
+  BlockHeader genesis;
+  genesis.height = 0;
+  genesis.difficulty = 1;
+  return genesis;
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(std::uint64_t seed, NetworkConfig config)
+    : config_(std::move(config)), rng_(seed) {
+  if (config_.hashrate.empty()) {
+    throw UsageError("network: need at least one miner");
+  }
+  for (double h : config_.hashrate) {
+    if (h <= 0.0) throw UsageError("network: hashrate must be positive");
+    total_hashrate_ += h;
+  }
+  if (config_.block_interval <= 0.0 || config_.propagation_delay < 0.0) {
+    throw UsageError("network: bad timing configuration");
+  }
+  const BlockHeader genesis = make_genesis();
+  for (std::size_t m = 0; m < config_.hashrate.size(); ++m) {
+    trees_.emplace_back(genesis);
+  }
+  generation_.assign(config_.hashrate.size(), 0);
+}
+
+double NetworkSimulator::sample_find_delay(unsigned miner) {
+  // Miner i finds blocks at rate (h_i / H) / interval, so the per-miner
+  // rates sum to 1 / interval network-wide.
+  const double mean =
+      config_.block_interval * total_hashrate_ / config_.hashrate[miner];
+  return rng_.exponential(mean);
+}
+
+void NetworkSimulator::schedule_mining(unsigned miner, double now) {
+  Event e;
+  e.time = now + sample_find_delay(miner);
+  e.kind = Event::Kind::kFound;
+  e.miner = miner;
+  e.generation = ++generation_[miner];
+  queue_.push(e);
+}
+
+NetworkStats NetworkSimulator::run(std::uint64_t num_blocks) {
+  NetworkStats stats;
+  stats.wins.assign(config_.hashrate.size(), 0);
+
+  // Track who found each block and at what time.
+  std::unordered_map<Hash256, unsigned> found_by;
+  std::unordered_map<Hash256, double> found_at;
+
+  for (unsigned m = 0; m < config_.hashrate.size(); ++m) {
+    schedule_mining(m, 0.0);
+  }
+
+  std::uint64_t found = 0;
+  std::uint64_t next_nonce = 1;  // differentiates sibling headers
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+
+    if (event.kind == Event::Kind::kFound) {
+      // Stale mining event (the miner's tip changed since it was set up).
+      if (event.generation != generation_[event.miner]) continue;
+      if (found >= num_blocks) continue;  // stop production, keep draining
+      ++found;
+
+      ForkTree& tree = trees_[event.miner];
+      BlockHeader header;
+      header.prev_hash = tree.best_tip();
+      header.height = tree.best_height() + 1;
+      header.difficulty = 1;
+      header.timestamp = static_cast<std::uint64_t>(event.time);
+      header.nonce = next_nonce++;
+      tree.insert(header);
+
+      const Hash256 hash = header.hash();
+      found_by.emplace(hash, event.miner);
+      found_at.emplace(hash, event.time);
+
+      // Broadcast to everyone else.
+      for (unsigned peer = 0; peer < config_.hashrate.size(); ++peer) {
+        if (peer == event.miner) continue;
+        Event arrival;
+        arrival.time = event.time + config_.propagation_delay;
+        arrival.kind = Event::Kind::kArrival;
+        arrival.miner = peer;
+        arrival.header = header;
+        queue_.push(arrival);
+      }
+      schedule_mining(event.miner, event.time);
+    } else {
+      ForkTree& tree = trees_[event.miner];
+      const Hash256 hash = event.header.hash();
+      if (tree.contains(hash)) continue;
+      // With uniform delay, parents always arrive before children; guard
+      // anyway (drop unknown-parent blocks — they re-arrive in richer
+      // models).
+      if (!tree.contains(event.header.prev_hash)) continue;
+      const Hash256 before = tree.best_tip();
+      const auto reorg = tree.insert(event.header);
+      if (reorg.has_value() && !reorg->disconnect.empty()) {
+        ++stats.reorgs;
+        stats.max_reorg_depth =
+            std::max(stats.max_reorg_depth,
+                     static_cast<std::uint64_t>(reorg->disconnect.size()));
+      }
+      if (tree.best_tip() != before) {
+        // The miner switches to the new tip; its previous mining event
+        // becomes stale.
+        schedule_mining(event.miner, event.time);
+      }
+    }
+  }
+
+  stats.blocks_found = found;
+
+  // Consensus chain = miner 0's best chain after draining.
+  const std::vector<BlockHeader> chain = trees_[0].best_chain();
+  std::unordered_set<Hash256> on_chain;
+  double first_time = 0.0;
+  double last_time = 0.0;
+  for (const BlockHeader& header : chain) {
+    if (header.height == 0) continue;
+    const Hash256 hash = header.hash();
+    on_chain.insert(hash);
+    const auto it = found_by.find(hash);
+    if (it != found_by.end()) ++stats.wins[it->second];
+    const auto at = found_at.find(hash);
+    if (at != found_at.end()) {
+      if (first_time == 0.0) first_time = at->second;
+      last_time = at->second;
+    }
+  }
+  stats.stale_blocks = found - on_chain.size();
+  stats.stale_rate =
+      found == 0 ? 0.0
+                 : static_cast<double>(stats.stale_blocks) /
+                       static_cast<double>(found);
+  if (on_chain.size() > 1) {
+    stats.mean_interval =
+        (last_time - first_time) / static_cast<double>(on_chain.size() - 1);
+  }
+
+  stats.converged = true;
+  for (const ForkTree& tree : trees_) {
+    if (tree.best_tip() != trees_[0].best_tip()) stats.converged = false;
+  }
+  return stats;
+}
+
+}  // namespace txconc::chain

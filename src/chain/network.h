@@ -1,0 +1,74 @@
+// Discrete-event simulation of a PoW miner network: block races,
+// propagation delays, natural forks, and heaviest-chain convergence.
+//
+// Reproduces the classic dynamics behind the paper's background: why PoW
+// chains keep block intervals long relative to propagation delay (stale
+// rate ~ delay / interval), and exercises ForkTree under real races.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "chain/fork.h"
+#include "common/rng.h"
+
+namespace txconc::chain {
+
+struct NetworkConfig {
+  /// Relative hash power per miner (size = miner count; default 5 equal).
+  std::vector<double> hashrate = {1, 1, 1, 1, 1};
+  /// One-way broadcast delay in seconds (same for every pair).
+  double propagation_delay = 2.0;
+  /// Target mean seconds between blocks network-wide.
+  double block_interval = 600.0;
+};
+
+struct NetworkStats {
+  std::uint64_t blocks_found = 0;
+  /// Blocks not on the final consensus chain.
+  std::uint64_t stale_blocks = 0;
+  double stale_rate = 0.0;
+  /// Tip switches away from a miner's own extension (observed reorgs).
+  std::uint64_t reorgs = 0;
+  std::uint64_t max_reorg_depth = 0;
+  /// Mean interval between consensus-chain blocks.
+  double mean_interval = 0.0;
+  /// Main-chain blocks won per miner.
+  std::vector<std::uint64_t> wins;
+  /// True when every miner ends on the same best tip.
+  bool converged = false;
+};
+
+/// Simulates the network until `num_blocks` blocks have been found, then
+/// drains in-flight broadcasts and reports.
+class NetworkSimulator {
+ public:
+  NetworkSimulator(std::uint64_t seed, NetworkConfig config);
+
+  NetworkStats run(std::uint64_t num_blocks);
+
+ private:
+  struct Event {
+    double time = 0.0;
+    enum class Kind { kFound, kArrival } kind = Kind::kFound;
+    unsigned miner = 0;
+    std::uint64_t generation = 0;  ///< kFound: stale-event guard.
+    BlockHeader header;            ///< kArrival payload.
+
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+
+  double sample_find_delay(unsigned miner);
+  void schedule_mining(unsigned miner, double now);
+
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<ForkTree> trees_;
+  std::vector<std::uint64_t> generation_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double total_hashrate_ = 0.0;
+};
+
+}  // namespace txconc::chain

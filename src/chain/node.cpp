@@ -1,0 +1,181 @@
+#include "chain/node.h"
+
+namespace txconc::chain {
+
+AccountNode::AccountNode(AccountNodeConfig config, BlockExecutionFn executor)
+    : config_(config), executor_(std::move(executor)) {}
+
+void AccountNode::genesis_fund(const Address& addr, std::uint64_t amount) {
+  if (!ledger_.empty()) {
+    throw UsageError("genesis_fund after the chain has started");
+  }
+  state_.set_balance(addr, amount);
+  state_.flush_journal();
+}
+
+void AccountNode::genesis_deploy(const Address& addr,
+                                 account::ContractCode code) {
+  if (!ledger_.empty()) {
+    throw UsageError("genesis_deploy after the chain has started");
+  }
+  account::genesis_deploy(state_, addr, std::move(code));
+  state_.flush_journal();
+}
+
+void AccountNode::submit_transaction(account::AccountTx tx) {
+  // Admission checks against the current state. Nonces may be in the
+  // future (a sender queueing several transactions) but not in the past.
+  if (config_.runtime.enforce_nonce && tx.nonce < state_.nonce(tx.from)) {
+    throw ValidationError("nonce already used");
+  }
+  const std::uint64_t max_fee =
+      config_.runtime.charge_fees ? tx.gas_limit * tx.gas_price : 0;
+  if (state_.balance(tx.from) < tx.value + max_fee) {
+    throw ValidationError("sender cannot cover value plus max fee");
+  }
+  const std::uint64_t intrinsic =
+      config_.runtime.gas.tx_base +
+      (tx.is_creation()
+           ? account::creation_gas(config_.runtime.gas, tx.init_code.code.size())
+           : 0);
+  if (tx.gas_limit < intrinsic) {
+    throw ValidationError("gas limit below intrinsic cost");
+  }
+  if (tx.gas_limit > config_.block_gas_limit) {
+    throw ValidationError("gas limit exceeds the block gas limit");
+  }
+  const std::uint64_t priority = tx.gas_price;
+  mempool_.add(std::move(tx), priority);
+}
+
+std::vector<account::Receipt> AccountNode::execute(
+    account::StateDb& state, std::span<const account::AccountTx> txs) {
+  if (executor_) return executor_(state, txs, config_.runtime);
+  std::vector<account::Receipt> receipts;
+  receipts.reserve(txs.size());
+  for (const auto& tx : txs) {
+    receipts.push_back(account::apply_transaction(state, tx, config_.runtime));
+  }
+  return receipts;
+}
+
+Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
+  // Pull candidates by fee priority, then order runnable ones. A candidate
+  // whose nonce is not yet current goes back to the pool.
+  std::vector<account::AccountTx> candidates =
+      mempool_.take(config_.max_block_txs * 2);
+
+  std::vector<account::AccountTx> included;
+  std::uint64_t gas_budget = config_.block_gas_limit;
+  const account::Snapshot pre_block = state_.snapshot();
+  std::vector<account::Receipt> receipts;
+
+  // Multi-pass packing: a transaction with a future nonce becomes runnable
+  // once its same-sender predecessor lands, so retry deferrals while any
+  // pass makes progress.
+  bool progress = true;
+  while (progress && !candidates.empty()) {
+    progress = false;
+    std::vector<account::AccountTx> deferred;
+    for (auto& tx : candidates) {
+      if (included.size() >= config_.max_block_txs ||
+          tx.gas_limit > gas_budget) {
+        // Does not fit this block; back to the pool for the next one.
+        const std::uint64_t priority = tx.gas_price;
+        mempool_.add(std::move(tx), priority);
+        continue;
+      }
+      try {
+        receipts.push_back(
+            account::apply_transaction(state_, tx, config_.runtime));
+        gas_budget -= receipts.back().gas_used;
+        included.push_back(std::move(tx));
+        progress = true;
+      } catch (const ValidationError&) {
+        if (config_.runtime.enforce_nonce &&
+            tx.nonce > state_.nonce(tx.from)) {
+          deferred.push_back(std::move(tx));  // predecessor may still land
+        }
+        // Otherwise: drop (stale nonce or drained balance).
+      }
+    }
+    candidates = std::move(deferred);
+  }
+  // Unresolved future nonces return to the pool.
+  for (auto& tx : candidates) {
+    const std::uint64_t priority = tx.gas_price;
+    mempool_.add(std::move(tx), priority);
+  }
+
+  const BlockHeader* prev = ledger_.empty() ? nullptr : &ledger_.tip().header;
+  Block<account::AccountTx> block = make_block<account::AccountTx>(
+      prev, std::move(included), timestamp, config_.difficulty);
+  for (const auto& r : receipts) {
+    block.header.gas_used += r.gas_used;
+  }
+  if (config_.commit_state_root) {
+    block.header.state_root = account::build_state_trie(state_).root();
+  }
+  if (config_.mine) {
+    const auto nonce = mine_header(block.header, config_.mine_budget);
+    if (!nonce) {
+      state_.revert(pre_block);
+      throw Error("mining budget exhausted");
+    }
+    block.header.nonce = *nonce;
+  }
+  state_.flush_journal();
+  ledger_.append(block);
+  return block;
+}
+
+void AccountNode::receive_block(const Block<account::AccountTx>& block) {
+  // Structural checks first (linkage + merkle) via a dry append guard.
+  const BlockHeader* prev = ledger_.empty() ? nullptr : &ledger_.tip().header;
+  if (prev) {
+    if (block.header.height != prev->height + 1 ||
+        block.header.prev_hash != prev->hash()) {
+      throw ValidationError("block does not extend the tip");
+    }
+  } else if (block.header.height != 0) {
+    throw ValidationError("first block must have height 0");
+  }
+  const Hash256 expected_root = transactions_root(
+      std::span<const account::AccountTx>(block.transactions));
+  if (block.header.merkle_root != expected_root) {
+    throw ValidationError("merkle root mismatch");
+  }
+  // PoW is mandatory whenever this node runs in mining mode — gating on
+  // the nonce value would let a forged zero-nonce block skip the check.
+  if (config_.mine &&
+      !meets_target(block.header.hash(), block.header.difficulty)) {
+    throw ValidationError("proof of work does not meet the target");
+  }
+
+  // Re-execute and verify the gas commitment; roll back on any failure.
+  const account::Snapshot pre_block = state_.snapshot();
+  try {
+    const std::vector<account::Receipt> receipts =
+        execute(state_, block.transactions);
+    std::uint64_t gas_used = 0;
+    for (const auto& r : receipts) gas_used += r.gas_used;
+    if (gas_used != block.header.gas_used) {
+      throw ValidationError("gas_used commitment mismatch");
+    }
+    if (gas_used > config_.block_gas_limit) {
+      throw ValidationError("block exceeds the gas limit");
+    }
+    if (config_.commit_state_root &&
+        account::build_state_trie(state_).root() !=
+            block.header.state_root) {
+      throw ValidationError("state root commitment mismatch");
+    }
+  } catch (...) {
+    state_.revert(pre_block);
+    throw;
+  }
+  state_.flush_journal();
+  ledger_.append(block);
+}
+
+}  // namespace txconc::chain

@@ -1,0 +1,90 @@
+// Full-node integration: mempool -> block production -> execution ->
+// ledger, plus validation of received blocks (re-execute and check header
+// commitments). This is the glue a downstream user runs; the executors
+// from src/exec plug in as the block-execution strategy.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "account/runtime.h"
+#include "account/state.h"
+#include "account/state_trie.h"
+#include "chain/block.h"
+#include "chain/pow.h"
+#include "common/error.h"
+
+namespace txconc::chain {
+
+/// Configuration of an account-model node.
+struct AccountNodeConfig {
+  account::RuntimeConfig runtime;
+  /// Maximum gas per block (Ethereum-style block gas limit).
+  std::uint64_t block_gas_limit = 10'000'000;
+  /// Maximum transactions per block.
+  std::size_t max_block_txs = 500;
+  /// Difficulty carried in produced headers (PoW grinding is optional).
+  std::uint64_t difficulty = 16;
+  /// Grind a valid PoW nonce when producing blocks (slow; for demos).
+  bool mine = false;
+  std::uint64_t mine_budget = 1'000'000;
+  /// Commit the post-state trie root into headers and verify it when
+  /// receiving blocks (O(accounts) per block).
+  bool commit_state_root = true;
+};
+
+/// How a node executes the transactions of a block. Receives the node's
+/// state and the block's transactions; returns per-transaction receipts in
+/// block order. The default is sequential execution; adapters for the
+/// src/exec engines satisfy this signature too.
+using BlockExecutionFn = std::function<std::vector<account::Receipt>(
+    account::StateDb&, std::span<const account::AccountTx>,
+    const account::RuntimeConfig&)>;
+
+/// A single account-model full node: owns the state, the ledger and a
+/// mempool; produces and validates blocks.
+class AccountNode {
+ public:
+  explicit AccountNode(AccountNodeConfig config = {},
+                       BlockExecutionFn executor = nullptr);
+
+  /// Validate a transaction against the current state (nonce not in the
+  /// past, sender can cover value + max fee, intrinsic gas) and admit it
+  /// to the mempool. Throws ValidationError when inadmissible.
+  void submit_transaction(account::AccountTx tx);
+
+  /// Assemble, execute and append the next block from the mempool.
+  /// Transactions that fail validation at execution time (stale nonce
+  /// after reordering, drained balance) are skipped, not included.
+  /// Returns the produced block.
+  Block<account::AccountTx> produce_block(std::uint64_t timestamp);
+
+  /// Validate a block received from a peer: linkage, merkle root, PoW
+  /// (when the header carries a mined nonce), then re-execute and check
+  /// the header's gas_used commitment. On success the block is appended
+  /// and the state advanced; on failure the state is untouched and
+  /// ValidationError is thrown.
+  void receive_block(const Block<account::AccountTx>& block);
+
+  const account::StateDb& state() const { return state_; }
+  const Ledger<account::AccountTx>& ledger() const { return ledger_; }
+  std::size_t mempool_size() const { return mempool_.size(); }
+  const AccountNodeConfig& config() const { return config_; }
+
+  /// Credit an address directly (genesis allocation).
+  void genesis_fund(const Address& addr, std::uint64_t amount);
+  /// Install contract code directly (genesis deployment).
+  void genesis_deploy(const Address& addr, account::ContractCode code);
+
+ private:
+  std::vector<account::Receipt> execute(account::StateDb& state,
+                                        std::span<const account::AccountTx> txs);
+
+  AccountNodeConfig config_;
+  BlockExecutionFn executor_;
+  account::StateDb state_;
+  Ledger<account::AccountTx> ledger_;
+  Mempool<account::AccountTx> mempool_;
+};
+
+}  // namespace txconc::chain

@@ -1,0 +1,66 @@
+#include "chain/pow.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace txconc::chain {
+
+bool meets_target(const Hash256& hash, std::uint64_t difficulty) {
+  if (difficulty == 0) throw UsageError("difficulty must be positive");
+  const std::uint64_t target = ~std::uint64_t{0} / difficulty;
+  return hash.low64() <= target;
+}
+
+std::optional<std::uint64_t> mine_header(BlockHeader header,
+                                         std::uint64_t max_attempts) {
+  for (std::uint64_t nonce = 0; nonce < max_attempts; ++nonce) {
+    header.nonce = nonce;
+    if (meets_target(header.hash(), header.difficulty)) {
+      return nonce;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t bitcoin_retarget(std::uint64_t old_difficulty,
+                               std::uint64_t actual_timespan,
+                               std::uint64_t target_timespan) {
+  if (old_difficulty == 0 || target_timespan == 0) {
+    throw UsageError("retarget: zero difficulty or timespan");
+  }
+  // Clamp the measured timespan to [target/4, target*4] as Bitcoin does.
+  const std::uint64_t clamped =
+      std::clamp(actual_timespan, target_timespan / 4, target_timespan * 4);
+  // Faster blocks (small timespan) -> higher difficulty.
+  const double scaled = static_cast<double>(old_difficulty) *
+                        static_cast<double>(target_timespan) /
+                        static_cast<double>(std::max<std::uint64_t>(clamped, 1));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(scaled));
+}
+
+std::uint64_t ethereum_adjust(std::uint64_t parent_difficulty,
+                              std::uint64_t block_time,
+                              std::uint64_t target_time) {
+  if (parent_difficulty == 0 || target_time == 0) {
+    throw UsageError("adjust: zero difficulty or target time");
+  }
+  const std::int64_t step =
+      std::max<std::int64_t>(1 - static_cast<std::int64_t>(block_time /
+                                                           target_time),
+                             -99);
+  const std::int64_t delta =
+      static_cast<std::int64_t>(parent_difficulty / 2048) * step;
+  const std::int64_t next =
+      static_cast<std::int64_t>(parent_difficulty) + delta;
+  return next < 1 ? 1 : static_cast<std::uint64_t>(next);
+}
+
+double PowSimulator::next_block_interval(std::uint64_t difficulty) {
+  if (difficulty == 0) throw UsageError("difficulty must be positive");
+  if (hashrate_ <= 0.0) throw UsageError("hashrate must be positive");
+  const double mean = static_cast<double>(difficulty) / hashrate_;
+  return rng_.exponential(mean);
+}
+
+}  // namespace txconc::chain

@@ -1,0 +1,59 @@
+// Proof-of-Work simulation: target checks, mining, and the difficulty
+// retargeting rules of the Bitcoin family and Ethereum.
+//
+// "Public blockchains ... often use variants of Proof-of-Work (PoW)
+// protocols which are computationally intensive." — paper, Section II-A.
+// The simulator reproduces the *timing* behaviour (block intervals,
+// difficulty adjustment) without burning real CPU on hash grinding beyond
+// a bounded demonstration mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/block.h"
+#include "common/rng.h"
+
+namespace txconc::chain {
+
+/// True when `hash` satisfies difficulty `d`: interpreting the first eight
+/// bytes as a little-endian integer, hash.low64() < 2^64 / d.
+bool meets_target(const Hash256& hash, std::uint64_t difficulty);
+
+/// Grind nonces until the header hash meets its difficulty. Intended for
+/// small difficulties (tests, demos); gives up after `max_attempts`.
+std::optional<std::uint64_t> mine_header(BlockHeader header,
+                                         std::uint64_t max_attempts);
+
+/// Bitcoin-style retarget: every `interval` blocks, scale difficulty by
+/// target_timespan / actual_timespan, clamped to a factor of 4 either way.
+std::uint64_t bitcoin_retarget(std::uint64_t old_difficulty,
+                               std::uint64_t actual_timespan,
+                               std::uint64_t target_timespan);
+
+/// Ethereum-style per-block adjustment:
+///   diff += parent_diff / 2048 * max(1 - block_time / target_time, -99)
+std::uint64_t ethereum_adjust(std::uint64_t parent_difficulty,
+                              std::uint64_t block_time,
+                              std::uint64_t target_time);
+
+/// Statistical miner: block intervals are exponentially distributed with
+/// mean difficulty / hashrate (the memoryless property of PoW).
+class PowSimulator {
+ public:
+  /// @param hashrate  expected hashes per second across the network.
+  PowSimulator(std::uint64_t seed, double hashrate)
+      : rng_(seed), hashrate_(hashrate) {}
+
+  /// Sample the time (seconds) to find the next block at a difficulty.
+  double next_block_interval(std::uint64_t difficulty);
+
+  void set_hashrate(double hashrate) { hashrate_ = hashrate; }
+  double hashrate() const { return hashrate_; }
+
+ private:
+  Rng rng_;
+  double hashrate_;
+};
+
+}  // namespace txconc::chain

@@ -1,0 +1,105 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/fmt.h"
+
+namespace txconc {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+double transform(double v, bool log_y) {
+  if (!log_y) return v;
+  return std::log10(std::max(v, 1e-12));
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<LabelledSeries>& series,
+                        const PlotOptions& options) {
+  const std::size_t w = std::max<std::size_t>(options.width, 8);
+  const std::size_t h = std::max<std::size_t>(options.height, 4);
+
+  // Data ranges.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      any = true;
+      x_min = std::min(x_min, p.position);
+      x_max = std::max(x_max, p.position);
+      const double y = transform(p.value, options.log_y);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  std::string out;
+  if (!options.title.empty()) {
+    out += "  " + options.title + "\n";
+  }
+  if (!any) {
+    out += "  (no data)\n";
+    return out;
+  }
+  if (!options.log_y && options.y_max > options.y_min) {
+    y_min = options.y_min;
+    y_max = options.y_max;
+  }
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& p : series[si].points) {
+      const double fx = (p.position - x_min) / (x_max - x_min);
+      const double fy =
+          (transform(p.value, options.log_y) - y_min) / (y_max - y_min);
+      const std::size_t col = std::min(
+          w - 1, static_cast<std::size_t>(fx * static_cast<double>(w - 1) + 0.5));
+      const double fy_clamped = std::clamp(fy, 0.0, 1.0);
+      const std::size_t row_from_bottom = std::min(
+          h - 1,
+          static_cast<std::size_t>(fy_clamped * static_cast<double>(h - 1) + 0.5));
+      grid[h - 1 - row_from_bottom][col] = glyph;
+    }
+  }
+
+  // y-axis labels at top, middle, bottom.
+  auto y_label_at = [&](std::size_t row_from_top) {
+    const double frac =
+        1.0 - static_cast<double>(row_from_top) / static_cast<double>(h - 1);
+    double v = y_min + frac * (y_max - y_min);
+    if (options.log_y) v = std::pow(10.0, v);
+    return strfmt("%9.3g", v);
+  };
+
+  for (std::size_t r = 0; r < h; ++r) {
+    const bool labelled = (r == 0 || r == h / 2 || r == h - 1);
+    out += labelled ? y_label_at(r) : std::string(9, ' ');
+    out += " |";
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(w, '-') + '\n';
+  out += strfmt("%10s%-12.6g%*s%12.6g", " ", x_min,
+                static_cast<int>(w) - 22, " ", x_max);
+  out += "   (" + options.x_label + ")\n";
+
+  out += "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += strfmt("  [%c] %s", kGlyphs[si % sizeof(kGlyphs)],
+                  series[si].label.c_str());
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace txconc

@@ -1,0 +1,30 @@
+// ASCII line charts, used by the bench binaries to render the paper's
+// figures directly into the terminal / bench_output.txt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace txconc {
+
+struct PlotOptions {
+  std::size_t width = 72;    ///< Plot-area columns.
+  std::size_t height = 16;   ///< Plot-area rows.
+  bool log_y = false;        ///< Log10 y-axis (tx/block panels).
+  double y_min = 0.0;        ///< Lower y bound (ignored when log_y).
+  double y_max = -1.0;       ///< Upper y bound; < y_min means auto.
+  std::string title;
+  std::string x_label = "block height";
+  std::string y_label;
+};
+
+/// Render one or more series into a multi-line string.
+///
+/// Each series gets a distinct glyph; a legend is appended. Points are mapped
+/// to the grid by nearest cell; later series draw over earlier ones.
+std::string render_plot(const std::vector<LabelledSeries>& series,
+                        const PlotOptions& options);
+
+}  // namespace txconc

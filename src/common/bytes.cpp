@@ -1,0 +1,124 @@
+#include "common/bytes.h"
+
+#include "common/error.h"
+
+namespace txconc {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw ParseError("hex string has odd length: " + std::string(hex));
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw ParseError("non-hex character in: " + std::string(hex));
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw ParseError("truncated input: need " + std::to_string(n) +
+                     " bytes, have " + std::to_string(data_.size() - pos_));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(data_[pos_ + i]) << (8 * i)));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Bytes ByteReader::bytes() {
+  const std::uint32_t n = u32();
+  return raw(n);
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace txconc

@@ -1,0 +1,85 @@
+// Byte-buffer utilities: hex codecs and little-endian serialization.
+//
+// All on-the-wire encodings in txconc (transactions, block headers) go
+// through ByteWriter / ByteReader so that txids and merkle roots are
+// deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace txconc {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Encode a byte span as lowercase hex.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decode a hex string (case-insensitive, no 0x prefix handling).
+/// Throws ParseError on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Append-only little-endian byte serializer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v); }
+  void u32(std::uint32_t v) { le(v); }
+  void u64(std::uint64_t v) { le(v); }
+  /// Length-prefixed (u32) raw bytes.
+  void bytes(std::span<const std::uint8_t> data);
+  /// Raw bytes, no length prefix (fixed-size fields such as hashes).
+  void raw(std::span<const std::uint8_t> data);
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Little-endian byte deserializer over a non-owning view.
+/// Throws ParseError when reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Length-prefixed (u32) raw bytes.
+  Bytes bytes();
+  /// Fixed-size raw bytes.
+  Bytes raw(std::size_t n);
+  /// Length-prefixed UTF-8 string.
+  std::string str();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace txconc

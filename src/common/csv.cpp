@@ -1,0 +1,53 @@
+#include "common/csv.h"
+
+#include "common/error.h"
+#include "common/fmt.h"
+
+namespace txconc {
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (have_header_) throw UsageError("CsvWriter: header written twice");
+  if (columns.empty()) throw UsageError("CsvWriter: empty header");
+  width_ = columns.size();
+  have_header_ = true;
+  emit(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!have_header_) throw UsageError("CsvWriter: row before header");
+  if (cells.size() != width_) {
+    throw UsageError("CsvWriter: row width mismatch");
+  }
+  emit(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    text.push_back(strfmt("%.6g", v));
+  }
+  row(text);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace txconc

@@ -1,0 +1,36 @@
+// Minimal CSV emission for bench outputs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace txconc {
+
+/// Writes rows of a CSV table to a stream with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write the header row (must be the first row written).
+  void header(const std::vector<std::string>& columns);
+
+  /// Write one data row; cell counts must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void row(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ostream& out_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+  bool have_header_ = false;
+};
+
+}  // namespace txconc

@@ -1,0 +1,43 @@
+// Exception hierarchy used across txconc.
+//
+// All recoverable failures are reported as exceptions derived from
+// txconc::Error (per C++ Core Guidelines E.14: use purpose-designed types).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace txconc {
+
+/// Base class for all txconc errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed input (bad hex string, truncated serialization, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A transaction or block failed validation against the current state.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation error: " + what) {}
+};
+
+/// A virtual-machine execution fault (out of gas, stack underflow, ...).
+class VmError : public Error {
+ public:
+  explicit VmError(const std::string& what) : Error("vm error: " + what) {}
+};
+
+/// Precondition violation on a public API (caller bug).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error("usage error: " + what) {}
+};
+
+}  // namespace txconc

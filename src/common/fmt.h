@@ -1,0 +1,39 @@
+// Minimal printf-style string formatting.
+//
+// The toolchain (GCC 12 / libstdc++) lacks <format>, so benches and reports
+// use this small type-checked wrapper around snprintf instead.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+namespace txconc {
+
+namespace detail {
+
+// Pass std::string through as const char* so callers can format strings
+// without calling .c_str() themselves.
+template <typename T>
+auto fmt_arg(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v.c_str();
+  } else {
+    return v;
+  }
+}
+
+}  // namespace detail
+
+/// snprintf into a std::string. Arguments must match the format specifiers;
+/// GCC checks this at compile time via the format attribute on snprintf.
+template <typename... Args>
+std::string strfmt(const char* format, const Args&... args) {
+  const int n = std::snprintf(nullptr, 0, format, detail::fmt_arg(args)...);
+  if (n < 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, format, detail::fmt_arg(args)...);
+  return out;
+}
+
+}  // namespace txconc

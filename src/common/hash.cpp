@@ -1,0 +1,107 @@
+#include "common/hash.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/sha256.h"
+
+namespace txconc {
+
+bool Hash256::is_zero() const {
+  return std::all_of(bytes.begin(), bytes.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::string Hash256::to_hex() const { return txconc::to_hex(bytes); }
+
+std::string Hash256::short_hex() const { return to_hex().substr(0, 4); }
+
+Hash256 Hash256::from_hex(std::string_view hex) {
+  const Bytes raw = txconc::from_hex(hex);
+  return from_bytes(raw);
+}
+
+Hash256 Hash256::from_bytes(std::span<const std::uint8_t> data) {
+  if (data.size() != 32) {
+    throw ParseError("Hash256 needs 32 bytes, got " +
+                     std::to_string(data.size()));
+  }
+  Hash256 h;
+  std::copy(data.begin(), data.end(), h.bytes.begin());
+  return h;
+}
+
+Hash256 Hash256::digest_of(std::span<const std::uint8_t> data) {
+  const Sha256::Digest d = Sha256::hash(data);
+  Hash256 h;
+  h.bytes = d;
+  return h;
+}
+
+Hash256 Hash256::from_seed(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> raw;
+  for (std::size_t i = 0; i < 8; ++i) {
+    raw[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  return digest_of(raw);
+}
+
+std::uint64_t Hash256::low64() const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return v;
+}
+
+bool Address::is_zero() const {
+  return std::all_of(bytes.begin(), bytes.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::string Address::to_hex() const { return "0x" + txconc::to_hex(bytes); }
+
+std::string Address::short_hex() const { return to_hex().substr(0, 5); }
+
+Address Address::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) {
+    hex.remove_prefix(2);
+  }
+  const Bytes raw = txconc::from_hex(hex);
+  if (raw.size() != 20) {
+    throw ParseError("Address needs 20 bytes, got " +
+                     std::to_string(raw.size()));
+  }
+  Address a;
+  std::copy(raw.begin(), raw.end(), a.bytes.begin());
+  return a;
+}
+
+Address Address::from_seed(std::uint64_t seed) {
+  const Hash256 h = Hash256::from_seed(seed ^ 0xadd7e55'00000000ULL);
+  Address a;
+  std::copy(h.bytes.begin(), h.bytes.begin() + 20, a.bytes.begin());
+  return a;
+}
+
+Address Address::derive_contract(const Address& creator, std::uint64_t nonce) {
+  ByteWriter w;
+  w.raw(creator.bytes);
+  w.u64(nonce);
+  const Hash256 h = Hash256::digest_of(w.data());
+  Address a;
+  std::copy(h.bytes.begin(), h.bytes.begin() + 20, a.bytes.begin());
+  return a;
+}
+
+std::uint64_t Address::low64() const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace txconc

@@ -1,0 +1,85 @@
+// Fixed-size identifier types: 32-byte hashes and 20-byte addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace txconc {
+
+/// A 32-byte hash value (transaction id, block hash, merkle root).
+struct Hash256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Hash256&) const = default;
+
+  bool is_zero() const;
+
+  /// Lowercase hex, 64 characters.
+  std::string to_hex() const;
+  /// Abbreviated display form: first 4 hex digits (as used in the paper's
+  /// Figure 6 rendering of Bitcoin transactions).
+  std::string short_hex() const;
+
+  static Hash256 from_hex(std::string_view hex);
+  static Hash256 from_bytes(std::span<const std::uint8_t> data);
+  /// SHA-256 of arbitrary bytes.
+  static Hash256 digest_of(std::span<const std::uint8_t> data);
+  /// Deterministic hash derived from a 64-bit seed (cheap test/workload ids).
+  static Hash256 from_seed(std::uint64_t seed);
+
+  /// First 8 bytes as a little-endian integer (for sharding / bucketing).
+  std::uint64_t low64() const;
+};
+
+/// A 20-byte account address (account-based data model).
+struct Address {
+  std::array<std::uint8_t, 20> bytes{};
+
+  auto operator<=>(const Address&) const = default;
+
+  bool is_zero() const;
+
+  /// "0x"-prefixed lowercase hex, 42 characters.
+  std::string to_hex() const;
+  /// Abbreviated display form: "0x" + first 3 hex digits (paper Figure 1).
+  std::string short_hex() const;
+
+  static Address from_hex(std::string_view hex);
+  /// Deterministic address derived from a 64-bit seed.
+  static Address from_seed(std::uint64_t seed);
+  /// Contract address derived from creator + nonce (Ethereum-style).
+  static Address derive_contract(const Address& creator, std::uint64_t nonce);
+
+  /// First 8 bytes as a little-endian integer (shard assignment uses this).
+  std::uint64_t low64() const;
+};
+
+}  // namespace txconc
+
+template <>
+struct std::hash<txconc::Hash256> {
+  std::size_t operator()(const txconc::Hash256& h) const noexcept {
+    // The value is already uniformly distributed; take the first word.
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      v |= static_cast<std::size_t>(h.bytes[i]) << (8 * i);
+    }
+    return v;
+  }
+};
+
+template <>
+struct std::hash<txconc::Address> {
+  std::size_t operator()(const txconc::Address& a) const noexcept {
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      v |= static_cast<std::size_t>(a.bytes[i]) << (8 * i);
+    }
+    return v;
+  }
+};

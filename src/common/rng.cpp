@@ -1,0 +1,161 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace txconc {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw UsageError("Rng::uniform bound must be positive");
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw UsageError("Rng::uniform_range lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw UsageError("Rng::exponential mean must be positive");
+  double u = uniform_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean < 0.0) throw UsageError("Rng::poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform_double();
+    while (product > limit) {
+      ++k;
+      product *= uniform_double();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double v = normal(mean, std::sqrt(mean)) + 0.5;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Derive a new seed from the current state and the stream id; the fork
+  // does not advance this generator.
+  std::uint64_t sm = s_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL) ^ s_[3];
+  return Rng(splitmix64(sm));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : exponent_(exponent) {
+  if (n == 0) throw UsageError("ZipfSampler needs at least one element");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) {
+    v /= total;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw UsageError("ZipfSampler::pmf rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+WeightedSampler::WeightedSampler(const std::vector<double>& weights) {
+  if (weights.empty()) throw UsageError("WeightedSampler needs weights");
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) throw UsageError("WeightedSampler weight < 0");
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  if (total <= 0.0) throw UsageError("WeightedSampler weights sum to zero");
+  for (double& v : cdf_) {
+    v /= total;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t WeightedSampler::sample(Rng& rng) const {
+  const double u = rng.uniform_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace txconc

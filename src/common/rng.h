@@ -1,0 +1,104 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// All generators are seedable and fully deterministic so that every
+// experiment in the benches is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace txconc {
+
+/// splitmix64 — used to seed the main generator and to derive sub-streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) (bound > 0). Lemire-style rejection for
+  /// unbiasedness.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Poisson with given mean. Knuth's method for small means, normal
+  /// approximation above 64 to stay O(1).
+  std::uint64_t poisson(double mean);
+
+  /// Gaussian via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Fork an independent sub-stream (deterministic in the fork index).
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  // Box-Muller produces pairs; cache the spare value.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Samples ranks 0..n-1 from a Zipf distribution with exponent s.
+///
+/// Rank 0 is the most popular element. Used to model the concentration of
+/// blockchain traffic on a few hot addresses (exchanges, mining pools),
+/// which is the workload property that drives the paper's conflict rates.
+///
+/// Implementation: precomputed CDF + binary search; O(n) memory, O(log n)
+/// per sample. Suitable for the ~10^5-10^6 element populations used here.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+/// Samples an index proportionally to the given non-negative weights.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(const std::vector<double>& weights);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace txconc

@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace txconc {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void WeightedMean::add(double value, double weight) {
+  if (weight < 0.0) throw UsageError("WeightedMean weight < 0");
+  value_sum_ += value * weight;
+  weight_sum_ += weight;
+}
+
+double Quantiles::quantile(double q) const {
+  if (values_.empty()) throw UsageError("Quantiles::quantile on empty sample");
+  if (q < 0.0 || q > 1.0) throw UsageError("quantile q out of [0,1]");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+Bucketizer::Bucketizer(std::size_t num_buckets, std::uint64_t min_height,
+                       std::uint64_t max_height)
+    : min_height_(min_height), max_height_(max_height) {
+  if (num_buckets == 0) throw UsageError("Bucketizer needs >= 1 bucket");
+  if (max_height < min_height) throw UsageError("Bucketizer range is empty");
+  buckets_.resize(num_buckets);
+}
+
+void Bucketizer::add(std::uint64_t height, double value, double weight) {
+  if (height < min_height_ || height > max_height_) {
+    throw UsageError("Bucketizer: height out of range");
+  }
+  const std::uint64_t span = max_height_ - min_height_ + 1;
+  std::size_t idx = static_cast<std::size_t>(
+      (height - min_height_) * buckets_.size() / span);
+  idx = std::min(idx, buckets_.size() - 1);
+  buckets_[idx].add(value, weight);
+}
+
+std::vector<SeriesPoint> Bucketizer::series() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(buckets_.size());
+  const double span = static_cast<double>(max_height_ - min_height_ + 1);
+  const double width = span / static_cast<double>(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].empty()) continue;
+    SeriesPoint p;
+    p.position = static_cast<double>(min_height_) +
+                 (static_cast<double>(i) + 0.5) * width;
+    p.value = buckets_[i].mean();
+    p.weight = buckets_[i].weight_sum();
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace txconc

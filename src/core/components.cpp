@@ -1,0 +1,152 @@
+#include "core/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace txconc::core {
+
+ComponentSet::ComponentSet(std::vector<ComponentId> component_of)
+    : component_of_(std::move(component_of)) {
+  ComponentId max_id = 0;
+  for (ComponentId c : component_of_) {
+    max_id = std::max(max_id, c);
+  }
+  sizes_.assign(component_of_.empty() ? 0 : max_id + 1, 0);
+  for (ComponentId c : component_of_) {
+    ++sizes_[c];
+  }
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (sizes_[i] == 0) {
+      throw UsageError("ComponentSet: component ids must be dense");
+    }
+    if (sizes_[i] > lcc_size_) {
+      lcc_size_ = sizes_[i];
+      lcc_id_ = static_cast<ComponentId>(i);
+    }
+    if (sizes_[i] == 1) ++num_singletons_;
+  }
+}
+
+ComponentId ComponentSet::component_of(NodeId node) const {
+  if (node >= component_of_.size()) {
+    throw UsageError("ComponentSet::component_of: node out of range");
+  }
+  return component_of_[node];
+}
+
+std::vector<std::vector<NodeId>> ComponentSet::grouped() const {
+  std::vector<std::vector<NodeId>> out(num_components());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].reserve(sizes_[i]);
+  }
+  for (NodeId n = 0; n < component_of_.size(); ++n) {
+    out[component_of_[n]].push_back(n);
+  }
+  return out;
+}
+
+ComponentSet connected_components_bfs(const Tdg& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<ComponentId> component_of(n, 0);
+  // The paper's visitedMap.
+  std::vector<char> visited(n, 0);
+  ComponentId next_component = 0;
+
+  // Mirrors Figure 3: for every unvisited node, expand frontier-at-a-time.
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next_frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    const ComponentId cc = next_component++;
+    component_of[start] = cc;
+    visited[start] = 1;
+
+    frontier.clear();
+    for (NodeId nb : graph.neighbors(start)) {
+      if (!visited[nb]) frontier.push_back(nb);
+    }
+    // De-duplicate the frontier the way the JS Set does.
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+
+    while (!frontier.empty()) {
+      next_frontier.clear();
+      for (NodeId nb : frontier) {
+        component_of[nb] = cc;
+        visited[nb] = 1;
+      }
+      for (NodeId nb : frontier) {
+        for (NodeId nnb : graph.neighbors(nb)) {
+          if (!visited[nnb]) next_frontier.push_back(nnb);
+        }
+      }
+      std::sort(next_frontier.begin(), next_frontier.end());
+      next_frontier.erase(
+          std::unique(next_frontier.begin(), next_frontier.end()),
+          next_frontier.end());
+      frontier.swap(next_frontier);
+    }
+  }
+  return ComponentSet(std::move(component_of));
+}
+
+ComponentSet connected_components_dsu(const Tdg& graph) {
+  DisjointSets dsu(graph.num_nodes());
+  for (const TdgEdge& e : graph.edges()) {
+    dsu.merge(e.from, e.to);
+  }
+  // Compress roots to dense component ids in first-seen order so the
+  // numbering matches BFS (both visit nodes in index order).
+  std::vector<ComponentId> component_of(graph.num_nodes(), 0);
+  std::vector<ComponentId> root_to_id(graph.num_nodes(),
+                                      static_cast<ComponentId>(-1));
+  ComponentId next_component = 0;
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    const std::size_t root = dsu.find(node);
+    if (root_to_id[root] == static_cast<ComponentId>(-1)) {
+      root_to_id[root] = next_component++;
+    }
+    component_of[node] = root_to_id[root];
+  }
+  return ComponentSet(std::move(component_of));
+}
+
+DisjointSets::DisjointSets(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t DisjointSets::find(std::size_t a) {
+  if (a >= parent_.size()) throw UsageError("DisjointSets::find out of range");
+  std::size_t root = a;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[a] != root) {
+    const std::size_t next = parent_[a];
+    parent_[a] = root;
+    a = next;
+  }
+  return root;
+}
+
+bool DisjointSets::merge(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::size_t DisjointSets::set_size(std::size_t a) { return size_[find(a)]; }
+
+std::size_t DisjointSets::add() {
+  parent_.push_back(parent_.size());
+  size_.push_back(1);
+  ++num_sets_;
+  return parent_.size() - 1;
+}
+
+}  // namespace txconc::core

@@ -1,0 +1,104 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace txconc::core {
+
+double ConflictStats::single_rate() const {
+  if (total_transactions == 0) return 0.0;
+  return static_cast<double>(conflicted_transactions) /
+         static_cast<double>(total_transactions);
+}
+
+double ConflictStats::group_rate() const {
+  if (total_transactions == 0) return 0.0;
+  return static_cast<double>(lcc_transactions) /
+         static_cast<double>(total_transactions);
+}
+
+double ConflictStats::weighted_single_rate() const {
+  if (total_weight <= 0.0) return 0.0;
+  return conflicted_weight / total_weight;
+}
+
+double ConflictStats::weighted_group_rate() const {
+  if (total_weight <= 0.0) return 0.0;
+  return lcc_weight / total_weight;
+}
+
+ConflictStats utxo_conflict_stats(const ComponentSet& components,
+                                  std::span<const double> weights) {
+  if (!weights.empty() && weights.size() != components.num_nodes()) {
+    throw UsageError("utxo_conflict_stats: weight count mismatch");
+  }
+  ConflictStats stats;
+  stats.total_transactions = components.num_nodes();
+  stats.num_components = components.num_components();
+
+  // Accumulate weight per component to find the heaviest one and the
+  // weight carried by conflicted transactions.
+  std::vector<double> component_weight(components.num_components(), 0.0);
+  for (NodeId node = 0; node < components.num_nodes(); ++node) {
+    const double w = weights.empty() ? 1.0 : weights[node];
+    stats.total_weight += w;
+    const ComponentId cc = components.component_of(node);
+    component_weight[cc] += w;
+    if (components.sizes()[cc] >= 2) {
+      ++stats.conflicted_transactions;
+      stats.conflicted_weight += w;
+    }
+  }
+  stats.lcc_transactions = components.lcc_size();
+  if (!component_weight.empty()) {
+    // The weighted LCC is the weight of the component with the most
+    // transactions (ties broken by ComponentSet).
+    stats.lcc_weight = component_weight[components.lcc_id()];
+  }
+  // An empty graph has zero LCC transactions.
+  if (stats.total_transactions == 0) {
+    stats.lcc_transactions = 0;
+    stats.num_components = 0;
+  }
+  return stats;
+}
+
+ConflictStats account_conflict_stats(
+    const ComponentSet& address_components,
+    std::span<const AccountTxRef> transactions) {
+  ConflictStats stats;
+  stats.total_transactions = transactions.size();
+
+  const std::size_t k = address_components.num_components();
+  std::vector<std::size_t> tx_count(k, 0);
+  std::vector<double> tx_weight(k, 0.0);
+
+  // A transaction's sender and receiver are joined by its own edge, so both
+  // endpoints are always in the same component; classify by the sender.
+  for (const AccountTxRef& tx : transactions) {
+    const ComponentId cc = address_components.component_of(tx.sender);
+    if (address_components.component_of(tx.receiver) != cc) {
+      throw UsageError(
+          "account_conflict_stats: sender and receiver in different "
+          "components; was the transaction's edge added to the TDG?");
+    }
+    ++tx_count[cc];
+    tx_weight[cc] += tx.weight;
+    stats.total_weight += tx.weight;
+  }
+
+  for (std::size_t cc = 0; cc < k; ++cc) {
+    if (tx_count[cc] == 0) continue;
+    ++stats.num_components;
+    if (tx_count[cc] > stats.lcc_transactions) {
+      stats.lcc_transactions = tx_count[cc];
+      stats.lcc_weight = tx_weight[cc];
+    }
+    if (tx_count[cc] >= 2) {
+      stats.conflicted_transactions += tx_count[cc];
+      stats.conflicted_weight += tx_weight[cc];
+    }
+  }
+  return stats;
+}
+
+}  // namespace txconc::core

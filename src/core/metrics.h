@@ -1,0 +1,66 @@
+// The paper's two concurrency metrics (Section III-A.3):
+//
+//  * single-transaction conflict rate  c = conflicted txs / total txs
+//  * group conflict rate               l = LCC size / total txs
+//
+// Both come in an unweighted (transaction-count) and a weighted (e.g. gas)
+// flavour; the weighted flavour is what the "gas-weighted" curves in
+// Figures 4b/4c use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/components.h"
+
+namespace txconc::core {
+
+/// Per-block conflict summary, the atom from which every figure is built.
+struct ConflictStats {
+  std::size_t total_transactions = 0;
+  /// Transactions sharing a connected component with >= 1 other transaction.
+  std::size_t conflicted_transactions = 0;
+  /// Number of transactions in the component holding the most transactions.
+  std::size_t lcc_transactions = 0;
+  /// Connected components containing at least one transaction.
+  std::size_t num_components = 0;
+
+  /// Totals under the supplied per-transaction weights (gas).
+  double total_weight = 0.0;
+  double conflicted_weight = 0.0;
+  double lcc_weight = 0.0;
+
+  /// c — single-transaction conflict rate (0 for an empty block).
+  double single_rate() const;
+  /// l — group conflict rate (0 for an empty block).
+  double group_rate() const;
+  /// Gas-weighted c: fraction of block weight carried by conflicted txs.
+  double weighted_single_rate() const;
+  /// Gas-weighted l: fraction of block weight in the transaction-LCC.
+  double weighted_group_rate() const;
+};
+
+/// UTXO model: every node of the component set IS a transaction
+/// (coinbase must already be excluded by the TDG builder).
+///
+/// @param weights  optional per-transaction weight, indexed by NodeId;
+///                 empty means unit weights.
+ConflictStats utxo_conflict_stats(const ComponentSet& components,
+                                  std::span<const double> weights = {});
+
+/// One account-model transaction projected onto the address TDG.
+struct AccountTxRef {
+  NodeId sender = 0;
+  NodeId receiver = 0;
+  double weight = 1.0;  ///< Gas cost of the transaction.
+};
+
+/// Account model: components partition *addresses*; transactions are then
+/// mapped back onto components ("one more step where the connected
+/// components for the addresses are mapped to the transactions").
+/// Internal transactions contribute edges to the TDG but are not listed
+/// here — only the block's regular transactions are counted.
+ConflictStats account_conflict_stats(const ComponentSet& address_components,
+                                     std::span<const AccountTxRef> transactions);
+
+}  // namespace txconc::core

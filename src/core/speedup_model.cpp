@@ -1,0 +1,80 @@
+#include "core/speedup_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace txconc::core {
+
+namespace {
+
+void check_args(std::size_t x, double c, unsigned n) {
+  if (n == 0) throw UsageError("speed-up model: n must be positive");
+  if (c < 0.0 || c > 1.0) throw UsageError("speed-up model: c not in [0,1]");
+  (void)x;
+}
+
+}  // namespace
+
+double SpeculativeModel::execution_time(std::size_t x, double c, unsigned n) {
+  check_args(x, c, n);
+  return static_cast<double>(x / n) + 1.0 + c * static_cast<double>(x);
+}
+
+double SpeculativeModel::speedup(std::size_t x, double c, unsigned n) {
+  if (x == 0) return 1.0;
+  return static_cast<double>(x) / execution_time(x, c, n);
+}
+
+double SpeculativeModel::execution_time_exact(std::size_t x, double c,
+                                              unsigned n) {
+  check_args(x, c, n);
+  const std::size_t phase1 = (x + n - 1) / n;  // ceil(x/n)
+  return static_cast<double>(phase1) + c * static_cast<double>(x);
+}
+
+double SpeculativeModel::speedup_exact(std::size_t x, double c, unsigned n) {
+  if (x == 0) return 1.0;
+  return static_cast<double>(x) / execution_time_exact(x, c, n);
+}
+
+double SpeculativeModel::oracle_execution_time(std::size_t x, double c,
+                                               unsigned n, double k_preprocess) {
+  check_args(x, c, n);
+  if (k_preprocess < 0.0) throw UsageError("speed-up model: K must be >= 0");
+  const auto unconflicted =
+      static_cast<std::size_t>((1.0 - c) * static_cast<double>(x));
+  return k_preprocess + static_cast<double>(unconflicted / n) + 1.0 +
+         c * static_cast<double>(x);
+}
+
+double SpeculativeModel::oracle_speedup(std::size_t x, double c, unsigned n,
+                                        double k_preprocess) {
+  if (x == 0) return 1.0;
+  return static_cast<double>(x) /
+         oracle_execution_time(x, c, n, k_preprocess);
+}
+
+double GroupModel::speedup_bound(unsigned n, double group_conflict_rate) {
+  if (n == 0) throw UsageError("speed-up model: n must be positive");
+  if (group_conflict_rate < 0.0 || group_conflict_rate > 1.0) {
+    throw UsageError("speed-up model: l not in [0,1]");
+  }
+  if (group_conflict_rate <= 0.0) return static_cast<double>(n);
+  return std::min(static_cast<double>(n), 1.0 / group_conflict_rate);
+}
+
+double GroupModel::speedup_with_overhead(std::size_t x,
+                                         double group_conflict_rate,
+                                         unsigned n, double k_preprocess) {
+  if (n == 0) throw UsageError("speed-up model: n must be positive");
+  if (k_preprocess < 0.0) throw UsageError("speed-up model: K must be >= 0");
+  if (x == 0) return 1.0;
+  const double xd = static_cast<double>(x);
+  const double balanced = xd / (xd / static_cast<double>(n) + k_preprocess);
+  const double lcc_bound =
+      xd / (xd * std::max(group_conflict_rate, 1.0 / xd) + k_preprocess);
+  return std::min(balanced, lcc_bound);
+}
+
+}  // namespace txconc::core

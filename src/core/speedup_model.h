@@ -1,0 +1,50 @@
+// The analytical execution speed-up model of Section V.
+//
+// Every transaction is assumed to take one time unit; x is the number of
+// transactions, n the number of cores, c the single-transaction conflict
+// rate, l the group conflict rate, and K a preprocessing cost in time units.
+#pragma once
+
+#include <cstddef>
+
+namespace txconc::core {
+
+/// Section V-A — the fully speculative two-phase technique of Saraph &
+/// Herlihy: phase 1 runs everything concurrently, phase 2 re-runs the
+/// conflicted transactions sequentially.
+struct SpeculativeModel {
+  /// T' = floor(x/n) + 1 + c*x   — the paper's equation for the execution
+  /// time under speculation (conflicted transactions are executed twice).
+  static double execution_time(std::size_t x, double c, unsigned n);
+
+  /// R = x / T'  — equation (1).
+  static double speedup(std::size_t x, double c, unsigned n);
+
+  /// Exact phase-1 duration ceil(x/n) instead of the floor(x/n)+1
+  /// approximation; this is what the paper's worked examples (Section V-A,
+  /// the Figure 1 blocks) use. Identical unless n divides x.
+  static double execution_time_exact(std::size_t x, double c, unsigned n);
+  static double speedup_exact(std::size_t x, double c, unsigned n);
+
+  /// Perfect prior knowledge of the conflict set, obtained by preprocessing
+  /// that costs K time units:  T' = K + floor((1-c)x/n) + 1 + c*x.
+  static double oracle_execution_time(std::size_t x, double c, unsigned n,
+                                      double k_preprocess);
+  static double oracle_speedup(std::size_t x, double c, unsigned n,
+                               double k_preprocess);
+};
+
+/// Section V-B — group concurrency: connected components are scheduled onto
+/// cores; within a component execution is sequential.
+struct GroupModel {
+  /// Upper bound R = min(n, 1/l) — equation (2). For l == 0 (empty block)
+  /// the bound degenerates to n.
+  static double speedup_bound(unsigned n, double group_conflict_rate);
+
+  /// With a preprocessing cost K (building the TDG and the schedule):
+  /// R = min( x/(x/n + K), x/(x*l + K) ).
+  static double speedup_with_overhead(std::size_t x, double group_conflict_rate,
+                                      unsigned n, double k_preprocess);
+};
+
+}  // namespace txconc::core

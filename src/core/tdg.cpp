@@ -1,0 +1,32 @@
+#include "core/tdg.h"
+
+namespace txconc::core {
+
+NodeId Tdg::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Tdg::ensure_nodes(std::size_t n) {
+  if (adjacency_.size() < n) adjacency_.resize(n);
+}
+
+void Tdg::add_edge(NodeId from, NodeId to) {
+  if (from >= adjacency_.size() || to >= adjacency_.size()) {
+    throw UsageError("Tdg::add_edge: node id out of range");
+  }
+  edges_.push_back({from, to});
+  if (from != to) {
+    adjacency_[from].push_back(to);
+    adjacency_[to].push_back(from);
+  }
+}
+
+const std::vector<NodeId>& Tdg::neighbors(NodeId node) const {
+  if (node >= adjacency_.size()) {
+    throw UsageError("Tdg::neighbors: node id out of range");
+  }
+  return adjacency_[node];
+}
+
+}  // namespace txconc::core

@@ -1,0 +1,108 @@
+// Transaction Dependency Graph (TDG), Section III-A of the paper.
+//
+// A block is modelled as a graph (N, E). In the UTXO model nodes are
+// transactions and an edge a -> b means a TXO created by a is spent by b.
+// In the account model nodes are addresses and an edge a -> b exists for
+// every (possibly internal) transaction with sender a and receiver b.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace txconc::core {
+
+/// Dense node identifier inside one TDG.
+using NodeId = std::uint32_t;
+
+/// A directed dependency edge.
+struct TdgEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+
+  bool operator==(const TdgEdge&) const = default;
+};
+
+/// The dependency graph of a single block.
+///
+/// Stores the directed edge list (for display and scheduling) and an
+/// undirected adjacency list (what connectivity is defined over: "any two
+/// edges in TDG that share an endpoint are said to be connected").
+class Tdg {
+ public:
+  Tdg() = default;
+  explicit Tdg(std::size_t num_nodes) { ensure_nodes(num_nodes); }
+
+  /// Append one node; returns its id.
+  NodeId add_node();
+
+  /// Grow the node set to at least n nodes.
+  void ensure_nodes(std::size_t n);
+
+  /// Add a directed edge (both endpoints must exist).
+  /// Self-loops are stored but do not affect connectivity.
+  void add_edge(NodeId from, NodeId to);
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Undirected neighbourhood of a node (the paper's nbMap). May contain
+  /// duplicates when parallel edges exist; component algorithms are
+  /// insensitive to this.
+  const std::vector<NodeId>& neighbors(NodeId node) const;
+
+  const std::vector<TdgEdge>& edges() const { return edges_; }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<TdgEdge> edges_;
+};
+
+/// A TDG whose nodes are identified by an external key (transaction hash in
+/// the UTXO model, address in the account model). Keys are interned to dense
+/// NodeIds on first use.
+template <typename Key>
+class KeyedTdg {
+ public:
+  /// Intern a key, creating a node if unseen.
+  NodeId node(const Key& key) {
+    const auto [it, inserted] = ids_.try_emplace(key, 0);
+    if (inserted) {
+      it->second = graph_.add_node();
+      keys_.push_back(key);
+    }
+    return it->second;
+  }
+
+  /// Look up an existing key; returns num_nodes() if absent.
+  NodeId find(const Key& key) const {
+    const auto it = ids_.find(key);
+    return it == ids_.end() ? static_cast<NodeId>(graph_.num_nodes())
+                            : it->second;
+  }
+
+  bool contains(const Key& key) const { return ids_.contains(key); }
+
+  void add_edge(const Key& from, const Key& to) {
+    const NodeId a = node(from);
+    const NodeId b = node(to);
+    graph_.add_edge(a, b);
+  }
+
+  const Key& key_of(NodeId id) const {
+    if (id >= keys_.size()) throw UsageError("KeyedTdg::key_of: bad id");
+    return keys_[id];
+  }
+
+  const Tdg& graph() const { return graph_; }
+  std::size_t num_nodes() const { return graph_.num_nodes(); }
+
+ private:
+  Tdg graph_;
+  std::unordered_map<Key, NodeId> ids_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace txconc::core

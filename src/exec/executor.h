@@ -1,0 +1,93 @@
+// Block executor interface: the execution engine the paper's conclusion
+// names as future work ("we have not designed and implemented an execution
+// engine that can exploit the available concurrency").
+//
+// Every executor consumes the same block (ordered transaction list) and
+// must produce a final state identical to sequential execution — the
+// equivalence tests in tests/exec_test.cpp enforce this.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "account/runtime.h"
+#include "account/state.h"
+#include "account/types.h"
+
+namespace txconc::exec {
+
+/// What one block execution did and cost.
+struct ExecutionReport {
+  std::string executor;
+  std::size_t num_txs = 0;
+  /// Transactions that had to be (re-)executed sequentially.
+  std::size_t sequential_txs = 0;
+  /// Total transaction executions, including speculative re-runs.
+  std::size_t executions = 0;
+  /// Wall-clock seconds actually spent.
+  double wall_seconds = 0.0;
+  /// Time in the paper's unit-cost model (1 unit per execution slot).
+  double simulated_units = 0.0;
+  /// x / simulated_units; the quantity Figure 10 predicts.
+  double simulated_speedup = 1.0;
+  /// Receipts in block order (identical across executors by contract).
+  std::vector<account::Receipt> receipts;
+};
+
+/// Abstract block executor over the account model.
+class BlockExecutor {
+ public:
+  virtual ~BlockExecutor() = default;
+
+  /// Execute all transactions against the state (mutating it) and report.
+  virtual ExecutionReport execute_block(
+      account::StateDb& state,
+      std::span<const account::AccountTx> transactions,
+      const account::RuntimeConfig& config) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Baseline: one transaction at a time, in block order — what "existing
+/// client software applications" do (paper Section II-A).
+std::unique_ptr<BlockExecutor> make_sequential_executor();
+
+/// How the speculative executor treats conflicting transactions.
+enum class AbortPolicy {
+  /// Every member of a conflicting set is re-executed sequentially —
+  /// the model of Section V-A / Saraph & Herlihy.
+  kAllConflicted,
+  /// First writer wins: the earliest transaction of each conflict commits
+  /// from the speculative phase; only later ones re-run (ablation).
+  kFirstWriterWins,
+};
+
+/// Two-phase speculative executor: phase 1 runs every transaction
+/// concurrently on copy-on-write overlays, conflicts are detected from the
+/// recorded read/write sets, and the conflicted "bin" re-runs sequentially.
+std::unique_ptr<BlockExecutor> make_speculative_executor(
+    unsigned num_threads, AbortPolicy policy = AbortPolicy::kAllConflicted);
+
+/// Perfect-information speculative executor: conflicts are computed first
+/// (the oracle preprocessing of Section V-A), so conflicted transactions
+/// are executed exactly once, sequentially, and never re-run.
+std::unique_ptr<BlockExecutor> make_oracle_executor(unsigned num_threads);
+
+/// Group-concurrency executor (Section V-B): builds the a-priori address
+/// TDG (senders, receivers, dynamic address arguments, and statically
+/// reachable contract call targets), partitions transactions into
+/// connected components, and schedules the components onto worker threads
+/// with LPT. Sequential inside a component, parallel across components.
+std::unique_ptr<BlockExecutor> make_group_executor(unsigned num_threads,
+                                                   bool use_lpt = true);
+
+/// Optimistic concurrency control executor (Block-STM / Dickerson et al.
+/// style, the related work the paper cites as orthogonal): waves of
+/// parallel speculation with in-order validation; aborted transactions
+/// retry in the next wave instead of a sequential bin.
+std::unique_ptr<BlockExecutor> make_occ_executor(unsigned num_threads,
+                                                 unsigned max_waves = 64);
+
+}  // namespace txconc::exec

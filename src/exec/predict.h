@@ -1,0 +1,37 @@
+// A-priori conflict prediction for account blocks.
+//
+// Builds the approximate TDG the paper describes in Section V-C ("an
+// approximate TDG can be constructed by only using information about the
+// regular transactions") — extended with two pieces of information that
+// ARE available before execution: the transaction's dynamic address
+// arguments, and the call targets statically reachable through contract
+// address tables. For the contract library shipped in src/account this
+// prediction is sound: every address an execution can touch is covered.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "account/state.h"
+#include "account/types.h"
+#include "core/components.h"
+
+namespace txconc::exec {
+
+/// Per-transaction predicted conflict groups.
+struct PredictedGroups {
+  /// Component id for each transaction (indexed by block position).
+  std::vector<core::ComponentId> component_of_tx;
+  /// Number of transactions per component.
+  std::vector<std::size_t> component_sizes;
+
+  std::size_t num_components() const { return component_sizes.size(); }
+};
+
+/// Predict which transactions may touch overlapping state, at address
+/// granularity, without executing anything.
+PredictedGroups predict_groups(
+    std::span<const account::AccountTx> transactions,
+    const account::State& state);
+
+}  // namespace txconc::exec

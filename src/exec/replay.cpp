@@ -1,0 +1,50 @@
+#include "exec/replay.h"
+
+#include "common/error.h"
+
+namespace txconc::exec {
+
+HistoryReplayer::HistoryReplayer(workload::ChainProfile profile,
+                                 std::uint64_t seed,
+                                 std::uint64_t skip_blocks)
+    : generator_(profile, seed) {
+  limit_ = generator_.num_blocks();
+  for (std::uint64_t h = 0; h < skip_blocks && h < limit_; ++h) {
+    generator_.next_block();
+    ++replayed_;
+  }
+  state_ = generator_.state();
+  config_.charge_fees = false;  // the generator funds out-of-band
+}
+
+std::uint64_t HistoryReplayer::remaining() const { return limit_ - replayed_; }
+
+void HistoryReplayer::apply_out_of_band(
+    std::span<const account::AccountTx> txs) {
+  for (const account::AccountTx& tx : txs) {
+    if (state_.balance(tx.from) < 1'000'000'000'000ULL) {
+      state_.set_balance(tx.from, 1'000'000'000'000'000ULL);
+    }
+    // Token-transfer senders are seeded with token balance on demand.
+    if (tx.to.has_value() && state_.code(*tx.to) != nullptr &&
+        !tx.args.empty() && tx.args[0] == 1 && !tx.address_args.empty()) {
+      const account::StorageKey key = tx.from.low64();
+      if (state_.storage(*tx.to, key) < 1'000'000) {
+        state_.set_storage(*tx.to, key, 1'000'000'000'000'000ULL);
+      }
+    }
+  }
+  state_.flush_journal();
+}
+
+ExecutionReport HistoryReplayer::replay_next(BlockExecutor& executor) {
+  if (remaining() == 0) {
+    throw UsageError("HistoryReplayer: history exhausted");
+  }
+  const workload::GeneratedBlock block = generator_.next_block();
+  ++replayed_;
+  apply_out_of_band(block.account_txs);
+  return executor.execute_block(state_, block.account_txs, config_);
+}
+
+}  // namespace txconc::exec

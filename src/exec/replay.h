@@ -1,0 +1,48 @@
+// History replay: re-execute a generated account history against any
+// BlockExecutor, reproducing the generator's out-of-band top-ups so the
+// same transactions stay valid. Shared by the model-validation and
+// engine-figure benches and the executor equivalence tests.
+#pragma once
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "workload/account_workload.h"
+
+namespace txconc::exec {
+
+/// Replays an account-model history block-by-block through an executor.
+///
+/// The replayer clones the generator's genesis (contracts + state) by
+/// re-running a twin generator with the same seed, then feeds each block's
+/// transactions to the executor after applying the generator's out-of-band
+/// funding rules (balance top-ups, token seeding). Fees are disabled: the
+/// generator manages balances outside the fee flow.
+class HistoryReplayer {
+ public:
+  /// @param skip_blocks  fast-forward this many blocks before replay
+  ///                     starts (their effects come from the twin
+  ///                     generator, not the executor under test).
+  HistoryReplayer(workload::ChainProfile profile, std::uint64_t seed,
+                  std::uint64_t skip_blocks = 0);
+
+  /// Execute the next block through the executor; returns its report.
+  ExecutionReport replay_next(BlockExecutor& executor);
+
+  /// Blocks remaining in the history.
+  std::uint64_t remaining() const;
+
+  const account::StateDb& state() const { return state_; }
+  const account::RuntimeConfig& config() const { return config_; }
+
+ private:
+  void apply_out_of_band(std::span<const account::AccountTx> txs);
+
+  workload::AccountWorkloadGenerator generator_;
+  account::StateDb state_;
+  account::RuntimeConfig config_;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t limit_ = 0;
+};
+
+}  // namespace txconc::exec

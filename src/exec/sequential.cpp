@@ -1,0 +1,45 @@
+#include <chrono>
+
+#include "exec/executor.h"
+
+namespace txconc::exec {
+
+namespace {
+
+class SequentialExecutor final : public BlockExecutor {
+ public:
+  ExecutionReport execute_block(
+      account::StateDb& state,
+      std::span<const account::AccountTx> transactions,
+      const account::RuntimeConfig& config) override {
+    const auto start = std::chrono::steady_clock::now();
+
+    ExecutionReport report;
+    report.executor = name();
+    report.num_txs = transactions.size();
+    report.receipts.reserve(transactions.size());
+    for (const account::AccountTx& tx : transactions) {
+      report.receipts.push_back(account::apply_transaction(state, tx, config));
+    }
+    state.flush_journal();
+
+    report.sequential_txs = transactions.size();
+    report.executions = transactions.size();
+    report.simulated_units = static_cast<double>(transactions.size());
+    report.simulated_speedup = 1.0;
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return report;
+  }
+
+  std::string name() const override { return "sequential"; }
+};
+
+}  // namespace
+
+std::unique_ptr<BlockExecutor> make_sequential_executor() {
+  return std::make_unique<SequentialExecutor>();
+}
+
+}  // namespace txconc::exec

@@ -1,0 +1,45 @@
+// A fixed-size thread pool with a blocking task queue.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace txconc::exec {
+
+/// Fixed worker pool. Tasks are std::function<void()>; submit() returns a
+/// future for completion/exception propagation. Destruction drains the
+/// queue then joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves when it finishes (or rethrows).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, count) across the pool and wait for all.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace txconc::exec

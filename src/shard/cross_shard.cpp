@@ -1,0 +1,105 @@
+#include "shard/cross_shard.h"
+
+#include "chain/block.h"
+#include "common/error.h"
+
+namespace txconc::shard {
+
+CrossShardCoordinator::CrossShardCoordinator(std::uint64_t seed,
+                                             ShardConfig config)
+    : config_(config) {
+  if (config_.num_shards == 0) {
+    throw UsageError("CrossShardCoordinator: need at least one shard");
+  }
+  states_.resize(config_.num_shards);
+  committees_.reserve(config_.num_shards);
+  for (unsigned s = 0; s < config_.num_shards; ++s) {
+    committees_.emplace_back(seed + s, config_.pbft);
+  }
+}
+
+const account::StateDb& CrossShardCoordinator::shard_state(
+    unsigned shard) const {
+  if (shard >= states_.size()) throw UsageError("unknown shard");
+  return states_[shard];
+}
+
+account::StateDb& CrossShardCoordinator::shard_state(unsigned shard) {
+  if (shard >= states_.size()) throw UsageError("unknown shard");
+  return states_[shard];
+}
+
+std::uint64_t CrossShardCoordinator::total_supply() const {
+  std::uint64_t sum = escrow_total_;
+  for (const auto& state : states_) sum += state.total_supply();
+  return sum;
+}
+
+CrossShardOutcome CrossShardCoordinator::transfer(
+    const account::AccountTx& tx, bool force_dest_reject) {
+  CrossShardOutcome outcome;
+  if (!tx.to.has_value()) {
+    outcome.reason = "creations are not routed cross-shard";
+    return outcome;
+  }
+  const unsigned source = shard_of(tx.from, config_.num_shards);
+  const unsigned dest = shard_of(*tx.to, config_.num_shards);
+
+  outcome.proof.tx_hash = chain::tx_hash(tx);
+  outcome.proof.source_shard = source;
+  outcome.proof.dest_shard = dest;
+  outcome.proof.value = tx.value;
+
+  // Same-shard: one committee round, direct application.
+  if (source == dest) {
+    const PbftOutcome round = committees_[source].run_round();
+    outcome.latency_seconds = round.latency_seconds;
+    account::StateDb& state = states_[source];
+    if (state.balance(tx.from) < tx.value) {
+      outcome.reason = "insufficient funds";
+      return outcome;
+    }
+    state.transfer(tx.from, *tx.to, tx.value);
+    state.flush_journal();
+    outcome.proof.accepted = true;
+    outcome.committed = true;
+    return outcome;
+  }
+
+  // Phase 1 — the source committee validates and locks the funds.
+  const PbftOutcome lock_round = committees_[source].run_round();
+  outcome.latency_seconds += lock_round.latency_seconds;
+  account::StateDb& source_state = states_[source];
+  if (source_state.balance(tx.from) < tx.value) {
+    // Proof-of-rejection: nothing was locked, the client learns why.
+    outcome.proof.accepted = false;
+    outcome.reason = "insufficient funds at source shard";
+    return outcome;
+  }
+  source_state.debit(tx.from, tx.value);
+  source_state.flush_journal();
+  escrow_total_ += tx.value;
+  outcome.proof.accepted = true;
+
+  // Phase 2 — the destination committee verifies the proof and credits.
+  const PbftOutcome redeem_round = committees_[dest].run_round();
+  outcome.latency_seconds += redeem_round.latency_seconds;
+  if (force_dest_reject) {
+    // Abort path: the client presents the rejection back to the source
+    // committee, which unlocks the escrowed funds (one more round).
+    const PbftOutcome unlock_round = committees_[source].run_round();
+    outcome.latency_seconds += unlock_round.latency_seconds;
+    source_state.credit(tx.from, tx.value);
+    source_state.flush_journal();
+    escrow_total_ -= tx.value;
+    outcome.reason = "destination rejected; funds unlocked";
+    return outcome;
+  }
+  states_[dest].credit(*tx.to, tx.value);
+  states_[dest].flush_journal();
+  escrow_total_ -= tx.value;
+  outcome.committed = true;
+  return outcome;
+}
+
+}  // namespace txconc::shard

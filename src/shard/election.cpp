@@ -1,0 +1,92 @@
+#include "shard/election.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace txconc::shard {
+
+CommitteeElection::CommitteeElection(std::uint64_t seed, ElectionConfig config)
+    : rng_(seed), config_(config) {
+  if (config_.num_shards == 0 || config_.committee_size == 0) {
+    throw UsageError("election: shards and committee size must be positive");
+  }
+}
+
+ElectionResult CommitteeElection::run_epoch(
+    std::span<const double> node_power, std::span<const std::uint8_t> adversarial) {
+  if (node_power.empty() || node_power.size() != adversarial.size()) {
+    throw UsageError("election: power/adversarial size mismatch");
+  }
+  const WeightedSampler by_power(
+      std::vector<double>(node_power.begin(), node_power.end()));
+
+  ElectionResult result;
+  result.committees.resize(config_.num_shards);
+  std::vector<std::size_t> adversarial_seats(config_.num_shards, 0);
+
+  const std::size_t total_seats =
+      static_cast<std::size_t>(config_.num_shards) * config_.committee_size;
+  for (std::size_t seat = 0; seat < total_seats; ++seat) {
+    const std::size_t winner = by_power.sample(rng_);
+    const unsigned committee =
+        static_cast<unsigned>(rng_.uniform(config_.num_shards));
+    // Committees fill round-robin once full (keeps sizes exact).
+    unsigned placed = committee;
+    for (unsigned i = 0; i < config_.num_shards; ++i) {
+      const unsigned candidate = (committee + i) % config_.num_shards;
+      if (result.committees[candidate].size() < config_.committee_size) {
+        placed = candidate;
+        break;
+      }
+    }
+    result.committees[placed].push_back(static_cast<std::uint32_t>(winner));
+    if (adversarial[winner]) ++adversarial_seats[placed];
+  }
+
+  result.adversary_fraction.resize(config_.num_shards);
+  for (unsigned s = 0; s < config_.num_shards; ++s) {
+    result.adversary_fraction[s] =
+        static_cast<double>(adversarial_seats[s]) /
+        static_cast<double>(config_.committee_size);
+    if (result.adversary_fraction[s] >= 1.0 / 3.0) ++result.compromised;
+  }
+  return result;
+}
+
+double committee_compromise_probability(unsigned committee_size,
+                                        double adversary_power,
+                                        double threshold) {
+  if (committee_size == 0) {
+    throw UsageError("election: committee size must be positive");
+  }
+  if (adversary_power < 0.0 || adversary_power > 1.0) {
+    throw UsageError("election: adversary power must be in [0, 1]");
+  }
+  if (adversary_power == 0.0) return threshold <= 0.0 ? 1.0 : 0.0;
+  if (adversary_power == 1.0) return 1.0;
+
+  const unsigned n = committee_size;
+  const auto k_min = static_cast<unsigned>(
+      std::ceil(threshold * static_cast<double>(n) - 1e-12));
+
+  // Sum the binomial tail in log space for numerical stability.
+  const double log_p = std::log(adversary_power);
+  const double log_q = std::log1p(-adversary_power);
+  double tail = 0.0;
+  double log_choose = 0.0;  // log C(n, 0)
+  for (unsigned k = 0; k <= n; ++k) {
+    if (k >= k_min) {
+      tail += std::exp(log_choose + static_cast<double>(k) * log_p +
+                       static_cast<double>(n - k) * log_q);
+    }
+    // C(n, k+1) = C(n, k) * (n-k) / (k+1)
+    if (k < n) {
+      log_choose += std::log(static_cast<double>(n - k)) -
+                    std::log(static_cast<double>(k + 1));
+    }
+  }
+  return std::min(tail, 1.0);
+}
+
+}  // namespace txconc::shard

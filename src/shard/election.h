@@ -1,0 +1,62 @@
+// PoW-based committee election, Zilliqa-style: "nodes run PoW to determine
+// their committees". Seats are won in proportion to hash power and
+// assigned to committees uniformly, so each committee's adversarial
+// fraction concentrates around the population fraction — the statistical
+// argument that makes sharded consensus safe only when committees are
+// large enough.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace txconc::shard {
+
+struct ElectionConfig {
+  unsigned num_shards = 4;
+  unsigned committee_size = 600;
+};
+
+/// Outcome of one election epoch.
+struct ElectionResult {
+  /// Winning node ids per committee.
+  std::vector<std::vector<std::uint32_t>> committees;
+  /// Fraction of adversarial members per committee.
+  std::vector<double> adversary_fraction;
+  /// Committees whose adversarial fraction reaches the BFT threshold
+  /// (>= 1/3): consensus safety is lost there.
+  unsigned compromised = 0;
+};
+
+/// Runs election epochs over a fixed node population.
+class CommitteeElection {
+ public:
+  CommitteeElection(std::uint64_t seed, ElectionConfig config);
+
+  /// One epoch: every seat is won by a PoW race (probability proportional
+  /// to hash power, with replacement — one physical node can win several
+  /// seats, as in real PoW identities) and placed in a random committee.
+  ///
+  /// @param node_power    relative hash power per node.
+  /// @param adversarial   flag per node.
+  ElectionResult run_epoch(std::span<const double> node_power,
+                           std::span<const std::uint8_t> adversarial);
+
+  const ElectionConfig& config() const { return config_; }
+
+ private:
+  Rng rng_;
+  ElectionConfig config_;
+};
+
+/// Exact binomial tail: probability that a committee of `committee_size`
+/// seats, each adversarial independently with probability
+/// `adversary_power`, contains at least `threshold` adversarial seats
+/// (default: the BFT third).
+double committee_compromise_probability(unsigned committee_size,
+                                        double adversary_power,
+                                        double threshold = 1.0 / 3.0);
+
+}  // namespace txconc::shard

@@ -1,0 +1,43 @@
+#include "shard/pbft.h"
+
+#include "common/error.h"
+
+namespace txconc::shard {
+
+std::uint64_t pbft_message_count(unsigned committee_size) {
+  if (committee_size < 1) throw UsageError("pbft: empty committee");
+  const std::uint64_t n = committee_size;
+  return (n - 1) + 2 * n * (n - 1);
+}
+
+double pbft_round_latency(const PbftConfig& config) {
+  return 3.0 * config.message_latency;
+}
+
+PbftSimulator::PbftSimulator(std::uint64_t seed, PbftConfig config)
+    : rng_(seed), config_(config) {
+  if (config_.committee_size < 4) {
+    throw UsageError("pbft: committee must have >= 4 nodes (3f+1, f >= 1)");
+  }
+  if (config_.faulty_leader_probability < 0.0 ||
+      config_.faulty_leader_probability >= 1.0) {
+    throw UsageError("pbft: faulty leader probability must be in [0, 1)");
+  }
+}
+
+PbftOutcome PbftSimulator::run_round() {
+  PbftOutcome outcome;
+  // View changes until an honest leader drives the round through.
+  while (rng_.bernoulli(config_.faulty_leader_probability)) {
+    ++outcome.view_changes;
+    outcome.latency_seconds += config_.view_change_timeout;
+    // A view change is itself an all-to-all broadcast.
+    outcome.messages += static_cast<std::uint64_t>(config_.committee_size) *
+                        (config_.committee_size - 1);
+  }
+  outcome.latency_seconds += pbft_round_latency(config_);
+  outcome.messages += pbft_message_count(config_.committee_size);
+  return outcome;
+}
+
+}  // namespace txconc::shard

@@ -1,0 +1,53 @@
+// PBFT cost model used inside Zilliqa committees.
+//
+// "nodes run PoW to determine their committees, and a variant of PBFT to
+// ensure security at local committees" — paper, Section II-B. We model the
+// protocol's message complexity and latency rather than running real
+// network rounds: three all-to-all-ish phases, plus view changes when the
+// leader is faulty.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace txconc::shard {
+
+/// Parameters of one PBFT instance.
+struct PbftConfig {
+  unsigned committee_size = 600;
+  double message_latency = 0.1;      ///< One-way delay in seconds.
+  double view_change_timeout = 2.0;  ///< Seconds wasted per faulty leader.
+  double faulty_leader_probability = 0.0;
+};
+
+/// Result of one consensus round.
+struct PbftOutcome {
+  double latency_seconds = 0.0;
+  std::uint64_t messages = 0;
+  unsigned view_changes = 0;
+};
+
+/// Number of protocol messages in one fault-free round:
+/// pre-prepare (n-1) + prepare (n*(n-1)) + commit (n*(n-1)).
+std::uint64_t pbft_message_count(unsigned committee_size);
+
+/// Latency of one fault-free round: three phases of one message delay each.
+double pbft_round_latency(const PbftConfig& config);
+
+/// Simulates consecutive PBFT rounds, sampling leader failures.
+class PbftSimulator {
+ public:
+  PbftSimulator(std::uint64_t seed, PbftConfig config);
+
+  /// Run one round to completion (retrying through view changes).
+  PbftOutcome run_round();
+
+  const PbftConfig& config() const { return config_; }
+
+ private:
+  Rng rng_;
+  PbftConfig config_;
+};
+
+}  // namespace txconc::shard

@@ -1,0 +1,203 @@
+#include "utxo/script.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "common/sha256.h"
+
+namespace txconc::utxo {
+
+ScriptBuilder& ScriptBuilder::op(Op opcode) {
+  code_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::push(std::span<const std::uint8_t> data) {
+  if (data.size() > 255) {
+    throw UsageError("ScriptBuilder::push: datum too large");
+  }
+  code_.push_back(static_cast<std::uint8_t>(Op::kPush));
+  code_.push_back(static_cast<std::uint8_t>(data.size()));
+  code_.insert(code_.end(), data.begin(), data.end());
+  return *this;
+}
+
+ScriptBuilder& ScriptBuilder::push_int(std::uint64_t v) {
+  std::array<std::uint8_t, 8> raw;
+  for (std::size_t i = 0; i < 8; ++i) {
+    raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return push(raw);
+}
+
+Bytes make_signature(std::span<const std::uint8_t> pubkey,
+                     const Hash256& txid) {
+  ByteWriter w;
+  w.raw(pubkey);
+  w.raw(txid.bytes);
+  const auto digest = Sha256::hash(w.data());
+  return Bytes(digest.begin(), digest.end());
+}
+
+Script p2pkh_lock(const Hash256& pubkey_hash) {
+  ScriptBuilder b;
+  b.op(Op::kDup).op(Op::kHash256).push(pubkey_hash.bytes).op(Op::kEqualVerify)
+      .op(Op::kCheckSig);
+  return b.build();
+}
+
+Script p2pkh_unlock(std::span<const std::uint8_t> pubkey, const Hash256& txid) {
+  ScriptBuilder b;
+  b.push(make_signature(pubkey, txid)).push(pubkey);
+  return b.build();
+}
+
+namespace {
+
+using Stack = std::vector<Bytes>;
+
+bool truthy(const Bytes& v) {
+  for (std::uint8_t b : v) {
+    if (b != 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t to_int(const Bytes& v) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < v.size() && i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(v[i]) << (8 * i);
+  }
+  return out;
+}
+
+Bytes from_int(std::uint64_t v) {
+  Bytes out(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return out;
+}
+
+// Executes one script over the shared stack. Returns empty optional on
+// success, otherwise a failure reason.
+std::optional<std::string> run_one(const Script& script, const Hash256& txid,
+                                   Stack& stack, std::size_t& ops) {
+  constexpr std::size_t kMaxOps = 1000;
+  std::size_t pc = 0;
+  const Bytes& code = script.code;
+
+  auto pop = [&]() -> Bytes {
+    if (stack.empty()) throw VmError("stack underflow");
+    Bytes v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  try {
+    while (pc < code.size()) {
+      if (++ops > kMaxOps) return "script too long";
+      const Op op = static_cast<Op>(code[pc++]);
+      switch (op) {
+        case Op::kFalse:
+          stack.push_back({});
+          break;
+        case Op::kTrue:
+          stack.push_back({1});
+          break;
+        case Op::kPush: {
+          if (pc >= code.size()) return "truncated push";
+          const std::size_t len = code[pc++];
+          if (pc + len > code.size()) return "truncated push data";
+          stack.emplace_back(code.begin() + static_cast<std::ptrdiff_t>(pc),
+                             code.begin() + static_cast<std::ptrdiff_t>(pc + len));
+          pc += len;
+          break;
+        }
+        case Op::kDup: {
+          if (stack.empty()) return "dup on empty stack";
+          stack.push_back(stack.back());
+          break;
+        }
+        case Op::kDrop:
+          pop();
+          break;
+        case Op::kSwap: {
+          if (stack.size() < 2) return "swap needs two items";
+          std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+          break;
+        }
+        case Op::kEqual: {
+          const Bytes a = pop();
+          const Bytes b = pop();
+          stack.push_back(a == b ? Bytes{1} : Bytes{});
+          break;
+        }
+        case Op::kEqualVerify: {
+          const Bytes a = pop();
+          const Bytes b = pop();
+          if (a != b) return "equalverify failed";
+          break;
+        }
+        case Op::kVerify: {
+          if (!truthy(pop())) return "verify failed";
+          break;
+        }
+        case Op::kAdd: {
+          const std::uint64_t a = to_int(pop());
+          const std::uint64_t b = to_int(pop());
+          stack.push_back(from_int(a + b));
+          break;
+        }
+        case Op::kSub: {
+          const std::uint64_t a = to_int(pop());
+          const std::uint64_t b = to_int(pop());
+          stack.push_back(from_int(b - a));
+          break;
+        }
+        case Op::kHash256: {
+          const Bytes v = pop();
+          const auto digest = Sha256::hash(v);
+          stack.emplace_back(digest.begin(), digest.end());
+          break;
+        }
+        case Op::kCheckSig: {
+          const Bytes pubkey = pop();
+          const Bytes sig = pop();
+          stack.push_back(sig == make_signature(pubkey, txid) ? Bytes{1}
+                                                              : Bytes{});
+          break;
+        }
+        default:
+          return "unknown opcode " + std::to_string(code[pc - 1]);
+      }
+    }
+  } catch (const VmError& e) {
+    return std::string(e.what());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ScriptResult run_scripts(const Script& unlock, const Script& lock,
+                         const Hash256& txid) {
+  ScriptResult result;
+  Stack stack;
+  if (auto fail = run_one(unlock, txid, stack, result.ops_executed)) {
+    result.failure_reason = "unlock: " + *fail;
+    return result;
+  }
+  if (auto fail = run_one(lock, txid, stack, result.ops_executed)) {
+    result.failure_reason = "lock: " + *fail;
+    return result;
+  }
+  if (stack.empty() || !truthy(stack.back())) {
+    result.failure_reason = "final stack not truthy";
+    return result;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace txconc::utxo

@@ -1,0 +1,86 @@
+// A Bitcoin-like transaction scripting language (deliberately small).
+//
+// Bitcoin "does not support smart contracts, but there is a simple scripting
+// language for transactions" (paper, Section II-B). This module implements a
+// stack machine sufficient for pay-to-pubkey-hash locking plus the simple
+// arithmetic scripts used by higher-level protocols, so that UTXO-model
+// transaction validation exercises a realistic execution cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace txconc::utxo {
+
+/// Script opcodes. Single byte each; OP_PUSH is followed by a u8 length and
+/// that many data bytes.
+enum class Op : std::uint8_t {
+  kFalse = 0x00,
+  kTrue = 0x01,
+  kPush = 0x02,
+  kDup = 0x10,
+  kDrop = 0x11,
+  kSwap = 0x12,
+  kEqual = 0x20,
+  kEqualVerify = 0x21,
+  kVerify = 0x22,
+  kAdd = 0x30,
+  kSub = 0x31,
+  kHash256 = 0x40,
+  kCheckSig = 0x50,
+};
+
+/// A compiled script (bytecode).
+struct Script {
+  Bytes code;
+
+  bool empty() const { return code.empty(); }
+  bool operator==(const Script&) const = default;
+};
+
+/// Builder for scripts.
+class ScriptBuilder {
+ public:
+  ScriptBuilder& op(Op opcode);
+  /// Push up to 255 bytes of data.
+  ScriptBuilder& push(std::span<const std::uint8_t> data);
+  /// Push a 64-bit integer (8-byte little-endian datum).
+  ScriptBuilder& push_int(std::uint64_t v);
+
+  Script build() { return Script{std::move(code_)}; }
+
+ private:
+  Bytes code_;
+};
+
+/// "Signatures" in the simulation: sig = SHA-256(pubkey || txid). This keeps
+/// validation deterministic and cheap while preserving the shape of real
+/// P2PKH verification (per-input hashing work).
+Bytes make_signature(std::span<const std::uint8_t> pubkey, const Hash256& txid);
+
+/// Standard pay-to-pubkey-hash locking script:
+///   DUP HASH256 <pubkey-hash> EQUALVERIFY CHECKSIG
+Script p2pkh_lock(const Hash256& pubkey_hash);
+
+/// Matching unlocking script: <sig> <pubkey>.
+Script p2pkh_unlock(std::span<const std::uint8_t> pubkey, const Hash256& txid);
+
+/// Outcome of a script run.
+struct ScriptResult {
+  bool success = false;
+  std::size_t ops_executed = 0;  ///< Execution cost proxy.
+  std::string failure_reason;    ///< Empty on success.
+};
+
+/// Execute unlock then lock script on one stack (Bitcoin semantics);
+/// succeeds when the final stack is non-empty with a truthy top.
+///
+/// @param txid  the id of the *spending* transaction, bound into signatures.
+ScriptResult run_scripts(const Script& unlock, const Script& lock,
+                         const Hash256& txid);
+
+}  // namespace txconc::utxo

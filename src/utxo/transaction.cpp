@@ -1,0 +1,101 @@
+#include "utxo/transaction.h"
+
+#include "common/error.h"
+#include "common/sha256.h"
+
+namespace txconc::utxo {
+
+Transaction::Transaction(std::vector<TxInput> inputs,
+                         std::vector<TxOutput> outputs)
+    : inputs_(std::move(inputs)), outputs_(std::move(outputs)) {
+  if (inputs_.empty()) {
+    throw UsageError(
+        "Transaction: regular transactions need inputs; use coinbase()");
+  }
+  if (outputs_.empty()) {
+    throw UsageError("Transaction: at least one output required");
+  }
+}
+
+Transaction Transaction::coinbase(std::uint64_t subsidy, const Script& lock,
+                                  std::uint64_t block_height) {
+  Transaction tx;
+  tx.outputs_.push_back({subsidy, lock});
+  tx.coinbase_tag_ = block_height;
+  return tx;
+}
+
+std::uint64_t Transaction::total_output() const {
+  std::uint64_t sum = 0;
+  for (const TxOutput& out : outputs_) sum += out.value;
+  return sum;
+}
+
+Bytes Transaction::serialize() const {
+  ByteWriter w;
+  w.u64(coinbase_tag_);
+  w.u32(static_cast<std::uint32_t>(inputs_.size()));
+  for (const TxInput& in : inputs_) {
+    w.raw(in.prevout.txid.bytes);
+    w.u32(in.prevout.index);
+    w.bytes(in.unlock.code);
+  }
+  w.u32(static_cast<std::uint32_t>(outputs_.size()));
+  for (const TxOutput& out : outputs_) {
+    w.u64(out.value);
+    w.bytes(out.lock.code);
+  }
+  return w.take();
+}
+
+Transaction Transaction::deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Transaction tx;
+  tx.coinbase_tag_ = r.u64();
+  const std::uint32_t num_inputs = r.u32();
+  tx.inputs_.reserve(num_inputs);
+  for (std::uint32_t i = 0; i < num_inputs; ++i) {
+    TxInput in;
+    in.prevout.txid = Hash256::from_bytes(r.raw(32));
+    in.prevout.index = r.u32();
+    in.unlock.code = r.bytes();
+    tx.inputs_.push_back(std::move(in));
+  }
+  const std::uint32_t num_outputs = r.u32();
+  if (num_outputs == 0) throw ParseError("transaction has no outputs");
+  tx.outputs_.reserve(num_outputs);
+  for (std::uint32_t i = 0; i < num_outputs; ++i) {
+    TxOutput out;
+    out.value = r.u64();
+    out.lock.code = r.bytes();
+    tx.outputs_.push_back(std::move(out));
+  }
+  if (!r.done()) throw ParseError("trailing bytes after transaction");
+  return tx;
+}
+
+Hash256 Transaction::sighash() const {
+  Transaction blanked = *this;
+  for (TxInput& in : blanked.inputs_) {
+    in.unlock = Script{};
+  }
+  blanked.txid_valid_ = false;
+  return blanked.txid();
+}
+
+const Hash256& Transaction::txid() const {
+  if (!txid_valid_) {
+    const Bytes raw = serialize();
+    const auto digest = Sha256::hash_twice(raw);
+    cached_txid_.bytes = digest;
+    txid_valid_ = true;
+  }
+  return cached_txid_;
+}
+
+bool Transaction::operator==(const Transaction& other) const {
+  return inputs_ == other.inputs_ && outputs_ == other.outputs_ &&
+         coinbase_tag_ == other.coinbase_tag_;
+}
+
+}  // namespace txconc::utxo

@@ -1,0 +1,96 @@
+// UTXO-model transactions (paper Section II-A, "Data model").
+//
+// "A transaction takes outputs of other transactions as inputs and creates
+// its own transaction outputs (or TXOs). [...] A special type of transaction,
+// called coinbase, has no input UTXOs and produces one output TXO."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "utxo/script.h"
+
+namespace txconc::utxo {
+
+/// Reference to a transaction output: (creating txid, output index).
+struct OutPoint {
+  Hash256 txid;
+  std::uint32_t index = 0;
+
+  auto operator<=>(const OutPoint&) const = default;
+};
+
+/// A transaction output: a value locked by a script.
+struct TxOutput {
+  std::uint64_t value = 0;  ///< In base units (satoshi-like).
+  Script lock;
+
+  bool operator==(const TxOutput&) const = default;
+};
+
+/// A transaction input: the outpoint being spent plus the unlocking script.
+struct TxInput {
+  OutPoint prevout;
+  Script unlock;
+
+  bool operator==(const TxInput&) const = default;
+};
+
+/// A UTXO-model transaction.
+class Transaction {
+ public:
+  Transaction() = default;
+  Transaction(std::vector<TxInput> inputs, std::vector<TxOutput> outputs);
+
+  /// Coinbase: no inputs, a single subsidy output. The paper's analysis
+  /// ignores coinbase transactions; builders tag them via is_coinbase().
+  static Transaction coinbase(std::uint64_t subsidy, const Script& lock,
+                              std::uint64_t block_height);
+
+  const std::vector<TxInput>& inputs() const { return inputs_; }
+  const std::vector<TxOutput>& outputs() const { return outputs_; }
+
+  bool is_coinbase() const { return inputs_.empty(); }
+
+  /// Sum of output values.
+  std::uint64_t total_output() const;
+
+  /// Canonical serialization (what the txid commits to).
+  Bytes serialize() const;
+  static Transaction deserialize(std::span<const std::uint8_t> data);
+
+  /// Transaction id: double SHA-256 of the serialization, cached.
+  const Hash256& txid() const;
+
+  /// Signature hash: like txid() but computed over the serialization with
+  /// all unlock scripts blanked, since signatures are themselves part of
+  /// the unlock scripts (Bitcoin SIGHASH_ALL-style).
+  Hash256 sighash() const;
+
+  /// Approximate byte size (the block-size weight used by the figures).
+  std::size_t byte_size() const { return serialize().size(); }
+
+  bool operator==(const Transaction& other) const;
+
+ private:
+  std::vector<TxInput> inputs_;
+  std::vector<TxOutput> outputs_;
+  // Coinbase uniqueness: real Bitcoin embeds the height in the coinbase
+  // script; we carry it as an explicit field committed in the serialization.
+  std::uint64_t coinbase_tag_ = 0;
+  mutable Hash256 cached_txid_{};
+  mutable bool txid_valid_ = false;
+};
+
+}  // namespace txconc::utxo
+
+template <>
+struct std::hash<txconc::utxo::OutPoint> {
+  std::size_t operator()(const txconc::utxo::OutPoint& op) const noexcept {
+    return std::hash<txconc::Hash256>{}(op.txid) ^
+           (static_cast<std::size_t>(op.index) * 0x9e3779b97f4a7c15ULL);
+  }
+};

@@ -1,0 +1,123 @@
+#include "utxo/utxo_set.h"
+
+#include "common/error.h"
+
+namespace txconc::utxo {
+
+std::optional<TxOutput> UtxoSet::get(const OutPoint& op) const {
+  const auto it = utxos_.find(op);
+  if (it == utxos_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t UtxoSet::total_value() const {
+  std::uint64_t sum = 0;
+  for (const auto& [op, out] : utxos_) sum += out.value;
+  return sum;
+}
+
+void UtxoSet::validate(const Transaction& tx,
+                       const ValidationOptions& options) const {
+  if (tx.is_coinbase()) {
+    if (!options.allow_minting) {
+      throw ValidationError("coinbase transaction outside block context");
+    }
+    return;
+  }
+
+  std::uint64_t input_value = 0;
+  // Detect duplicate spends within the same transaction.
+  std::unordered_map<OutPoint, bool> seen;
+  for (const TxInput& in : tx.inputs()) {
+    if (seen.contains(in.prevout)) {
+      throw ValidationError("transaction spends the same outpoint twice");
+    }
+    seen.emplace(in.prevout, true);
+
+    const auto it = utxos_.find(in.prevout);
+    if (it == utxos_.end()) {
+      throw ValidationError("input TXO not in the current UTXO set: " +
+                            in.prevout.txid.short_hex() + ":" +
+                            std::to_string(in.prevout.index));
+    }
+    input_value += it->second.value;
+
+    if (options.run_scripts) {
+      const ScriptResult result =
+          run_scripts(in.unlock, it->second.lock, tx.sighash());
+      if (!result.success) {
+        throw ValidationError("script rejected input: " +
+                              result.failure_reason);
+      }
+    }
+  }
+
+  if (!options.allow_minting && tx.total_output() > input_value) {
+    throw ValidationError("outputs exceed inputs (no minting)");
+  }
+}
+
+TxUndo UtxoSet::apply(const Transaction& tx, const ValidationOptions& options) {
+  validate(tx, options);
+
+  TxUndo undo_record;
+  undo_record.txid = tx.txid();
+  undo_record.num_outputs = static_cast<std::uint32_t>(tx.outputs().size());
+  undo_record.spent.reserve(tx.inputs().size());
+
+  for (const TxInput& in : tx.inputs()) {
+    const auto it = utxos_.find(in.prevout);
+    undo_record.spent.emplace_back(in.prevout, it->second);
+    utxos_.erase(it);
+  }
+  for (std::uint32_t i = 0; i < tx.outputs().size(); ++i) {
+    const auto [it, inserted] =
+        utxos_.emplace(OutPoint{tx.txid(), i}, tx.outputs()[i]);
+    if (!inserted) {
+      // Identical txids can only happen for identical transactions, which
+      // duplicate-spend protection prevents for regular transactions; the
+      // coinbase tag prevents it for coinbases.
+      throw ValidationError("duplicate outpoint created: " +
+                            tx.txid().short_hex());
+    }
+  }
+  return undo_record;
+}
+
+void UtxoSet::undo(const TxUndo& undo_record) {
+  for (std::uint32_t i = 0; i < undo_record.num_outputs; ++i) {
+    const auto erased = utxos_.erase(OutPoint{undo_record.txid, i});
+    if (erased == 0) {
+      throw UsageError("undo: created output already spent; undo in order");
+    }
+  }
+  for (const auto& [op, out] : undo_record.spent) {
+    utxos_.emplace(op, out);
+  }
+}
+
+std::vector<TxUndo> UtxoSet::apply_block(
+    std::span<const Transaction> transactions,
+    const ValidationOptions& options) {
+  std::vector<TxUndo> undos;
+  undos.reserve(transactions.size());
+  try {
+    for (const Transaction& tx : transactions) {
+      ValidationOptions tx_options = options;
+      if (tx.is_coinbase()) tx_options.allow_minting = true;
+      undos.push_back(apply(tx, tx_options));
+    }
+  } catch (...) {
+    undo_block(undos);
+    throw;
+  }
+  return undos;
+}
+
+void UtxoSet::undo_block(std::span<const TxUndo> undos) {
+  for (auto it = undos.rbegin(); it != undos.rend(); ++it) {
+    undo(*it);
+  }
+}
+
+}  // namespace txconc::utxo

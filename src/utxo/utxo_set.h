@@ -1,0 +1,73 @@
+// The UTXO set: the global state of a UTXO-model blockchain.
+//
+// "Nodes keep track of unspent TXOs (or UTXOs). A transaction is valid if
+// the total value of the output TXOs matches that of the input TXOs (minus
+// some transaction fees), and if the input TXOs are in the current UTXO
+// set." — paper, Section II-A.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "utxo/transaction.h"
+
+namespace txconc::utxo {
+
+/// Undo record for one applied transaction: the outputs it consumed.
+struct TxUndo {
+  std::vector<std::pair<OutPoint, TxOutput>> spent;
+  Hash256 txid;
+  std::uint32_t num_outputs = 0;
+};
+
+/// Validation / application options.
+struct ValidationOptions {
+  /// Run unlock+lock scripts (costly); off for pure structural validation.
+  bool run_scripts = true;
+  /// Allow outputs to exceed inputs (only coinbase may mint).
+  bool allow_minting = false;
+};
+
+/// The set of unspent transaction outputs, with transactional apply/undo.
+class UtxoSet {
+ public:
+  UtxoSet() = default;
+
+  std::size_t size() const { return utxos_.size(); }
+  bool contains(const OutPoint& op) const { return utxos_.contains(op); }
+  std::optional<TxOutput> get(const OutPoint& op) const;
+
+  /// Sum of all unspent values (O(n); for tests and invariant checks).
+  std::uint64_t total_value() const;
+
+  /// Check a transaction against the current set without applying it.
+  /// Throws ValidationError with a reason when invalid.
+  void validate(const Transaction& tx,
+                const ValidationOptions& options = {}) const;
+
+  /// Validate then apply: spend the inputs, create the outputs.
+  /// Returns the undo record needed to roll back.
+  TxUndo apply(const Transaction& tx, const ValidationOptions& options = {});
+
+  /// Roll back a previously applied transaction. Undos must be replayed in
+  /// reverse application order.
+  void undo(const TxUndo& undo_record);
+
+  /// Apply a whole block's transactions in order. If any transaction fails
+  /// validation, the whole block is rolled back and ValidationError is
+  /// rethrown (all-or-nothing). Coinbase transactions are applied with
+  /// minting allowed.
+  std::vector<TxUndo> apply_block(std::span<const Transaction> transactions,
+                                  const ValidationOptions& options = {});
+
+  /// Roll back a whole block given its undo records.
+  void undo_block(std::span<const TxUndo> undos);
+
+ private:
+  std::unordered_map<OutPoint, TxOutput> utxos_;
+};
+
+}  // namespace txconc::utxo

@@ -1,0 +1,115 @@
+#include "utxo/wallet.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace txconc::utxo {
+
+std::uint64_t Wallet::key_seed(std::uint32_t key_index) const {
+  return seed_ ^ (0x57a11e7ULL << 32) ^ (static_cast<std::uint64_t>(key_index) * 0x9e3779b97f4a7c15ULL);
+}
+
+Bytes Wallet::pubkey(std::uint32_t key_index) const {
+  const Hash256 h = Hash256::from_seed(key_seed(key_index));
+  return Bytes(h.bytes.begin(), h.bytes.end());
+}
+
+Script Wallet::lock_script(std::uint32_t key_index) const {
+  const Script lock = p2pkh_lock(Hash256::digest_of(pubkey(key_index)));
+  watch_.emplace(std::string(lock.code.begin(), lock.code.end()), key_index);
+  return lock;
+}
+
+Script Wallet::next_receive_script() { return lock_script(next_key_++); }
+
+std::uint64_t Wallet::balance() const {
+  std::uint64_t sum = 0;
+  for (const WalletCoin& coin : coins_) sum += coin.value;
+  return sum;
+}
+
+std::optional<std::uint32_t> Wallet::recognize(const Script& lock) const {
+  const auto it = watch_.find(std::string(lock.code.begin(), lock.code.end()));
+  if (it == watch_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Wallet::process_block(std::span<const Transaction> transactions) {
+  // Drop coins spent by this block.
+  for (const Transaction& tx : transactions) {
+    for (const TxInput& in : tx.inputs()) {
+      const auto spent =
+          std::find_if(coins_.begin(), coins_.end(),
+                       [&](const WalletCoin& c) {
+                         return c.outpoint == in.prevout;
+                       });
+      if (spent != coins_.end()) coins_.erase(spent);
+    }
+  }
+  // Absorb outputs paying any watched key.
+  for (const Transaction& tx : transactions) {
+    for (std::uint32_t i = 0; i < tx.outputs().size(); ++i) {
+      const auto key = recognize(tx.outputs()[i].lock);
+      if (key.has_value()) {
+        coins_.push_back({{tx.txid(), i}, tx.outputs()[i].value, *key});
+      }
+    }
+  }
+}
+
+Transaction Wallet::pay(const Script& destination, std::uint64_t value,
+                        std::uint64_t fee) {
+  // Largest-first coin selection.
+  std::vector<WalletCoin> sorted = coins_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WalletCoin& a, const WalletCoin& b) {
+              return a.value > b.value;
+            });
+  std::vector<WalletCoin> selected;
+  std::uint64_t selected_value = 0;
+  for (const WalletCoin& coin : sorted) {
+    if (selected_value >= value + fee) break;
+    selected.push_back(coin);
+    selected_value += coin.value;
+  }
+  if (selected_value < value + fee) {
+    throw ValidationError("wallet balance insufficient");
+  }
+
+  std::vector<TxOutput> outputs;
+  outputs.push_back({value, destination});
+  const std::uint64_t change = selected_value - value - fee;
+  if (change > 0) {
+    outputs.push_back({change, next_receive_script()});
+  }
+
+  std::vector<TxInput> inputs;
+  inputs.reserve(selected.size());
+  for (const WalletCoin& coin : selected) {
+    TxInput in;
+    in.prevout = coin.outpoint;
+    inputs.push_back(std::move(in));
+  }
+
+  // Sign: the sighash covers the transaction with blanked unlock scripts.
+  const Transaction unsigned_tx(inputs, outputs);
+  const Hash256 sighash = unsigned_tx.sighash();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i].unlock = p2pkh_unlock(pubkey(selected[i].key_index), sighash);
+  }
+  Transaction tx(std::move(inputs), std::move(outputs));
+
+  // Optimistically mark the coins spent; a re-scan of the including block
+  // is a no-op for them.
+  for (const WalletCoin& coin : selected) {
+    const auto it = std::find_if(coins_.begin(), coins_.end(),
+                                 [&](const WalletCoin& c) {
+                                   return c.outpoint == coin.outpoint;
+                                 });
+    if (it != coins_.end()) coins_.erase(it);
+  }
+  return tx;
+}
+
+}  // namespace txconc::utxo

@@ -1,0 +1,63 @@
+// A deterministic UTXO wallet: key derivation, coin tracking, transaction
+// construction with real P2PKH signing, and block scanning.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "utxo/transaction.h"
+#include "utxo/utxo_set.h"
+
+namespace txconc::utxo {
+
+/// Wallet-owned coin.
+struct WalletCoin {
+  OutPoint outpoint;
+  std::uint64_t value = 0;
+  std::uint32_t key_index = 0;
+};
+
+/// Deterministic wallet: key i is derived from the wallet seed, addresses
+/// are pay-to-pubkey-hash locks. The wallet watches blocks to discover
+/// incoming coins and forget spent ones.
+class Wallet {
+ public:
+  explicit Wallet(std::uint64_t seed) : seed_(seed) {}
+
+  /// Public key of the i-th wallet key (derives new keys on demand).
+  Bytes pubkey(std::uint32_t key_index) const;
+  /// P2PKH locking script for the i-th key.
+  Script lock_script(std::uint32_t key_index) const;
+  /// A fresh receive script (advances the key counter).
+  Script next_receive_script();
+
+  /// Coins currently spendable by this wallet.
+  const std::vector<WalletCoin>& coins() const { return coins_; }
+  std::uint64_t balance() const;
+
+  /// Scan a block: absorb outputs paying our keys, drop spent coins.
+  void process_block(std::span<const Transaction> transactions);
+
+  /// Build and sign a payment of `value` to `destination`, consuming the
+  /// smallest sufficient set of coins (largest-first selection) and paying
+  /// change back to a fresh key. Throws ValidationError when the balance
+  /// (minus fee) cannot cover the payment. The returned transaction
+  /// passes full script validation against a UtxoSet holding our coins.
+  Transaction pay(const Script& destination, std::uint64_t value,
+                  std::uint64_t fee = 0);
+
+ private:
+  std::uint64_t key_seed(std::uint32_t key_index) const;
+  /// Key index for a lock script, if it is ours.
+  std::optional<std::uint32_t> recognize(const Script& lock) const;
+
+  std::uint64_t seed_;
+  std::uint32_t next_key_ = 0;
+  std::vector<WalletCoin> coins_;
+  // lock-script bytes -> key index, for O(1) recognition.
+  mutable std::unordered_map<std::string, std::uint32_t> watch_;
+};
+
+}  // namespace txconc::utxo

@@ -1,0 +1,90 @@
+// Synthetic account-chain generator (Ethereum, Ethereum Classic, Zilliqa).
+//
+// Every block is executed for real against a StateDb through the account
+// runtime, so internal transactions and gas figures in the receipts are
+// genuine VM traces, exactly as the paper's internal transactions are
+// genuine geth traces. Conflict structure emerges from:
+//  * exchange deposit fan-in (Figure 1b's Poloniex pattern);
+//  * mining-pool payout bursts from hot senders (Figure 1a's DwarfPool);
+//  * Zipf-concentrated user activity;
+//  * contract calls, including relay chains that generate internal txs;
+//  * gas-heavy contract creations (typically unconflicted).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "account/runtime.h"
+#include "account/state.h"
+#include "common/rng.h"
+#include "workload/history.h"
+
+namespace txconc::workload {
+
+class AccountWorkloadGenerator final : public HistoryGenerator {
+ public:
+  AccountWorkloadGenerator(ChainProfile profile, std::uint64_t seed,
+                           std::uint64_t num_blocks = 0);
+
+  GeneratedBlock next_block() override;
+  std::uint64_t num_blocks() const override { return num_blocks_; }
+  const ChainProfile& profile() const override { return profile_; }
+
+  const account::StateDb& state() const { return state_; }
+
+  /// Deterministic address of the i-th user / exchange / pool account.
+  static Address user_address(std::size_t i);
+  static Address exchange_address(std::size_t i);
+  static Address pool_address(std::size_t i);
+
+ private:
+  enum class ContractKind { kRelayChain, kToken, kCrowdsale, kChurn, kAuction };
+  struct DeployedContract {
+    Address address;
+    ContractKind kind;
+    unsigned relay_depth = 0;  ///< kRelayChain only.
+  };
+
+  /// Traffic categories draw from mostly disjoint sub-populations; the
+  /// era's population_overlap knob routes a share of picks to the shared
+  /// whale population, bridging the categories' conflict components.
+  enum class Category : unsigned {
+    kWhale = 0,
+    kDepositor,
+    kPoolRecipient,
+    kCaller,
+    kP2p,
+  };
+
+  void deploy_contracts(const EraParams& genesis_era);
+  Address pick_user(const EraParams& era, Category category);
+  Address pick_user_in_shard(const EraParams& era, Category category,
+                             unsigned shard);
+  const ZipfSampler& user_sampler(std::size_t num_users);
+  /// Ensure an account can pay for the next transactions.
+  void top_up(const Address& addr);
+
+  account::AccountTx make_p2p(const EraParams& era);
+  account::AccountTx make_exchange_deposit(const EraParams& era);
+  account::AccountTx make_pool_payout(const EraParams& era);
+  account::AccountTx make_contract_call(const EraParams& era);
+  account::AccountTx make_creation(const EraParams& era);
+
+  ChainProfile profile_;
+  Rng rng_;
+  std::uint64_t num_blocks_;
+  std::uint64_t height_ = 0;
+
+  account::StateDb state_;
+  account::RuntimeConfig runtime_;
+  std::vector<DeployedContract> contracts_;
+
+  // Cached Zipf sampler, rebuilt when the era's user count shifts by >5%.
+  std::unique_ptr<ZipfSampler> users_;
+  std::size_t sampled_users_ = 0;
+  double user_zipf_ = 0.0;
+
+  std::uint64_t creation_counter_ = 0;
+};
+
+}  // namespace txconc::workload

@@ -1,0 +1,61 @@
+// Streaming block generation interface shared by both data models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "account/types.h"
+#include "utxo/transaction.h"
+#include "workload/profile.h"
+
+namespace txconc::workload {
+
+/// One generated block, carrying whichever payload the data model uses.
+/// Receipts (for account blocks) come from real execution against the
+/// generator's StateDb, so internal transactions and gas are genuine.
+struct GeneratedBlock {
+  std::uint64_t height = 0;
+  DataModel model = DataModel::kAccount;
+
+  // ---- UTXO model ----
+  /// Transactions in block order; index 0 is the coinbase.
+  std::vector<utxo::Transaction> utxo_txs;
+  /// Total input TXOs consumed (the "input TXOs" series of Figure 5a).
+  std::size_t num_input_txos = 0;
+
+  // ---- Account model ----
+  std::vector<account::AccountTx> account_txs;
+  /// Parallel to account_txs.
+  std::vector<account::Receipt> receipts;
+  std::uint64_t gas_used = 0;
+
+  /// Number of regular (non-coinbase) transactions.
+  std::size_t num_regular_txs() const {
+    if (model == DataModel::kUtxo) {
+      return utxo_txs.empty() ? 0 : utxo_txs.size() - 1;
+    }
+    return account_txs.size();
+  }
+
+  /// Regular plus internal transactions (the "all TXs" curve of Fig. 4a).
+  std::size_t num_total_txs() const {
+    std::size_t n = num_regular_txs();
+    for (const auto& r : receipts) n += r.internal_txs.size();
+    return n;
+  }
+};
+
+/// A deterministic, seedable block stream for one chain profile.
+class HistoryGenerator {
+ public:
+  virtual ~HistoryGenerator() = default;
+
+  /// Generate the next block. Call at most num_blocks() times.
+  virtual GeneratedBlock next_block() = 0;
+
+  virtual std::uint64_t num_blocks() const = 0;
+  virtual const ChainProfile& profile() const = 0;
+};
+
+}  // namespace txconc::workload

@@ -1,0 +1,22 @@
+// The seven chain profiles of Table I, calibrated against the paper's
+// measured history series. See profiles.cpp for the calibration notes.
+#pragma once
+
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace txconc::workload {
+
+ChainProfile bitcoin_profile();
+ChainProfile bitcoin_cash_profile();
+ChainProfile litecoin_profile();
+ChainProfile dogecoin_profile();
+ChainProfile ethereum_profile();
+ChainProfile ethereum_classic_profile();
+ChainProfile zilliqa_profile();
+
+/// All seven, in Table I order.
+std::vector<ChainProfile> all_profiles();
+
+}  // namespace txconc::workload

@@ -1,0 +1,220 @@
+#include "workload/utxo_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/sha256.h"
+
+namespace txconc::workload {
+
+namespace {
+
+constexpr std::uint64_t kSubsidy = 50'0000'0000ULL;  // 50 coins
+
+Bytes pubkey_for(std::uint64_t owner_seed) {
+  const Hash256 h = Hash256::from_seed(owner_seed ^ 0x9b5ab1c0ffee5eedULL);
+  return Bytes(h.bytes.begin(), h.bytes.end());
+}
+
+}  // namespace
+
+UtxoWorkloadGenerator::UtxoWorkloadGenerator(ChainProfile profile,
+                                             std::uint64_t seed,
+                                             std::uint64_t num_blocks,
+                                             UtxoWorkloadOptions options)
+    : profile_(std::move(profile)),
+      rng_(seed),
+      num_blocks_(num_blocks == 0 ? profile_.default_blocks : num_blocks),
+      options_(options) {
+  if (profile_.model != DataModel::kUtxo) {
+    throw UsageError("UtxoWorkloadGenerator needs a UTXO-model profile");
+  }
+}
+
+utxo::Script UtxoWorkloadGenerator::lock_for(std::uint64_t owner_seed) const {
+  if (!options_.with_scripts) return {};
+  const Bytes pubkey = pubkey_for(owner_seed);
+  return utxo::p2pkh_lock(Hash256::digest_of(pubkey));
+}
+
+utxo::Script UtxoWorkloadGenerator::unlock_for(const Spendable& coin,
+                                               const Hash256& sighash) const {
+  if (!options_.with_scripts) return {};
+  (void)coin;
+  return utxo::p2pkh_unlock(pubkey_for(coin.owner_seed), sighash);
+}
+
+UtxoWorkloadGenerator::Spendable UtxoWorkloadGenerator::take_from_pool() {
+  if (pool_.empty()) throw UsageError("spendable pool exhausted");
+  const std::size_t index = rng_.uniform(pool_.size());
+  Spendable coin = pool_[index];
+  pool_[index] = pool_.back();
+  pool_.pop_back();
+  return coin;
+}
+
+const utxo::Transaction& UtxoWorkloadGenerator::emit_tx(
+    std::vector<Spendable> coins, std::size_t num_outputs,
+    std::vector<utxo::Transaction>& block,
+    std::vector<Spendable>& block_spendables, bool chain_mode) {
+  std::uint64_t total = 0;
+  for (const Spendable& c : coins) total += c.value;
+  if (total < num_outputs) num_outputs = 1;
+
+  // Outputs: split the value across fresh owners (fee-free so that value
+  // conservation is a checkable invariant of generated histories).
+  // Chain mode mimics the paper's Figure 6 sweeps: a small payment plus a
+  // change output carrying almost everything, so chains can run long.
+  std::vector<utxo::TxOutput> outputs;
+  std::vector<std::uint64_t> owners;
+  std::uint64_t remaining = total;
+  for (std::size_t i = 0; i < num_outputs; ++i) {
+    std::uint64_t v;
+    if (i + 1 == num_outputs) {
+      v = remaining;
+    } else if (chain_mode) {
+      v = std::max<std::uint64_t>(total / 100, 1);
+    } else {
+      v = total / num_outputs;
+    }
+    v = std::min(v, remaining);
+    const std::uint64_t owner = next_owner_seed_++;
+    outputs.push_back({v, lock_for(owner)});
+    owners.push_back(owner);
+    remaining -= v;
+  }
+
+  std::vector<utxo::TxInput> inputs;
+  inputs.reserve(coins.size());
+  for (const Spendable& c : coins) {
+    utxo::TxInput in;
+    in.prevout = c.outpoint;
+    inputs.push_back(std::move(in));
+  }
+
+  if (options_.with_scripts) {
+    const utxo::Transaction unsigned_tx(inputs, outputs);
+    const Hash256 sighash = unsigned_tx.sighash();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      inputs[i].unlock = unlock_for(coins[i], sighash);
+    }
+  }
+
+  utxo::Transaction tx(std::move(inputs), std::move(outputs));
+  utxo_set_.apply(tx, {.run_scripts = options_.with_scripts});
+  block.push_back(std::move(tx));
+  const utxo::Transaction& placed = block.back();
+  for (std::uint32_t i = 0; i < placed.outputs().size(); ++i) {
+    block_spendables.push_back(
+        {{placed.txid(), i}, placed.outputs()[i].value, owners[i]});
+  }
+  return placed;
+}
+
+GeneratedBlock UtxoWorkloadGenerator::next_block() {
+  if (height_ >= num_blocks_) {
+    throw UsageError("UtxoWorkloadGenerator: history exhausted");
+  }
+  const double position =
+      num_blocks_ <= 1 ? 0.0
+                       : static_cast<double>(height_) /
+                             static_cast<double>(num_blocks_ - 1);
+  const EraParams era = profile_.at(position);
+
+  GeneratedBlock result;
+  result.height = height_;
+  result.model = DataModel::kUtxo;
+
+  // Target regular-transaction count for this block.
+  const double raw =
+      rng_.normal(era.txs_per_block, 0.2 * era.txs_per_block + 0.5);
+  std::size_t target = raw <= 0.0 ? 0 : static_cast<std::size_t>(raw + 0.5);
+
+  auto& block = result.utxo_txs;
+  std::vector<Spendable> block_spendables;
+
+  // Coinbase (index 0, ignored by the conflict analysis).
+  const std::uint64_t coinbase_owner = next_owner_seed_++;
+  const utxo::Transaction coinbase = utxo::Transaction::coinbase(
+      kSubsidy, lock_for(coinbase_owner), height_);
+  utxo_set_.apply(coinbase,
+                  {.run_scripts = options_.with_scripts, .allow_minting = true});
+  block.push_back(coinbase);
+
+  std::size_t emitted = 0;
+
+  // Consolidation event: one batching system chains through nearly the
+  // whole block (the paper's block-358624 outlier).
+  if (target >= 20 && !pool_.empty() && rng_.bernoulli(era.mega_sweep_prob)) {
+    const std::size_t chain_target =
+        target - std::max<std::size_t>(target / 50, 1);
+    Spendable tip = take_from_pool();
+    while (emitted < chain_target && tip.value > 4) {
+      const utxo::Transaction& tx =
+          emit_tx({tip}, 2, block, block_spendables, /*chain_mode=*/true);
+      result.num_input_txos += tx.inputs().size();
+      ++emitted;
+      tip = block_spendables.back();
+      block_spendables.pop_back();
+    }
+    block_spendables.push_back(tip);
+  }
+
+  // Sweep chains: sequences of transactions each spending the previous
+  // one's change output (the Figure 6 pattern).
+  const std::uint64_t num_sweeps = rng_.poisson(era.sweeps_per_block);
+  for (std::uint64_t s = 0; s < num_sweeps && emitted < target; ++s) {
+    if (pool_.empty()) break;
+    Spendable tip = take_from_pool();
+    do {
+      const utxo::Transaction& tx =
+          emit_tx({tip}, 2, block, block_spendables, /*chain_mode=*/true);
+      result.num_input_txos += tx.inputs().size();
+      ++emitted;
+      // Continue the chain from the change output just created.
+      tip = block_spendables.back();
+      block_spendables.pop_back();
+    } while (emitted < target && tip.value > 4 &&
+             rng_.bernoulli(era.sweep_continue_prob));
+    block_spendables.push_back(tip);  // leave the final tip spendable later
+  }
+
+  // Regular transactions.
+  while (emitted < target && !pool_.empty()) {
+    const std::size_t wanted_inputs =
+        1 + static_cast<std::size_t>(
+                rng_.poisson(std::max(era.inputs_per_tx - 1.0, 0.0)));
+    std::vector<Spendable> coins;
+
+    // Chain spend: re-use an output created earlier in this block.
+    if (!block_spendables.empty() && rng_.bernoulli(era.chain_spend_prob)) {
+      const std::size_t index = rng_.uniform(block_spendables.size());
+      coins.push_back(block_spendables[index]);
+      block_spendables[index] = block_spendables.back();
+      block_spendables.pop_back();
+    }
+    while (coins.size() < wanted_inputs && !pool_.empty()) {
+      coins.push_back(take_from_pool());
+    }
+    if (coins.empty()) break;
+
+    // Fan out while the pool is being grown towards its target, otherwise
+    // keep the classic payment + change shape.
+    const std::size_t num_outputs =
+        pool_.size() < options_.pool_target ? 3 : 2;
+    const utxo::Transaction& tx =
+        emit_tx(std::move(coins), num_outputs, block, block_spendables);
+    result.num_input_txos += tx.inputs().size();
+    ++emitted;
+  }
+
+  // Outputs created in this block (and the coinbase) become spendable.
+  pool_.insert(pool_.end(), block_spendables.begin(), block_spendables.end());
+  pool_.push_back({{coinbase.txid(), 0}, kSubsidy, coinbase_owner});
+
+  ++height_;
+  return result;
+}
+
+}  // namespace txconc::workload

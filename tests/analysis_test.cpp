@@ -1,0 +1,345 @@
+// Tests for the analysis pipeline: TDG builders, block analyzers,
+// history series collection, reference data, and report helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/block_analyzer.h"
+#include "analysis/paper_reference.h"
+#include "analysis/report.h"
+#include "analysis/series.h"
+#include "analysis/speedup.h"
+#include "core/speedup_model.h"
+#include "common/error.h"
+#include "workload/profiles.h"
+#include "workload/utxo_workload.h"
+
+namespace txconc::analysis {
+namespace {
+
+using account::AccountTx;
+using account::Receipt;
+using utxo::Script;
+using utxo::Transaction;
+using utxo::TxInput;
+using utxo::TxOutput;
+
+Address addr(std::uint64_t seed) { return Address::from_seed(seed); }
+
+// ----------------------------------------------------------------- UTXO TDG
+
+/// Builds a block with a coinbase, two chained transactions, and one
+/// isolated transaction (spending an out-of-block output).
+std::vector<Transaction> chained_block() {
+  std::vector<Transaction> block;
+  block.push_back(Transaction::coinbase(50, Script{}, 1));
+
+  TxInput external;
+  external.prevout = {Hash256::from_seed(1000), 0};
+  block.emplace_back(std::vector<TxInput>{external},
+                     std::vector<TxOutput>{{40, Script{}}, {10, Script{}}});
+
+  TxInput chained;
+  chained.prevout = {block[1].txid(), 0};
+  block.emplace_back(std::vector<TxInput>{chained},
+                     std::vector<TxOutput>{{40, Script{}}});
+
+  TxInput isolated;
+  isolated.prevout = {Hash256::from_seed(2000), 0};
+  block.emplace_back(std::vector<TxInput>{isolated},
+                     std::vector<TxOutput>{{5, Script{}}});
+  return block;
+}
+
+TEST(UtxoTdg, EdgesOnlyForInBlockSpends) {
+  const auto block = chained_block();
+  const auto tdg = build_utxo_tdg(block);
+  EXPECT_EQ(tdg.num_nodes(), 3u);  // coinbase excluded
+  EXPECT_EQ(tdg.graph().num_edges(), 1u);
+}
+
+TEST(UtxoTdg, CoinbaseSpendWithinBlockIgnored) {
+  // Even a transaction spending the coinbase output creates no edge,
+  // because the coinbase is not a TDG node.
+  std::vector<Transaction> block;
+  block.push_back(Transaction::coinbase(50, Script{}, 1));
+  TxInput in;
+  in.prevout = {block[0].txid(), 0};
+  block.emplace_back(std::vector<TxInput>{in},
+                     std::vector<TxOutput>{{50, Script{}}});
+  const auto tdg = build_utxo_tdg(block);
+  EXPECT_EQ(tdg.num_nodes(), 1u);
+  EXPECT_EQ(tdg.graph().num_edges(), 0u);
+}
+
+TEST(UtxoAnalysis, ChainedBlockRates) {
+  const auto block = chained_block();
+  const core::ConflictStats stats = analyze_utxo_block(block);
+  EXPECT_EQ(stats.total_transactions, 3u);
+  EXPECT_EQ(stats.conflicted_transactions, 2u);
+  EXPECT_EQ(stats.lcc_transactions, 2u);
+  EXPECT_NEAR(stats.single_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.group_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(UtxoAnalysis, WeightsAppliedInBlockOrder) {
+  const auto block = chained_block();
+  const std::vector<double> weights = {10.0, 10.0, 1.0};
+  const core::ConflictStats stats = analyze_utxo_block(block, weights);
+  EXPECT_DOUBLE_EQ(stats.weighted_single_rate(), 20.0 / 21.0);
+}
+
+TEST(UtxoAnalysis, WeightCountMismatchThrows) {
+  const auto block = chained_block();
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(analyze_utxo_block(block, bad), UsageError);
+}
+
+// -------------------------------------------------------------- account TDG
+
+AccountTx tx_between(std::uint64_t from, std::uint64_t to) {
+  AccountTx tx;
+  tx.from = addr(from);
+  tx.to = addr(to);
+  tx.nonce = 0;
+  return tx;
+}
+
+Receipt receipt_with(std::uint64_t gas,
+                     std::vector<account::InternalTx> internal = {}) {
+  Receipt r;
+  r.success = true;
+  r.gas_used = gas;
+  r.internal_txs = std::move(internal);
+  return r;
+}
+
+TEST(AccountTdg, InternalTransactionsMergeComponents) {
+  // tx0: A -> B, tx1: C -> D, internal tx of tx0: B -> D.
+  const std::vector<AccountTx> txs = {tx_between(1, 2), tx_between(3, 4)};
+  const std::vector<Receipt> with_internal = {
+      receipt_with(21000, {{addr(2), addr(4), 1, account::TraceKind::kCall, 1}}),
+      receipt_with(21000)};
+
+  const core::ConflictStats merged =
+      analyze_account_block(txs, with_internal, /*include_internal=*/true);
+  EXPECT_EQ(merged.num_components, 1u);
+  EXPECT_EQ(merged.conflicted_transactions, 2u);
+
+  // The approximate TDG (regular transactions only) misses the conflict.
+  const core::ConflictStats approx =
+      analyze_account_block(txs, with_internal, /*include_internal=*/false);
+  EXPECT_EQ(approx.num_components, 2u);
+  EXPECT_EQ(approx.conflicted_transactions, 0u);
+}
+
+TEST(AccountTdg, CreationEdgesToDeployedAddress) {
+  AccountTx creation;
+  creation.from = addr(1);
+  creation.nonce = 7;
+  std::vector<AccountTx> txs = {creation};
+  Receipt r = receipt_with(60000);
+  r.created = Address::derive_contract(addr(1), 7);
+  const std::vector<Receipt> receipts = {std::move(r)};
+
+  const AccountTdg tdg = build_account_tdg(txs, receipts);
+  EXPECT_EQ(tdg.addresses.num_nodes(), 2u);
+  EXPECT_EQ(tdg.tx_refs.size(), 1u);
+  EXPECT_DOUBLE_EQ(tdg.tx_refs[0].weight, 60000.0);
+}
+
+TEST(AccountTdg, ReceiptCountMismatchThrows) {
+  const std::vector<AccountTx> txs = {tx_between(1, 2)};
+  const std::vector<Receipt> receipts = {receipt_with(1), receipt_with(2)};
+  EXPECT_THROW(build_account_tdg(txs, receipts), UsageError);
+}
+
+// ------------------------------------------------------ slot-level ablation
+
+TEST(SlotAnalysis, SameAddressDifferentSlotsDoNotConflict) {
+  // The key difference from the paper's address granularity ([17]'s
+  // definition): two token transfers touching disjoint storage keys of the
+  // same contract conflict at address level but NOT at slot level.
+  const Address token = addr(50);
+  std::vector<AccountTx> txs = {tx_between(1, 50), tx_between(2, 50)};
+  txs[0].value = 0;
+  txs[1].value = 0;
+
+  Receipt r0 = receipt_with(30000);
+  r0.reads = {{token, 100}};
+  r0.writes = {{token, 100}, {token, 101}};
+  Receipt r1 = receipt_with(30000);
+  r1.reads = {{token, 200}};
+  r1.writes = {{token, 200}, {token, 201}};
+  const std::vector<Receipt> receipts = {r0, r1};
+
+  const core::ConflictStats slots = analyze_account_block_slots(txs, receipts);
+  EXPECT_EQ(slots.conflicted_transactions, 0u);
+
+  const core::ConflictStats addresses = analyze_account_block(txs, receipts);
+  EXPECT_EQ(addresses.conflicted_transactions, 2u);
+}
+
+TEST(SlotAnalysis, WriteWriteAndReadWriteConflict) {
+  const Address token = addr(50);
+  std::vector<AccountTx> txs = {tx_between(1, 50), tx_between(2, 50),
+                                tx_between(3, 50)};
+  Receipt writer1 = receipt_with(1);
+  writer1.writes = {{token, 7}};
+  Receipt writer2 = receipt_with(1);
+  writer2.writes = {{token, 7}};
+  Receipt reader = receipt_with(1);
+  reader.reads = {{token, 7}};
+  const std::vector<Receipt> receipts = {writer1, writer2, reader};
+
+  const core::ConflictStats stats = analyze_account_block_slots(txs, receipts);
+  EXPECT_EQ(stats.conflicted_transactions, 3u);
+  EXPECT_EQ(stats.lcc_transactions, 3u);
+}
+
+TEST(SlotAnalysis, ReadReadDoesNotConflict) {
+  const Address token = addr(50);
+  std::vector<AccountTx> txs = {tx_between(1, 50), tx_between(2, 50)};
+  Receipt r0 = receipt_with(1);
+  r0.reads = {{token, 7}};
+  Receipt r1 = receipt_with(1);
+  r1.reads = {{token, 7}};
+  const std::vector<Receipt> receipts = {r0, r1};
+  EXPECT_EQ(analyze_account_block_slots(txs, receipts).conflicted_transactions,
+            0u);
+}
+
+// -------------------------------------------------------------------- series
+
+TEST(Series, CollectProducesConsistentSeries) {
+  workload::ChainProfile profile = workload::litecoin_profile();
+  profile.default_blocks = 60;
+  workload::UtxoWorkloadGenerator generator(profile, 5);
+  const ChainSeries series = collect_series(generator, {.num_buckets = 12});
+
+  EXPECT_EQ(series.chain, "Litecoin");
+  EXPECT_EQ(series.blocks, 60u);
+  EXPECT_FALSE(series.regular_txs.empty());
+  EXPECT_LE(series.regular_txs.size(), 12u);
+  EXPECT_FALSE(series.single_rate_txw.empty());
+  EXPECT_FALSE(series.input_txos.empty());
+  EXPECT_TRUE(series.single_rate_gasw.empty());  // UTXO chain: no gas
+  EXPECT_GT(series.total_transactions, 0u);
+  for (const auto& p : series.single_rate_txw) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+  EXPECT_LE(series.overall_group_rate, series.overall_single_rate + 1e-12);
+}
+
+TEST(Series, InYearsMapsRange) {
+  ChainSeries series;
+  series.start_year = 2010.0;
+  series.end_year = 2020.0;
+  series.blocks = 101;
+  const std::vector<SeriesPoint> raw = {{0.0, 1.0, 1.0}, {100.0, 2.0, 1.0}};
+  const auto years = series.in_years(raw);
+  EXPECT_DOUBLE_EQ(years[0].position, 2010.0);
+  EXPECT_DOUBLE_EQ(years[1].position, 2020.0);
+}
+
+// ------------------------------------------------------------------ speedup
+
+TEST(SpeedupSeries, MatchesModelsBucketByBucket) {
+  ChainSeries series;
+  series.regular_txs = {{0.0, 100.0, 1.0}, {1.0, 200.0, 1.0}};
+  series.single_rate_txw = {{0.0, 0.5, 1.0}, {1.0, 0.6, 1.0}};
+  series.group_rate_txw = {{0.0, 0.2, 1.0}, {1.0, 0.1, 1.0}};
+
+  const SpeedupSeries sp = compute_speedup_series(series, 8);
+  ASSERT_EQ(sp.speculative.size(), 2u);
+  ASSERT_EQ(sp.group.size(), 2u);
+  EXPECT_DOUBLE_EQ(sp.speculative[0].value,
+                   core::SpeculativeModel::speedup(100, 0.5, 8));
+  EXPECT_DOUBLE_EQ(sp.speculative[1].value,
+                   core::SpeculativeModel::speedup(200, 0.6, 8));
+  EXPECT_DOUBLE_EQ(sp.group[0].value, 5.0);  // min(8, 1/0.2)
+  EXPECT_DOUBLE_EQ(sp.group[1].value, 8.0);  // min(8, 1/0.1)
+}
+
+TEST(SpeedupSeries, EmptyBucketsYieldUnitSpeedup) {
+  ChainSeries series;
+  series.regular_txs = {{0.0, 0.0, 1.0}};
+  series.single_rate_txw = {{0.0, 0.0, 1.0}};
+  series.group_rate_txw = {{0.0, 0.0, 1.0}};
+  const SpeedupSeries sp = compute_speedup_series(series, 4);
+  EXPECT_DOUBLE_EQ(sp.speculative[0].value, 1.0);
+}
+
+TEST(SpeedupSeries, RejectsZeroCores) {
+  EXPECT_THROW(compute_speedup_series(ChainSeries{}, 0), UsageError);
+}
+
+TEST(SpeedupSummary, LateWindowAndPeak) {
+  const std::vector<SeriesPoint> curve = {
+      {0.0, 1.0, 1.0}, {1.0, 9.0, 1.0}, {2.0, 2.0, 1.0}, {3.0, 4.0, 1.0}};
+  const SpeedupSummary s = summarize_late(curve, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);  // mean of the last two points
+  EXPECT_DOUBLE_EQ(s.peak, 9.0);  // peak over the whole curve
+  EXPECT_THROW(summarize_late(curve, 0.0), UsageError);
+  EXPECT_DOUBLE_EQ(summarize_late({}, 0.5).mean, 1.0);
+}
+
+// ---------------------------------------------------------------- reference
+
+TEST(Reference, InterpolatesAnchors) {
+  const ReferenceSeries eth = ethereum_single_rate_reference();
+  EXPECT_DOUBLE_EQ(eth.at(2016.0), 0.80);
+  EXPECT_DOUBLE_EQ(eth.at(2019.5), 0.60);
+  EXPECT_GT(eth.at(2017.5), eth.at(2019.0));
+  // Clamped outside the range.
+  EXPECT_DOUBLE_EQ(eth.at(2000.0), 0.80);
+  EXPECT_DOUBLE_EQ(eth.at(2030.0), 0.60);
+}
+
+TEST(Reference, TargetsCoverAllChains) {
+  const auto targets = chain_targets();
+  const auto profiles = workload::all_profiles();
+  ASSERT_EQ(targets.size(), profiles.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(targets[i].chain, profiles[i].name);
+    EXPECT_GE(targets[i].single_rate_late, targets[i].group_rate_late);
+  }
+}
+
+TEST(Reference, HeadlinesMatchPaperAbstract) {
+  const HeadlineNumbers h = headline_numbers();
+  EXPECT_DOUBLE_EQ(h.ethereum_group_speedup_8_cores, 6.0);
+  EXPECT_DOUBLE_EQ(h.ethereum_single_rate, 0.6);
+}
+
+// ------------------------------------------------------------------- report
+
+TEST(Report, TextTableAligns) {
+  TextTable table({"name", "value"});
+  table.row({"a", "1"});
+  table.row({"longer-name", "2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_THROW(table.row({"too", "many", "cells"}), UsageError);
+}
+
+TEST(Report, PrintPanelRendersPlotAndValues) {
+  LabelledSeries s;
+  s.label = "demo";
+  s.points = {{0.0, 0.5, 1.0}, {1.0, 0.7, 1.0}};
+  std::ostringstream out;
+  print_panel(out, "panel-title", {s}, PlotOptions{});
+  EXPECT_NE(out.str().find("panel-title"), std::string::npos);
+  EXPECT_NE(out.str().find("demo"), std::string::npos);
+  EXPECT_NE(out.str().find("(0, 0.5)"), std::string::npos);
+}
+
+TEST(Report, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0), "2.000");
+}
+
+}  // namespace
+}  // namespace txconc::analysis

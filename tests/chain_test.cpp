@@ -1,0 +1,300 @@
+// Tests for the chain substrate: merkle trees, blocks, ledger, PoW, mempool.
+#include <gtest/gtest.h>
+
+#include "chain/block.h"
+#include "chain/merkle.h"
+#include "chain/pow.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace txconc::chain {
+namespace {
+
+std::vector<Hash256> leaves(std::size_t n) {
+  std::vector<Hash256> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Hash256::from_seed(i));
+  return out;
+}
+
+// -------------------------------------------------------------------- merkle
+
+TEST(Merkle, EmptyRootIsZero) {
+  EXPECT_TRUE(merkle_root({}).is_zero());
+}
+
+TEST(Merkle, SingleLeafIsItsOwnRoot) {
+  const auto l = leaves(1);
+  EXPECT_EQ(merkle_root(l), l[0]);
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto l = leaves(5);
+  const Hash256 root = merkle_root(l);
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    auto modified = l;
+    modified[i] = Hash256::from_seed(1000 + i);
+    EXPECT_NE(merkle_root(modified), root) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, OddLeafCountDuplicatesLast) {
+  // Root over 3 leaves equals root over [a, b, c, c] pair-hashing.
+  const auto l3 = leaves(3);
+  std::vector<Hash256> l4 = l3;
+  l4.push_back(l3[2]);
+  EXPECT_EQ(merkle_root(l3), merkle_root(l4));
+}
+
+TEST(Merkle, OrderMatters) {
+  auto l = leaves(4);
+  const Hash256 root = merkle_root(l);
+  std::swap(l[0], l[1]);
+  EXPECT_NE(merkle_root(l), root);
+}
+
+TEST(Merkle, TreeRootMatchesFreeFunction) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 7u, 8u, 33u}) {
+    const auto l = leaves(n);
+    EXPECT_EQ(MerkleTree(l).root(), merkle_root(l)) << n;
+  }
+}
+
+TEST(Merkle, ProofsVerify) {
+  const auto l = leaves(9);
+  const MerkleTree tree(l);
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    const MerkleProof proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(l[i], proof, tree.root())) << i;
+    // Wrong leaf fails.
+    EXPECT_FALSE(MerkleTree::verify(Hash256::from_seed(999), proof,
+                                    tree.root()));
+  }
+}
+
+TEST(Merkle, ProofForWrongPositionFails) {
+  const auto l = leaves(8);
+  const MerkleTree tree(l);
+  MerkleProof proof = tree.prove(2);
+  proof.index = 3;
+  EXPECT_FALSE(MerkleTree::verify(l[2], proof, tree.root()));
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  const auto l = leaves(4);
+  const MerkleTree tree(l);
+  EXPECT_THROW(tree.prove(4), UsageError);
+}
+
+// --------------------------------------------------------------------- block
+
+TEST(Block, HeaderHashCommitsToFields) {
+  BlockHeader a;
+  a.height = 5;
+  BlockHeader b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.nonce = 1;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.merkle_root = Hash256::from_seed(1);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Block, AccountTxHashDistinguishesFields) {
+  account::AccountTx tx;
+  tx.from = Address::from_seed(1);
+  tx.to = Address::from_seed(2);
+  const Hash256 h = tx_hash(tx);
+
+  account::AccountTx other = tx;
+  other.value = 5;
+  EXPECT_NE(tx_hash(other), h);
+  other = tx;
+  other.nonce = 9;
+  EXPECT_NE(tx_hash(other), h);
+  other = tx;
+  other.to.reset();
+  EXPECT_NE(tx_hash(other), h);
+  other = tx;
+  other.args = {1};
+  EXPECT_NE(tx_hash(other), h);
+}
+
+TEST(Block, MakeBlockLinksAndCommits) {
+  std::vector<account::AccountTx> txs(3);
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    txs[i].from = Address::from_seed(i);
+    txs[i].to = Address::from_seed(i + 100);
+  }
+  const auto genesis = make_block<account::AccountTx>(nullptr, txs, 0, 1);
+  EXPECT_EQ(genesis.header.height, 0u);
+  EXPECT_TRUE(genesis.header.prev_hash.is_zero());
+
+  const auto next =
+      make_block<account::AccountTx>(&genesis.header, txs, 10, 1);
+  EXPECT_EQ(next.header.height, 1u);
+  EXPECT_EQ(next.header.prev_hash, genesis.header.hash());
+}
+
+TEST(Ledger, AppendValidatesLinkage) {
+  std::vector<account::AccountTx> txs(1);
+  txs[0].from = Address::from_seed(1);
+  txs[0].to = Address::from_seed(2);
+
+  Ledger<account::AccountTx> ledger;
+  auto genesis = make_block<account::AccountTx>(nullptr, txs, 0, 1);
+  ledger.append(genesis);
+  auto b1 = make_block<account::AccountTx>(&genesis.header, txs, 5, 1);
+  ledger.append(b1);
+  EXPECT_EQ(ledger.height(), 2u);
+  EXPECT_EQ(ledger.total_transactions(), 2u);
+  EXPECT_EQ(ledger.tip().header.height, 1u);
+  EXPECT_EQ(ledger.at(0).header.height, 0u);
+
+  // Wrong prev hash.
+  auto bad = make_block<account::AccountTx>(&genesis.header, txs, 6, 1);
+  EXPECT_THROW(ledger.append(bad), ValidationError);
+
+  // Tampered merkle root.
+  auto b2 = make_block<account::AccountTx>(&b1.header, txs, 6, 1);
+  b2.transactions[0].value = 777;
+  EXPECT_THROW(ledger.append(b2), ValidationError);
+
+  // Backwards timestamp.
+  auto b3 = make_block<account::AccountTx>(&b1.header, txs, 2, 1);
+  EXPECT_THROW(ledger.append(b3), ValidationError);
+}
+
+TEST(Ledger, FirstBlockMustBeGenesis) {
+  std::vector<account::AccountTx> txs(1);
+  txs[0].from = Address::from_seed(1);
+  txs[0].to = Address::from_seed(2);
+  auto genesis = make_block<account::AccountTx>(nullptr, txs, 0, 1);
+  auto b1 = make_block<account::AccountTx>(&genesis.header, txs, 5, 1);
+
+  Ledger<account::AccountTx> ledger;
+  EXPECT_THROW(ledger.append(b1), ValidationError);
+  EXPECT_THROW(ledger.tip(), UsageError);
+}
+
+// ----------------------------------------------------------------------- PoW
+
+TEST(Pow, TargetMonotoneInDifficulty) {
+  // Difficulty 1 accepts everything.
+  EXPECT_TRUE(meets_target(Hash256::from_seed(1), 1));
+  // A higher difficulty accepts a subset.
+  int accepted_lo = 0;
+  int accepted_hi = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const Hash256 h = Hash256::from_seed(i);
+    accepted_lo += meets_target(h, 4) ? 1 : 0;
+    accepted_hi += meets_target(h, 64) ? 1 : 0;
+  }
+  EXPECT_GT(accepted_lo, accepted_hi);
+  // Roughly 1/4 and 1/64 acceptance.
+  EXPECT_NEAR(accepted_lo / 2000.0, 0.25, 0.05);
+  EXPECT_NEAR(accepted_hi / 2000.0, 1.0 / 64, 0.02);
+}
+
+TEST(Pow, MineFindsValidNonce) {
+  BlockHeader header;
+  header.difficulty = 16;
+  const auto nonce = mine_header(header, 100000);
+  ASSERT_TRUE(nonce.has_value());
+  header.nonce = *nonce;
+  EXPECT_TRUE(meets_target(header.hash(), header.difficulty));
+}
+
+TEST(Pow, MineGivesUpAtBudget) {
+  BlockHeader header;
+  header.difficulty = ~std::uint64_t{0};  // essentially impossible
+  EXPECT_FALSE(mine_header(header, 10).has_value());
+}
+
+TEST(Pow, BitcoinRetargetDirection) {
+  // Blocks came twice as fast -> difficulty doubles.
+  EXPECT_EQ(bitcoin_retarget(1000, 500, 1000), 2000u);
+  // Twice as slow -> halves.
+  EXPECT_EQ(bitcoin_retarget(1000, 2000, 1000), 500u);
+  // Perfect -> unchanged.
+  EXPECT_EQ(bitcoin_retarget(1000, 1000, 1000), 1000u);
+}
+
+TEST(Pow, BitcoinRetargetClampsAtFourX) {
+  EXPECT_EQ(bitcoin_retarget(1000, 1, 1000), 4000u);
+  EXPECT_EQ(bitcoin_retarget(1000, 1000000, 1000), 250u);
+}
+
+TEST(Pow, EthereumAdjustDirection) {
+  const std::uint64_t parent = 2048 * 1000;
+  // Fast block -> difficulty rises.
+  EXPECT_GT(ethereum_adjust(parent, 5, 10), parent);
+  // Slow block -> falls.
+  EXPECT_LT(ethereum_adjust(parent, 30, 10), parent);
+  // Never below 1.
+  EXPECT_GE(ethereum_adjust(2, 10000, 10), 1u);
+}
+
+TEST(Pow, SimulatorIntervalMatchesExpectation) {
+  PowSimulator sim(7, 100.0);  // 100 hashes/s
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(sim.next_block_interval(60000));  // mean 600s
+  }
+  EXPECT_NEAR(stats.mean(), 600.0, 15.0);
+}
+
+TEST(Pow, SimulatedRetargetLoopConverges) {
+  // Closed loop: hashrate fixed, difficulty retargeted every 10 blocks
+  // towards a 600 s interval; the mean interval should converge.
+  PowSimulator sim(11, 1000.0);
+  std::uint64_t difficulty = 1000;  // start far too easy
+  const std::uint64_t target_timespan = 6000;
+  double last_timespan = 0.0;
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    double timespan = 0.0;
+    for (int b = 0; b < 10; ++b) {
+      timespan += sim.next_block_interval(difficulty);
+    }
+    difficulty = bitcoin_retarget(
+        difficulty, std::max<std::uint64_t>(1, static_cast<std::uint64_t>(timespan)),
+        target_timespan);
+    last_timespan = timespan;
+  }
+  EXPECT_NEAR(last_timespan, 6000.0, 4000.0);  // converged to the ballpark
+  EXPECT_GT(difficulty, 100000u);              // grew towards ~600k
+}
+
+// ------------------------------------------------------------------- mempool
+
+TEST(Mempool, TakesHighestFeeFirst) {
+  Mempool<int> pool;
+  pool.add(1, 10);
+  pool.add(2, 30);
+  pool.add(3, 20);
+  const auto taken = pool.take(2);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0], 2);
+  EXPECT_EQ(taken[1], 3);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, FifoAmongEqualFees) {
+  Mempool<int> pool;
+  pool.add(1, 10);
+  pool.add(2, 10);
+  pool.add(3, 10);
+  const auto taken = pool.take(3);
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Mempool, TakeMoreThanAvailable) {
+  Mempool<int> pool;
+  pool.add(1, 5);
+  const auto taken = pool.take(10);
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(pool.empty());
+}
+
+}  // namespace
+}  // namespace txconc::chain

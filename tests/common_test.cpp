@@ -1,0 +1,545 @@
+// Unit tests for src/common: codecs, SHA-256, identifiers, PRNG, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/ascii_plot.h"
+#include "common/bytes.h"
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/fmt.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "common/stats.h"
+
+namespace txconc {
+namespace {
+
+Bytes ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---------------------------------------------------------------- hex codecs
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), ParseError);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), ParseError);
+  EXPECT_THROW(from_hex("0g"), ParseError);
+}
+
+// ------------------------------------------------------------- serialization
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0123456789abcdefULL);
+  w.bytes(ascii("payload"));
+  w.str("hello");
+  const Bytes raw = {0xaa, 0xbb};
+  w.raw(raw);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.bytes(), ascii("payload"));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.raw(2), raw);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, ReaderLittleEndian) {
+  const Bytes raw = {0x01, 0x02, 0x03, 0x04};
+  ByteReader r(raw);
+  EXPECT_EQ(r.u32(), 0x04030201u);
+}
+
+TEST(Bytes, ReaderThrowsOnTruncation) {
+  const Bytes raw = {0x01, 0x02};
+  ByteReader r(raw);
+  EXPECT_THROW(r.u32(), ParseError);
+}
+
+TEST(Bytes, ReaderThrowsOnOversizedLengthPrefix) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  ByteReader r(w.data());
+  EXPECT_THROW(r.bytes(), ParseError);
+}
+
+// ------------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(ascii(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = ascii("the quick brown fox jumps over the lazy dog!!");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(std::span(data).first(split));
+    h.update(std::span(data).subspan(split));
+    EXPECT_EQ(h.finalize(), Sha256::hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, DoubleHash) {
+  EXPECT_EQ(to_hex(Sha256::hash_twice({})),
+            "5df6e0e2761359d30a8275058e299fcc0381534545f55cf43e41983f5d4c9456");
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/63/64-byte padding edges.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    const Bytes data(len, 0x5a);
+    Sha256 h;
+    for (std::size_t i = 0; i < len; ++i) {
+      h.update(std::span(&data[i], 1));
+    }
+    EXPECT_EQ(h.finalize(), Sha256::hash(data)) << "len=" << len;
+  }
+}
+
+// --------------------------------------------------------------- identifiers
+
+TEST(Hash256, HexRoundTrip) {
+  const Hash256 h = Hash256::from_seed(42);
+  EXPECT_EQ(Hash256::from_hex(h.to_hex()), h);
+  EXPECT_EQ(h.to_hex().size(), 64u);
+  EXPECT_EQ(h.short_hex(), h.to_hex().substr(0, 4));
+}
+
+TEST(Hash256, FromSeedIsDeterministicAndDistinct) {
+  EXPECT_EQ(Hash256::from_seed(7), Hash256::from_seed(7));
+  EXPECT_NE(Hash256::from_seed(7), Hash256::from_seed(8));
+}
+
+TEST(Hash256, ZeroDetection) {
+  Hash256 z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(Hash256::from_seed(1).is_zero());
+}
+
+TEST(Hash256, RejectsWrongLength) {
+  EXPECT_THROW(Hash256::from_hex("abcd"), ParseError);
+}
+
+TEST(Address, HexRoundTripWithPrefix) {
+  const Address a = Address::from_seed(99);
+  EXPECT_EQ(a.to_hex().substr(0, 2), "0x");
+  EXPECT_EQ(a.to_hex().size(), 42u);
+  EXPECT_EQ(Address::from_hex(a.to_hex()), a);
+  EXPECT_EQ(Address::from_hex(a.to_hex().substr(2)), a);
+}
+
+TEST(Address, ContractDerivationDependsOnCreatorAndNonce) {
+  const Address creator = Address::from_seed(1);
+  const Address other = Address::from_seed(2);
+  EXPECT_EQ(Address::derive_contract(creator, 0),
+            Address::derive_contract(creator, 0));
+  EXPECT_NE(Address::derive_contract(creator, 0),
+            Address::derive_contract(creator, 1));
+  EXPECT_NE(Address::derive_contract(creator, 0),
+            Address::derive_contract(other, 0));
+}
+
+TEST(Address, ShortHexMatchesPaperStyle) {
+  // Paper Figure 1 abbreviates addresses as 0x + 3 hex digits.
+  const Address a = Address::from_seed(5);
+  EXPECT_EQ(a.short_hex().size(), 5u);
+  EXPECT_EQ(a.short_hex().substr(0, 2), "0x");
+}
+
+// ---------------------------------------------------------------------- fmt
+
+TEST(Fmt, FormatsNumbersAndStrings) {
+  EXPECT_EQ(strfmt("%d/%d", 3, 4), "3/4");
+  EXPECT_EQ(strfmt("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(strfmt("%s!", std::string("hi")), "hi!");
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), UsageError);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform_double());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_GE(s.min(), 0.0);
+  EXPECT_LT(s.max(), 1.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(19);
+  RunningStats small;
+  for (int i = 0; i < 50000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+
+  RunningStats large;
+  for (int i = 0; i < 50000; ++i) {
+    large.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(large.mean(), 200.0, 1.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ForkIsIndependentOfParentProgress) {
+  Rng parent(31);
+  Rng fork_before = parent.fork(1);
+  // fork() must not advance the parent.
+  Rng parent_copy(31);
+  EXPECT_EQ(parent.next_u64(), parent_copy.next_u64());
+  // Same fork id at the original state yields the same stream.
+  Rng parent2(31);
+  Rng fork_again = parent2.fork(1);
+  EXPECT_EQ(fork_before.next_u64(), fork_again.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------------ sampling
+
+TEST(ZipfSampler, PmfDecreasesWithRank) {
+  const ZipfSampler zipf(100, 1.0);
+  for (std::size_t r = 1; r < 100; ++r) {
+    EXPECT_GE(zipf.pmf(r - 1), zipf.pmf(r));
+  }
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  const ZipfSampler zipf(50, 1.2);
+  Rng rng(41);
+  std::vector<int> counts(50, 0);
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r : {std::size_t{0}, std::size_t{1}, std::size_t{10}}) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kSamples), zipf.pmf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, HigherExponentConcentratesMore) {
+  const ZipfSampler flat(1000, 0.5);
+  const ZipfSampler steep(1000, 2.0);
+  EXPECT_LT(flat.pmf(0), steep.pmf(0));
+}
+
+TEST(ZipfSampler, RejectsEmptyPopulation) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), UsageError);
+}
+
+TEST(WeightedSampler, RespectsWeights) {
+  const WeightedSampler ws({1.0, 3.0, 0.0, 6.0});
+  Rng rng(43);
+  std::vector<int> counts(4, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[ws.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kSamples), 0.6, 0.01);
+}
+
+TEST(WeightedSampler, RejectsDegenerateInputs) {
+  EXPECT_THROW(WeightedSampler({}), UsageError);
+  EXPECT_THROW(WeightedSampler({0.0, 0.0}), UsageError);
+  EXPECT_THROW(WeightedSampler({1.0, -1.0}), UsageError);
+}
+
+// --------------------------------------------------------------------- stats
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size() - 1;
+
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(WeightedMean, WeightsApplied) {
+  WeightedMean wm;
+  wm.add(1.0, 1.0);
+  wm.add(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(wm.mean(), 31.0 / 4.0);
+  EXPECT_DOUBLE_EQ(wm.weight_sum(), 4.0);
+}
+
+TEST(WeightedMean, RejectsNegativeWeight) {
+  WeightedMean wm;
+  EXPECT_THROW(wm.add(1.0, -1.0), UsageError);
+}
+
+TEST(Quantiles, MedianAndExtremes) {
+  Quantiles q;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) q.add(v);
+  EXPECT_DOUBLE_EQ(q.median(), 3.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.0);
+}
+
+TEST(Quantiles, ThrowsOnEmptyOrBadQ) {
+  Quantiles q;
+  EXPECT_THROW(q.quantile(0.5), UsageError);
+  q.add(1.0);
+  EXPECT_THROW(q.quantile(-0.1), UsageError);
+  EXPECT_THROW(q.quantile(1.1), UsageError);
+}
+
+TEST(Bucketizer, WeightedAveragesPerBucket) {
+  Bucketizer b(2, 0, 99);
+  b.add(10, 1.0, 1.0);
+  b.add(20, 3.0, 1.0);
+  b.add(80, 10.0, 2.0);
+  b.add(90, 40.0, 2.0);
+  const auto series = b.series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(series[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(series[1].value, 25.0);
+  EXPECT_DOUBLE_EQ(series[1].weight, 4.0);
+  EXPECT_LT(series[0].position, series[1].position);
+}
+
+TEST(Bucketizer, SkipsEmptyBuckets) {
+  Bucketizer b(10, 0, 999);
+  b.add(500, 1.0, 1.0);
+  EXPECT_EQ(b.series().size(), 1u);
+}
+
+TEST(Bucketizer, RejectsOutOfRangeHeights) {
+  Bucketizer b(4, 100, 200);
+  EXPECT_THROW(b.add(99, 1.0, 1.0), UsageError);
+  EXPECT_THROW(b.add(201, 1.0, 1.0), UsageError);
+  b.add(100, 1.0, 1.0);
+  b.add(200, 1.0, 1.0);
+  EXPECT_EQ(b.series().size(), 2u);
+}
+
+TEST(Bucketizer, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Bucketizer(0, 0, 10), UsageError);
+  EXPECT_THROW(Bucketizer(4, 10, 5), UsageError);
+}
+
+// ----------------------------------------------------------------------- csv
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row(std::vector<std::string>{"1", "two"});
+  csv.row(std::vector<double>{3.5, 4.0});
+  EXPECT_EQ(out.str(), "a,b\n1,two\n3.5,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x"});
+  csv.row(std::vector<std::string>{"a,b"});
+  csv.row(std::vector<std::string>{"say \"hi\""});
+  EXPECT_EQ(out.str(), "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, EnforcesProtocol) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.row(std::vector<std::string>{"1"}), UsageError);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.header({"again"}), UsageError);
+  EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}), UsageError);
+}
+
+// ---------------------------------------------------------------------- plot
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  LabelledSeries s;
+  s.label = "test-series";
+  for (int i = 0; i < 20; ++i) {
+    s.points.push_back({static_cast<double>(i), static_cast<double>(i % 5), 1.0});
+  }
+  PlotOptions opt;
+  opt.title = "demo";
+  const std::string plot = render_plot({s}, opt);
+  EXPECT_NE(plot.find("demo"), std::string::npos);
+  EXPECT_NE(plot.find("test-series"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptyInput) {
+  const std::string plot = render_plot({}, PlotOptions{});
+  EXPECT_NE(plot.find("(no data)"), std::string::npos);
+}
+
+TEST(ZipfSampler, SingleElementAlwaysRankZero) {
+  const ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.sample(rng), 0u);
+  }
+  EXPECT_DOUBLE_EQ(zipf.pmf(0), 1.0);
+  EXPECT_THROW(zipf.pmf(1), UsageError);
+}
+
+TEST(WeightedSampler, SingleElement) {
+  const WeightedSampler ws({5.0});
+  Rng rng(1);
+  EXPECT_EQ(ws.sample(rng), 0u);
+}
+
+TEST(AsciiPlot, FixedYBoundsClampOutliers) {
+  LabelledSeries s;
+  s.label = "clamped";
+  s.points = {{0.0, -5.0, 1.0}, {1.0, 0.5, 1.0}, {2.0, 50.0, 1.0}};
+  PlotOptions opt;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  const std::string plot = render_plot({s}, opt);
+  // Renders without assertion and keeps the bounds in the axis labels.
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleHandlesWideRanges) {
+  LabelledSeries s;
+  s.label = "wide";
+  s.points = {{0.0, 1.0, 1.0}, {1.0, 10000.0, 1.0}};
+  PlotOptions opt;
+  opt.log_y = true;
+  const std::string plot = render_plot({s}, opt);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace txconc

@@ -1,0 +1,230 @@
+// Tests for the dataset export/import pipeline: CSV round-trips and
+// metric equivalence between the in-memory analyzer and the dataset
+// analyzer (the paper's SQL-pipeline shape).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/block_analyzer.h"
+#include "analysis/calibrate.h"
+#include "analysis/dataset.h"
+#include "common/error.h"
+#include "workload/account_workload.h"
+#include "workload/profiles.h"
+#include "workload/utxo_workload.h"
+
+namespace txconc::analysis {
+namespace {
+
+Dataset make_utxo_dataset(std::uint64_t blocks = 12) {
+  workload::ChainProfile profile = workload::bitcoin_cash_profile();
+  workload::UtxoWorkloadGenerator generator(profile, 11, blocks);
+  return export_dataset(generator);
+}
+
+Dataset make_account_dataset(std::uint64_t blocks = 12) {
+  workload::ChainProfile profile = workload::ethereum_classic_profile();
+  workload::AccountWorkloadGenerator generator(profile, 11, blocks);
+  return export_dataset(generator);
+}
+
+TEST(Dataset, ExportShapesUtxo) {
+  const Dataset ds = make_utxo_dataset();
+  EXPECT_EQ(ds.model, workload::DataModel::kUtxo);
+  EXPECT_EQ(ds.num_blocks, 12u);
+  EXPECT_EQ(ds.txs_per_block.size(), 12u);
+  EXPECT_FALSE(ds.utxo_inputs.empty());
+  EXPECT_TRUE(ds.account_rows.empty());
+  // One coinbase row per block.
+  std::size_t coinbases = 0;
+  for (const auto& row : ds.utxo_inputs) coinbases += row.coinbase ? 1 : 0;
+  EXPECT_EQ(coinbases, 12u);
+}
+
+TEST(Dataset, ExportShapesAccount) {
+  const Dataset ds = make_account_dataset();
+  EXPECT_EQ(ds.model, workload::DataModel::kAccount);
+  EXPECT_FALSE(ds.account_rows.empty());
+  EXPECT_TRUE(ds.utxo_inputs.empty());
+  std::size_t internal = 0;
+  std::size_t regular = 0;
+  for (const auto& row : ds.account_rows) {
+    (row.internal ? internal : regular) += 1;
+  }
+  std::size_t declared = 0;
+  for (std::uint32_t n : ds.txs_per_block) declared += n;
+  EXPECT_EQ(regular, declared);
+  EXPECT_GT(internal, 0u);
+}
+
+TEST(Dataset, CsvRoundTripUtxo) {
+  const Dataset ds = make_utxo_dataset();
+  std::stringstream buffer;
+  write_csv(buffer, ds);
+  const Dataset back = read_csv(buffer);
+
+  EXPECT_EQ(back.chain, ds.chain);
+  EXPECT_EQ(back.model, ds.model);
+  EXPECT_EQ(back.num_blocks, ds.num_blocks);
+  EXPECT_EQ(back.txs_per_block, ds.txs_per_block);
+  ASSERT_EQ(back.utxo_inputs.size(), ds.utxo_inputs.size());
+  for (std::size_t i = 0; i < ds.utxo_inputs.size(); ++i) {
+    EXPECT_EQ(back.utxo_inputs[i].tx_hash, ds.utxo_inputs[i].tx_hash);
+    EXPECT_EQ(back.utxo_inputs[i].spent_tx_hash,
+              ds.utxo_inputs[i].spent_tx_hash);
+    EXPECT_EQ(back.utxo_inputs[i].coinbase, ds.utxo_inputs[i].coinbase);
+  }
+}
+
+TEST(Dataset, CsvRoundTripAccount) {
+  const Dataset ds = make_account_dataset();
+  std::stringstream buffer;
+  write_csv(buffer, ds);
+  const Dataset back = read_csv(buffer);
+
+  ASSERT_EQ(back.account_rows.size(), ds.account_rows.size());
+  for (std::size_t i = 0; i < ds.account_rows.size(); ++i) {
+    EXPECT_EQ(back.account_rows[i].sender, ds.account_rows[i].sender);
+    EXPECT_EQ(back.account_rows[i].receiver, ds.account_rows[i].receiver);
+    EXPECT_EQ(back.account_rows[i].gas_used, ds.account_rows[i].gas_used);
+    EXPECT_EQ(back.account_rows[i].internal, ds.account_rows[i].internal);
+    EXPECT_EQ(back.account_rows[i].creation, ds.account_rows[i].creation);
+  }
+}
+
+TEST(Dataset, ReadRejectsGarbage) {
+  std::stringstream missing_magic("block_number,tx_hash\n");
+  EXPECT_THROW(read_csv(missing_magic), ParseError);
+
+  std::stringstream no_model("# txconc-dataset v1\n# chain,X\nheader\n");
+  EXPECT_THROW(read_csv(no_model), ParseError);
+
+  std::stringstream bad_row(
+      "# txconc-dataset v1\n# model,utxo\nheader\n1,zz\n");
+  EXPECT_THROW(read_csv(bad_row), ParseError);
+}
+
+// The dataset analyzer must reproduce exactly what the in-memory analyzer
+// computed from the original blocks — the SQL pipeline and the library
+// pipeline are two routes to the same numbers.
+TEST(Dataset, UtxoAnalysisMatchesInMemory) {
+  workload::ChainProfile profile = workload::bitcoin_cash_profile();
+  workload::UtxoWorkloadGenerator for_memory(profile, 11, 12);
+  std::vector<core::ConflictStats> expected;
+  for (int b = 0; b < 12; ++b) {
+    expected.push_back(analyze_utxo_block(for_memory.next_block().utxo_txs));
+  }
+
+  const Dataset ds = make_utxo_dataset();  // same seed and length
+  const std::vector<core::ConflictStats> actual = analyze_dataset(ds);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    EXPECT_EQ(actual[b].total_transactions, expected[b].total_transactions);
+    EXPECT_EQ(actual[b].conflicted_transactions,
+              expected[b].conflicted_transactions);
+    EXPECT_EQ(actual[b].lcc_transactions, expected[b].lcc_transactions);
+  }
+}
+
+TEST(Dataset, AccountAnalysisMatchesInMemory) {
+  workload::ChainProfile profile = workload::ethereum_classic_profile();
+  workload::AccountWorkloadGenerator for_memory(profile, 11, 12);
+  std::vector<core::ConflictStats> expected;
+  for (int b = 0; b < 12; ++b) {
+    const auto block = for_memory.next_block();
+    expected.push_back(
+        analyze_account_block(block.account_txs, block.receipts));
+  }
+
+  const Dataset ds = make_account_dataset();
+  const std::vector<core::ConflictStats> actual = analyze_dataset(ds);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    EXPECT_EQ(actual[b].total_transactions, expected[b].total_transactions)
+        << b;
+    EXPECT_EQ(actual[b].conflicted_transactions,
+              expected[b].conflicted_transactions)
+        << b;
+    EXPECT_EQ(actual[b].lcc_transactions, expected[b].lcc_transactions) << b;
+    EXPECT_NEAR(actual[b].weighted_single_rate(),
+                expected[b].weighted_single_rate(), 1e-12)
+        << b;
+  }
+}
+
+TEST(Dataset, RoundTripPreservesAnalysis) {
+  const Dataset ds = make_account_dataset();
+  std::stringstream buffer;
+  write_csv(buffer, ds);
+  const Dataset back = read_csv(buffer);
+
+  const auto before = analyze_dataset(ds);
+  const auto after = analyze_dataset(back);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t b = 0; b < before.size(); ++b) {
+    EXPECT_EQ(before[b].conflicted_transactions,
+              after[b].conflicted_transactions);
+    EXPECT_EQ(before[b].lcc_transactions, after[b].lcc_transactions);
+  }
+}
+
+// ------------------------------------------------------------- profile fit
+
+TEST(FitProfile, RecoversUtxoRates) {
+  // Fit from a Bitcoin-Cash-like dataset, then check the fitted profile
+  // regenerates similar conflict rates.
+  workload::ChainProfile source = workload::bitcoin_cash_profile();
+  source.default_blocks = 40;
+  workload::UtxoWorkloadGenerator generator(source, 5);
+  const Dataset dataset = export_dataset(generator);
+
+  const FitResult fit = fit_profile(dataset, {.eval_blocks = 40, .seed = 6});
+  EXPECT_EQ(fit.profile.model, workload::DataModel::kUtxo);
+  EXPECT_GT(fit.iterations, 0u);
+  EXPECT_NEAR(fit.fitted_single_rate, fit.source_single_rate, 0.12);
+  EXPECT_NEAR(fit.fitted_group_rate, fit.source_group_rate, 0.12);
+  // The load magnitude carried over.
+  EXPECT_NEAR(fit.profile.eras.back().txs_per_block,
+              source.at(1.0).txs_per_block,
+              source.at(1.0).txs_per_block * 0.5);
+}
+
+TEST(FitProfile, RecoversAccountRates) {
+  workload::ChainProfile source = workload::ethereum_classic_profile();
+  source.default_blocks = 40;
+  workload::AccountWorkloadGenerator generator(source, 5);
+  const Dataset dataset = export_dataset(generator);
+
+  const FitResult fit = fit_profile(dataset, {.eval_blocks = 40, .seed = 6});
+  EXPECT_EQ(fit.profile.model, workload::DataModel::kAccount);
+  EXPECT_NEAR(fit.fitted_single_rate, fit.source_single_rate, 0.15);
+  EXPECT_NEAR(fit.fitted_group_rate, fit.source_group_rate, 0.18);
+}
+
+TEST(FitProfile, FittedProfileDrivesGenerators) {
+  // The fitted profile is a valid ChainProfile end to end.
+  workload::ChainProfile source = workload::litecoin_profile();
+  source.default_blocks = 20;
+  workload::UtxoWorkloadGenerator generator(source, 5);
+  const FitResult fit =
+      fit_profile(export_dataset(generator), {.eval_blocks = 20});
+  workload::UtxoWorkloadGenerator regen(fit.profile, 123, 10);
+  std::size_t txs = 0;
+  for (int b = 0; b < 10; ++b) txs += regen.next_block().utxo_txs.size();
+  EXPECT_GT(txs, 10u);
+}
+
+TEST(FitProfile, RejectsDegenerateInputs) {
+  Dataset empty;
+  empty.model = workload::DataModel::kUtxo;
+  EXPECT_THROW(fit_profile(empty), UsageError);
+
+  workload::ChainProfile source = workload::litecoin_profile();
+  source.default_blocks = 5;
+  workload::UtxoWorkloadGenerator generator(source, 5);
+  const Dataset ds = export_dataset(generator);
+  EXPECT_THROW(fit_profile(ds, {.num_eras = 0}), UsageError);
+}
+
+}  // namespace
+}  // namespace txconc::analysis

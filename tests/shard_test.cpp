@@ -1,0 +1,516 @@
+// Tests for the Zilliqa-style sharding substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include <cmath>
+
+#include "common/stats.h"
+#include "shard/cross_shard.h"
+#include "shard/election.h"
+#include "shard/pbft.h"
+#include "shard/sharding.h"
+
+namespace txconc::shard {
+namespace {
+
+account::AccountTx tx_between(std::uint64_t from_seed, std::uint64_t to_seed) {
+  account::AccountTx tx;
+  tx.from = Address::from_seed(from_seed);
+  tx.to = Address::from_seed(to_seed);
+  return tx;
+}
+
+// ---------------------------------------------------------------------- pbft
+
+TEST(Pbft, MessageCountQuadratic) {
+  // (n-1) + 2n(n-1)
+  EXPECT_EQ(pbft_message_count(4), 3u + 24u);
+  EXPECT_EQ(pbft_message_count(10), 9u + 180u);
+  // Quadratic growth: 10x nodes -> ~100x messages.
+  EXPECT_GT(pbft_message_count(100), 50 * pbft_message_count(10));
+}
+
+TEST(Pbft, EmptyCommitteeRejected) {
+  EXPECT_THROW(pbft_message_count(0), UsageError);
+}
+
+TEST(Pbft, RoundLatencyIsThreePhases) {
+  PbftConfig config;
+  config.message_latency = 0.5;
+  EXPECT_DOUBLE_EQ(pbft_round_latency(config), 1.5);
+}
+
+TEST(Pbft, FaultFreeRoundDeterministic) {
+  PbftConfig config;
+  config.committee_size = 10;
+  config.faulty_leader_probability = 0.0;
+  PbftSimulator sim(1, config);
+  const PbftOutcome outcome = sim.run_round();
+  EXPECT_EQ(outcome.view_changes, 0u);
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, pbft_round_latency(config));
+  EXPECT_EQ(outcome.messages, pbft_message_count(10));
+}
+
+TEST(Pbft, FaultyLeadersCauseViewChanges) {
+  PbftConfig config;
+  config.committee_size = 10;
+  config.faulty_leader_probability = 0.5;
+  PbftSimulator sim(1, config);
+  std::size_t total_view_changes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    total_view_changes += sim.run_round().view_changes;
+  }
+  // Expected view changes per round: p/(1-p) = 1.
+  EXPECT_NEAR(total_view_changes / 2000.0, 1.0, 0.15);
+}
+
+TEST(Pbft, RejectsBadConfig) {
+  PbftConfig too_small;
+  too_small.committee_size = 3;
+  EXPECT_THROW(PbftSimulator(1, too_small), UsageError);
+
+  PbftConfig bad_prob;
+  bad_prob.faulty_leader_probability = 1.0;
+  EXPECT_THROW(PbftSimulator(1, bad_prob), UsageError);
+}
+
+// ------------------------------------------------------------------ sharding
+
+TEST(Sharding, AssignmentDeterministicAndInRange) {
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    const Address a = Address::from_seed(s);
+    const unsigned shard = shard_of(a, 4);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, shard_of(a, 4));
+  }
+  EXPECT_THROW(shard_of(Address::from_seed(1), 0), UsageError);
+}
+
+TEST(Sharding, AssignmentRoughlyBalanced) {
+  std::vector<int> counts(4, 0);
+  for (std::uint64_t s = 0; s < 4000; ++s) {
+    ++counts[shard_of(Address::from_seed(s), 4)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(Sharding, CrossShardDetection) {
+  // Find two addresses in the same shard and two in different shards.
+  const Address a = Address::from_seed(1);
+  Address same;
+  Address different;
+  for (std::uint64_t s = 2;; ++s) {
+    const Address b = Address::from_seed(s);
+    if (shard_of(b, 4) == shard_of(a, 4)) {
+      same = b;
+      break;
+    }
+  }
+  for (std::uint64_t s = 2;; ++s) {
+    const Address b = Address::from_seed(s);
+    if (shard_of(b, 4) != shard_of(a, 4)) {
+      different = b;
+      break;
+    }
+  }
+  account::AccountTx intra;
+  intra.from = a;
+  intra.to = same;
+  EXPECT_FALSE(is_cross_shard(intra, 4));
+
+  account::AccountTx cross;
+  cross.from = a;
+  cross.to = different;
+  EXPECT_TRUE(is_cross_shard(cross, 4));
+
+  account::AccountTx creation;
+  creation.from = a;
+  EXPECT_FALSE(is_cross_shard(creation, 4));
+}
+
+class ZilliqaTest : public ::testing::Test {
+ protected:
+  ShardConfig config() {
+    ShardConfig c;
+    c.num_shards = 4;
+    c.pbft.committee_size = 10;
+    c.pbft.message_latency = 0.1;
+    c.shard_capacity = 100;
+    c.state_sync_latency = 5.0;
+    return c;
+  }
+};
+
+TEST_F(ZilliqaTest, PartitionsBySenderAndRejectsCrossShard) {
+  ZilliqaSimulator sim(1, config());
+  std::vector<account::AccountTx> pending;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    pending.push_back(tx_between(s, s + 1000));
+  }
+  const std::size_t total = pending.size();
+  const EpochResult result = sim.run_epoch(std::move(pending));
+
+  // Every transaction is either accepted, rejected, or deferred.
+  EXPECT_EQ(result.final_block.size() + result.rejected_cross_shard.size() +
+                result.deferred.size(),
+            total);
+  // Roughly 3/4 of random transactions are cross-shard with 4 committees.
+  EXPECT_NEAR(static_cast<double>(result.rejected_cross_shard.size()) / total,
+              0.75, 0.12);
+
+  // Accepted transactions sit in their sender's micro-block.
+  for (const MicroBlock& micro : result.micro_blocks) {
+    for (const auto& tx : micro.transactions) {
+      EXPECT_EQ(shard_of(tx.from, 4), micro.shard);
+      EXPECT_FALSE(is_cross_shard(tx, 4));
+    }
+  }
+  // Latency includes consensus and the state-sync penalty.
+  EXPECT_GT(result.latency_seconds, 5.0);
+  EXPECT_GT(result.total_messages, 0u);
+}
+
+TEST_F(ZilliqaTest, CapacityDefersOverflow) {
+  ShardConfig c = config();
+  c.shard_capacity = 5;
+  ZilliqaSimulator sim(1, c);
+
+  // Many same-shard transactions from one sender.
+  const Address sender = Address::from_seed(1);
+  Address same_shard_receiver;
+  for (std::uint64_t s = 2;; ++s) {
+    if (shard_of(Address::from_seed(s), 4) == shard_of(sender, 4)) {
+      same_shard_receiver = Address::from_seed(s);
+      break;
+    }
+  }
+  std::vector<account::AccountTx> pending(20);
+  for (auto& tx : pending) {
+    tx.from = sender;
+    tx.to = same_shard_receiver;
+  }
+  const EpochResult result = sim.run_epoch(std::move(pending));
+  EXPECT_EQ(result.final_block.size(), 5u);
+  EXPECT_EQ(result.deferred.size(), 15u);
+  EXPECT_TRUE(result.rejected_cross_shard.empty());
+}
+
+TEST_F(ZilliqaTest, MoreShardsRaiseAggregateThroughputCeiling) {
+  // With the same per-shard capacity, more committees accept more of a
+  // same-shard-friendly workload.
+  ShardConfig c2 = config();
+  c2.num_shards = 2;
+  c2.shard_capacity = 10;
+  ShardConfig c8 = config();
+  c8.num_shards = 8;
+  c8.shard_capacity = 10;
+
+  std::vector<account::AccountTx> pending;
+  for (std::uint64_t s = 0; s < 400; ++s) {
+    // Same-shard under any power-of-two shard count: to == from.
+    account::AccountTx tx;
+    tx.from = Address::from_seed(s);
+    tx.to = tx.from;
+    pending.push_back(tx);
+  }
+  ZilliqaSimulator sim2(1, c2);
+  ZilliqaSimulator sim8(1, c8);
+  const auto r2 = sim2.run_epoch(pending);
+  const auto r8 = sim8.run_epoch(pending);
+  EXPECT_EQ(r2.final_block.size(), 20u);
+  EXPECT_EQ(r8.final_block.size(), 80u);
+}
+
+// ------------------------------------------------------------- cross-shard
+
+class CrossShardTest : public ::testing::Test {
+ protected:
+  CrossShardTest() : coordinator_(1, config()) {}
+
+  static ShardConfig config() {
+    ShardConfig c;
+    c.num_shards = 4;
+    c.pbft.committee_size = 8;
+    c.pbft.message_latency = 0.1;
+    return c;
+  }
+
+  /// Fund an address in its own committee's state.
+  void fund(const Address& a, std::uint64_t v) {
+    const unsigned shard = shard_of(a, 4);
+    coordinator_.shard_state(shard).set_balance(a, v);
+    coordinator_.shard_state(shard).flush_journal();
+  }
+
+  /// The (skip+1)-th distinct address mapping to the given committee.
+  static Address address_in_shard(unsigned shard, std::uint64_t skip = 0) {
+    for (std::uint64_t s = 0;; ++s) {
+      const Address a = Address::from_seed(0xc0de + s * 131);
+      if (shard_of(a, 4) == shard) {
+        if (skip == 0) return a;
+        --skip;
+      }
+    }
+  }
+
+  CrossShardCoordinator coordinator_;
+};
+
+TEST_F(CrossShardTest, SameShardTransferDirect) {
+  const Address a = address_in_shard(1, 0);
+  const Address b = address_in_shard(1, 1);
+  fund(a, 1000);
+
+  account::AccountTx tx;
+  tx.from = a;
+  tx.to = b;
+  tx.value = 400;
+  const CrossShardOutcome outcome = coordinator_.transfer(tx);
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_EQ(coordinator_.shard_state(1).balance(b), 400u);
+  // One consensus round only.
+  EXPECT_NEAR(outcome.latency_seconds, 0.3, 1e-9);
+}
+
+TEST_F(CrossShardTest, CrossShardCommitMovesValueAtomically) {
+  const Address a = address_in_shard(0);
+  const Address b = address_in_shard(3);
+  fund(a, 1000);
+  const std::uint64_t supply = coordinator_.total_supply();
+
+  account::AccountTx tx;
+  tx.from = a;
+  tx.to = b;
+  tx.value = 250;
+  const CrossShardOutcome outcome = coordinator_.transfer(tx);
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_TRUE(outcome.proof.accepted);
+  EXPECT_EQ(outcome.proof.source_shard, 0u);
+  EXPECT_EQ(outcome.proof.dest_shard, 3u);
+  EXPECT_EQ(coordinator_.shard_state(0).balance(a), 750u);
+  EXPECT_EQ(coordinator_.shard_state(3).balance(b), 250u);
+  EXPECT_EQ(coordinator_.escrow_total(), 0u);
+  EXPECT_EQ(coordinator_.total_supply(), supply);
+  // Two consensus rounds.
+  EXPECT_NEAR(outcome.latency_seconds, 0.6, 1e-9);
+}
+
+TEST_F(CrossShardTest, InsufficientFundsYieldsRejectionProof) {
+  const Address a = address_in_shard(0);
+  const Address b = address_in_shard(2);
+  fund(a, 10);
+
+  account::AccountTx tx;
+  tx.from = a;
+  tx.to = b;
+  tx.value = 9999;
+  const CrossShardOutcome outcome = coordinator_.transfer(tx);
+  EXPECT_FALSE(outcome.committed);
+  EXPECT_FALSE(outcome.proof.accepted);
+  EXPECT_EQ(coordinator_.shard_state(0).balance(a), 10u);
+  EXPECT_EQ(coordinator_.escrow_total(), 0u);
+}
+
+TEST_F(CrossShardTest, DestinationRejectionUnlocksEscrow) {
+  const Address a = address_in_shard(0);
+  const Address b = address_in_shard(2);
+  fund(a, 1000);
+  const std::uint64_t supply = coordinator_.total_supply();
+
+  account::AccountTx tx;
+  tx.from = a;
+  tx.to = b;
+  tx.value = 500;
+  const CrossShardOutcome outcome =
+      coordinator_.transfer(tx, /*force_dest_reject=*/true);
+  EXPECT_FALSE(outcome.committed);
+  EXPECT_TRUE(outcome.proof.accepted);  // lock succeeded, redeem refused
+  // Abort left no trace: funds unlocked, nothing credited.
+  EXPECT_EQ(coordinator_.shard_state(0).balance(a), 1000u);
+  EXPECT_EQ(coordinator_.shard_state(2).balance(b), 0u);
+  EXPECT_EQ(coordinator_.escrow_total(), 0u);
+  EXPECT_EQ(coordinator_.total_supply(), supply);
+  // Three consensus rounds (lock, refused redeem, unlock).
+  EXPECT_NEAR(outcome.latency_seconds, 0.9, 1e-9);
+}
+
+TEST_F(CrossShardTest, CreationNotRouted) {
+  account::AccountTx creation;
+  creation.from = address_in_shard(0);
+  const CrossShardOutcome outcome = coordinator_.transfer(creation);
+  EXPECT_FALSE(outcome.committed);
+}
+
+// Property: random transfer mixes (including forced aborts) conserve the
+// total supply and leave no funds stuck in escrow.
+class CrossShardConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossShardConservation, SupplyConservedNoEscrowLeak) {
+  ShardConfig config;
+  config.num_shards = 4;
+  config.pbft.committee_size = 8;
+  CrossShardCoordinator coordinator(GetParam(), config);
+
+  Rng rng(GetParam());
+  std::vector<Address> accounts;
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    accounts.push_back(Address::from_seed(500 + s));
+    const unsigned shard = shard_of(accounts.back(), 4);
+    coordinator.shard_state(shard).set_balance(accounts.back(), 1000);
+    coordinator.shard_state(shard).flush_journal();
+  }
+  const std::uint64_t supply = coordinator.total_supply();
+  ASSERT_EQ(supply, 16u * 1000u);
+
+  std::size_t commits = 0;
+  for (int i = 0; i < 200; ++i) {
+    account::AccountTx tx;
+    tx.from = accounts[rng.uniform(accounts.size())];
+    tx.to = accounts[rng.uniform(accounts.size())];
+    tx.value = rng.uniform(1500);  // sometimes unaffordable
+    const bool force_reject = rng.bernoulli(0.2);
+    commits += coordinator.transfer(tx, force_reject).committed ? 1 : 0;
+  }
+  EXPECT_GT(commits, 0u);
+  EXPECT_EQ(coordinator.total_supply(), supply);
+  EXPECT_EQ(coordinator.escrow_total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossShardConservation,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------- elections
+
+TEST(Election, CommitteesAreExactlyFilled) {
+  ElectionConfig config;
+  config.num_shards = 3;
+  config.committee_size = 50;
+  CommitteeElection election(1, config);
+  const std::vector<double> power(200, 1.0);
+  const std::vector<std::uint8_t> adversarial(200, 0);
+  const ElectionResult result = election.run_epoch(power, adversarial);
+  ASSERT_EQ(result.committees.size(), 3u);
+  for (const auto& committee : result.committees) {
+    EXPECT_EQ(committee.size(), 50u);
+  }
+  EXPECT_EQ(result.compromised, 0u);
+}
+
+TEST(Election, SeatsProportionalToHashPower) {
+  ElectionConfig config;
+  config.num_shards = 4;
+  config.committee_size = 500;
+  CommitteeElection election(2, config);
+  // Node 0 holds half of the total power.
+  std::vector<double> power(101, 0.01);
+  power[0] = 1.0;
+  const std::vector<std::uint8_t> adversarial(101, 0);
+  const ElectionResult result = election.run_epoch(power, adversarial);
+  std::size_t node0_seats = 0;
+  for (const auto& committee : result.committees) {
+    for (std::uint32_t member : committee) {
+      if (member == 0) ++node0_seats;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(node0_seats) / 2000.0, 0.5, 0.05);
+}
+
+TEST(Election, AdversaryFractionConcentratesAroundPower) {
+  ElectionConfig config;
+  config.num_shards = 4;
+  config.committee_size = 600;
+  CommitteeElection election(3, config);
+  std::vector<double> power(1000, 1.0);
+  std::vector<std::uint8_t> adversarial(1000, 0);
+  for (std::size_t i = 0; i < 200; ++i) adversarial[i] = 1;  // 20%
+
+  RunningStats fractions;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const ElectionResult result = election.run_epoch(power, adversarial);
+    for (double f : result.adversary_fraction) fractions.add(f);
+    EXPECT_EQ(result.compromised, 0u);  // 20% << 33% at size 600
+  }
+  EXPECT_NEAR(fractions.mean(), 0.2, 0.02);
+}
+
+TEST(Election, SmallCommitteesGetCompromised) {
+  // With 30% adversarial power, committees of 10 are regularly captured
+  // while committees of 600 essentially never are — the paper's sharding
+  // security argument in numbers.
+  ElectionConfig small;
+  small.num_shards = 8;
+  small.committee_size = 10;
+  CommitteeElection election(4, small);
+  std::vector<double> power(1000, 1.0);
+  std::vector<std::uint8_t> adversarial(1000, 0);
+  for (std::size_t i = 0; i < 300; ++i) adversarial[i] = 1;
+
+  unsigned compromised = 0;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    compromised += election.run_epoch(power, adversarial).compromised;
+  }
+  EXPECT_GT(compromised, 0u);
+}
+
+TEST(Election, CompromiseProbabilityMatchesBinomial) {
+  // n=10, p=0.3, threshold 1/3 -> P(X >= 4) for X ~ Bin(10, 0.3).
+  double expected = 0.0;
+  const double p = 0.3;
+  auto choose = [](int n, int k) {
+    double c = 1.0;
+    for (int i = 0; i < k; ++i) c = c * (n - i) / (i + 1);
+    return c;
+  };
+  for (int k = 4; k <= 10; ++k) {
+    expected += choose(10, k) * std::pow(p, k) * std::pow(1 - p, 10 - k);
+  }
+  EXPECT_NEAR(committee_compromise_probability(10, 0.3), expected, 1e-12);
+}
+
+TEST(Election, CompromiseProbabilityShrinksWithCommitteeSize) {
+  const double p30_10 = committee_compromise_probability(10, 0.30);
+  const double p30_100 = committee_compromise_probability(100, 0.30);
+  const double p30_600 = committee_compromise_probability(600, 0.30);
+  EXPECT_GT(p30_10, p30_100);
+  EXPECT_GT(p30_100, p30_600);
+  EXPECT_LT(p30_600, 0.05);
+  // Degenerate cases.
+  EXPECT_DOUBLE_EQ(committee_compromise_probability(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(committee_compromise_probability(100, 1.0), 1.0);
+}
+
+TEST(Election, EmpiricalMatchesAnalytic) {
+  // Monte-Carlo committee capture rate vs the binomial tail.
+  ElectionConfig config;
+  config.num_shards = 10;
+  config.committee_size = 30;
+  CommitteeElection election(5, config);
+  std::vector<double> power(3000, 1.0);
+  std::vector<std::uint8_t> adversarial(3000, 0);
+  for (std::size_t i = 0; i < 750; ++i) adversarial[i] = 1;  // 25%
+
+  unsigned compromised = 0;
+  const int epochs = 300;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    compromised += election.run_epoch(power, adversarial).compromised;
+  }
+  const double empirical =
+      static_cast<double>(compromised) / (epochs * config.num_shards);
+  const double analytic = committee_compromise_probability(30, 0.25);
+  EXPECT_NEAR(empirical, analytic, 0.05);
+}
+
+TEST(Election, RejectsBadInputs) {
+  CommitteeElection election(1, {});
+  const std::vector<double> power(5, 1.0);
+  const std::vector<std::uint8_t> wrong(4, 0);
+  EXPECT_THROW(election.run_epoch(power, wrong), UsageError);
+  EXPECT_THROW(committee_compromise_probability(0, 0.3), UsageError);
+  EXPECT_THROW(committee_compromise_probability(10, 1.5), UsageError);
+}
+
+}  // namespace
+}  // namespace txconc::shard

@@ -1,0 +1,182 @@
+// Tests for the authenticated state trie and its node integration.
+#include <gtest/gtest.h>
+
+#include "account/state.h"
+#include "account/state_trie.h"
+#include "common/rng.h"
+
+namespace txconc::account {
+namespace {
+
+Address addr(std::uint64_t seed) { return Address::from_seed(seed); }
+Hash256 digest(std::uint64_t seed) { return Hash256::from_seed(seed); }
+
+TEST(StateTrie, EmptyRootIsStable) {
+  StateTrie a;
+  StateTrie b;
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(StateTrie, UpdateChangesRootDeterministically) {
+  StateTrie a;
+  StateTrie b;
+  const Hash256 empty_root = a.root();
+
+  a.update(addr(1), digest(100));
+  EXPECT_NE(a.root(), empty_root);
+  EXPECT_EQ(a.size(), 1u);
+
+  b.update(addr(1), digest(100));
+  EXPECT_EQ(a.root(), b.root());
+
+  // Different value, different root.
+  b.update(addr(1), digest(101));
+  EXPECT_NE(a.root(), b.root());
+  EXPECT_EQ(b.size(), 1u);  // update, not insert
+}
+
+TEST(StateTrie, OrderIndependent) {
+  StateTrie a;
+  StateTrie b;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    a.update(addr(s), digest(s));
+  }
+  for (std::uint64_t s = 50; s-- > 0;) {
+    b.update(addr(s), digest(s));
+  }
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.size(), 50u);
+}
+
+TEST(StateTrie, EraseRestoresPriorRoot) {
+  StateTrie trie;
+  trie.update(addr(1), digest(1));
+  const Hash256 one = trie.root();
+  trie.update(addr(2), digest(2));
+  trie.erase(addr(2));
+  EXPECT_EQ(trie.root(), one);
+  EXPECT_EQ(trie.size(), 1u);
+  // Erasing an absent key is a no-op.
+  trie.erase(addr(99));
+  EXPECT_EQ(trie.root(), one);
+}
+
+TEST(StateTrie, ZeroDigestMeansErase) {
+  StateTrie trie;
+  const Hash256 empty_root = trie.root();
+  trie.update(addr(1), digest(1));
+  trie.update(addr(1), Hash256{});
+  EXPECT_EQ(trie.root(), empty_root);
+  EXPECT_EQ(trie.size(), 0u);
+}
+
+TEST(StateTrie, ProofsVerifyForMembersAndAbsence) {
+  StateTrie trie;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    trie.update(addr(s), digest(s));
+  }
+  const Hash256 root = trie.root();
+
+  // Membership.
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const StateTrie::Proof proof = trie.prove(addr(s));
+    EXPECT_EQ(proof.leaf, digest(s));
+    EXPECT_TRUE(StateTrie::verify(proof, root)) << s;
+  }
+  // Non-membership: absent addresses prove the empty leaf.
+  const StateTrie::Proof absent = trie.prove(addr(999));
+  EXPECT_TRUE(absent.leaf.is_zero());
+  EXPECT_TRUE(StateTrie::verify(absent, root));
+}
+
+TEST(StateTrie, ForgedProofsFail) {
+  StateTrie trie;
+  trie.update(addr(1), digest(1));
+  trie.update(addr(2), digest(2));
+  const Hash256 root = trie.root();
+
+  StateTrie::Proof proof = trie.prove(addr(1));
+  // Wrong leaf value.
+  StateTrie::Proof forged = proof;
+  forged.leaf = digest(42);
+  EXPECT_FALSE(StateTrie::verify(forged, root));
+  // Wrong address (path mismatch).
+  forged = proof;
+  forged.address = addr(3);
+  EXPECT_FALSE(StateTrie::verify(forged, root));
+  // Tampered sibling.
+  forged = proof;
+  forged.siblings[5] = digest(7);
+  EXPECT_FALSE(StateTrie::verify(forged, root));
+  // Truncated proof.
+  forged = proof;
+  forged.siblings.pop_back();
+  EXPECT_FALSE(StateTrie::verify(forged, root));
+}
+
+TEST(StateTrie, RandomChurnKeepsRootConsistent) {
+  // Property: after any sequence of updates/erases, the root equals that
+  // of a freshly built trie with the same final contents.
+  Rng rng(7);
+  StateTrie churned;
+  std::unordered_map<std::uint64_t, Hash256> reference;
+  for (int step = 0; step < 500; ++step) {
+    const std::uint64_t key = rng.uniform(60);
+    if (rng.bernoulli(0.3)) {
+      churned.erase(addr(key));
+      reference.erase(key);
+    } else {
+      const Hash256 value = digest(rng.next_u64());
+      churned.update(addr(key), value);
+      reference[key] = value;
+    }
+  }
+  StateTrie fresh;
+  for (const auto& [key, value] : reference) {
+    fresh.update(addr(key), value);
+  }
+  EXPECT_EQ(churned.root(), fresh.root());
+  EXPECT_EQ(churned.size(), reference.size());
+}
+
+TEST(StateTrie, BuildFromStateDbTracksState) {
+  StateDb state;
+  state.set_balance(addr(1), 100);
+  state.set_balance(addr(2), 200);
+  state.set_storage(addr(3), 5, 50);
+  const Hash256 root1 = build_state_trie(state).root();
+
+  // Same logical state, different construction order -> same root.
+  StateDb state2;
+  state2.set_storage(addr(3), 5, 50);
+  state2.set_balance(addr(2), 200);
+  state2.set_balance(addr(1), 100);
+  EXPECT_EQ(build_state_trie(state2).root(), root1);
+
+  // Any change moves the root.
+  state.set_balance(addr(1), 101);
+  EXPECT_NE(build_state_trie(state).root(), root1);
+
+  // Touched-but-default accounts do not affect the root.
+  StateDb state3;
+  state3.set_balance(addr(1), 100);
+  state3.set_balance(addr(2), 200);
+  state3.set_storage(addr(3), 5, 50);
+  state3.set_balance(addr(9), 0);  // default-state account
+  EXPECT_EQ(build_state_trie(state3).root(), root1);
+}
+
+TEST(StateTrie, AccountProofAuthenticatesBalance) {
+  // End-to-end light-client flow: prove an account's digest against the
+  // committed root, then check the digest matches the claimed state.
+  StateDb state;
+  state.set_balance(addr(1), 12345);
+  const StateTrie trie = build_state_trie(state);
+  const StateTrie::Proof proof = trie.prove(addr(1));
+  ASSERT_TRUE(StateTrie::verify(proof, trie.root()));
+  EXPECT_EQ(proof.leaf, state.account_digest(addr(1)));
+}
+
+}  // namespace
+}  // namespace txconc::account

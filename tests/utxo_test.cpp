@@ -1,0 +1,470 @@
+// Tests for the UTXO substrate: scripts, transactions, and the UTXO set.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "utxo/script.h"
+#include "utxo/transaction.h"
+#include "utxo/utxo_set.h"
+
+namespace txconc::utxo {
+namespace {
+
+Bytes pubkey_for(std::uint64_t seed) {
+  const Hash256 h = Hash256::from_seed(seed);
+  return Bytes(h.bytes.begin(), h.bytes.end());
+}
+
+Hash256 pubkey_hash(const Bytes& pubkey) { return Hash256::digest_of(pubkey); }
+
+// -------------------------------------------------------------------- script
+
+TEST(Script, TrivialTrue) {
+  const Script unlock = ScriptBuilder{}.op(Op::kTrue).build();
+  const Script lock;  // empty
+  const auto result = run_scripts(unlock, lock, Hash256{});
+  EXPECT_TRUE(result.success);
+}
+
+TEST(Script, EmptyStackFails) {
+  const auto result = run_scripts(Script{}, Script{}, Hash256{});
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.failure_reason, "final stack not truthy");
+}
+
+TEST(Script, FalseTopFails) {
+  const Script unlock = ScriptBuilder{}.op(Op::kFalse).build();
+  EXPECT_FALSE(run_scripts(unlock, Script{}, Hash256{}).success);
+}
+
+TEST(Script, ArithmeticAndEquality) {
+  // 2 + 3 == 5
+  Script unlock = ScriptBuilder{}.push_int(2).push_int(3).build();
+  Script lock = ScriptBuilder{}.op(Op::kAdd).push_int(5).op(Op::kEqual).build();
+  EXPECT_TRUE(run_scripts(unlock, lock, Hash256{}).success);
+
+  lock = ScriptBuilder{}.op(Op::kAdd).push_int(6).op(Op::kEqual).build();
+  EXPECT_FALSE(run_scripts(unlock, lock, Hash256{}).success);
+}
+
+TEST(Script, SubtractionOrder) {
+  // push 10, push 3, SUB -> 7 (second-popped minus top).
+  const Script s =
+      ScriptBuilder{}.push_int(10).push_int(3).op(Op::kSub).push_int(7)
+          .op(Op::kEqual).build();
+  EXPECT_TRUE(run_scripts(s, Script{}, Hash256{}).success);
+}
+
+TEST(Script, DupSwapDrop) {
+  const Script s = ScriptBuilder{}
+                       .push_int(1)
+                       .push_int(2)
+                       .op(Op::kSwap)   // [2, 1]
+                       .op(Op::kDrop)   // [2]
+                       .op(Op::kDup)    // [2, 2]
+                       .op(Op::kEqual)  // [1]
+                       .build();
+  EXPECT_TRUE(run_scripts(s, Script{}, Hash256{}).success);
+}
+
+TEST(Script, VerifySemantics) {
+  const Script ok = ScriptBuilder{}.op(Op::kTrue).op(Op::kVerify).op(Op::kTrue).build();
+  EXPECT_TRUE(run_scripts(ok, Script{}, Hash256{}).success);
+  const Script bad = ScriptBuilder{}.op(Op::kFalse).op(Op::kVerify).op(Op::kTrue).build();
+  EXPECT_FALSE(run_scripts(bad, Script{}, Hash256{}).success);
+}
+
+TEST(Script, StackUnderflowFails) {
+  const Script s = ScriptBuilder{}.op(Op::kAdd).build();
+  const auto result = run_scripts(s, Script{}, Hash256{});
+  EXPECT_FALSE(result.success);
+}
+
+TEST(Script, UnknownOpcodeFails) {
+  Script s;
+  s.code = {0xee};
+  EXPECT_FALSE(run_scripts(s, Script{}, Hash256{}).success);
+}
+
+TEST(Script, TruncatedPushFails) {
+  Script s;
+  s.code = {static_cast<std::uint8_t>(Op::kPush), 10, 1, 2};  // claims 10 bytes
+  EXPECT_FALSE(run_scripts(s, Script{}, Hash256{}).success);
+}
+
+TEST(Script, OversizedPushThrowsAtBuildTime) {
+  ScriptBuilder b;
+  const Bytes big(300, 0);
+  EXPECT_THROW(b.push(big), UsageError);
+}
+
+TEST(Script, OpBudgetEnforced) {
+  // 2000 TRUE opcodes exceed the 1000-op budget.
+  ScriptBuilder b;
+  for (int i = 0; i < 2000; ++i) b.op(Op::kTrue);
+  const auto result = run_scripts(b.build(), Script{}, Hash256{});
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure_reason.find("too long"), std::string::npos);
+}
+
+TEST(Script, P2pkhHappyPath) {
+  const Bytes pubkey = pubkey_for(1);
+  const Hash256 txid = Hash256::from_seed(100);
+  const Script lock = p2pkh_lock(pubkey_hash(pubkey));
+  const Script unlock = p2pkh_unlock(pubkey, txid);
+  const auto result = run_scripts(unlock, lock, txid);
+  EXPECT_TRUE(result.success) << result.failure_reason;
+  EXPECT_GT(result.ops_executed, 0u);
+}
+
+TEST(Script, P2pkhWrongKeyFails) {
+  const Bytes right = pubkey_for(1);
+  const Bytes wrong = pubkey_for(2);
+  const Hash256 txid = Hash256::from_seed(100);
+  const Script lock = p2pkh_lock(pubkey_hash(right));
+  const Script unlock = p2pkh_unlock(wrong, txid);
+  EXPECT_FALSE(run_scripts(unlock, lock, txid).success);
+}
+
+TEST(Script, P2pkhSignatureBoundToTxid) {
+  // A signature over a different txid must not verify (no replay).
+  const Bytes pubkey = pubkey_for(1);
+  const Script lock = p2pkh_lock(pubkey_hash(pubkey));
+  const Script unlock = p2pkh_unlock(pubkey, Hash256::from_seed(1));
+  EXPECT_FALSE(run_scripts(unlock, lock, Hash256::from_seed(2)).success);
+}
+
+// --------------------------------------------------------------- transaction
+
+TEST(Transaction, CoinbaseShape) {
+  const Script lock = p2pkh_lock(Hash256::from_seed(9));
+  const Transaction cb = Transaction::coinbase(50'0000'0000ULL, lock, 1);
+  EXPECT_TRUE(cb.is_coinbase());
+  EXPECT_EQ(cb.total_output(), 50'0000'0000ULL);
+  EXPECT_EQ(cb.outputs().size(), 1u);
+}
+
+TEST(Transaction, CoinbaseUniquePerHeight) {
+  const Script lock = p2pkh_lock(Hash256::from_seed(9));
+  const Transaction a = Transaction::coinbase(50, lock, 1);
+  const Transaction b = Transaction::coinbase(50, lock, 2);
+  EXPECT_NE(a.txid(), b.txid());
+}
+
+TEST(Transaction, RequiresInputsAndOutputs) {
+  EXPECT_THROW(Transaction({}, {{1, Script{}}}), UsageError);
+  TxInput in;
+  EXPECT_THROW(Transaction({in}, {}), UsageError);
+}
+
+TEST(Transaction, SerializeRoundTrip) {
+  TxInput in;
+  in.prevout = {Hash256::from_seed(5), 3};
+  in.unlock = ScriptBuilder{}.push_int(7).build();
+  const Transaction tx({in}, {{123, p2pkh_lock(Hash256::from_seed(1))},
+                              {456, Script{}}});
+  const Transaction back = Transaction::deserialize(tx.serialize());
+  EXPECT_EQ(tx, back);
+  EXPECT_EQ(tx.txid(), back.txid());
+}
+
+TEST(Transaction, DeserializeRejectsGarbage) {
+  const Bytes junk = {1, 2, 3};
+  EXPECT_THROW(Transaction::deserialize(junk), ParseError);
+}
+
+TEST(Transaction, DeserializeRejectsTrailingBytes) {
+  TxInput in;
+  in.prevout = {Hash256::from_seed(5), 0};
+  const Transaction tx({in}, {{1, Script{}}});
+  Bytes raw = tx.serialize();
+  raw.push_back(0);
+  EXPECT_THROW(Transaction::deserialize(raw), ParseError);
+}
+
+TEST(Transaction, TxidCommitsToContent) {
+  TxInput in;
+  in.prevout = {Hash256::from_seed(5), 0};
+  const Transaction tx1({in}, {{1, Script{}}});
+  const Transaction tx2({in}, {{2, Script{}}});
+  EXPECT_NE(tx1.txid(), tx2.txid());
+}
+
+TEST(Transaction, SighashIgnoresUnlockScripts) {
+  TxInput in;
+  in.prevout = {Hash256::from_seed(5), 0};
+  Transaction unsigned_tx({in}, {{10, Script{}}});
+
+  TxInput signed_in = in;
+  signed_in.unlock = ScriptBuilder{}.push_int(42).build();
+  Transaction signed_tx({signed_in}, {{10, Script{}}});
+
+  // Same sighash (what signatures commit to), different txid.
+  EXPECT_EQ(unsigned_tx.sighash(), signed_tx.sighash());
+  EXPECT_NE(unsigned_tx.txid(), signed_tx.txid());
+  // The sighash still commits to outputs and prevouts.
+  Transaction different({in}, {{11, Script{}}});
+  EXPECT_NE(different.sighash(), unsigned_tx.sighash());
+}
+
+// ------------------------------------------------------------------ UTXO set
+
+class UtxoSetTest : public ::testing::Test {
+ protected:
+  // Funds `owner` with one 100-unit UTXO via a coinbase.
+  Transaction fund(std::uint64_t owner_seed, std::uint64_t height,
+                   std::uint64_t value = 100) {
+    const Bytes pubkey = pubkey_for(owner_seed);
+    const Transaction cb =
+        Transaction::coinbase(value, p2pkh_lock(pubkey_hash(pubkey)), height);
+    set_.apply(cb, {.run_scripts = true, .allow_minting = true});
+    return cb;
+  }
+
+  // Spends `prevout` (owned by owner_seed) paying `value` to dest_seed,
+  // leaving the rest as fee.
+  Transaction spend(const OutPoint& prevout, std::uint64_t owner_seed,
+                    std::uint64_t dest_seed, std::uint64_t value) {
+    const Bytes owner_pubkey = pubkey_for(owner_seed);
+    const Bytes dest_pubkey = pubkey_for(dest_seed);
+    // Two-phase: build with placeholder unlock to learn the txid, then bind
+    // the signature. The txid commits to the unlock script, so the unlock
+    // script must not include the signature-dependent txid... Instead the
+    // simulation's signature binds to the txid of a *sighash* variant: we
+    // simply compute the txid with an empty unlock first.
+    TxInput in;
+    in.prevout = prevout;
+    Transaction unsigned_tx({in}, {{value, p2pkh_lock(pubkey_hash(dest_pubkey))}});
+    const Hash256 sighash = unsigned_tx.txid();
+    in.unlock = p2pkh_unlock(owner_pubkey, sighash);
+    return Transaction({in}, unsigned_tx.outputs());
+  }
+
+  UtxoSet set_;
+};
+
+TEST_F(UtxoSetTest, ApplyCoinbaseCreatesUtxo) {
+  const Transaction cb = fund(1, 1);
+  EXPECT_EQ(set_.size(), 1u);
+  EXPECT_TRUE(set_.contains({cb.txid(), 0}));
+  EXPECT_EQ(set_.total_value(), 100u);
+}
+
+TEST_F(UtxoSetTest, CoinbaseOutsideBlockRejected) {
+  const Transaction cb = Transaction::coinbase(50, Script{}, 1);
+  EXPECT_THROW(set_.apply(cb), ValidationError);
+}
+
+TEST(UtxoSetScriptless, SpendMovesValue) {
+  // Scriptless flow exercising value accounting only.
+  UtxoSet set;
+  const Transaction cb = Transaction::coinbase(100, Script{}, 1);
+  set.apply(cb, {.run_scripts = false, .allow_minting = true});
+
+  TxInput in;
+  in.prevout = {cb.txid(), 0};
+  const Transaction tx({in}, {{60, Script{}}, {30, Script{}}});  // 10 fee
+  set.apply(tx, {.run_scripts = false});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.total_value(), 90u);
+  EXPECT_FALSE(set.contains({cb.txid(), 0}));
+}
+
+TEST_F(UtxoSetTest, SignedSpendValidates) {
+  const Transaction cb = fund(1, 1);
+  const Transaction tx = spend({cb.txid(), 0}, 1, 2, 95);
+  EXPECT_NO_THROW(set_.apply(tx));
+  EXPECT_EQ(set_.total_value(), 95u);
+}
+
+TEST_F(UtxoSetTest, WrongOwnerCannotSpend) {
+  const Transaction cb = fund(1, 1);
+  // Seed 3 tries to spend seed 1's output.
+  const Transaction tx = spend({cb.txid(), 0}, 3, 2, 95);
+  EXPECT_THROW(set_.apply(tx), ValidationError);
+}
+
+TEST_F(UtxoSetTest, MissingInputRejected) {
+  fund(1, 1);
+  const Transaction tx = spend({Hash256::from_seed(999), 0}, 1, 2, 10);
+  EXPECT_THROW(set_.apply(tx), ValidationError);
+}
+
+TEST_F(UtxoSetTest, OverspendRejected) {
+  const Transaction cb = fund(1, 1);
+  const Transaction tx = spend({cb.txid(), 0}, 1, 2, 150);
+  EXPECT_THROW(set_.apply(tx), ValidationError);
+}
+
+TEST(UtxoSetScriptless, DoubleSpendWithinTxRejected) {
+  UtxoSet set;
+  const Transaction cb = Transaction::coinbase(100, Script{}, 1);
+  set.apply(cb, {.run_scripts = false, .allow_minting = true});
+
+  TxInput in;
+  in.prevout = {cb.txid(), 0};
+  const Transaction tx({in, in}, {{150, Script{}}});
+  EXPECT_THROW(set.apply(tx, {.run_scripts = false}), ValidationError);
+}
+
+TEST(UtxoSetScriptless, DoubleSpendAcrossTxsRejected) {
+  UtxoSet set;
+  const Transaction cb = Transaction::coinbase(100, Script{}, 1);
+  set.apply(cb, {.run_scripts = false, .allow_minting = true});
+
+  TxInput in;
+  in.prevout = {cb.txid(), 0};
+  const Transaction tx1({in}, {{100, Script{}}});
+  const Transaction tx2({in}, {{99, Script{}}});
+  set.apply(tx1, {.run_scripts = false});
+  EXPECT_THROW(set.apply(tx2, {.run_scripts = false}), ValidationError);
+}
+
+TEST(UtxoSetScriptless, UndoRestoresExactState) {
+  UtxoSet set;
+  const Transaction cb = Transaction::coinbase(100, Script{}, 1);
+  set.apply(cb, {.run_scripts = false, .allow_minting = true});
+
+  TxInput in;
+  in.prevout = {cb.txid(), 0};
+  const Transaction tx({in}, {{90, Script{}}});
+  const TxUndo undo = set.apply(tx, {.run_scripts = false});
+  EXPECT_EQ(set.total_value(), 90u);
+
+  set.undo(undo);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains({cb.txid(), 0}));
+  EXPECT_EQ(set.get({cb.txid(), 0})->value, 100u);
+}
+
+TEST(UtxoSetScriptless, IntraBlockChainAppliesAndUndoes) {
+  // The Figure 6 pattern: a chain of transactions inside one block, each
+  // spending the previous one's output.
+  UtxoSet set;
+  std::vector<Transaction> block;
+  block.push_back(Transaction::coinbase(1000, Script{}, 1));
+  Hash256 prev_txid = block[0].txid();
+  for (int i = 0; i < 17; ++i) {
+    TxInput in;
+    in.prevout = {prev_txid, 0};
+    const std::uint64_t value = 1000 - 10 * (i + 1);
+    block.emplace_back(std::vector<TxInput>{in},
+                       std::vector<TxOutput>{{value, Script{}}});
+    prev_txid = block.back().txid();
+  }
+
+  const auto undos = set.apply_block(block, {.run_scripts = false});
+  EXPECT_EQ(set.size(), 1u);  // only the last output survives
+  EXPECT_EQ(set.total_value(), 1000u - 170u);
+
+  set.undo_block(undos);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(UtxoSetScriptless, ApplyBlockIsAtomic) {
+  UtxoSet set;
+  const Transaction cb = Transaction::coinbase(100, Script{}, 1);
+  set.apply(cb, {.run_scripts = false, .allow_minting = true});
+  const std::uint64_t before = set.total_value();
+
+  TxInput good_in;
+  good_in.prevout = {cb.txid(), 0};
+  TxInput bad_in;
+  bad_in.prevout = {Hash256::from_seed(777), 0};
+
+  const std::vector<Transaction> block = {
+      Transaction({good_in}, {{100, Script{}}}),
+      Transaction({bad_in}, {{1, Script{}}}),  // invalid: missing input
+  };
+  EXPECT_THROW(set.apply_block(block, {.run_scripts = false}),
+               ValidationError);
+  // First transaction's effects were rolled back.
+  EXPECT_EQ(set.total_value(), before);
+  EXPECT_TRUE(set.contains({cb.txid(), 0}));
+}
+
+TEST(UtxoSetScriptless, UndoOutOfOrderDetected) {
+  UtxoSet set;
+  const Transaction cb = Transaction::coinbase(100, Script{}, 1);
+  set.apply(cb, {.run_scripts = false, .allow_minting = true});
+
+  TxInput in;
+  in.prevout = {cb.txid(), 0};
+  const Transaction tx1({in}, {{100, Script{}}});
+  const TxUndo undo1 = set.apply(tx1, {.run_scripts = false});
+
+  TxInput in2;
+  in2.prevout = {tx1.txid(), 0};
+  const Transaction tx2({in2}, {{100, Script{}}});
+  set.apply(tx2, {.run_scripts = false});
+
+  // Undoing tx1 while tx2 has consumed its output must fail loudly.
+  EXPECT_THROW(set.undo(undo1), UsageError);
+}
+
+// Property: random apply/undo sequences preserve value conservation
+// (total value only decreases by fees) and undo restores the initial set.
+class UtxoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UtxoRoundTrip, BlockApplyUndoIsIdentity) {
+  Rng rng(GetParam());
+  UtxoSet set;
+
+  // Genesis: several coinbases.
+  std::vector<OutPoint> spendable;
+  for (std::uint64_t h = 0; h < 5; ++h) {
+    const Transaction cb = Transaction::coinbase(1000, Script{}, h);
+    set.apply(cb, {.run_scripts = false, .allow_minting = true});
+    spendable.push_back({cb.txid(), 0});
+  }
+  const std::uint64_t initial_value = set.total_value();
+  const std::size_t initial_size = set.size();
+
+  // A block of random spends, sometimes chaining within the block.
+  std::vector<Transaction> block;
+  std::uint64_t fees = 0;
+  for (int i = 0; i < 20 && !spendable.empty(); ++i) {
+    const std::size_t pick = rng.uniform(spendable.size());
+    const OutPoint prevout = spendable[pick];
+    spendable.erase(spendable.begin() + static_cast<std::ptrdiff_t>(pick));
+    const std::uint64_t in_value = set.get(prevout)
+                                       ? set.get(prevout)->value
+                                       : 0;  // may be an in-block output
+    std::uint64_t value = in_value;
+    for (const Transaction& tx : block) {
+      if (tx.txid() == prevout.txid) value = tx.outputs()[prevout.index].value;
+    }
+    const std::uint64_t fee = rng.uniform(std::min<std::uint64_t>(value, 5) + 1);
+    TxInput in;
+    in.prevout = prevout;
+    const std::uint64_t num_outputs = 1 + rng.uniform(3);
+    std::vector<TxOutput> outputs;
+    std::uint64_t remaining = value - fee;
+    for (std::uint64_t o = 0; o < num_outputs; ++o) {
+      const std::uint64_t v =
+          (o + 1 == num_outputs) ? remaining : remaining / 2;
+      outputs.push_back({v, Script{}});
+      remaining -= v;
+    }
+    block.emplace_back(std::vector<TxInput>{in}, outputs);
+    fees += fee;
+    for (std::uint32_t o = 0; o < outputs.size(); ++o) {
+      if (rng.bernoulli(0.4)) {
+        spendable.push_back({block.back().txid(), o});
+      }
+    }
+  }
+
+  const auto undos = set.apply_block(block, {.run_scripts = false});
+  EXPECT_EQ(set.total_value(), initial_value - fees);
+
+  set.undo_block(undos);
+  EXPECT_EQ(set.size(), initial_size);
+  EXPECT_EQ(set.total_value(), initial_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBlocks, UtxoRoundTrip,
+                         ::testing::Range<std::uint64_t>(300, 320));
+
+}  // namespace
+}  // namespace txconc::utxo

@@ -1,0 +1,242 @@
+// Property/fuzz tests for the SVM: random bytecode must never crash the
+// VM, never exceed its gas budget, and must leave the state untouched on
+// failure. Random valid-ish programs check structural invariants of gas
+// accounting and tracing.
+#include <gtest/gtest.h>
+
+#include "account/contracts.h"
+#include "account/runtime.h"
+#include "account/state.h"
+#include "account/vm.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace txconc::account {
+namespace {
+
+Address addr(std::uint64_t seed) { return Address::from_seed(seed); }
+
+class VmFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Random byte soup — mostly invalid programs.
+  ContractCode random_bytes(Rng& rng) {
+    ContractCode code;
+    const std::size_t len = rng.uniform(200);
+    code.code.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      code.code.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+    }
+    const std::size_t addrs = rng.uniform(4);
+    for (std::size_t i = 0; i < addrs; ++i) {
+      code.address_table.push_back(addr(5000 + rng.uniform(10)));
+    }
+    return code;
+  }
+
+  /// Random programs built from real opcodes (often valid).
+  ContractCode random_program(Rng& rng) {
+    static const OpCode kOps[] = {
+        OpCode::kStop,    OpCode::kPush,       OpCode::kPop,
+        OpCode::kDup,     OpCode::kSwap,       OpCode::kAdd,
+        OpCode::kSub,     OpCode::kMul,        OpCode::kDiv,
+        OpCode::kMod,     OpCode::kLt,         OpCode::kGt,
+        OpCode::kEq,      OpCode::kIsZero,     OpCode::kAnd,
+        OpCode::kOr,      OpCode::kXor,        OpCode::kNot,
+        OpCode::kCaller64, OpCode::kSelf64,    OpCode::kCallValue,
+        OpCode::kNumArgs, OpCode::kArg,        OpCode::kSelfBalance,
+        OpCode::kBalanceOf, OpCode::kNumAddrs, OpCode::kAddr64,
+        OpCode::kSload,   OpCode::kSstore,     OpCode::kLog,
+        OpCode::kTransfer, OpCode::kCall,      OpCode::kReturn,
+        OpCode::kRevert};
+    Assembler a;
+    const std::size_t len = 1 + rng.uniform(60);
+    for (std::size_t i = 0; i < len; ++i) {
+      const OpCode op = kOps[rng.uniform(std::size(kOps))];
+      if (op == OpCode::kPush) {
+        a.push(rng.uniform(1000));
+      } else {
+        a.op(op);
+      }
+    }
+    ContractCode code;
+    code.code = a.build();
+    const std::size_t addrs = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < addrs; ++i) {
+      code.address_table.push_back(addr(5000 + rng.uniform(10)));
+    }
+    return code;
+  }
+};
+
+TEST_P(VmFuzz, RandomBytesNeverCrashAndRespectGas) {
+  Rng rng(GetParam());
+  StateDb db;
+  db.set_balance(addr(100), 1'000'000);
+  Vm vm(db);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ContractCode code = random_bytes(rng);
+    CallContext ctx;
+    ctx.self = addr(100);
+    ctx.caller = addr(200);
+    ctx.address_table = code.address_table;
+    const std::uint64_t gas_limit = 1 + rng.uniform(20000);
+
+    const Snapshot before = db.snapshot();
+    const std::uint64_t supply_before = db.total_supply();
+    const VmResult result = vm.execute(code, ctx, gas_limit, {});
+    EXPECT_LE(result.gas_used, gas_limit);
+    if (!result.success) {
+      EXPECT_FALSE(result.error.empty());
+      // Failed frames must have rolled back their state changes.
+      EXPECT_EQ(db.snapshot(), before);
+    }
+    // Value is only moved, never created (frame has no external inflow).
+    EXPECT_EQ(db.total_supply(), supply_before);
+  }
+}
+
+TEST_P(VmFuzz, RandomProgramsKeepInvariants) {
+  Rng rng(GetParam() ^ 0xfeed);
+  StateDb db;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    db.set_balance(addr(5000 + s), 1000);
+  }
+  db.set_balance(addr(100), 1'000'000);
+  db.flush_journal();
+  Vm vm(db);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const ContractCode code = random_program(rng);
+    CallContext ctx;
+    ctx.self = addr(100);
+    ctx.caller = addr(200);
+    ctx.value = rng.uniform(100);
+    const std::uint64_t args[] = {rng.next_u64(), rng.next_u64()};
+    ctx.args = args;
+    ctx.address_table = code.address_table;
+
+    std::vector<InternalTx> traces;
+    AccessTracker tracker;
+    std::vector<std::uint64_t> logs;
+    ExecutionHooks hooks{&traces, &tracker, &logs};
+
+    const std::uint64_t gas_limit = 1 + rng.uniform(100000);
+    const std::uint64_t supply_before = db.total_supply();
+    const VmResult result = vm.execute(code, ctx, gas_limit, hooks);
+
+    EXPECT_LE(result.gas_used, gas_limit);
+    EXPECT_EQ(db.total_supply(), supply_before);
+    // Traces only record transfers/calls initiated by executed frames.
+    for (const InternalTx& itx : traces) {
+      EXPECT_GE(itx.depth, 1u);
+    }
+    // Writes recorded by the tracker target the executing contract or a
+    // table address (balances).
+    for (const SlotAccess& w : tracker.writes()) {
+      if (w.key != AccessTracker::kBalanceKey) {
+        EXPECT_EQ(w.address, ctx.self);
+      }
+    }
+  }
+}
+
+TEST_P(VmFuzz, DeterministicAcrossRuns) {
+  Rng rng_a(GetParam() ^ 0xabc);
+  Rng rng_b(GetParam() ^ 0xabc);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ContractCode code_a = random_program(rng_a);
+    const ContractCode code_b = random_program(rng_b);
+    ASSERT_EQ(code_a.code, code_b.code);
+
+    StateDb db_a;
+    StateDb db_b;
+    db_a.set_balance(addr(100), 12345);
+    db_b.set_balance(addr(100), 12345);
+    Vm vm_a(db_a);
+    Vm vm_b(db_b);
+    CallContext ctx;
+    ctx.self = addr(100);
+    ctx.caller = addr(200);
+    ctx.address_table = code_a.address_table;
+    const VmResult ra = vm_a.execute(code_a, ctx, 50000, {});
+    const VmResult rb = vm_b.execute(code_b, ctx, 50000, {});
+    EXPECT_EQ(ra.success, rb.success);
+    EXPECT_EQ(ra.gas_used, rb.gas_used);
+    EXPECT_EQ(ra.return_value, rb.return_value);
+    EXPECT_EQ(db_a.digest(), db_b.digest());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzz,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+// Fuzz the runtime too: random transactions against a contract-rich state
+// must never corrupt supply accounting.
+class RuntimeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeFuzz, SupplyChangesOnlyByBurnedFees) {
+  Rng rng(GetParam());
+  StateDb db;
+  const Address token = addr(50);
+  const Address wallet = addr(51);
+  const Address splitter = addr(52);
+  genesis_deploy(db, token, contracts::token(addr(1)));
+  genesis_deploy(db, wallet, contracts::hot_wallet(addr(60)));
+  genesis_deploy(db, splitter, contracts::payout_splitter());
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    db.set_balance(addr(s), 10'000'000'000ULL);
+  }
+  db.flush_journal();
+
+  RuntimeConfig config;
+  for (int trial = 0; trial < 300; ++trial) {
+    AccountTx tx;
+    tx.from = addr(1 + rng.uniform(8));
+    switch (rng.uniform(5)) {
+      case 0:
+        tx.to = token;
+        tx.args = {rng.uniform(3), rng.uniform(100)};
+        tx.address_args = {addr(1 + rng.uniform(8))};
+        break;
+      case 1:
+        tx.to = wallet;
+        tx.value = rng.uniform(10000);
+        break;
+      case 2:
+        tx.to = splitter;
+        tx.value = rng.uniform(10000);
+        for (std::uint64_t i = 0; i < 1 + rng.uniform(4); ++i) {
+          tx.address_args.push_back(addr(70 + rng.uniform(5)));
+        }
+        break;
+      case 3:
+        tx.to = addr(1 + rng.uniform(8));
+        tx.value = rng.uniform(10000);
+        break;
+      default:
+        tx.init_code = contracts::storage_churn();
+        break;
+    }
+    tx.gas_limit = 21000 + rng.uniform(300000);
+    tx.gas_price = 1 + rng.uniform(3);
+    tx.nonce = db.nonce(tx.from);
+
+    const std::uint64_t supply_before = db.total_supply();
+    Receipt receipt;
+    try {
+      receipt = apply_transaction(db, tx, config);
+    } catch (const ValidationError&) {
+      EXPECT_EQ(db.total_supply(), supply_before);  // untouched
+      continue;
+    }
+    // Fees are burned; nothing else may change the supply.
+    EXPECT_EQ(db.total_supply(),
+              supply_before - receipt.gas_used * tx.gas_price);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeFuzz,
+                         ::testing::Range<std::uint64_t>(2000, 2008));
+
+}  // namespace
+}  // namespace txconc::account
