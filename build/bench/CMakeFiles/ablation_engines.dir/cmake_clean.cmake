@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_engines.dir/ablation_engines.cpp.o"
+  "CMakeFiles/ablation_engines.dir/ablation_engines.cpp.o.d"
+  "ablation_engines"
+  "ablation_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

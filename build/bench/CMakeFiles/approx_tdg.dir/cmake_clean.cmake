@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_tdg.dir/approx_tdg.cpp.o"
+  "CMakeFiles/approx_tdg.dir/approx_tdg.cpp.o.d"
+  "approx_tdg"
+  "approx_tdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_tdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

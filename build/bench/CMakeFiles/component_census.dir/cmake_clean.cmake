@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_census.dir/component_census.cpp.o"
+  "CMakeFiles/component_census.dir/component_census.cpp.o.d"
+  "component_census"
+  "component_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

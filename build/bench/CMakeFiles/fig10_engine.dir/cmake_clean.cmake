@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_engine.dir/fig10_engine.cpp.o"
+  "CMakeFiles/fig10_engine.dir/fig10_engine.cpp.o.d"
+  "fig10_engine"
+  "fig10_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_example_tdgs.dir/fig1_example_tdgs.cpp.o"
+  "CMakeFiles/fig1_example_tdgs.dir/fig1_example_tdgs.cpp.o.d"
+  "fig1_example_tdgs"
+  "fig1_example_tdgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_example_tdgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

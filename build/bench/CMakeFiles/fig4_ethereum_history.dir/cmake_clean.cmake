@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ethereum_history.dir/fig4_ethereum_history.cpp.o"
+  "CMakeFiles/fig4_ethereum_history.dir/fig4_ethereum_history.cpp.o.d"
+  "fig4_ethereum_history"
+  "fig4_ethereum_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ethereum_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

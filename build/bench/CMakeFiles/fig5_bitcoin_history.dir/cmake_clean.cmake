@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bitcoin_history.dir/fig5_bitcoin_history.cpp.o"
+  "CMakeFiles/fig5_bitcoin_history.dir/fig5_bitcoin_history.cpp.o.d"
+  "fig5_bitcoin_history"
+  "fig5_bitcoin_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bitcoin_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

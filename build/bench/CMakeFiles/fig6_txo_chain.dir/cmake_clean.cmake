@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_txo_chain.dir/fig6_txo_chain.cpp.o"
+  "CMakeFiles/fig6_txo_chain.dir/fig6_txo_chain.cpp.o.d"
+  "fig6_txo_chain"
+  "fig6_txo_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_txo_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

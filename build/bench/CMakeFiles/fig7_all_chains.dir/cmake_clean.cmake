@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_all_chains.dir/fig7_all_chains.cpp.o"
+  "CMakeFiles/fig7_all_chains.dir/fig7_all_chains.cpp.o.d"
+  "fig7_all_chains"
+  "fig7_all_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_all_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

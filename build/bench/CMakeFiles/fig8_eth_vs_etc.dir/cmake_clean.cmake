@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_eth_vs_etc.dir/fig8_eth_vs_etc.cpp.o"
+  "CMakeFiles/fig8_eth_vs_etc.dir/fig8_eth_vs_etc.cpp.o.d"
+  "fig8_eth_vs_etc"
+  "fig8_eth_vs_etc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_eth_vs_etc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

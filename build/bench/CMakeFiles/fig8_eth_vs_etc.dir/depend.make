@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_eth_vs_etc.
+# This may be replaced when dependencies are built.

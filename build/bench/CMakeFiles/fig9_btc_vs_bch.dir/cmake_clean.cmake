@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_btc_vs_bch.dir/fig9_btc_vs_bch.cpp.o"
+  "CMakeFiles/fig9_btc_vs_bch.dir/fig9_btc_vs_bch.cpp.o.d"
+  "fig9_btc_vs_bch"
+  "fig9_btc_vs_bch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_btc_vs_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

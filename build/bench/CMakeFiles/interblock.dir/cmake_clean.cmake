@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interblock.dir/interblock.cpp.o"
+  "CMakeFiles/interblock.dir/interblock.cpp.o.d"
+  "interblock"
+  "interblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

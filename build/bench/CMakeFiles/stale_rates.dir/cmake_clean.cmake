@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stale_rates.dir/stale_rates.cpp.o"
+  "CMakeFiles/stale_rates.dir/stale_rates.cpp.o.d"
+  "stale_rates"
+  "stale_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stale_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

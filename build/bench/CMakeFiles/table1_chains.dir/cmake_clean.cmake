@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_chains.dir/table1_chains.cpp.o"
+  "CMakeFiles/table1_chains.dir/table1_chains.cpp.o.d"
+  "table1_chains"
+  "table1_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

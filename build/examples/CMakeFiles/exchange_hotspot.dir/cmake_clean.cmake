@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_hotspot.dir/exchange_hotspot.cpp.o"
+  "CMakeFiles/exchange_hotspot.dir/exchange_hotspot.cpp.o.d"
+  "exchange_hotspot"
+  "exchange_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_node.dir/full_node.cpp.o"
+  "CMakeFiles/full_node.dir/full_node.cpp.o.d"
+  "full_node"
+  "full_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

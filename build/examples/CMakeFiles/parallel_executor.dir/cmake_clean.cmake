@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_executor.dir/parallel_executor.cpp.o"
+  "CMakeFiles/parallel_executor.dir/parallel_executor.cpp.o.d"
+  "parallel_executor"
+  "parallel_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

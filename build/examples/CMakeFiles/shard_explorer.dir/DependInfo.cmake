@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shard_explorer.cpp" "examples/CMakeFiles/shard_explorer.dir/shard_explorer.cpp.o" "gcc" "examples/CMakeFiles/shard_explorer.dir/shard_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/txconc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/utxo/CMakeFiles/txconc_utxo.dir/DependInfo.cmake"
+  "/root/repo/build/src/account/CMakeFiles/txconc_account.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/txconc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/txconc_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/txconc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/txconc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/txconc_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

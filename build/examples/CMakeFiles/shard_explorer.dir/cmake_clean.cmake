@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_explorer.dir/shard_explorer.cpp.o"
+  "CMakeFiles/shard_explorer.dir/shard_explorer.cpp.o.d"
+  "shard_explorer"
+  "shard_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/account/contracts.cpp" "src/account/CMakeFiles/txconc_account.dir/contracts.cpp.o" "gcc" "src/account/CMakeFiles/txconc_account.dir/contracts.cpp.o.d"
+  "/root/repo/src/account/runtime.cpp" "src/account/CMakeFiles/txconc_account.dir/runtime.cpp.o" "gcc" "src/account/CMakeFiles/txconc_account.dir/runtime.cpp.o.d"
+  "/root/repo/src/account/state.cpp" "src/account/CMakeFiles/txconc_account.dir/state.cpp.o" "gcc" "src/account/CMakeFiles/txconc_account.dir/state.cpp.o.d"
+  "/root/repo/src/account/state_trie.cpp" "src/account/CMakeFiles/txconc_account.dir/state_trie.cpp.o" "gcc" "src/account/CMakeFiles/txconc_account.dir/state_trie.cpp.o.d"
+  "/root/repo/src/account/vm.cpp" "src/account/CMakeFiles/txconc_account.dir/vm.cpp.o" "gcc" "src/account/CMakeFiles/txconc_account.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_account.dir/contracts.cpp.o"
+  "CMakeFiles/txconc_account.dir/contracts.cpp.o.d"
+  "CMakeFiles/txconc_account.dir/runtime.cpp.o"
+  "CMakeFiles/txconc_account.dir/runtime.cpp.o.d"
+  "CMakeFiles/txconc_account.dir/state.cpp.o"
+  "CMakeFiles/txconc_account.dir/state.cpp.o.d"
+  "CMakeFiles/txconc_account.dir/state_trie.cpp.o"
+  "CMakeFiles/txconc_account.dir/state_trie.cpp.o.d"
+  "CMakeFiles/txconc_account.dir/vm.cpp.o"
+  "CMakeFiles/txconc_account.dir/vm.cpp.o.d"
+  "libtxconc_account.a"
+  "libtxconc_account.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_account.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/block_analyzer.cpp" "src/analysis/CMakeFiles/txconc_analysis.dir/block_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/txconc_analysis.dir/block_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/calibrate.cpp" "src/analysis/CMakeFiles/txconc_analysis.dir/calibrate.cpp.o" "gcc" "src/analysis/CMakeFiles/txconc_analysis.dir/calibrate.cpp.o.d"
+  "/root/repo/src/analysis/dataset.cpp" "src/analysis/CMakeFiles/txconc_analysis.dir/dataset.cpp.o" "gcc" "src/analysis/CMakeFiles/txconc_analysis.dir/dataset.cpp.o.d"
+  "/root/repo/src/analysis/paper_reference.cpp" "src/analysis/CMakeFiles/txconc_analysis.dir/paper_reference.cpp.o" "gcc" "src/analysis/CMakeFiles/txconc_analysis.dir/paper_reference.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/txconc_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/txconc_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/series.cpp" "src/analysis/CMakeFiles/txconc_analysis.dir/series.cpp.o" "gcc" "src/analysis/CMakeFiles/txconc_analysis.dir/series.cpp.o.d"
+  "/root/repo/src/analysis/speedup.cpp" "src/analysis/CMakeFiles/txconc_analysis.dir/speedup.cpp.o" "gcc" "src/analysis/CMakeFiles/txconc_analysis.dir/speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/txconc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/utxo/CMakeFiles/txconc_utxo.dir/DependInfo.cmake"
+  "/root/repo/build/src/account/CMakeFiles/txconc_account.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/txconc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/txconc_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/txconc_chain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_analysis.dir/block_analyzer.cpp.o"
+  "CMakeFiles/txconc_analysis.dir/block_analyzer.cpp.o.d"
+  "CMakeFiles/txconc_analysis.dir/calibrate.cpp.o"
+  "CMakeFiles/txconc_analysis.dir/calibrate.cpp.o.d"
+  "CMakeFiles/txconc_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/txconc_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/txconc_analysis.dir/paper_reference.cpp.o"
+  "CMakeFiles/txconc_analysis.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/txconc_analysis.dir/report.cpp.o"
+  "CMakeFiles/txconc_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/txconc_analysis.dir/series.cpp.o"
+  "CMakeFiles/txconc_analysis.dir/series.cpp.o.d"
+  "CMakeFiles/txconc_analysis.dir/speedup.cpp.o"
+  "CMakeFiles/txconc_analysis.dir/speedup.cpp.o.d"
+  "libtxconc_analysis.a"
+  "libtxconc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

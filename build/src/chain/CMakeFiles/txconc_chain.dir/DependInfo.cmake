@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/txconc_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/txconc_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/fork.cpp" "src/chain/CMakeFiles/txconc_chain.dir/fork.cpp.o" "gcc" "src/chain/CMakeFiles/txconc_chain.dir/fork.cpp.o.d"
+  "/root/repo/src/chain/merkle.cpp" "src/chain/CMakeFiles/txconc_chain.dir/merkle.cpp.o" "gcc" "src/chain/CMakeFiles/txconc_chain.dir/merkle.cpp.o.d"
+  "/root/repo/src/chain/network.cpp" "src/chain/CMakeFiles/txconc_chain.dir/network.cpp.o" "gcc" "src/chain/CMakeFiles/txconc_chain.dir/network.cpp.o.d"
+  "/root/repo/src/chain/node.cpp" "src/chain/CMakeFiles/txconc_chain.dir/node.cpp.o" "gcc" "src/chain/CMakeFiles/txconc_chain.dir/node.cpp.o.d"
+  "/root/repo/src/chain/pow.cpp" "src/chain/CMakeFiles/txconc_chain.dir/pow.cpp.o" "gcc" "src/chain/CMakeFiles/txconc_chain.dir/pow.cpp.o.d"
+  "/root/repo/src/chain/utxo_node.cpp" "src/chain/CMakeFiles/txconc_chain.dir/utxo_node.cpp.o" "gcc" "src/chain/CMakeFiles/txconc_chain.dir/utxo_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/utxo/CMakeFiles/txconc_utxo.dir/DependInfo.cmake"
+  "/root/repo/build/src/account/CMakeFiles/txconc_account.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_chain.dir/block.cpp.o"
+  "CMakeFiles/txconc_chain.dir/block.cpp.o.d"
+  "CMakeFiles/txconc_chain.dir/fork.cpp.o"
+  "CMakeFiles/txconc_chain.dir/fork.cpp.o.d"
+  "CMakeFiles/txconc_chain.dir/merkle.cpp.o"
+  "CMakeFiles/txconc_chain.dir/merkle.cpp.o.d"
+  "CMakeFiles/txconc_chain.dir/network.cpp.o"
+  "CMakeFiles/txconc_chain.dir/network.cpp.o.d"
+  "CMakeFiles/txconc_chain.dir/node.cpp.o"
+  "CMakeFiles/txconc_chain.dir/node.cpp.o.d"
+  "CMakeFiles/txconc_chain.dir/pow.cpp.o"
+  "CMakeFiles/txconc_chain.dir/pow.cpp.o.d"
+  "CMakeFiles/txconc_chain.dir/utxo_node.cpp.o"
+  "CMakeFiles/txconc_chain.dir/utxo_node.cpp.o.d"
+  "libtxconc_chain.a"
+  "libtxconc_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/txconc_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/txconc_common.dir/bytes.cpp.o"
+  "CMakeFiles/txconc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/txconc_common.dir/csv.cpp.o"
+  "CMakeFiles/txconc_common.dir/csv.cpp.o.d"
+  "CMakeFiles/txconc_common.dir/hash.cpp.o"
+  "CMakeFiles/txconc_common.dir/hash.cpp.o.d"
+  "CMakeFiles/txconc_common.dir/rng.cpp.o"
+  "CMakeFiles/txconc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/txconc_common.dir/sha256.cpp.o"
+  "CMakeFiles/txconc_common.dir/sha256.cpp.o.d"
+  "CMakeFiles/txconc_common.dir/stats.cpp.o"
+  "CMakeFiles/txconc_common.dir/stats.cpp.o.d"
+  "libtxconc_common.a"
+  "libtxconc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/components.cpp" "src/core/CMakeFiles/txconc_core.dir/components.cpp.o" "gcc" "src/core/CMakeFiles/txconc_core.dir/components.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/txconc_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/txconc_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/scheduling.cpp" "src/core/CMakeFiles/txconc_core.dir/scheduling.cpp.o" "gcc" "src/core/CMakeFiles/txconc_core.dir/scheduling.cpp.o.d"
+  "/root/repo/src/core/speedup_model.cpp" "src/core/CMakeFiles/txconc_core.dir/speedup_model.cpp.o" "gcc" "src/core/CMakeFiles/txconc_core.dir/speedup_model.cpp.o.d"
+  "/root/repo/src/core/tdg.cpp" "src/core/CMakeFiles/txconc_core.dir/tdg.cpp.o" "gcc" "src/core/CMakeFiles/txconc_core.dir/tdg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_core.dir/components.cpp.o"
+  "CMakeFiles/txconc_core.dir/components.cpp.o.d"
+  "CMakeFiles/txconc_core.dir/metrics.cpp.o"
+  "CMakeFiles/txconc_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/txconc_core.dir/scheduling.cpp.o"
+  "CMakeFiles/txconc_core.dir/scheduling.cpp.o.d"
+  "CMakeFiles/txconc_core.dir/speedup_model.cpp.o"
+  "CMakeFiles/txconc_core.dir/speedup_model.cpp.o.d"
+  "CMakeFiles/txconc_core.dir/tdg.cpp.o"
+  "CMakeFiles/txconc_core.dir/tdg.cpp.o.d"
+  "libtxconc_core.a"
+  "libtxconc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

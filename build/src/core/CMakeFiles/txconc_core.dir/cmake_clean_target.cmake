@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtxconc_core.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_exec.dir/group_executor.cpp.o"
+  "CMakeFiles/txconc_exec.dir/group_executor.cpp.o.d"
+  "CMakeFiles/txconc_exec.dir/occ.cpp.o"
+  "CMakeFiles/txconc_exec.dir/occ.cpp.o.d"
+  "CMakeFiles/txconc_exec.dir/replay.cpp.o"
+  "CMakeFiles/txconc_exec.dir/replay.cpp.o.d"
+  "CMakeFiles/txconc_exec.dir/schedule_sim.cpp.o"
+  "CMakeFiles/txconc_exec.dir/schedule_sim.cpp.o.d"
+  "CMakeFiles/txconc_exec.dir/sequential.cpp.o"
+  "CMakeFiles/txconc_exec.dir/sequential.cpp.o.d"
+  "CMakeFiles/txconc_exec.dir/speculative.cpp.o"
+  "CMakeFiles/txconc_exec.dir/speculative.cpp.o.d"
+  "CMakeFiles/txconc_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/txconc_exec.dir/thread_pool.cpp.o.d"
+  "libtxconc_exec.a"
+  "libtxconc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

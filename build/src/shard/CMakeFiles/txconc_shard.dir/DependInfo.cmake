@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shard/cross_shard.cpp" "src/shard/CMakeFiles/txconc_shard.dir/cross_shard.cpp.o" "gcc" "src/shard/CMakeFiles/txconc_shard.dir/cross_shard.cpp.o.d"
+  "/root/repo/src/shard/election.cpp" "src/shard/CMakeFiles/txconc_shard.dir/election.cpp.o" "gcc" "src/shard/CMakeFiles/txconc_shard.dir/election.cpp.o.d"
+  "/root/repo/src/shard/pbft.cpp" "src/shard/CMakeFiles/txconc_shard.dir/pbft.cpp.o" "gcc" "src/shard/CMakeFiles/txconc_shard.dir/pbft.cpp.o.d"
+  "/root/repo/src/shard/sharding.cpp" "src/shard/CMakeFiles/txconc_shard.dir/sharding.cpp.o" "gcc" "src/shard/CMakeFiles/txconc_shard.dir/sharding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/account/CMakeFiles/txconc_account.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/txconc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/utxo/CMakeFiles/txconc_utxo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_shard.dir/cross_shard.cpp.o"
+  "CMakeFiles/txconc_shard.dir/cross_shard.cpp.o.d"
+  "CMakeFiles/txconc_shard.dir/election.cpp.o"
+  "CMakeFiles/txconc_shard.dir/election.cpp.o.d"
+  "CMakeFiles/txconc_shard.dir/pbft.cpp.o"
+  "CMakeFiles/txconc_shard.dir/pbft.cpp.o.d"
+  "CMakeFiles/txconc_shard.dir/sharding.cpp.o"
+  "CMakeFiles/txconc_shard.dir/sharding.cpp.o.d"
+  "libtxconc_shard.a"
+  "libtxconc_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/utxo/script.cpp" "src/utxo/CMakeFiles/txconc_utxo.dir/script.cpp.o" "gcc" "src/utxo/CMakeFiles/txconc_utxo.dir/script.cpp.o.d"
+  "/root/repo/src/utxo/transaction.cpp" "src/utxo/CMakeFiles/txconc_utxo.dir/transaction.cpp.o" "gcc" "src/utxo/CMakeFiles/txconc_utxo.dir/transaction.cpp.o.d"
+  "/root/repo/src/utxo/utxo_set.cpp" "src/utxo/CMakeFiles/txconc_utxo.dir/utxo_set.cpp.o" "gcc" "src/utxo/CMakeFiles/txconc_utxo.dir/utxo_set.cpp.o.d"
+  "/root/repo/src/utxo/wallet.cpp" "src/utxo/CMakeFiles/txconc_utxo.dir/wallet.cpp.o" "gcc" "src/utxo/CMakeFiles/txconc_utxo.dir/wallet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_utxo.dir/script.cpp.o"
+  "CMakeFiles/txconc_utxo.dir/script.cpp.o.d"
+  "CMakeFiles/txconc_utxo.dir/transaction.cpp.o"
+  "CMakeFiles/txconc_utxo.dir/transaction.cpp.o.d"
+  "CMakeFiles/txconc_utxo.dir/utxo_set.cpp.o"
+  "CMakeFiles/txconc_utxo.dir/utxo_set.cpp.o.d"
+  "CMakeFiles/txconc_utxo.dir/wallet.cpp.o"
+  "CMakeFiles/txconc_utxo.dir/wallet.cpp.o.d"
+  "libtxconc_utxo.a"
+  "libtxconc_utxo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_utxo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/account_workload.cpp" "src/workload/CMakeFiles/txconc_workload.dir/account_workload.cpp.o" "gcc" "src/workload/CMakeFiles/txconc_workload.dir/account_workload.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/txconc_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/txconc_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/txconc_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/txconc_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/utxo_workload.cpp" "src/workload/CMakeFiles/txconc_workload.dir/utxo_workload.cpp.o" "gcc" "src/workload/CMakeFiles/txconc_workload.dir/utxo_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/txconc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/utxo/CMakeFiles/txconc_utxo.dir/DependInfo.cmake"
+  "/root/repo/build/src/account/CMakeFiles/txconc_account.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/txconc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/txconc_shard.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txconc_workload.dir/account_workload.cpp.o"
+  "CMakeFiles/txconc_workload.dir/account_workload.cpp.o.d"
+  "CMakeFiles/txconc_workload.dir/profile.cpp.o"
+  "CMakeFiles/txconc_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/txconc_workload.dir/profiles.cpp.o"
+  "CMakeFiles/txconc_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/txconc_workload.dir/utxo_workload.cpp.o"
+  "CMakeFiles/txconc_workload.dir/utxo_workload.cpp.o.d"
+  "libtxconc_workload.a"
+  "libtxconc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txconc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/account_test.dir/account_test.cpp.o"
+  "CMakeFiles/account_test.dir/account_test.cpp.o.d"
+  "account_test"
+  "account_test.pdb"
+  "account_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/account_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

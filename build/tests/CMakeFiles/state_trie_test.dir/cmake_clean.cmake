@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_trie_test.dir/state_trie_test.cpp.o"
+  "CMakeFiles/state_trie_test.dir/state_trie_test.cpp.o.d"
+  "state_trie_test"
+  "state_trie_test.pdb"
+  "state_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utxo_test.dir/utxo_test.cpp.o"
+  "CMakeFiles/utxo_test.dir/utxo_test.cpp.o.d"
+  "utxo_test"
+  "utxo_test.pdb"
+  "utxo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utxo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

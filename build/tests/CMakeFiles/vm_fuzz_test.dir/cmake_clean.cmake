@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_fuzz_test.dir/vm_fuzz_test.cpp.o"
+  "CMakeFiles/vm_fuzz_test.dir/vm_fuzz_test.cpp.o.d"
+  "vm_fuzz_test"
+  "vm_fuzz_test.pdb"
+  "vm_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallet_node_test.dir/wallet_node_test.cpp.o"
+  "CMakeFiles/wallet_node_test.dir/wallet_node_test.cpp.o.d"
+  "wallet_node_test"
+  "wallet_node_test.pdb"
+  "wallet_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallet_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
