@@ -188,15 +188,38 @@ void run_executor_benchmark(benchmark::State& state,
   account::RuntimeConfig config;
   config.charge_fees = false;
   config.enforce_nonce = false;  // replay the same block repeatedly
+  // Scheduling-overhead accumulators, so pool cost shows up separately
+  // from conflict-induced serialization (the phase-2 bin).
+  double pool_tasks = 0.0;
+  double grains = 0.0;
+  double caller_grains = 0.0;
+  double phase1_s = 0.0;
+  double phase2_s = 0.0;
   for (auto _ : state) {
     state.PauseTiming();
     account::StateDb db = fixture.genesis;
     state.ResumeTiming();
-    benchmark::DoNotOptimize(
-        executor.execute_block(db, fixture.block, config));
+    const exec::ExecutionReport report =
+        executor.execute_block(db, fixture.block, config);
+    benchmark::DoNotOptimize(&report);
+    pool_tasks += static_cast<double>(report.sched.pool_tasks);
+    grains += static_cast<double>(report.sched.grains);
+    caller_grains += static_cast<double>(report.sched.grains_caller_run);
+    phase1_s += report.sched.phase1_seconds;
+    phase2_s += report.sched.phase2_seconds;
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(fixture.block.size()));
+  state.counters["pool_tasks"] =
+      benchmark::Counter(pool_tasks, benchmark::Counter::kAvgIterations);
+  state.counters["grains"] =
+      benchmark::Counter(grains, benchmark::Counter::kAvgIterations);
+  state.counters["caller_grains"] =
+      benchmark::Counter(caller_grains, benchmark::Counter::kAvgIterations);
+  state.counters["phase1_us"] = benchmark::Counter(
+      phase1_s * 1e6, benchmark::Counter::kAvgIterations);
+  state.counters["phase2_us"] = benchmark::Counter(
+      phase2_s * 1e6, benchmark::Counter::kAvgIterations);
 }
 
 void BM_ExecSequential(benchmark::State& state) {
@@ -210,7 +233,11 @@ void BM_ExecSpeculative(benchmark::State& state) {
       static_cast<unsigned>(state.range(0)));
   run_executor_benchmark(state, *executor);
 }
-BENCHMARK(BM_ExecSpeculative)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExecSpeculative)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ExecGroupLpt(benchmark::State& state) {
   auto executor =

@@ -24,12 +24,26 @@ int main() {
   const analysis::SpeedupSeries model =
       analysis::compute_speedup_series(eth, kCores);
 
-  // Engine curves from replaying the same history.
-  auto replay_curve = [&](exec::BlockExecutor& engine) {
+  // Engine curves from replaying the same history; the replay also sums
+  // the scheduling breakdown so pool overhead is reported separately from
+  // conflict-induced serialization.
+  struct SchedTotals {
+    std::uint64_t pool_tasks = 0;
+    std::uint64_t grains = 0;
+    std::uint64_t grains_caller_run = 0;
+    double phase1_seconds = 0.0;
+    double phase2_seconds = 0.0;
+  };
+  auto replay_curve = [&](exec::BlockExecutor& engine, SchedTotals& totals) {
     exec::HistoryReplayer replayer(profile, kSeed);
     Bucketizer buckets(40, 0, profile.default_blocks - 1);
     for (std::uint64_t h = 0; h < profile.default_blocks; ++h) {
       const exec::ExecutionReport report = replayer.replay_next(engine);
+      totals.pool_tasks += report.sched.pool_tasks;
+      totals.grains += report.sched.grains;
+      totals.grains_caller_run += report.sched.grains_caller_run;
+      totals.phase1_seconds += report.sched.phase1_seconds;
+      totals.phase2_seconds += report.sched.phase2_seconds;
       if (report.num_txs == 0) continue;
       buckets.add(h, report.simulated_speedup,
                   static_cast<double>(report.num_txs));
@@ -38,8 +52,12 @@ int main() {
   };
   auto group_engine = exec::make_group_executor(kCores);
   auto spec_engine = exec::make_speculative_executor(kCores);
-  const std::vector<SeriesPoint> group_curve = replay_curve(*group_engine);
-  const std::vector<SeriesPoint> spec_curve = replay_curve(*spec_engine);
+  SchedTotals group_sched;
+  SchedTotals spec_sched;
+  const std::vector<SeriesPoint> group_curve =
+      replay_curve(*group_engine, group_sched);
+  const std::vector<SeriesPoint> spec_curve =
+      replay_curve(*spec_engine, spec_sched);
 
   PlotOptions opt;
   opt.y_min = 0.0;
@@ -59,6 +77,7 @@ int main() {
   const auto group_modelled = analysis::summarize_late(model.group);
   const auto spec_measured = analysis::summarize_late(spec_curve);
   const auto spec_modelled = analysis::summarize_late(model.speculative);
+  const auto oracle_modelled = analysis::summarize_late(model.oracle);
 
   analysis::TextTable table({"curve", "late mean", "peak"});
   table.row({"group engine", analysis::fmt_double(group_measured.mean, 2),
@@ -70,7 +89,29 @@ int main() {
   table.row({"speculative model eq.(1)",
              analysis::fmt_double(spec_modelled.mean, 2),
              analysis::fmt_double(spec_modelled.peak, 2)});
+  table.row({"oracle model (K=0)",
+             analysis::fmt_double(oracle_modelled.mean, 2),
+             analysis::fmt_double(oracle_modelled.peak, 2)});
   std::cout << table.render() << "\n";
+
+  // Scheduling overhead, separated from the serial (conflict) phase.
+  auto sched_row = [](analysis::TextTable& t, const std::string& name,
+                      const SchedTotals& s) {
+    const double caller_share =
+        s.grains == 0 ? 0.0
+                      : static_cast<double>(s.grains_caller_run) /
+                            static_cast<double>(s.grains);
+    t.row({name, std::to_string(s.pool_tasks), std::to_string(s.grains),
+           analysis::fmt_double(100.0 * caller_share, 1) + "%",
+           analysis::fmt_double(s.phase1_seconds, 3),
+           analysis::fmt_double(s.phase2_seconds, 3)});
+  };
+  analysis::TextTable sched_table({"engine", "pool tasks", "grains",
+                                   "caller-run", "phase1 s", "phase2 s"});
+  sched_row(sched_table, "group engine", group_sched);
+  sched_row(sched_table, "speculative engine", spec_sched);
+  std::cout << "scheduling overhead (whole history):\n"
+            << sched_table.render() << "\n";
 
   std::cout
       << "notes:\n"

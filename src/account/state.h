@@ -163,8 +163,9 @@ class OverlayState final : public State {
   };
   struct SlotIdHash {
     std::size_t operator()(const SlotId& s) const noexcept {
-      return std::hash<Address>{}(s.addr) ^
-             (s.key * 0x9e3779b97f4a7c15ULL);
+      // Same hash_combine mixing as SlotAccessHash: XOR-folding the raw
+      // key aliases related (address, key) pairs.
+      return SlotAccessHash{}(SlotAccess{s.addr, s.key});
     }
   };
 

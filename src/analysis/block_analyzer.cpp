@@ -114,13 +114,8 @@ core::ConflictStats analyze_account_block_slots(
     std::vector<std::uint32_t> readers;
     std::vector<std::uint32_t> writers;
   };
-  struct SlotHash {
-    std::size_t operator()(const account::SlotAccess& s) const noexcept {
-      return std::hash<Address>{}(s.address) ^
-             (s.key * 0x9e3779b97f4a7c15ULL);
-    }
-  };
-  std::unordered_map<account::SlotAccess, SlotUse, SlotHash> slots;
+  std::unordered_map<account::SlotAccess, SlotUse, account::SlotAccessHash>
+      slots;
   for (std::uint32_t i = 0; i < receipts.size(); ++i) {
     for (const account::SlotAccess& r : receipts[i].reads) {
       slots[r].readers.push_back(i);

@@ -18,6 +18,7 @@ SpeedupSeries compute_speedup_series(const ChainSeries& series,
                 series.regular_txs.size()});
   out.speculative.reserve(buckets);
   out.group.reserve(buckets);
+  out.oracle.reserve(buckets);
   for (std::size_t i = 0; i < buckets; ++i) {
     const auto x =
         static_cast<std::size_t>(series.regular_txs[i].value + 0.5);
@@ -32,6 +33,13 @@ SpeedupSeries compute_speedup_series(const ChainSeries& series,
     group.value =
         core::GroupModel::speedup_bound(cores, series.group_rate_txw[i].value);
     out.group.push_back(group);
+
+    SeriesPoint oracle = series.single_rate_txw[i];
+    oracle.value = x == 0 ? 1.0
+                          : core::SpeculativeModel::oracle_speedup(
+                                x, series.single_rate_txw[i].value, cores,
+                                /*k_preprocess=*/0.0);
+    out.oracle.push_back(oracle);
   }
   return out;
 }

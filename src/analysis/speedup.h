@@ -6,7 +6,7 @@
 
 namespace txconc::analysis {
 
-/// The two Figure 10 curves for one core count.
+/// The Figure 10 curves for one core count.
 struct SpeedupSeries {
   unsigned cores = 0;
   /// Equation (1) applied bucket-by-bucket to the single-transaction
@@ -14,6 +14,9 @@ struct SpeedupSeries {
   std::vector<SeriesPoint> speculative;
   /// Equation (2) applied to the group conflict rate.
   std::vector<SeriesPoint> group;
+  /// The perfect-information variant (Section V-A, K = 0): conflicted
+  /// transactions are known up front and execute exactly once.
+  std::vector<SeriesPoint> oracle;
 };
 
 /// Aggregates over a (suffix of a) speed-up curve.

@@ -1,6 +1,7 @@
 #include "core/speedup_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -42,8 +43,14 @@ double SpeculativeModel::oracle_execution_time(std::size_t x, double c,
                                                unsigned n, double k_preprocess) {
   check_args(x, c, n);
   if (k_preprocess < 0.0) throw UsageError("speed-up model: K must be >= 0");
-  const auto unconflicted =
-      static_cast<std::size_t>((1.0 - c) * static_cast<double>(x));
+  // c*x is an integral transaction count in every workload the model is
+  // applied to; truncating (1-c)*x drops one unconflicted transaction
+  // whenever the product lands just below the integer (0.7 * 10 =
+  // 6.999...), so round the conflicted count and subtract instead.
+  const auto conflicted = static_cast<std::size_t>(
+      std::min(std::llround(c * static_cast<double>(x)),
+               static_cast<long long>(x)));
+  const std::size_t unconflicted = x - conflicted;
   return k_preprocess + static_cast<double>(unconflicted / n) + 1.0 +
          c * static_cast<double>(x);
 }

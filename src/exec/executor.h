@@ -18,6 +18,25 @@
 
 namespace txconc::exec {
 
+/// Where one block execution spent its scheduling effort, separating pool
+/// overhead from conflict-induced serialization. Filled from ThreadPool
+/// stats deltas and per-phase timers by the parallel executors (all zero
+/// for the sequential baseline).
+struct SchedulingBreakdown {
+  /// Pool queue tasks run on behalf of this block (worker wakeups);
+  /// bounded by O(num_workers) per parallel_for call, not O(num_txs).
+  std::uint64_t pool_tasks = 0;
+  /// parallel_for grains executed, and how many of them the submitting
+  /// thread drained itself (caller-runs share).
+  std::uint64_t grains = 0;
+  std::uint64_t grains_caller_run = 0;
+  /// Wall-clock split: the concurrent phase (speculation / parallel waves
+  /// / component execution, incl. conflict detection and overlay commit)
+  /// vs the serial phase (sequential bin, in-order validation, merges).
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+};
+
 /// What one block execution did and cost.
 struct ExecutionReport {
   std::string executor;
@@ -32,6 +51,8 @@ struct ExecutionReport {
   double simulated_units = 0.0;
   /// x / simulated_units; the quantity Figure 10 predicts.
   double simulated_speedup = 1.0;
+  /// Scheduling-overhead breakdown (pool work and phase wall times).
+  SchedulingBreakdown sched;
   /// Receipts in block order (identical across executors by contract).
   std::vector<account::Receipt> receipts;
 };

@@ -10,6 +10,7 @@
 #include "core/tdg.h"
 #include "exec/executor.h"
 #include "exec/predict.h"
+#include "exec/sched_trace.h"
 #include "exec/thread_pool.h"
 
 namespace txconc::exec {
@@ -87,7 +88,7 @@ class GroupExecutor final : public BlockExecutor {
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    const auto start = std::chrono::steady_clock::now();
+    SchedTrace trace(pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -132,6 +133,7 @@ class GroupExecutor final : public BlockExecutor {
         }
       }
     });
+    trace.phase_boundary();
     for (auto& overlay : overlays) {
       if (overlay) overlay->apply_to(state);
     }
@@ -146,9 +148,7 @@ class GroupExecutor final : public BlockExecutor {
         schedule.makespan > 0.0
             ? static_cast<double>(transactions.size()) / schedule.makespan
             : 1.0;
-    report.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    report.wall_seconds = trace.finish(report.sched);
     return report;
   }
 

@@ -13,17 +13,14 @@
 #include "common/error.h"
 #include "exec/executor.h"
 #include "exec/predict.h"
+#include "exec/sched_trace.h"
 #include "exec/thread_pool.h"
 
 namespace txconc::exec {
 
 namespace {
 
-struct SlotHash {
-  std::size_t operator()(const account::SlotAccess& s) const noexcept {
-    return std::hash<Address>{}(s.address) ^ (s.key * 0x9e3779b97f4a7c15ULL);
-  }
-};
+using SlotHash = account::SlotAccessHash;
 
 class OccExecutor final : public BlockExecutor {
  public:
@@ -36,7 +33,7 @@ class OccExecutor final : public BlockExecutor {
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    const auto start = std::chrono::steady_clock::now();
+    SchedTrace trace(pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -65,6 +62,7 @@ class OccExecutor final : public BlockExecutor {
       if (++waves > max_waves_) {
         // Degenerate fallback: finish the stragglers sequentially. With
         // max_waves >= longest dependency chain this never triggers.
+        const auto tail_start = std::chrono::steady_clock::now();
         for (std::size_t i : pending) {
           report.receipts[i] =
               account::apply_transaction(state, transactions[i], config);
@@ -72,10 +70,14 @@ class OccExecutor final : public BlockExecutor {
           simulated += 1.0;
         }
         pending.clear();
+        trace.add_phase2(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - tail_start)
+                             .count());
         break;
       }
 
       // Parallel speculative wave against the frozen base.
+      const auto wave_start = std::chrono::steady_clock::now();
       struct Attempt {
         std::unique_ptr<account::OverlayState> overlay;
         bool valid = false;
@@ -92,6 +94,9 @@ class OccExecutor final : public BlockExecutor {
           attempts[k].valid = false;  // depends on an uncommitted tx
         }
       });
+      const auto wave_end = std::chrono::steady_clock::now();
+      trace.add_phase1(
+          std::chrono::duration<double>(wave_end - wave_start).count());
       report.executions += pending.size();
       simulated += static_cast<double>(
           (pending.size() + pool_.size() - 1) / pool_.size());
@@ -133,6 +138,9 @@ class OccExecutor final : public BlockExecutor {
       }
       max_retry_depth = std::max(max_retry_depth, retry.size());
       pending = std::move(retry);
+      trace.add_phase2(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wave_end)
+                           .count());
     }
     state.flush_journal();
 
@@ -142,9 +150,7 @@ class OccExecutor final : public BlockExecutor {
         simulated > 0.0
             ? static_cast<double>(transactions.size()) / simulated
             : 1.0;
-    report.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    report.wall_seconds = trace.finish(report.sched);
     return report;
   }
 

@@ -1,0 +1,61 @@
+// Scheduling-overhead recorder shared by the parallel executors: diffs
+// ThreadPool counters around one block execution and splits the wall time
+// into a concurrent and a serial phase for the ExecutionReport.
+#pragma once
+
+#include <chrono>
+
+#include "exec/executor.h"
+#include "exec/thread_pool.h"
+
+namespace txconc::exec {
+
+class SchedTrace {
+ public:
+  explicit SchedTrace(const ThreadPool& pool)
+      : pool_(pool),
+        before_(pool.stats()),
+        start_(std::chrono::steady_clock::now()),
+        boundary_(start_) {}
+
+  /// Two-phase executors: everything before this call is phase 1,
+  /// everything after is phase 2.
+  void phase_boundary() {
+    boundary_ = std::chrono::steady_clock::now();
+    boundary_set_ = true;
+  }
+
+  /// Wave-style executors attribute explicit segment durations instead.
+  void add_phase1(double seconds) { extra_phase1_ += seconds; }
+  void add_phase2(double seconds) { extra_phase2_ += seconds; }
+
+  /// Fill the breakdown; returns total wall seconds since construction.
+  double finish(SchedulingBreakdown& out) const {
+    const auto now = std::chrono::steady_clock::now();
+    const ThreadPoolStats after = pool_.stats();
+    out.pool_tasks = after.tasks_run - before_.tasks_run;
+    out.grains = after.grains_total - before_.grains_total;
+    out.grains_caller_run =
+        after.grains_caller_run - before_.grains_caller_run;
+    out.phase1_seconds = extra_phase1_;
+    out.phase2_seconds = extra_phase2_;
+    if (boundary_set_) {
+      out.phase1_seconds +=
+          std::chrono::duration<double>(boundary_ - start_).count();
+      out.phase2_seconds +=
+          std::chrono::duration<double>(now - boundary_).count();
+    }
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  const ThreadPool& pool_;
+  ThreadPoolStats before_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point boundary_;
+  bool boundary_set_ = false;
+  double extra_phase1_ = 0.0;
+  double extra_phase2_ = 0.0;
+};
+
+}  // namespace txconc::exec

@@ -30,6 +30,8 @@ class SequentialExecutor final : public BlockExecutor {
     report.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    // No pool, no concurrent phase: the whole block is serial time.
+    report.sched.phase2_seconds = report.wall_seconds;
     return report;
   }
 

@@ -8,17 +8,14 @@
 #include "core/components.h"
 #include "exec/executor.h"
 #include "exec/predict.h"
+#include "exec/sched_trace.h"
 #include "exec/thread_pool.h"
 
 namespace txconc::exec {
 
 namespace {
 
-struct SlotHash {
-  std::size_t operator()(const account::SlotAccess& s) const noexcept {
-    return std::hash<Address>{}(s.address) ^ (s.key * 0x9e3779b97f4a7c15ULL);
-  }
-};
+using SlotHash = account::SlotAccessHash;
 
 /// One speculative attempt: the overlay it ran on and what it touched.
 struct Attempt {
@@ -170,7 +167,7 @@ class SpeculativeExecutor final : public BlockExecutor {
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    const auto start = std::chrono::steady_clock::now();
+    SchedTrace trace(pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -193,6 +190,7 @@ class SpeculativeExecutor final : public BlockExecutor {
       attempts[i].overlay->apply_to(state);
       report.receipts[i] = std::move(attempts[i].receipt);
     }
+    trace.phase_boundary();
 
     // Phase 2 (sequential bin, in block order).
     std::size_t bin = 0;
@@ -216,9 +214,7 @@ class SpeculativeExecutor final : public BlockExecutor {
         report.simulated_units > 0.0
             ? static_cast<double>(transactions.size()) / report.simulated_units
             : 1.0;
-    report.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    report.wall_seconds = trace.finish(report.sched);
     return report;
   }
 
@@ -240,7 +236,7 @@ class OracleExecutor final : public BlockExecutor {
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    const auto start = std::chrono::steady_clock::now();
+    SchedTrace trace(pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -275,6 +271,7 @@ class OracleExecutor final : public BlockExecutor {
       ++concurrent;
       overlays[i]->apply_to(state);
     }
+    trace.phase_boundary();
 
     // Sequential phase, in block order.
     std::size_t bin = 0;
@@ -300,9 +297,7 @@ class OracleExecutor final : public BlockExecutor {
         report.simulated_units > 0.0
             ? static_cast<double>(transactions.size()) / report.simulated_units
             : 1.0;
-    report.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    report.wall_seconds = trace.finish(report.sched);
     return report;
   }
 

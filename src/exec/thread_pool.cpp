@@ -1,8 +1,28 @@
 #include "exec/thread_pool.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "common/error.h"
 
 namespace txconc::exec {
+
+/// Shared state of one parallel_for call. Helper tasks hold a shared_ptr
+/// so a helper that wakes up after the caller returned (having found the
+/// cursor exhausted) still touches valid memory.
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  std::size_t num_grains = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next{0};  ///< grain cursor
+  std::atomic<std::size_t> done{0};  ///< completed (or skipped) grains
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  ///< first grain exception, guarded by m
+  std::mutex m;
+  std::condition_variable cv;
+};
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) throw UsageError("ThreadPool needs >= 1 thread");
@@ -24,32 +44,110 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
   {
     const std::lock_guard lock(mutex_);
     if (stopping_) throw UsageError("ThreadPool: submit after shutdown");
-    queue_.push(std::move(packaged));
+    queue_.push([packaged] { (*packaged)(); });
   }
   cv_.notify_one();
   return future;
 }
 
+void ThreadPool::run_grains(Batch& batch, bool caller) {
+  std::uint64_t ran = 0;
+  for (;;) {
+    const std::size_t g = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (g >= batch.num_grains) break;
+    ++ran;
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin = g * batch.grain;
+      const std::size_t end = std::min(batch.count, begin + batch.grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*batch.fn)(i);
+      } catch (...) {
+        const std::lock_guard lock(batch.m);
+        if (!batch.error) batch.error = std::current_exception();
+        batch.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.num_grains) {
+      // Taking the lock pairs with the caller's predicate check so the
+      // final notify cannot slip between its check and its wait.
+      const std::lock_guard lock(batch.m);
+      batch.cv.notify_all();
+    }
+  }
+  grains_total_.fetch_add(ran, std::memory_order_relaxed);
+  if (caller) grains_caller_run_.fetch_add(ran, std::memory_order_relaxed);
+}
+
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (count == 0) return;
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t workers = size();
+  if (grain == 0) {
+    // A few grains per worker balances load without shrinking chunks to
+    // the point where the cursor becomes contended again.
+    grain = std::max<std::size_t>(1, count / (workers * 4));
   }
-  for (auto& f : futures) {
-    f.get();  // rethrows task exceptions
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->grain = grain;
+  batch->num_grains = (count + grain - 1) / grain;
+  batch->fn = &fn;
+
+  // One helper per worker, capped at the grains the caller won't need to
+  // run alone. Correctness never depends on helpers actually running: the
+  // caller drains the cursor itself, which is what makes nested calls
+  // (every worker busy, helpers stuck behind us in the queue) safe.
+  const std::size_t helpers =
+      std::min<std::size_t>(workers, batch->num_grains - 1);
+  if (helpers > 0) {
+    {
+      const std::lock_guard lock(mutex_);
+      if (!stopping_) {
+        for (std::size_t h = 0; h < helpers; ++h) {
+          queue_.push([this, batch] { run_grains(*batch, /*caller=*/false); });
+        }
+      }
+    }
+    if (helpers == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
   }
+
+  run_grains(*batch, /*caller=*/true);
+
+  {
+    std::unique_lock lock(batch->m);
+    batch->cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->num_grains;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.parallel_for_calls = parallel_for_calls_.load(std::memory_order_relaxed);
+  s.grains_total = grains_total_.load(std::memory_order_relaxed);
+  s.grains_caller_run = grains_caller_run_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -61,6 +159,7 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,7 +1,10 @@
-// A fixed-size thread pool with a blocking task queue.
+// A fixed-size thread pool with a blocking task queue and a chunked,
+// deadlock-safe parallel_for.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -10,6 +13,20 @@
 #include <vector>
 
 namespace txconc::exec {
+
+/// Monotonic scheduling counters, accumulated over the pool's lifetime.
+/// Executors diff two snapshots to attribute overhead to one block.
+struct ThreadPoolStats {
+  /// Queue tasks executed by worker threads (submit() tasks plus the
+  /// per-worker helper tasks parallel_for enqueues).
+  std::uint64_t tasks_run = 0;
+  std::uint64_t parallel_for_calls = 0;
+  /// Contiguous index grains executed across all parallel_for calls.
+  std::uint64_t grains_total = 0;
+  /// Grains the submitting thread drained itself (caller-runs share);
+  /// always > 0 when the pool is saturated or the call is nested.
+  std::uint64_t grains_caller_run = 0;
+};
 
 /// Fixed worker pool. Tasks are std::function<void()>; submit() returns a
 /// future for completion/exception propagation. Destruction drains the
@@ -23,23 +40,51 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; the future resolves when it finishes (or rethrows).
+  /// Blocking on the future from inside a pool task can deadlock (the
+  /// waiting worker holds the only free slot) — use parallel_for for
+  /// nested fan-out instead.
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, count) across the pool and wait for all.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  ///
+  /// The range is split into contiguous grains claimed through an atomic
+  /// cursor; only one helper task per worker is enqueued (O(size())
+  /// allocations and queue operations per call, not O(count)). The calling
+  /// thread claims grains too (caller-runs), so a pool task may itself
+  /// call parallel_for without deadlocking even when every worker is busy:
+  /// the nested caller simply drains its own grains.
+  ///
+  /// The first exception thrown by any grain is captured and rethrown
+  /// exactly once after the whole range has completed; grains claimed
+  /// after a failure is recorded are skipped.
+  ///
+  /// @param grain  indices per chunk; 0 picks a size targeting a few
+  ///               chunks per worker for load balance.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Snapshot of the monotonic scheduling counters.
+  ThreadPoolStats stats() const;
+
  private:
+  struct Batch;  // shared state of one parallel_for call
+
   void worker_loop();
+  void run_grains(Batch& batch, bool caller);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> grains_total_{0};
+  std::atomic<std::uint64_t> grains_caller_run_{0};
 };
 
 }  // namespace txconc::exec

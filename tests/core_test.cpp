@@ -364,6 +364,41 @@ TEST(SpeculativeModel, ExactAndFormulaDifferOnlyWhenDivisible) {
   }
 }
 
+// Regression: computing the unconflicted count as (1-c)*x truncated one
+// transaction whenever the product fell just below the integer (0.7 * 10
+// = 6.999...). The paper's hand-computed example must hold exactly.
+TEST(SpeculativeModel, OracleMatchesHandComputedExample) {
+  // x=10, c=0.3, n=4, K=0: 7 unconflicted -> floor(7/4) + 1 + 3 = 5 units.
+  EXPECT_DOUBLE_EQ(SpeculativeModel::oracle_execution_time(10, 0.3, 4, 0.0),
+                   5.0);
+  EXPECT_DOUBLE_EQ(SpeculativeModel::oracle_speedup(10, 0.3, 4, 0.0), 2.0);
+}
+
+TEST(SpeculativeModel, OracleUnconflictedCountExactUnderRationalC) {
+  // c = k/10 over x = 10 transactions: exactly 10-k are unconflicted, so
+  // T' = floor((10-k)/n) + 1 + k for every n, with no floating-point
+  // truncation allowed to drop one.
+  for (unsigned n : {1u, 2u, 4u, 7u, 8u}) {
+    for (int k = 1; k <= 9; ++k) {
+      const double c = static_cast<double>(k) / 10.0;
+      const std::size_t unconflicted = 10u - static_cast<unsigned>(k);
+      const double expected =
+          static_cast<double>(unconflicted / n) + 1.0 + static_cast<double>(k);
+      EXPECT_NEAR(SpeculativeModel::oracle_execution_time(10, c, n, 0.0),
+                  expected, 1e-9)
+          << "n=" << n << " c=0." << k;
+    }
+  }
+}
+
+TEST(SpeculativeModel, OracleBoundaryConflictRates) {
+  // c=0: everything concurrent; c=1: everything sequential.
+  EXPECT_DOUBLE_EQ(SpeculativeModel::oracle_execution_time(16, 0.0, 8, 0.0),
+                   2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(SpeculativeModel::oracle_execution_time(16, 1.0, 8, 0.0),
+                   1.0 + 16.0);
+}
+
 TEST(SpeculativeModel, OracleBeatsBlindWhenConflictHigh) {
   // With c high, not re-executing the conflicted transactions helps.
   const double blind = SpeculativeModel::speedup(1000, 0.8, 8);

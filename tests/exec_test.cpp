@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <unordered_set>
 
 #include "account/contracts.h"
+#include "core/tdg.h"
 #include "common/error.h"
 #include "core/speedup_model.h"
 #include "exec/executor.h"
@@ -60,6 +64,82 @@ TEST(ThreadPool, ParallelForRethrows) {
 
 TEST(ThreadPool, ZeroThreadsRejected) {
   EXPECT_THROW(ThreadPool(0), UsageError);
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversAllIndices) {
+  // A count far above the worker count with an explicit grain: every
+  // index must run exactly once across the chunk boundaries.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10007);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; },
+                    /*grain=*/64);
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEnqueuesPerWorkerNotPerElement) {
+  ThreadPool pool(4);
+  // Drain start-up noise, then measure one call.
+  pool.parallel_for(8, [](std::size_t) {});
+  const ThreadPoolStats before = pool.stats();
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(5000, [&](std::size_t i) { sum += i; });
+  const ThreadPoolStats after = pool.stats();
+  EXPECT_EQ(sum.load(), 5000u * 4999u / 2);
+  EXPECT_EQ(after.parallel_for_calls - before.parallel_for_calls, 1u);
+  // O(num_workers) queue work, not O(count): at most one helper task per
+  // worker (stragglers from the warm-up call may add a few no-op wakeups).
+  EXPECT_LE(after.tasks_run - before.tasks_run, 2u * pool.size());
+  // All grains are accounted for, and the caller helped.
+  const std::uint64_t grains = after.grains_total - before.grains_total;
+  EXPECT_GE(grains, 1u);
+  EXPECT_LE(grains, 4u * pool.size() + 1u);
+  EXPECT_GE(after.grains_caller_run - before.grains_caller_run, 1u);
+}
+
+// Regression (deadlock): a pool task that itself calls parallel_for used
+// to wait forever once every worker was busy. Caller-runs lets the nested
+// caller drain its own grains. Run under a watchdog so a regression fails
+// the test instead of hanging the suite.
+TEST(ThreadPool, NestedParallelForCompletes) {
+  auto* pool = new ThreadPool(2);
+  std::atomic<int> inner_total{0};
+  auto watchdog = std::async(std::launch::async, [&] {
+    pool->parallel_for(4, [&](std::size_t) {
+      pool->parallel_for(8, [&](std::size_t) { ++inner_total; });
+    });
+  });
+  if (watchdog.wait_for(std::chrono::seconds(60)) !=
+      std::future_status::ready) {
+    // Leak the pool: its workers are wedged and joining would hang too.
+    GTEST_FAIL() << "nested parallel_for deadlocked";
+  }
+  watchdog.get();
+  EXPECT_EQ(inner_total.load(), 32);
+  delete pool;
+}
+
+// Regression (exception aggregation): many grains throw, the caller sees
+// the first exception exactly once, and the pool stays usable.
+TEST(ThreadPool, ParallelForThrowsExactlyOnce) {
+  ThreadPool pool(4);
+  int caught = 0;
+  try {
+    pool.parallel_for(
+        100,
+        [](std::size_t i) {
+          if (i % 10 == 3) throw UsageError("bad index");
+        },
+        /*grain=*/1);
+  } catch (const UsageError&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 50);
 }
 
 // ----------------------------------------------------- simulated-time models
@@ -408,6 +488,167 @@ TEST(ExecutorOrdering, InvalidAttemptStillOrdersContractLogic) {
     EXPECT_EQ(state.storage(auction_addr, 0), 1000u) << engine->name();
   }
 }
+
+// ------------------------------------------- conflict-detection regressions
+
+TEST(SlotAccessHash, DistinctSlotsOfOneAddressDoNotAlias) {
+  const account::SlotAccessHash h;
+  const Address a = addr(7);
+  std::unordered_set<std::size_t> seen;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_TRUE(seen.insert(h(account::SlotAccess{a, key})).second)
+        << "key " << key << " aliases an earlier slot of the same address";
+  }
+}
+
+TEST(SlotAccessHash, StructuredAddressKeyGridDoesNotCollide) {
+  // The old `hash(address) ^ key*phi` let related (address, key) pairs
+  // cancel each other under XOR; the hash_combine mix must keep a dense
+  // grid of addresses x keys (including address-derived keys, as token
+  // contracts use) fully distinct.
+  const account::SlotAccessHash h;
+  std::unordered_set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::uint64_t s = 1; s <= 64; ++s) {
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      seen.insert(h(account::SlotAccess{addr(s), key}));
+      seen.insert(h(account::SlotAccess{addr(s), addr(key + 1).low64()}));
+      total += 2;
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+// An attempt that fails phase-1 validation leaves no access sets beyond
+// its sender, so it must poison its whole *predicted* component: a valid
+// transaction that shares only the predicted component (never an observed
+// slot) with the invalid attempt has to be binned too.
+TEST(ExecutorConflicts, InvalidAttemptPoisonsPredictedComponent) {
+  for (const AbortPolicy policy :
+       {AbortPolicy::kAllConflicted, AbortPolicy::kFirstWriterWins}) {
+    auto build_state = [](account::StateDb& s) {
+      s.set_balance(addr(1), 1'000'000);
+      s.set_balance(addr(2), 1'000'000);
+      s.flush_journal();
+    };
+    std::vector<account::AccountTx> block;
+    account::AccountTx warmup;  // consumes sender 1's nonce 0
+    warmup.from = addr(1);
+    warmup.to = addr(50);
+    warmup.value = 1;
+    warmup.gas_limit = 30000;
+    warmup.nonce = 0;
+    block.push_back(warmup);
+
+    account::AccountTx invalid;  // stale in phase 1: nonce 1 vs base 0
+    invalid.from = addr(1);
+    invalid.to = addr(60);
+    invalid.value = 1;
+    invalid.gas_limit = 30000;
+    invalid.nonce = 1;
+    block.push_back(invalid);
+
+    account::AccountTx bystander;  // valid; linked only through addr(60)
+    bystander.from = addr(2);
+    bystander.to = addr(60);
+    bystander.value = 1;
+    bystander.gas_limit = 30000;
+    bystander.nonce = 0;
+    block.push_back(bystander);
+
+    account::RuntimeConfig config;
+    account::StateDb reference;
+    build_state(reference);
+    make_sequential_executor()->execute_block(reference, block, config);
+
+    account::StateDb state;
+    build_state(state);
+    auto engine = make_speculative_executor(2, policy);
+    const ExecutionReport report = engine->execute_block(state, block, config);
+    EXPECT_EQ(state.digest(), reference.digest());
+    // kAllConflicted re-runs the whole poisoned component (all three);
+    // first-writer-wins commits the warmup before meeting the invalid
+    // attempt, then bins the invalid one and the poisoned bystander.
+    const std::size_t expected_bin =
+        policy == AbortPolicy::kAllConflicted ? 3u : 2u;
+    EXPECT_EQ(report.sequential_txs, expected_bin)
+        << (policy == AbortPolicy::kAllConflicted ? "all-conflicted" : "fww");
+  }
+}
+
+// First-writer-wins: a *valid* transaction that loses and goes to the bin
+// re-runs after the speculative commits, out of block order — so every
+// slot it touched must block later would-be committers.
+TEST(ExecutorConflicts, BinnedValidTransactionSlotsBlockLaterCommitters) {
+  auto build_state = [](account::StateDb& s) {
+    s.set_balance(addr(1), 1'000'000);
+    s.set_balance(addr(2), 1'000'000);
+    s.set_balance(addr(3), 1'000'000);
+    s.flush_journal();
+  };
+  std::vector<account::AccountTx> block;
+  auto pay = [](std::uint64_t from, std::uint64_t to) {
+    account::AccountTx tx;
+    tx.from = addr(from);
+    tx.to = addr(to);
+    tx.value = 10;
+    tx.gas_limit = 30000;
+    tx.nonce = 0;
+    return tx;
+  };
+  block.push_back(pay(1, 90));  // commits speculatively
+  block.push_back(pay(2, 90));  // loses on addr(90)'s balance -> bin
+  block.push_back(pay(3, 2));   // touches binned sender 2's balance -> bin
+
+  account::RuntimeConfig config;
+  account::StateDb reference;
+  build_state(reference);
+  make_sequential_executor()->execute_block(reference, block, config);
+
+  account::StateDb state;
+  build_state(state);
+  auto engine = make_speculative_executor(2, AbortPolicy::kFirstWriterWins);
+  const ExecutionReport report = engine->execute_block(state, block, config);
+  EXPECT_EQ(state.digest(), reference.digest());
+  EXPECT_EQ(report.sequential_txs, 2u);
+}
+
+// Property: the paper's BFS (Figure 3) and the union-find agree on the
+// a-priori TDGs predict_groups builds from generated account blocks.
+class PredictTdgEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredictTdgEquivalence, BfsMatchesDsuOnGeneratedTdgs) {
+  workload::ChainProfile profile = workload::ethereum_profile();
+  workload::AccountWorkloadGenerator generator(profile, GetParam());
+  for (int b = 0; b < 4; ++b) {
+    const auto block = generator.next_block().account_txs;
+    core::KeyedTdg<Address> tdg;
+    for (const auto& tx : block) {
+      const Address to = tx.to.has_value()
+                             ? *tx.to
+                             : Address::derive_contract(tx.from, tx.nonce);
+      tdg.add_edge(tx.from, to);
+      for (const Address& arg : tx.address_args) {
+        tdg.add_edge(tx.from, arg);
+      }
+    }
+    const core::ComponentSet bfs =
+        core::connected_components_bfs(tdg.graph());
+    const core::ComponentSet dsu =
+        core::connected_components_dsu(tdg.graph());
+    ASSERT_EQ(bfs.num_components(), dsu.num_components());
+    EXPECT_EQ(bfs.lcc_size(), dsu.lcc_size());
+    EXPECT_EQ(bfs.num_singletons(), dsu.num_singletons());
+    for (core::NodeId n = 0;
+         n < static_cast<core::NodeId>(tdg.graph().num_nodes()); ++n) {
+      ASSERT_EQ(bfs.component_of(n), dsu.component_of(n)) << "node " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictTdgEquivalence,
+                         ::testing::Values(5, 17, 29));
 
 TEST(ExecutorEmptyBlock, AllExecutorsHandleEmpty) {
   account::StateDb state;
