@@ -3,6 +3,10 @@
 // scheduling policy, executor overheads, and substrate throughputs.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
 #include "analysis/block_analyzer.h"
 #include "account/contracts.h"
 #include "account/runtime.h"
@@ -172,6 +176,10 @@ struct ExecFixture {
 
   ExecFixture() {
     workload::AccountWorkloadGenerator gen(profile, 42, 400);
+    // Skip to a busy late-era block (like AnalysisFixture): the early-era
+    // blocks carry a handful of transactions, far too few for engine
+    // scheduling costs or speedups to register.
+    for (int i = 0; i < 350; ++i) gen.next_block();
     genesis = gen.state();
     block = gen.next_block().account_txs;
     // Replay needs fee-free config and rich balances.
@@ -246,6 +254,76 @@ void BM_ExecGroupLpt(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecGroupLpt)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
 
+// ------------------------------------------------- BENCH_exec.json emitter
+
+// Machine-readable engine ablation: every registry executor across a
+// thread grid, best-of-3 wall time on the shared fixture block, wall
+// speedup vs sequential and the unit-cost simulated speedup next to it
+// (the wall/simulated gap is the engine's real-world overhead). Written
+// to TXCONC_BENCH_EXEC_OUT, defaulting to BENCH_exec.json in the CWD.
+void write_bench_exec_json() {
+  static const ExecFixture fixture;
+  account::RuntimeConfig config;
+  config.charge_fees = false;
+  config.enforce_nonce = false;
+
+  struct Row {
+    std::string executor;
+    unsigned threads = 1;
+    double wall_seconds = 0.0;
+    double simulated_speedup = 1.0;
+  };
+  std::vector<Row> rows;
+  double sequential_wall = 0.0;
+
+  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+    const std::vector<unsigned> thread_grid =
+        spec.parallel ? std::vector<unsigned>{1, 2, 4, 8}
+                      : std::vector<unsigned>{1};
+    for (const unsigned threads : thread_grid) {
+      const auto executor = spec.make(threads);
+      Row row{spec.name, threads, 0.0, 1.0};
+      for (int rep = 0; rep < 3; ++rep) {
+        account::StateDb db = fixture.genesis;
+        const exec::ExecutionReport report =
+            executor->execute_block(db, fixture.block, config);
+        if (rep == 0 || report.wall_seconds < row.wall_seconds) {
+          row.wall_seconds = report.wall_seconds;
+        }
+        row.simulated_speedup = report.simulated_speedup;
+      }
+      if (spec.name == "sequential") sequential_wall = row.wall_seconds;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const char* out_path = std::getenv("TXCONC_BENCH_EXEC_OUT");
+  if (out_path == nullptr) out_path = "BENCH_exec.json";
+  std::ofstream out(out_path);
+  out << "{\n  \"profile\": \"" << fixture.profile.name << "\",\n"
+      << "  \"block_txs\": " << fixture.block.size() << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double wall_speedup =
+        row.wall_seconds > 0.0 ? sequential_wall / row.wall_seconds : 0.0;
+    out << "    {\"executor\": \"" << row.executor << "\", \"threads\": "
+        << row.threads << ", \"wall_seconds\": " << row.wall_seconds
+        << ", \"wall_speedup\": " << wall_speedup
+        << ", \"simulated_speedup\": " << row.simulated_speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << " (" << rows.size() << " cells)\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_exec_json();
+  return 0;
+}

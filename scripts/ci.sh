@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify (configure, build, ctest) plus an
-# ASan/UBSan build of the executor tests, which exercise the thread pool's
-# chunked parallel_for under real races.
+# CI entry point: the tier-1 verify (configure, build, ctest) plus
+# sanitizer lanes over the execution layer:
+#  * ASan/UBSan on exec_test + conformance_test — memory errors and UB
+#    under the thread pool's chunked parallel_for;
+#  * TSan on the same binaries — data races, with the conformance
+#    schedule perturber widening the interleavings each seed explores.
+# TXCONC_CONFORMANCE_FAST=1 shrinks the differential sweep (fewer schedule
+# seeds) so the ~10x sanitizer slowdown stays within CI budgets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +21,22 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build build-asan -j"${JOBS}" --target exec_test
+cmake --build build-asan -j"${JOBS}" --target exec_test --target conformance_test
 # Leak checking needs ptrace, which container CI runners often deny; the
 # races/UB we are after are caught without it.
 ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
+ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
+  ./build-asan/tests/conformance_test
+
+# --- TSan lane: races under perturbed schedules ----------------------------
+# TSan is incompatible with ASan, so it gets its own build tree. The
+# conformance grid runs every executor family through seeded delay/yield
+# perturbation at grain boundaries — exactly the schedules where a missed
+# happens-before edge shows up.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j"${JOBS}" --target exec_test --target conformance_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/exec_test
+TSAN_OPTIONS=halt_on_error=1 TXCONC_CONFORMANCE_FAST=1 \
+  ./build-tsan/tests/conformance_test

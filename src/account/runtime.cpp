@@ -50,11 +50,21 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
     tracker_ptr->write_balance(tx.from);
   }
 
+  // Injected traps fire after the value transfer, so the rollback path is
+  // exercised exactly as for a genuine mid-execution VM fault.
+  const auto maybe_trap = [&] {
+    if (config.fault_injector != nullptr &&
+        config.fault_injector->should_trap(tx)) {
+      throw VmError("injected fault");
+    }
+  };
+
   try {
     if (tx.is_creation()) {
       const Address contract_addr =
           Address::derive_contract(tx.from, tx.nonce);
       state.transfer(tx.from, contract_addr, tx.value);
+      maybe_trap();
       state.set_code(contract_addr, tx.init_code);
       receipt.created = contract_addr;
       receipt.internal_txs.push_back(
@@ -64,6 +74,7 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
       const Address to = *tx.to;
       if (tracker_ptr && tx.value > 0) tracker_ptr->write_balance(to);
       state.transfer(tx.from, to, tx.value);
+      maybe_trap();
       const ContractCode* code = state.code(to);
       if (code != nullptr) {
         Vm vm(state, config.gas, config.limits);
@@ -100,6 +111,10 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
   } catch (const ValidationError& e) {
     // e.g. value transfer underflow after fee accounting races; treat as
     // execution failure, consistent with EVM call semantics.
+    success = false;
+    receipt.error = e.what();
+  } catch (const VmError& e) {
+    // Injected fault: fails the transaction like any other VM trap.
     success = false;
     receipt.error = e.what();
   }

@@ -10,6 +10,19 @@
 
 namespace txconc::account {
 
+/// Test-only fault injection: when RuntimeConfig::fault_injector is set,
+/// apply_transaction consults it once per transaction; a selected
+/// transaction traps right after its value transfer, exactly like a VM
+/// fault — the execution effects roll back while the nonce bump, intrinsic
+/// gas and fee stand. Selection must be a pure function of the transaction
+/// (not of executor, phase or retry count) so every engine traps the same
+/// set and the conformance oracle can assert their receipts converge.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual bool should_trap(const AccountTx& tx) const = 0;
+};
+
 /// Configuration of the runtime semantics.
 struct RuntimeConfig {
   GasSchedule gas;
@@ -22,6 +35,8 @@ struct RuntimeConfig {
   bool charge_fees = true;
   /// Record storage/balance read-write sets in the receipt.
   bool track_accesses = true;
+  /// Test-only: trap the transactions this injector selects (see above).
+  const FaultInjector* fault_injector = nullptr;
 };
 
 /// Apply one transaction to the state.

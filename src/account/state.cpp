@@ -1,6 +1,7 @@
 #include "account/state.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/bytes.h"
 #include "common/error.h"
@@ -279,6 +280,20 @@ void OverlayState::apply_to(State& target) const {
 bool OverlayState::dirty() const {
   return !balances_.empty() || !nonces_.empty() || !codes_.empty() ||
          !storage_.empty();
+}
+
+std::vector<Address> diff_accounts(const StateDb& a, const StateDb& b) {
+  std::unordered_set<Address> addresses;
+  a.for_each_account([&](const Address& addr) { addresses.insert(addr); });
+  b.for_each_account([&](const Address& addr) { addresses.insert(addr); });
+  std::vector<Address> diverged;
+  for (const Address& addr : addresses) {
+    if (a.account_digest(addr) != b.account_digest(addr)) {
+      diverged.push_back(addr);
+    }
+  }
+  std::sort(diverged.begin(), diverged.end());
+  return diverged;
 }
 
 // ------------------------------------------------------------- AccessTracker

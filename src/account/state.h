@@ -200,6 +200,12 @@ class OverlayState final : public State {
   mutable std::vector<JournalEntry> journal_;
 };
 
+/// Addresses whose canonical account digest differs between two states
+/// (over the union of both account sets, in unspecified order). The
+/// conformance oracle uses this to name the diverged accounts when an
+/// executor's final state digest mismatches the sequential baseline.
+std::vector<Address> diff_accounts(const StateDb& a, const StateDb& b);
+
 /// Records the read/write sets of one transaction, at account and slot
 /// granularity; attached to the VM by the runtime.
 class AccessTracker {

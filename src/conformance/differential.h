@@ -1,0 +1,91 @@
+// Differential-conformance oracle for the executor zoo.
+//
+// Every parallel BlockExecutor is contractually required to produce state,
+// receipts and balances identical to sequential execution. The oracle
+// turns that contract into a swept property: it replays the same
+// profile-seeded block corpus through a candidate engine and the
+// sequential baseline in lockstep — under a seeded schedule perturber and
+// optionally a seeded fault injector — and reports the first divergence
+// with a one-line repro command.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace txconc::conformance {
+
+/// One differential cell: everything needed to reproduce a run exactly.
+struct RunSpec {
+  std::string executor = "speculative";  ///< Registry name of the engine.
+  unsigned threads = 4;
+  std::string profile = "ethereum";  ///< Workload profile (see profile_by_name).
+  std::uint64_t profile_seed = 1;    ///< Corpus seed.
+  std::uint64_t schedule_seed = 0;   ///< Perturber seed.
+  double fault_rate = 0.0;           ///< 0 disables fault injection.
+  std::uint64_t fault_seed = 0;
+  std::uint64_t num_blocks = 3;
+  /// Scales every era's txs_per_block (tier budgets vs stress sweeps).
+  double tx_scale = 1.0;
+};
+
+/// First point where a candidate engine diverged from sequential.
+struct Divergence {
+  RunSpec spec;
+  std::uint64_t block = 0;  ///< 0-based block index within the replay.
+  std::string detail;       ///< What differed (receipt / digest / supply).
+  std::string repro;        ///< One-line repro command.
+};
+
+/// Grid swept by run_grid: the cross product of the vectors below, with
+/// schedule seeds schedule_seed_base .. +num_schedule_seeds-1.
+struct GridOptions {
+  std::vector<std::string> profiles = {"ethereum", "ethereum_classic",
+                                       "zilliqa"};
+  /// Empty selects every parallel entry of the executor registry.
+  std::vector<std::string> executors;
+  std::vector<unsigned> thread_grid = {1, 2, 4};
+  std::uint64_t num_schedule_seeds = 10;
+  std::uint64_t schedule_seed_base = 0;
+  std::uint64_t profile_seed = 1;
+  std::uint64_t num_blocks = 3;
+  double fault_rate = 0.0;  ///< >0 keys a fault injector off the schedule seed.
+  double tx_scale = 1.0;
+  /// Stop collecting (not checking) after this many divergences.
+  std::size_t max_divergences = 8;
+};
+
+struct GridOutcome {
+  std::size_t cells = 0;            ///< Differential pairs executed.
+  std::uint64_t blocks_checked = 0; ///< Blocks compared across all cells.
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Look up a chain profile by normalized name ("ethereum",
+/// "ethereum_classic", "zilliqa", "bitcoin", ...). Throws UsageError for
+/// unknown names, listing the known ones.
+workload::ChainProfile profile_by_name(const std::string& name);
+
+/// Run one differential pair (candidate vs fresh sequential baseline,
+/// block-by-block). Returns the first divergence, or nullopt on agreement.
+std::optional<Divergence> run_pair(const RunSpec& spec);
+
+/// Sweep the full grid.
+GridOutcome run_grid(const GridOptions& options);
+
+/// One-line repro command for a cell:
+///   TXCONC_REPRO='<format_spec(spec)>' ./build/tests/conformance_test
+///       --gtest_filter='ReproCommand.ReplaysEnvSpec'
+std::string repro_command(const RunSpec& spec);
+
+/// Key=value encoding embedded in repro commands; parse_spec inverts it
+/// (unknown keys are rejected with UsageError).
+std::string format_spec(const RunSpec& spec);
+RunSpec parse_spec(const std::string& text);
+
+}  // namespace txconc::conformance

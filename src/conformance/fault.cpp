@@ -1,0 +1,33 @@
+#include "conformance/fault.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace txconc::conformance {
+
+SeededFaultInjector::SeededFaultInjector(std::uint64_t seed, double rate)
+    : seed_(seed) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw UsageError("SeededFaultInjector: rate must be in [0, 1]");
+  }
+  threshold_ =
+      rate >= 1.0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(
+                std::ldexp(rate, 64));  // rate * 2^64, exact for rate < 1
+}
+
+bool SeededFaultInjector::should_trap(const account::AccountTx& tx) const {
+  // hash_combine the identifying fields into the seed, then finalize.
+  std::uint64_t s = seed_;
+  s ^= tx.from.low64() + 0x9e3779b97f4a7c15ULL + (s << 6) + (s >> 2);
+  s ^= tx.nonce + 0x9e3779b97f4a7c15ULL + (s << 6) + (s >> 2);
+  const std::uint64_t h = splitmix64(s);
+  if (threshold_ == std::numeric_limits<std::uint64_t>::max()) return true;
+  return h < threshold_;
+}
+
+}  // namespace txconc::conformance

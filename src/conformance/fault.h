@@ -1,0 +1,30 @@
+// Seed-derived fault plan for the conformance harness.
+#pragma once
+
+#include <cstdint>
+
+#include "account/runtime.h"
+
+namespace txconc::conformance {
+
+/// Traps a pseudo-random subset of transactions at a given rate.
+///
+/// Selection is a pure function of (seed, tx.from, tx.nonce) — the pair
+/// that uniquely identifies a transaction within a nonce-enforced block —
+/// so every executor, phase and retry of the same transaction reaches the
+/// same verdict, and the differential oracle can require that all engines
+/// agree on exactly which receipts fail and that the rollback/poisoning
+/// paths still converge on the sequential state.
+class SeededFaultInjector final : public account::FaultInjector {
+ public:
+  /// @param rate  probability in [0, 1] that a transaction traps.
+  SeededFaultInjector(std::uint64_t seed, double rate);
+
+  bool should_trap(const account::AccountTx& tx) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t threshold_;  ///< Trap when the keyed hash falls below this.
+};
+
+}  // namespace txconc::conformance

@@ -1,0 +1,65 @@
+#include "conformance/perturb.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+
+namespace txconc::conformance {
+
+Perturbation perturbation_for(std::uint64_t seed, std::uint64_t grain_seq) {
+  // One splitmix64 draw keyed on (seed, sequence); the golden-ratio
+  // multiply decorrelates consecutive sequence numbers.
+  std::uint64_t state = seed ^ (grain_seq * 0x9e3779b97f4a7c15ULL) ^
+                        0x7e57ab1e5eedULL;
+  const std::uint64_t h = splitmix64(state);
+
+  Perturbation p;
+  // 3/8 no-op, 2/8 yield, 2/8 short sleep, 1/8 long sleep: enough delay
+  // variance to shuffle claim orders without dominating the wall clock.
+  switch (h & 7) {
+    case 0:
+    case 1:
+    case 2:
+      p.action = PerturbAction::kNone;
+      break;
+    case 3:
+    case 4:
+      p.action = PerturbAction::kYield;
+      break;
+    case 5:
+    case 6:
+      p.action = PerturbAction::kShortSleep;
+      p.micros = 1 + static_cast<unsigned>((h >> 8) % 5);
+      break;
+    default:
+      p.action = PerturbAction::kLongSleep;
+      p.micros = 20 + static_cast<unsigned>((h >> 8) % 81);
+      break;
+  }
+  return p;
+}
+
+SchedulePerturber::SchedulePerturber(std::uint64_t seed) {
+  exec::ThreadPool::set_grain_hook([seed](std::uint64_t grain_seq) {
+    const Perturbation p = perturbation_for(seed, grain_seq);
+    switch (p.action) {
+      case PerturbAction::kNone:
+        break;
+      case PerturbAction::kYield:
+        std::this_thread::yield();
+        break;
+      case PerturbAction::kShortSleep:
+      case PerturbAction::kLongSleep:
+        std::this_thread::sleep_for(std::chrono::microseconds(p.micros));
+        break;
+    }
+  });
+}
+
+SchedulePerturber::~SchedulePerturber() {
+  exec::ThreadPool::set_grain_hook(nullptr);
+}
+
+}  // namespace txconc::conformance

@@ -1,0 +1,46 @@
+// Seeded schedule perturber: a ThreadPool grain hook that injects
+// deterministic, seed-derived delays and yields at grain boundaries.
+//
+// The executors' results are required to be schedule-independent; the
+// perturber makes that property testable by forcing many distinct worker
+// interleavings (OCC wave claim orders, speculative overlay completion
+// orders, caller-runs vs helper-runs races) out of one binary, one seed
+// per interleaving family.
+#pragma once
+
+#include <cstdint>
+
+namespace txconc::conformance {
+
+/// What the perturber does at one grain boundary.
+enum class PerturbAction : unsigned {
+  kNone = 0,
+  kYield,       ///< std::this_thread::yield()
+  kShortSleep,  ///< 1-5 us: reorders adjacent grain claims
+  kLongSleep,   ///< 20-100 us: lets whole waves drain past this thread
+};
+
+struct Perturbation {
+  PerturbAction action = PerturbAction::kNone;
+  unsigned micros = 0;  ///< Sleep length for the sleep actions.
+};
+
+/// The pure delay schedule: what happens at the k-th grain boundary under
+/// a given seed. Exposed separately from the installer so determinism is
+/// directly testable.
+Perturbation perturbation_for(std::uint64_t seed, std::uint64_t grain_seq);
+
+/// RAII installer of the process-wide ThreadPool grain hook. While alive,
+/// every grain of every pool follows the seeded schedule above. At most
+/// one perturber may be alive at a time, and pools must be idle at
+/// (de)installation — the conformance oracle scopes one per run.
+class SchedulePerturber {
+ public:
+  explicit SchedulePerturber(std::uint64_t seed);
+  ~SchedulePerturber();
+
+  SchedulePerturber(const SchedulePerturber&) = delete;
+  SchedulePerturber& operator=(const SchedulePerturber&) = delete;
+};
+
+}  // namespace txconc::conformance

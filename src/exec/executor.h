@@ -7,6 +7,7 @@
 // equivalence tests in tests/exec_test.cpp enforce this.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -110,5 +111,23 @@ std::unique_ptr<BlockExecutor> make_group_executor(unsigned num_threads,
 /// retry in the next wave instead of a sequential bin.
 std::unique_ptr<BlockExecutor> make_occ_executor(unsigned num_threads,
                                                  unsigned max_waves = 64);
+
+/// A named executor family: a stable identifier (used in conformance repro
+/// commands and BENCH_exec.json) plus a factory over the thread count.
+/// Sequential ignores the thread count and is flagged non-parallel.
+struct ExecutorSpec {
+  std::string name;
+  bool parallel = true;
+  std::function<std::unique_ptr<BlockExecutor>(unsigned num_threads)> make;
+};
+
+/// Every registered executor family, sequential first. The conformance
+/// oracle differential-tests each parallel entry against the sequential
+/// baseline; a new executor joins the whole harness by registering here.
+const std::vector<ExecutorSpec>& executor_registry();
+
+/// Factory lookup by registry name; throws UsageError on unknown names.
+std::unique_ptr<BlockExecutor> make_executor(const std::string& name,
+                                             unsigned num_threads);
 
 }  // namespace txconc::exec

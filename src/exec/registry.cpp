@@ -1,0 +1,42 @@
+// The executor registry: the single list of engine families the
+// conformance harness, benches and tools iterate over.
+#include "exec/executor.h"
+
+#include "common/error.h"
+
+namespace txconc::exec {
+
+const std::vector<ExecutorSpec>& executor_registry() {
+  static const std::vector<ExecutorSpec> registry = {
+      {"sequential", false,
+       [](unsigned) { return make_sequential_executor(); }},
+      {"speculative", true,
+       [](unsigned n) { return make_speculative_executor(n); }},
+      {"speculative-fww", true,
+       [](unsigned n) {
+         return make_speculative_executor(n, AbortPolicy::kFirstWriterWins);
+       }},
+      {"oracle-speculative", true,
+       [](unsigned n) { return make_oracle_executor(n); }},
+      {"group-lpt", true, [](unsigned n) { return make_group_executor(n); }},
+      {"group-list", true,
+       [](unsigned n) { return make_group_executor(n, /*use_lpt=*/false); }},
+      {"occ", true, [](unsigned n) { return make_occ_executor(n); }},
+  };
+  return registry;
+}
+
+std::unique_ptr<BlockExecutor> make_executor(const std::string& name,
+                                             unsigned num_threads) {
+  for (const ExecutorSpec& spec : executor_registry()) {
+    if (spec.name == name) return spec.make(num_threads);
+  }
+  std::string known;
+  for (const ExecutorSpec& spec : executor_registry()) {
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  throw UsageError("unknown executor '" + name + "' (known: " + known + ")");
+}
+
+}  // namespace txconc::exec

@@ -35,6 +35,13 @@ class HistoryReplayer {
   const account::StateDb& state() const { return state_; }
   const account::RuntimeConfig& config() const { return config_; }
 
+  /// Route a fault injector into the replay config. The conformance
+  /// harness points every engine of one differential pair at the same
+  /// seeded injector so they trap identical transactions.
+  void set_fault_injector(const account::FaultInjector* injector) {
+    config_.fault_injector = injector;
+  }
+
  private:
   void apply_out_of_band(std::span<const account::AccountTx> txs);
 

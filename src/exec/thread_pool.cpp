@@ -7,6 +7,35 @@
 
 namespace txconc::exec {
 
+namespace {
+
+// Process-wide grain hook (test-only). The installed-flag keeps the
+// production path to one relaxed load per grain; the shared_ptr keeps a
+// hook alive for any straggler grain that loaded it just before removal.
+std::atomic<bool> g_grain_hook_installed{false};
+std::mutex g_grain_hook_mutex;
+std::shared_ptr<const ThreadPool::GrainHook> g_grain_hook;
+std::atomic<std::uint64_t> g_grain_seq{0};
+
+std::shared_ptr<const ThreadPool::GrainHook> load_grain_hook() {
+  const std::lock_guard lock(g_grain_hook_mutex);
+  return g_grain_hook;
+}
+
+}  // namespace
+
+void ThreadPool::set_grain_hook(GrainHook hook) {
+  const std::lock_guard lock(g_grain_hook_mutex);
+  if (hook) {
+    g_grain_hook = std::make_shared<const GrainHook>(std::move(hook));
+    g_grain_seq.store(0, std::memory_order_relaxed);
+    g_grain_hook_installed.store(true, std::memory_order_release);
+  } else {
+    g_grain_hook = nullptr;
+    g_grain_hook_installed.store(false, std::memory_order_release);
+  }
+}
+
 /// Shared state of one parallel_for call. Helper tasks hold a shared_ptr
 /// so a helper that wakes up after the caller returned (having found the
 /// cursor exhausted) still touches valid memory.
@@ -62,6 +91,11 @@ void ThreadPool::run_grains(Batch& batch, bool caller) {
     const std::size_t g = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (g >= batch.num_grains) break;
     ++ran;
+    if (g_grain_hook_installed.load(std::memory_order_acquire)) {
+      if (const auto hook = load_grain_hook(); hook) {
+        (*hook)(g_grain_seq.fetch_add(1, std::memory_order_relaxed));
+      }
+    }
     if (!batch.failed.load(std::memory_order_relaxed)) {
       const std::size_t begin = g * batch.grain;
       const std::size_t end = std::min(batch.count, begin + batch.grain);

@@ -69,6 +69,16 @@ class ThreadPool {
   /// Snapshot of the monotonic scheduling counters.
   ThreadPoolStats stats() const;
 
+  /// Test-only: install a process-wide hook invoked (from the claiming
+  /// thread) before every grain of every parallel_for in every pool; the
+  /// argument is a monotonically increasing call sequence number. The
+  /// conformance harness installs a seeded perturber here to drive many
+  /// distinct interleavings out of one binary. Pass nullptr to remove.
+  /// Install/remove only while no parallel_for is in flight; the fast path
+  /// when no hook is installed is a single relaxed atomic load.
+  using GrainHook = std::function<void(std::uint64_t grain_seq)>;
+  static void set_grain_hook(GrainHook hook);
+
  private:
   struct Batch;  // shared state of one parallel_for call
 
