@@ -54,9 +54,12 @@ void analyze(const analysis::Dataset& dataset) {
   table.row({"single-transaction conflict rate",
              analysis::fmt_double(single.mean())});
   table.row({"group conflict rate", analysis::fmt_double(group.mean())});
-  table.row({"most conflicted block",
-             "#" + std::to_string(worst_block) + " (" +
-                 analysis::fmt_double(100 * worst_rate, 1) + "% conflicted)"});
+  // Built via ostringstream: `"#" + std::to_string(...)` trips a GCC 12
+  // -Wrestrict false positive inside the inlined string concatenation.
+  std::ostringstream worst;
+  worst << "#" << worst_block << " ("
+        << analysis::fmt_double(100 * worst_rate, 1) << "% conflicted)";
+  table.row({"most conflicted block", worst.str()});
   std::cout << table.render() << "\n";
 
   std::cout << "potential execution speed-ups (Section V models):\n";

@@ -1,42 +1,120 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify (configure, build, ctest) plus
-# sanitizer lanes over the execution layer:
-#  * ASan/UBSan on exec_test + conformance_test — memory errors and UB
-#    under the thread pool's chunked parallel_for;
-#  * TSan on the same binaries — data races, with the conformance
-#    schedule perturber widening the interleavings each seed explores.
+# CI entry point. Lanes (select with TXCONC_CI_LANES, comma-separated;
+# default runs all):
+#  * tier1 — configure, build (-Wall -Wextra -Wshadow -Werror), ctest;
+#  * asan  — ASan/UBSan on exec_test + conformance_test + audit_test:
+#    memory errors and UB under the thread pool's chunked parallel_for;
+#  * tsan  — TSan on the same binaries: data races, with the conformance
+#    schedule perturber widening the interleavings each seed explores;
+#  * tsa   — Clang Thread Safety Analysis: recompiles every library with
+#    -Wthread-safety -Werror=thread-safety-analysis, turning the
+#    GUARDED_BY/REQUIRES annotations (common/thread_annotations.h) into
+#    compile errors when lock discipline is violated;
+#  * tidy  — clang-tidy over src/ with the checks in .clang-tidy.
+# The tsa and tidy lanes need clang++/clang-tidy and are skipped with a
+# notice when the tools are absent (the annotations compile to no-ops
+# under GCC, so the other lanes still build the same code).
 # TXCONC_CONFORMANCE_FAST=1 shrinks the differential sweep (fewer schedule
 # seeds) so the ~10x sanitizer slowdown stays within CI budgets.
+#
+# Examples:
+#   ./scripts/ci.sh                          # everything
+#   TXCONC_CI_LANES=tier1 ./scripts/ci.sh    # fast local gate
+#   TXCONC_CI_LANES=tsa,tidy ./scripts/ci.sh # static analysis only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+LANES="${TXCONC_CI_LANES:-tier1,asan,tsan,tsa,tidy}"
+
+lane_enabled() {
+  case ",${LANES}," in
+    *",$1,"*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+# Library targets for compile-only lanes (tsa): everything with annotated
+# or annotation-consuming code, which today is the whole src/ tree.
+LIB_TARGETS=(txconc_common txconc_core txconc_utxo txconc_account
+             txconc_chain txconc_shard txconc_workload txconc_exec
+             txconc_audit txconc_analysis txconc_conformance)
 
 # --- tier-1 verify ---------------------------------------------------------
-cmake -B build -S .
-cmake --build build -j"${JOBS}"
-ctest --test-dir build --output-on-failure -j"${JOBS}"
+if lane_enabled tier1; then
+  echo "== lane: tier1 =="
+  cmake -B build -S . -DTXCONC_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build -j"${JOBS}"
+  ctest --test-dir build --output-on-failure -j"${JOBS}"
+fi
 
-# --- sanitizer pass over the execution layer -------------------------------
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build build-asan -j"${JOBS}" --target exec_test --target conformance_test
-# Leak checking needs ptrace, which container CI runners often deny; the
-# races/UB we are after are caught without it.
-ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
-ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
-  ./build-asan/tests/conformance_test
+# --- ASan/UBSan over the execution layer -----------------------------------
+if lane_enabled asan; then
+  echo "== lane: asan =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j"${JOBS}" \
+    --target exec_test --target conformance_test --target audit_test
+  # Leak checking needs ptrace, which container CI runners often deny; the
+  # races/UB we are after are caught without it.
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
+  ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
+    ./build-asan/tests/conformance_test
+  ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
+    ./build-asan/tests/audit_test
+fi
 
 # --- TSan lane: races under perturbed schedules ----------------------------
 # TSan is incompatible with ASan, so it gets its own build tree. The
 # conformance grid runs every executor family through seeded delay/yield
 # perturbation at grain boundaries — exactly the schedules where a missed
-# happens-before edge shows up.
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j"${JOBS}" --target exec_test --target conformance_test
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/exec_test
-TSAN_OPTIONS=halt_on_error=1 TXCONC_CONFORMANCE_FAST=1 \
-  ./build-tsan/tests/conformance_test
+# happens-before edge shows up. audit_test rides along: the auditor's
+# recorder hooks fire from every pool worker.
+if lane_enabled tsan; then
+  echo "== lane: tsan =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j"${JOBS}" \
+    --target exec_test --target conformance_test --target audit_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/exec_test
+  TSAN_OPTIONS=halt_on_error=1 TXCONC_CONFORMANCE_FAST=1 \
+    ./build-tsan/tests/conformance_test
+  TSAN_OPTIONS=halt_on_error=1 TXCONC_CONFORMANCE_FAST=1 \
+    ./build-tsan/tests/audit_test
+fi
+
+# --- TSA lane: compile-time lock discipline --------------------------------
+# Thread safety analysis exists only in clang; a removed REQUIRES or an
+# unguarded access to a GUARDED_BY member fails this lane (see DESIGN.md
+# §10 for the scratch-diff check that proves the lane has teeth).
+if lane_enabled tsa; then
+  echo "== lane: tsa =="
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety-analysis"
+    targets=()
+    for t in "${LIB_TARGETS[@]}"; do targets+=(--target "$t"); done
+    cmake --build build-tsa -j"${JOBS}" "${targets[@]}"
+  else
+    echo "tsa lane SKIPPED: clang++ not found (thread safety analysis is" \
+         "clang-only; the annotations are no-ops under this compiler)"
+  fi
+fi
+
+# --- clang-tidy lane -------------------------------------------------------
+if lane_enabled tidy; then
+  echo "== lane: tidy =="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if [ ! -f build/compile_commands.json ]; then
+      cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    fi
+    # xargs -P parallelizes across translation units; clang-tidy reads the
+    # checks from .clang-tidy at the repo root.
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n1 -P"${JOBS}" clang-tidy -p build --quiet
+  else
+    echo "tidy lane SKIPPED: clang-tidy not found"
+  fi
+fi

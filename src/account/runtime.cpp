@@ -31,9 +31,15 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
     throw ValidationError("gas limit below intrinsic cost");
   }
 
+  // The recorder needs real read/write sets in the receipt, so it forces
+  // tracking on. on_begin fires only now — after the validity checks — so
+  // rejected transactions never appear in the audit record.
+  const bool track = config.track_accesses || config.recorder != nullptr;
+  if (config.recorder != nullptr) config.recorder->on_begin(tx);
+
   Receipt receipt;
   AccessTracker tracker;
-  AccessTracker* tracker_ptr = config.track_accesses ? &tracker : nullptr;
+  AccessTracker* tracker_ptr = track ? &tracker : nullptr;
 
   state.set_nonce(tx.from, state.nonce(tx.from) + 1);
   // Charge the full fee upfront; refund after execution.
@@ -135,6 +141,7 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
     receipt.reads = tracker_ptr->reads();
     receipt.writes = tracker_ptr->writes();
   }
+  if (config.recorder != nullptr) config.recorder->on_complete(tx, receipt);
   return receipt;
 }
 

@@ -23,6 +23,26 @@ class FaultInjector {
   virtual bool should_trap(const AccountTx& tx) const = 0;
 };
 
+/// Observer of transaction execution attempts, installed through
+/// RuntimeConfig::recorder (same hook pattern as the fault injector).
+///
+/// apply_transaction calls on_begin once the validity checks have passed
+/// (so rejected transactions are never recorded) and on_complete just
+/// before returning the receipt, on the executing thread. Executors may
+/// run a transaction several times (speculation retries, OCC waves); each
+/// attempt produces one begin/complete pair, and the pairs never nest on
+/// one thread because apply_transaction does not recurse. Implementations
+/// must be internally synchronized: hooks fire concurrently from every
+/// pool worker. The audit layer (src/audit) builds its interval-based
+/// ordering checks on exactly this contract.
+class AccessRecorder {
+ public:
+  virtual ~AccessRecorder() = default;
+  virtual void on_begin(const AccountTx& tx) const = 0;
+  virtual void on_complete(const AccountTx& tx,
+                           const Receipt& receipt) const = 0;
+};
+
 /// Configuration of the runtime semantics.
 struct RuntimeConfig {
   GasSchedule gas;
@@ -37,6 +57,10 @@ struct RuntimeConfig {
   bool track_accesses = true;
   /// Test-only: trap the transactions this injector selects (see above).
   const FaultInjector* fault_injector = nullptr;
+  /// Observe execution attempts (see AccessRecorder). When set, access
+  /// tracking is forced on so the recorder always sees real read/write
+  /// sets, regardless of track_accesses.
+  const AccessRecorder* recorder = nullptr;
 };
 
 /// Apply one transaction to the state.

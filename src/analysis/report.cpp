@@ -31,16 +31,18 @@ std::string TextTable::render() const {
     std::string line;
     for (std::size_t c = 0; c < cells.size(); ++c) {
       line += cells[c];
-      line += std::string(widths[c] - cells[c].size() + 2, ' ');
+      line.append(widths[c] - cells[c].size() + 2, ' ');
     }
     while (!line.empty() && line.back() == ' ') line.pop_back();
-    return line + '\n';
+    line += '\n';
+    return line;
   };
 
   std::string out = render_row(columns_);
   std::size_t rule = 0;
-  for (std::size_t w : widths) rule += w + 2;
-  out += std::string(rule > 2 ? rule - 2 : rule, '-') + '\n';
+  for (const std::size_t w : widths) rule += w + 2;
+  out.append(rule > 2 ? rule - 2 : rule, '-');
+  out += '\n';
   for (const auto& row : rows_) {
     out += render_row(row);
   }

@@ -56,6 +56,7 @@ void NetworkSimulator::schedule_mining(unsigned miner, double now) {
 }
 
 NetworkStats NetworkSimulator::run(std::uint64_t num_blocks) {
+  const MutexLock lock(mu_);
   NetworkStats stats;
   stats.wins.assign(config_.hashrate.size(), 0);
 

@@ -13,6 +13,7 @@
 
 #include "chain/fork.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace txconc::chain {
 
@@ -43,6 +44,11 @@ struct NetworkStats {
 
 /// Simulates the network until `num_blocks` blocks have been found, then
 /// drains in-flight broadcasts and reports.
+///
+/// Thread-safe monitor: run() serializes on an internal mutex so a sweep
+/// driver can farm independent runs of one simulator out to pool threads.
+/// The private helpers assume the caller already holds the lock and are
+/// REQUIRES-annotated accordingly.
 class NetworkSimulator {
  public:
   NetworkSimulator(std::uint64_t seed, NetworkConfig config);
@@ -60,15 +66,17 @@ class NetworkSimulator {
     bool operator>(const Event& other) const { return time > other.time; }
   };
 
-  double sample_find_delay(unsigned miner);
-  void schedule_mining(unsigned miner, double now);
+  double sample_find_delay(unsigned miner) REQUIRES(mu_);
+  void schedule_mining(unsigned miner, double now) REQUIRES(mu_);
 
-  NetworkConfig config_;
-  Rng rng_;
-  std::vector<ForkTree> trees_;
-  std::vector<std::uint64_t> generation_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  double total_hashrate_ = 0.0;
+  mutable Mutex mu_;
+  NetworkConfig config_;  // immutable after construction
+  Rng rng_ GUARDED_BY(mu_);
+  std::vector<ForkTree> trees_ GUARDED_BY(mu_);
+  std::vector<std::uint64_t> generation_ GUARDED_BY(mu_);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_
+      GUARDED_BY(mu_);
+  double total_hashrate_ = 0.0;  // immutable after construction
 };
 
 }  // namespace txconc::chain

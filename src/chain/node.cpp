@@ -6,6 +6,7 @@ AccountNode::AccountNode(AccountNodeConfig config, BlockExecutionFn executor)
     : config_(config), executor_(std::move(executor)) {}
 
 void AccountNode::genesis_fund(const Address& addr, std::uint64_t amount) {
+  const MutexLock lock(mu_);
   if (!ledger_.empty()) {
     throw UsageError("genesis_fund after the chain has started");
   }
@@ -15,6 +16,7 @@ void AccountNode::genesis_fund(const Address& addr, std::uint64_t amount) {
 
 void AccountNode::genesis_deploy(const Address& addr,
                                  account::ContractCode code) {
+  const MutexLock lock(mu_);
   if (!ledger_.empty()) {
     throw UsageError("genesis_deploy after the chain has started");
   }
@@ -23,6 +25,7 @@ void AccountNode::genesis_deploy(const Address& addr,
 }
 
 void AccountNode::submit_transaction(account::AccountTx tx) {
+  const MutexLock lock(mu_);
   // Admission checks against the current state. Nonces may be in the
   // future (a sender queueing several transactions) but not in the past.
   if (config_.runtime.enforce_nonce && tx.nonce < state_.nonce(tx.from)) {
@@ -60,6 +63,7 @@ std::vector<account::Receipt> AccountNode::execute(
 }
 
 Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
+  const MutexLock lock(mu_);
   // Pull candidates by fee priority, then order runnable ones. A candidate
   // whose nonce is not yet current goes back to the pool.
   std::vector<account::AccountTx> candidates =
@@ -130,6 +134,7 @@ Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
 }
 
 void AccountNode::receive_block(const Block<account::AccountTx>& block) {
+  const MutexLock lock(mu_);
   // Structural checks first (linkage + merkle) via a dry append guard.
   const BlockHeader* prev = ledger_.empty() ? nullptr : &ledger_.tip().header;
   if (prev) {

@@ -13,6 +13,7 @@
 #include "chain/block.h"
 #include "chain/pow.h"
 #include "common/error.h"
+#include "common/thread_annotations.h"
 
 namespace txconc::chain {
 
@@ -43,6 +44,11 @@ using BlockExecutionFn = std::function<std::vector<account::Receipt>(
 
 /// A single account-model full node: owns the state, the ledger and a
 /// mempool; produces and validates blocks.
+///
+/// Thread-safe monitor: submission, production and validation serialize on
+/// an internal mutex, so an RPC-style frontend may submit transactions
+/// while a producer loop assembles blocks. state() and ledger() hand out
+/// raw references for quiescent use only (setup and post-run inspection).
 class AccountNode {
  public:
   explicit AccountNode(AccountNodeConfig config = {},
@@ -66,9 +72,19 @@ class AccountNode {
   /// ValidationError is thrown.
   void receive_block(const Block<account::AccountTx>& block);
 
-  const account::StateDb& state() const { return state_; }
-  const Ledger<account::AccountTx>& ledger() const { return ledger_; }
-  std::size_t mempool_size() const { return mempool_.size(); }
+  /// Quiescent use only: the reference escapes the monitor lock, so do
+  /// not hold it across concurrent mutating calls.
+  const account::StateDb& state() const NO_THREAD_SAFETY_ANALYSIS {
+    return state_;
+  }
+  /// Quiescent use only (see state()).
+  const Ledger<account::AccountTx>& ledger() const NO_THREAD_SAFETY_ANALYSIS {
+    return ledger_;
+  }
+  std::size_t mempool_size() const {
+    const MutexLock lock(mu_);
+    return mempool_.size();
+  }
   const AccountNodeConfig& config() const { return config_; }
 
   /// Credit an address directly (genesis allocation).
@@ -77,14 +93,19 @@ class AccountNode {
   void genesis_deploy(const Address& addr, account::ContractCode code);
 
  private:
+  /// Runs the block-execution strategy. The state parameter aliases the
+  /// guarded state_ member (annotations cannot see through the alias), so
+  /// the helper requires the monitor lock.
   std::vector<account::Receipt> execute(account::StateDb& state,
-                                        std::span<const account::AccountTx> txs);
+                                        std::span<const account::AccountTx> txs)
+      REQUIRES(mu_);
 
-  AccountNodeConfig config_;
-  BlockExecutionFn executor_;
-  account::StateDb state_;
-  Ledger<account::AccountTx> ledger_;
-  Mempool<account::AccountTx> mempool_;
+  mutable Mutex mu_;
+  AccountNodeConfig config_;   // immutable after construction
+  BlockExecutionFn executor_;  // immutable after construction
+  account::StateDb state_ GUARDED_BY(mu_);
+  Ledger<account::AccountTx> ledger_ GUARDED_BY(mu_);
+  Mempool<account::AccountTx> mempool_ GUARDED_BY(mu_);
 };
 
 }  // namespace txconc::chain

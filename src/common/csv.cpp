@@ -34,20 +34,22 @@ void CsvWriter::row(const std::vector<double>& cells) {
 void CsvWriter::emit(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
-    out_ << escape(cells[i]);
+    write_escaped(cells[i]);
   }
   out_ << '\n';
 }
 
-std::string CsvWriter::escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
-  std::string out = "\"";
-  for (char c : cell) {
-    if (c == '"') out += '"';
-    out += c;
+void CsvWriter::write_escaped(std::string_view cell) {
+  if (cell.find_first_of(",\"\n") == std::string_view::npos) {
+    out_ << cell;
+    return;
   }
-  out += '"';
-  return out;
+  out_ << '"';
+  for (const char c : cell) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
 }
 
 }  // namespace txconc

@@ -3,6 +3,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace txconc {
@@ -25,7 +26,9 @@ class CsvWriter {
 
  private:
   void emit(const std::vector<std::string>& cells);
-  static std::string escape(const std::string& cell);
+  /// Stream one cell with RFC-4180 quoting; unquoted cells (the common
+  /// case) go straight to the stream without an intermediate string.
+  void write_escaped(std::string_view cell);
 
   std::ostream& out_;
   std::size_t width_ = 0;

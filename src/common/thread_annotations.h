@@ -1,0 +1,115 @@
+// Clang Thread Safety Analysis capability wrappers.
+//
+// Every concurrency surface in the tree locks through the annotated
+// Mutex/MutexLock/CondVar types below so that `clang++ -Wthread-safety
+// -Werror=thread-safety-analysis` (the `tsa` lane of scripts/ci.sh) proves
+// lock discipline at compile time: members tagged GUARDED_BY can only be
+// touched with their mutex held, and helpers tagged REQUIRES can only be
+// called from locked contexts. On non-Clang compilers the attributes
+// expand to nothing and the wrappers collapse to the std primitives.
+//
+// Rules of thumb for annotating a class (see DESIGN.md §10):
+//  * every member mutated after construction by >1 thread: GUARDED_BY(mu_)
+//  * every private helper that assumes the lock: REQUIRES(mu_)
+//  * accessors that hand out references to guarded state are only safe in
+//    quiescent phases; mark them NO_THREAD_SAFETY_ANALYSIS with a comment
+//    saying so instead of silently laundering the reference.
+//  * do not touch guarded members from lambda bodies — the analysis does
+//    not propagate held capabilities into closures; hoist the access into
+//    the enclosing function or a REQUIRES-annotated helper.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TXCONC_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define TXCONC_TS_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+#define CAPABILITY(x) TXCONC_TS_ATTRIBUTE(capability(x))
+#define SCOPED_CAPABILITY TXCONC_TS_ATTRIBUTE(scoped_lockable)
+#define GUARDED_BY(x) TXCONC_TS_ATTRIBUTE(guarded_by(x))
+#define PT_GUARDED_BY(x) TXCONC_TS_ATTRIBUTE(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) TXCONC_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) TXCONC_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  TXCONC_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  TXCONC_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) TXCONC_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  TXCONC_TS_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) TXCONC_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  TXCONC_TS_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  TXCONC_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) TXCONC_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) TXCONC_TS_ATTRIBUTE(assert_capability(x))
+#define RETURN_CAPABILITY(x) TXCONC_TS_ATTRIBUTE(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TXCONC_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace txconc {
+
+/// std::mutex wearing the `capability` attribute so the analysis can track
+/// which functions hold it. Use through MutexLock wherever possible; bare
+/// lock()/unlock() is for the rare hand-over-hand or wait-loop shapes.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { raw_.lock(); }
+  void unlock() RELEASE() { raw_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// RAII lock over Mutex (the scoped capability the analysis understands).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. wait() declares
+/// REQUIRES(mu): callers must already hold the lock, and the analysis
+/// treats the capability as continuously held across the wait (the lock is
+/// reacquired before returning, exactly like std::condition_variable).
+///
+/// Check wait conditions with an explicit `while (!cond) cv.wait(mu);`
+/// loop rather than a predicate lambda: the analysis cannot see that a
+/// closure body runs under the caller's lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace txconc

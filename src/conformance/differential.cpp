@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "account/state.h"
+#include "audit/auditor.h"
 #include "common/error.h"
 #include "conformance/fault.h"
 #include "conformance/perturb.h"
@@ -84,6 +85,83 @@ std::string compare_block(const exec::ExecutionReport& want,
   return {};
 }
 
+/// The cell's profile with the spec's block count and tx scaling applied.
+workload::ChainProfile scaled_profile(const RunSpec& spec) {
+  workload::ChainProfile profile = profile_by_name(spec.profile);
+  if (profile.model != workload::DataModel::kAccount) {
+    throw UsageError("conformance oracle needs an account-model profile, '" +
+                     spec.profile + "' is UTXO");
+  }
+  profile.default_blocks = spec.num_blocks;
+  if (spec.tx_scale != 1.0) {
+    for (workload::EraParams& era : profile.eras) {
+      era.txs_per_block *= spec.tx_scale;
+    }
+  }
+  return profile;
+}
+
+/// Scopes one auditor block per replayed block.
+class AuditObserver final : public exec::BlockObserver {
+ public:
+  explicit AuditObserver(audit::AccessAuditor& auditor) : auditor_(auditor) {}
+
+  void before_block(std::span<const account::AccountTx> txs,
+                    const account::StateDb& state) override {
+    auditor_.begin_block(txs, state);
+  }
+  void after_block(const exec::ExecutionReport& /*report*/) override {
+    last_report_ = auditor_.finish_block();
+  }
+
+  const audit::AuditReport& last_report() const { return last_report_; }
+
+ private:
+  audit::AccessAuditor& auditor_;
+  audit::AuditReport last_report_;
+};
+
+/// Replay one cell under the auditor; first audit failure, or nullopt.
+std::optional<Divergence> run_audit_cell(const RunSpec& spec) {
+  const workload::ChainProfile profile = scaled_profile(spec);
+
+  std::optional<SeededFaultInjector> faults;
+  if (spec.fault_rate > 0.0) faults.emplace(spec.fault_seed, spec.fault_rate);
+
+  exec::HistoryReplayer replayer(profile, spec.profile_seed);
+  if (faults) replayer.set_fault_injector(&*faults);
+
+  audit::AccessAuditor auditor;
+  auditor.set_repro_hint(format_spec(spec));
+  AuditObserver observer(auditor);
+  replayer.set_access_recorder(&auditor);
+  replayer.set_block_observer(&observer);
+
+  const auto engine = exec::make_executor(spec.executor, spec.threads);
+  const SchedulePerturber perturber(spec.schedule_seed);
+  for (std::uint64_t block = 0; replayer.remaining() > 0; ++block) {
+    replayer.replay_next(*engine);
+    const audit::AuditReport& report = observer.last_report();
+    // A recorder that never fires would make every check below pass
+    // vacuously; treat silence as a failure of the harness itself.
+    if (report.transactions_declared > 0 && report.attempts_recorded == 0) {
+      return Divergence{spec, block,
+                        "audit: recorder saw no execution attempts for " +
+                            std::to_string(report.transactions_declared) +
+                            " declared transactions (harness miswired?)",
+                        repro_command(spec)};
+    }
+    if (!report.ok()) {
+      std::string detail = "audit: " + std::to_string(report.violations.size()) +
+                           " violation(s); first: " +
+                           to_string(report.violations.front().kind) + " " +
+                           report.violations.front().detail;
+      return Divergence{spec, block, std::move(detail), repro_command(spec)};
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 workload::ChainProfile profile_by_name(const std::string& name) {
@@ -98,17 +176,7 @@ workload::ChainProfile profile_by_name(const std::string& name) {
 }
 
 std::optional<Divergence> run_pair(const RunSpec& spec) {
-  workload::ChainProfile profile = profile_by_name(spec.profile);
-  if (profile.model != workload::DataModel::kAccount) {
-    throw UsageError("conformance oracle needs an account-model profile, '" +
-                     spec.profile + "' is UTXO");
-  }
-  profile.default_blocks = spec.num_blocks;
-  if (spec.tx_scale != 1.0) {
-    for (workload::EraParams& era : profile.eras) {
-      era.txs_per_block *= spec.tx_scale;
-    }
-  }
+  const workload::ChainProfile profile = scaled_profile(spec);
 
   std::optional<SeededFaultInjector> faults;
   if (spec.fault_rate > 0.0) faults.emplace(spec.fault_seed, spec.fault_rate);
@@ -166,6 +234,47 @@ GridOutcome run_grid(const GridOptions& options) {
           ++outcome.cells;
           outcome.blocks_checked += spec.num_blocks;
           const std::optional<Divergence> divergence = run_pair(spec);
+          if (divergence &&
+              outcome.divergences.size() < options.max_divergences) {
+            outcome.divergences.push_back(*divergence);
+          }
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+GridOutcome run_audit_grid(const GridOptions& options) {
+  std::vector<std::string> executors = options.executors;
+  if (executors.empty()) {
+    // Every registry entry — the sequential baseline must pass the audit
+    // trivially (block-ordered, disjoint intervals), so auditing it too
+    // is a cheap self-check of the auditor.
+    for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+      executors.push_back(spec.name);
+    }
+  }
+
+  GridOutcome outcome;
+  for (const std::string& profile : options.profiles) {
+    for (const std::string& executor : executors) {
+      for (const unsigned threads : options.thread_grid) {
+        for (std::uint64_t s = 0; s < options.num_schedule_seeds; ++s) {
+          RunSpec spec;
+          spec.executor = executor;
+          spec.threads = threads;
+          spec.profile = profile;
+          spec.profile_seed = options.profile_seed;
+          spec.schedule_seed = options.schedule_seed_base + s;
+          spec.fault_rate = options.fault_rate;
+          spec.fault_seed = spec.schedule_seed;
+          spec.num_blocks = options.num_blocks;
+          spec.tx_scale = options.tx_scale;
+
+          ++outcome.cells;
+          outcome.blocks_checked += spec.num_blocks;
+          const std::optional<Divergence> divergence = run_audit_cell(spec);
           if (divergence &&
               outcome.divergences.size() < options.max_divergences) {
             outcome.divergences.push_back(*divergence);

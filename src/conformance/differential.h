@@ -78,6 +78,15 @@ std::optional<Divergence> run_pair(const RunSpec& spec);
 /// Sweep the full grid.
 GridOutcome run_grid(const GridOptions& options);
 
+/// Audit sweep: replays each grid cell once through the engine with an
+/// audit::AccessAuditor installed (src/audit) and scoped per block, and
+/// reports any audit violation — an access outside the predicted closure,
+/// or a conflicting pair of committed runs without the required ordering —
+/// as a Divergence whose detail is prefixed "audit:". Unlike run_grid, an
+/// empty executors list selects EVERY registry entry, sequential included
+/// (the auditor must hold trivially for the baseline too).
+GridOutcome run_audit_grid(const GridOptions& options);
+
 /// One-line repro command for a cell:
 ///   TXCONC_REPRO='<format_spec(spec)>' ./build/tests/conformance_test
 ///       --gtest_filter='ReproCommand.ReplaysEnvSpec'

@@ -41,9 +41,35 @@ Perturbation perturbation_for(std::uint64_t seed, std::uint64_t grain_seq) {
   return p;
 }
 
+void SchedulePerturber::record(const Perturbation& p) {
+  const MutexLock lock(mu_);
+  ++stats_.grains_seen;
+  switch (p.action) {
+    case PerturbAction::kNone:
+      break;
+    case PerturbAction::kYield:
+      ++stats_.yields;
+      break;
+    case PerturbAction::kShortSleep:
+    case PerturbAction::kLongSleep:
+      ++stats_.sleeps;
+      stats_.slept_micros += p.micros;
+      break;
+  }
+}
+
+PerturbStats SchedulePerturber::stats() const {
+  const MutexLock lock(mu_);
+  return stats_;
+}
+
 SchedulePerturber::SchedulePerturber(std::uint64_t seed) {
-  exec::ThreadPool::set_grain_hook([seed](std::uint64_t grain_seq) {
+  // The hook closure only calls record(), which takes mu_ itself: the
+  // thread-safety analysis cannot see a held capability inside a lambda
+  // body, so guarded members must never be touched here directly.
+  exec::ThreadPool::set_grain_hook([this, seed](std::uint64_t grain_seq) {
     const Perturbation p = perturbation_for(seed, grain_seq);
+    record(p);
     switch (p.action) {
       case PerturbAction::kNone:
         break;

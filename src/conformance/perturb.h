@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace txconc::conformance {
 
 /// What the perturber does at one grain boundary.
@@ -30,6 +32,16 @@ struct Perturbation {
 /// directly testable.
 Perturbation perturbation_for(std::uint64_t seed, std::uint64_t grain_seq);
 
+/// What one perturber injected while installed. Lets tests assert the
+/// perturbation actually exercised schedules (a wired-but-dead hook would
+/// silently weaken every conformance sweep).
+struct PerturbStats {
+  std::uint64_t grains_seen = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t slept_micros = 0;
+};
+
 /// RAII installer of the process-wide ThreadPool grain hook. While alive,
 /// every grain of every pool follows the seeded schedule above. At most
 /// one perturber may be alive at a time, and pools must be idle at
@@ -41,6 +53,17 @@ class SchedulePerturber {
 
   SchedulePerturber(const SchedulePerturber&) = delete;
   SchedulePerturber& operator=(const SchedulePerturber&) = delete;
+
+  /// Snapshot of the actions injected so far. The counters are written by
+  /// every pool thread that claims a grain, so they live behind a Mutex
+  /// (the hook path is test-only; contention is irrelevant there).
+  PerturbStats stats() const;
+
+ private:
+  void record(const Perturbation& p);
+
+  mutable Mutex mu_;
+  PerturbStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace txconc::conformance

@@ -31,7 +31,34 @@ void reachable_addresses(const account::State& state, const Address& addr,
   }
 }
 
+/// The full predicted closure of one transaction (see predict.h). Shared
+/// by predict_groups and predicted_addresses so the scheduler and the
+/// auditor agree byte-for-byte on what was predicted.
+void collect_predicted(const account::State& state,
+                       const account::AccountTx& tx,
+                       std::vector<Address>& out,
+                       std::unordered_set<Address>& seen) {
+  if (seen.insert(tx.from).second) out.push_back(tx.from);
+  const Address to = tx.to.has_value()
+                         ? *tx.to
+                         : Address::derive_contract(tx.from, tx.nonce);
+  reachable_addresses(state, to, out, seen);
+  // Dynamic address arguments replace the top frame's address table, so
+  // anything statically reachable from them is callable too.
+  for (const Address& arg : tx.address_args) {
+    reachable_addresses(state, arg, out, seen);
+  }
+}
+
 }  // namespace
+
+std::vector<Address> predicted_addresses(const account::AccountTx& tx,
+                                         const account::State& state) {
+  std::vector<Address> out;
+  std::unordered_set<Address> seen;
+  collect_predicted(state, tx, out, seen);
+  return out;
+}
 
 PredictedGroups predict_groups(
     std::span<const account::AccountTx> transactions,
@@ -45,19 +72,11 @@ PredictedGroups predict_groups(
     const account::AccountTx& tx = transactions[i];
     sender_node[i] = tdg.node(tx.from);
 
-    const Address to = tx.to.has_value()
-                           ? *tx.to
-                           : Address::derive_contract(tx.from, tx.nonce);
-    tdg.add_edge(tx.from, to);
-    for (const Address& arg : tx.address_args) {
-      tdg.add_edge(tx.from, arg);
-    }
-    // Statically reachable call targets (relay hops, cold wallets, ...).
     scratch.clear();
     seen.clear();
-    reachable_addresses(state, to, scratch, seen);
-    for (const Address& reached : scratch) {
-      if (reached != to) tdg.add_edge(to, reached);
+    collect_predicted(state, transactions[i], scratch, seen);
+    for (const Address& addr : scratch) {
+      if (addr != tx.from) tdg.add_edge(tx.from, addr);
     }
   }
 

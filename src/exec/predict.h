@@ -34,4 +34,13 @@ PredictedGroups predict_groups(
     std::span<const account::AccountTx> transactions,
     const account::State& state);
 
+/// Every address one transaction can possibly touch, as seen by the
+/// a-priori predictor: the sender, the target (or derived creation
+/// address), the dynamic address arguments, and every contract statically
+/// reachable from the target or the arguments through address tables.
+/// predict_groups connects exactly this closure, so the audit layer can
+/// check recorded accesses against the same sets the scheduler used.
+std::vector<Address> predicted_addresses(const account::AccountTx& tx,
+                                         const account::State& state);
+
 }  // namespace txconc::exec

@@ -44,7 +44,11 @@ ExecutionReport HistoryReplayer::replay_next(BlockExecutor& executor) {
   const workload::GeneratedBlock block = generator_.next_block();
   ++replayed_;
   apply_out_of_band(block.account_txs);
-  return executor.execute_block(state_, block.account_txs, config_);
+  if (observer_ != nullptr) observer_->before_block(block.account_txs, state_);
+  ExecutionReport report =
+      executor.execute_block(state_, block.account_txs, config_);
+  if (observer_ != nullptr) observer_->after_block(report);
+  return report;
 }
 
 }  // namespace txconc::exec

@@ -11,6 +11,19 @@
 
 namespace txconc::exec {
 
+/// Observes each replayed block around its execution. before_block fires
+/// after the out-of-band top-ups (so the state it sees is exactly the
+/// pre-execution state), after_block right after the executor returns.
+/// The audit harness uses this to scope one AccessAuditor block per
+/// replayed block without the replayer depending on the audit layer.
+class BlockObserver {
+ public:
+  virtual ~BlockObserver() = default;
+  virtual void before_block(std::span<const account::AccountTx> txs,
+                            const account::StateDb& state) = 0;
+  virtual void after_block(const ExecutionReport& report) = 0;
+};
+
 /// Replays an account-model history block-by-block through an executor.
 ///
 /// The replayer clones the generator's genesis (contracts + state) by
@@ -42,12 +55,22 @@ class HistoryReplayer {
     config_.fault_injector = injector;
   }
 
+  /// Route an access recorder into the replay config (the audit harness
+  /// installs its AccessAuditor here; see src/audit).
+  void set_access_recorder(const account::AccessRecorder* recorder) {
+    config_.recorder = recorder;
+  }
+
+  /// Observe each block around its execution (nullptr disables).
+  void set_block_observer(BlockObserver* observer) { observer_ = observer; }
+
  private:
   void apply_out_of_band(std::span<const account::AccountTx> txs);
 
   workload::AccountWorkloadGenerator generator_;
   account::StateDb state_;
   account::RuntimeConfig config_;
+  BlockObserver* observer_ = nullptr;
   std::uint64_t replayed_ = 0;
   std::uint64_t limit_ = 0;
 };

@@ -1,7 +1,6 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/error.h"
 
@@ -13,19 +12,20 @@ namespace {
 // production path to one relaxed load per grain; the shared_ptr keeps a
 // hook alive for any straggler grain that loaded it just before removal.
 std::atomic<bool> g_grain_hook_installed{false};
-std::mutex g_grain_hook_mutex;
-std::shared_ptr<const ThreadPool::GrainHook> g_grain_hook;
+Mutex g_grain_hook_mutex;
+std::shared_ptr<const ThreadPool::GrainHook> g_grain_hook
+    GUARDED_BY(g_grain_hook_mutex);
 std::atomic<std::uint64_t> g_grain_seq{0};
 
 std::shared_ptr<const ThreadPool::GrainHook> load_grain_hook() {
-  const std::lock_guard lock(g_grain_hook_mutex);
+  const MutexLock lock(g_grain_hook_mutex);
   return g_grain_hook;
 }
 
 }  // namespace
 
 void ThreadPool::set_grain_hook(GrainHook hook) {
-  const std::lock_guard lock(g_grain_hook_mutex);
+  const MutexLock lock(g_grain_hook_mutex);
   if (hook) {
     g_grain_hook = std::make_shared<const GrainHook>(std::move(hook));
     g_grain_seq.store(0, std::memory_order_relaxed);
@@ -48,9 +48,9 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};  ///< grain cursor
   std::atomic<std::size_t> done{0};  ///< completed (or skipped) grains
   std::atomic<bool> failed{false};
-  std::exception_ptr error;  ///< first grain exception, guarded by m
-  std::mutex m;
-  std::condition_variable cv;
+  Mutex m;
+  CondVar cv;
+  std::exception_ptr error GUARDED_BY(m);  ///< first grain exception
 };
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -63,7 +63,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -77,7 +77,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> future = packaged->get_future();
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_) throw UsageError("ThreadPool: submit after shutdown");
     queue_.push([packaged] { (*packaged)(); });
   }
@@ -102,7 +102,7 @@ void ThreadPool::run_grains(Batch& batch, bool caller) {
       try {
         for (std::size_t i = begin; i < end; ++i) (*batch.fn)(i);
       } catch (...) {
-        const std::lock_guard lock(batch.m);
+        const MutexLock lock(batch.m);
         if (!batch.error) batch.error = std::current_exception();
         batch.failed.store(true, std::memory_order_relaxed);
       }
@@ -111,7 +111,7 @@ void ThreadPool::run_grains(Batch& batch, bool caller) {
         batch.num_grains) {
       // Taking the lock pairs with the caller's predicate check so the
       // final notify cannot slip between its check and its wait.
-      const std::lock_guard lock(batch.m);
+      const MutexLock lock(batch.m);
       batch.cv.notify_all();
     }
   }
@@ -145,7 +145,7 @@ void ThreadPool::parallel_for(std::size_t count,
       std::min<std::size_t>(workers, batch->num_grains - 1);
   if (helpers > 0) {
     {
-      const std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       if (!stopping_) {
         for (std::size_t h = 0; h < helpers; ++h) {
           queue_.push([this, batch] { run_grains(*batch, /*caller=*/false); });
@@ -161,13 +161,20 @@ void ThreadPool::parallel_for(std::size_t count,
 
   run_grains(*batch, /*caller=*/true);
 
+  std::exception_ptr error;
   {
-    std::unique_lock lock(batch->m);
-    batch->cv.wait(lock, [&] {
-      return batch->done.load(std::memory_order_acquire) == batch->num_grains;
-    });
+    const MutexLock lock(batch->m);
+    // The done counter is an atomic, not guarded state; the lock pairs
+    // with the final notifier so the wakeup cannot be lost.
+    while (batch->done.load(std::memory_order_acquire) != batch->num_grains) {
+      batch->cv.wait(batch->m);
+    }
+    // Reading the error under the lock is what the annotations require —
+    // the pre-annotation code read it after the wait scope, relying on the
+    // acquire load above for visibility (see DESIGN.md §10).
+    error = batch->error;
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPoolStats ThreadPool::stats() const {
@@ -183,11 +190,13 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) {
+        cv_.wait(mutex_);
+      }
       if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
+        // stopping_ must be set: the wait loop only exits on stop or work.
+        return;
       }
       task = std::move(queue_.front());
       queue_.pop();

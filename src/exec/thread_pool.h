@@ -3,14 +3,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace txconc::exec {
 
@@ -31,6 +32,10 @@ struct ThreadPoolStats {
 /// Fixed worker pool. Tasks are std::function<void()>; submit() returns a
 /// future for completion/exception propagation. Destruction drains the
 /// queue then joins the workers.
+///
+/// Lock discipline (checked by the `tsa` CI lane): the queue and the
+/// stopping flag are guarded by mutex_; the scheduling counters are
+/// atomics and deliberately unguarded.
 class ThreadPool {
  public:
   explicit ThreadPool(unsigned num_threads);
@@ -85,11 +90,11 @@ class ThreadPool {
   void worker_loop();
   void run_grains(Batch& batch, bool caller);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // written once in the constructor
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
 
   std::atomic<std::uint64_t> tasks_run_{0};
   std::atomic<std::uint64_t> parallel_for_calls_{0};

@@ -12,24 +12,32 @@ CrossShardCoordinator::CrossShardCoordinator(std::uint64_t seed,
     throw UsageError("CrossShardCoordinator: need at least one shard");
   }
   states_.resize(config_.num_shards);
-  committees_.reserve(config_.num_shards);
   for (unsigned s = 0; s < config_.num_shards; ++s) {
     committees_.emplace_back(seed + s, config_.pbft);
   }
 }
 
 const account::StateDb& CrossShardCoordinator::shard_state(
-    unsigned shard) const {
+    unsigned shard) const NO_THREAD_SAFETY_ANALYSIS {
   if (shard >= states_.size()) throw UsageError("unknown shard");
   return states_[shard];
 }
 
-account::StateDb& CrossShardCoordinator::shard_state(unsigned shard) {
+account::StateDb& CrossShardCoordinator::shard_state(unsigned shard)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (shard >= states_.size()) throw UsageError("unknown shard");
   return states_[shard];
+}
+
+std::uint64_t CrossShardCoordinator::escrow_total() const {
+  const MutexLock lock(mu_);
+  return escrow_total_;
 }
 
 std::uint64_t CrossShardCoordinator::total_supply() const {
+  const MutexLock lock(mu_);
+  // Deliberately reads escrow_total_ rather than calling escrow_total():
+  // the monitor mutex is non-recursive (see header).
   std::uint64_t sum = escrow_total_;
   for (const auto& state : states_) sum += state.total_supply();
   return sum;
@@ -37,6 +45,7 @@ std::uint64_t CrossShardCoordinator::total_supply() const {
 
 CrossShardOutcome CrossShardCoordinator::transfer(
     const account::AccountTx& tx, bool force_dest_reject) {
+  const MutexLock lock(mu_);
   CrossShardOutcome outcome;
   if (!tx.to.has_value()) {
     outcome.reason = "creations are not routed cross-shard";

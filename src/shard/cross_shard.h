@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "account/state.h"
 #include "account/types.h"
+#include "common/thread_annotations.h"
 #include "shard/pbft.h"
 #include "shard/sharding.h"
 
@@ -40,6 +42,12 @@ struct CrossShardOutcome {
 /// Each committee owns an independent StateDb slice; a transfer touching
 /// two committees goes through lock -> proof -> redeem (or unlock). Same-
 /// shard transfers apply directly with a single consensus round.
+///
+/// Thread-safe monitor: transfer(), escrow_total() and total_supply()
+/// serialize on an internal mutex, so the two-phase commit of one transfer
+/// is atomic with respect to other transfers and to the conservation
+/// check. shard_state() hands out raw references and is for quiescent use
+/// only (setup and post-run inspection with no transfer in flight).
 class CrossShardCoordinator {
  public:
   CrossShardCoordinator(std::uint64_t seed, ShardConfig config);
@@ -54,24 +62,31 @@ class CrossShardCoordinator {
   CrossShardOutcome transfer(const account::AccountTx& tx,
                              bool force_dest_reject = false);
 
-  /// Committee-local state access.
-  const account::StateDb& shard_state(unsigned shard) const;
-  account::StateDb& shard_state(unsigned shard);
+  /// Committee-local state access. Quiescent use only: the returned
+  /// reference escapes the monitor lock, so callers must not hold it
+  /// across concurrent transfer() calls.
+  const account::StateDb& shard_state(unsigned shard) const
+      NO_THREAD_SAFETY_ANALYSIS;
+  account::StateDb& shard_state(unsigned shard) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Funds held in escrow by in-flight or leaked locks.
-  std::uint64_t escrow_total() const { return escrow_total_; }
+  std::uint64_t escrow_total() const;
 
   /// Sum of balances across every committee plus escrow (conservation
-  /// invariant for tests).
+  /// invariant for tests). Reads escrow_total_ directly rather than via
+  /// escrow_total() — the monitor mutex is not recursive, so a locked
+  /// method must never call another locked method on the same object.
   std::uint64_t total_supply() const;
 
   const ShardConfig& config() const { return config_; }
 
  private:
-  ShardConfig config_;
-  std::vector<account::StateDb> states_;
-  std::vector<PbftSimulator> committees_;
-  std::uint64_t escrow_total_ = 0;
+  mutable Mutex mu_;
+  ShardConfig config_;  // immutable after construction
+  std::vector<account::StateDb> states_ GUARDED_BY(mu_);
+  /// Deque because PbftSimulator owns a Mutex and is immovable.
+  std::deque<PbftSimulator> committees_ GUARDED_BY(mu_);
+  std::uint64_t escrow_total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace txconc::shard

@@ -18,6 +18,7 @@ ElectionResult CommitteeElection::run_epoch(
   if (node_power.empty() || node_power.size() != adversarial.size()) {
     throw UsageError("election: power/adversarial size mismatch");
   }
+  const MutexLock lock(mu_);
   const WeightedSampler by_power(
       std::vector<double>(node_power.begin(), node_power.end()));
 

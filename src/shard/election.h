@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace txconc::shard {
 
@@ -31,6 +32,10 @@ struct ElectionResult {
 };
 
 /// Runs election epochs over a fixed node population.
+///
+/// Thread-safe monitor: run_epoch() serializes on an internal mutex so the
+/// seeded RNG stream is drawn in one well-defined epoch order even when a
+/// simulation driver runs elections from a worker thread.
 class CommitteeElection {
  public:
   CommitteeElection(std::uint64_t seed, ElectionConfig config);
@@ -47,8 +52,9 @@ class CommitteeElection {
   const ElectionConfig& config() const { return config_; }
 
  private:
-  Rng rng_;
-  ElectionConfig config_;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  ElectionConfig config_;  // immutable after construction
 };
 
 /// Exact binomial tail: probability that a committee of `committee_size`

@@ -26,6 +26,7 @@ PbftSimulator::PbftSimulator(std::uint64_t seed, PbftConfig config)
 }
 
 PbftOutcome PbftSimulator::run_round() {
+  const MutexLock lock(mu_);
   PbftOutcome outcome;
   // View changes until an honest leader drives the round through.
   while (rng_.bernoulli(config_.faulty_leader_probability)) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace txconc::shard {
 
@@ -36,6 +37,13 @@ std::uint64_t pbft_message_count(unsigned committee_size);
 double pbft_round_latency(const PbftConfig& config);
 
 /// Simulates consecutive PBFT rounds, sampling leader failures.
+///
+/// Thread-safe monitor: concurrent run_round() calls serialize on an
+/// internal mutex (committees are driven independently, so the sharding
+/// layer may fan rounds of different committees out across threads). The
+/// leader-failure sampling order under concurrent callers is whatever the
+/// lock hands out — per-committee determinism holds as long as each
+/// committee is driven by one logical sequence of rounds.
 class PbftSimulator {
  public:
   PbftSimulator(std::uint64_t seed, PbftConfig config);
@@ -46,8 +54,9 @@ class PbftSimulator {
   const PbftConfig& config() const { return config_; }
 
  private:
-  Rng rng_;
-  PbftConfig config_;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  PbftConfig config_;  // immutable after construction
 };
 
 }  // namespace txconc::shard

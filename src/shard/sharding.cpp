@@ -22,7 +22,6 @@ ZilliqaSimulator::ZilliqaSimulator(std::uint64_t seed, ShardConfig config)
   if (config_.num_shards == 0) {
     throw UsageError("ZilliqaSimulator: need at least one shard");
   }
-  committees_.reserve(config_.num_shards);
   for (unsigned s = 0; s < config_.num_shards; ++s) {
     committees_.emplace_back(seed + s, config_.pbft);
   }
@@ -30,6 +29,7 @@ ZilliqaSimulator::ZilliqaSimulator(std::uint64_t seed, ShardConfig config)
 
 EpochResult ZilliqaSimulator::run_epoch(
     std::vector<account::AccountTx> pending) {
+  const MutexLock lock(mu_);
   EpochResult result;
   result.micro_blocks.resize(config_.num_shards);
   for (unsigned s = 0; s < config_.num_shards; ++s) {

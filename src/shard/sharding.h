@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "account/types.h"
+#include "common/thread_annotations.h"
 #include "shard/pbft.h"
 
 namespace txconc::shard {
@@ -58,6 +60,12 @@ struct EpochResult {
 
 /// Simulates Zilliqa epochs: partition by sender shard, run PBFT per
 /// committee, aggregate micro-blocks, reject cross-shard traffic.
+///
+/// Thread-safe monitor: run_epoch() serializes on an internal mutex.
+/// Epochs form one logical sequence — each committee's PBFT rounds must be
+/// drawn in epoch order for per-seed determinism, so concurrent callers
+/// may not interleave inside an epoch. The committees live in a deque
+/// because PbftSimulator owns a Mutex and is therefore immovable.
 class ZilliqaSimulator {
  public:
   ZilliqaSimulator(std::uint64_t seed, ShardConfig config);
@@ -67,9 +75,10 @@ class ZilliqaSimulator {
   const ShardConfig& config() const { return config_; }
 
  private:
-  ShardConfig config_;
-  std::vector<PbftSimulator> committees_;
-  PbftSimulator ds_committee_;
+  mutable Mutex mu_;
+  ShardConfig config_;  // immutable after construction
+  std::deque<PbftSimulator> committees_ GUARDED_BY(mu_);
+  PbftSimulator ds_committee_ GUARDED_BY(mu_);
 };
 
 }  // namespace txconc::shard

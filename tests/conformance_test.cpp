@@ -212,6 +212,22 @@ TEST(SchedulePerturber, PoolStaysCorrectUnderPerturbation) {
   }
 }
 
+// A wired-but-dead hook would silently weaken every conformance sweep, so
+// assert the perturber actually sees grains and injects actions.
+TEST(SchedulePerturber, StatsShowInjectedActions) {
+  exec::ThreadPool pool(4);
+  const SchedulePerturber perturber(7);
+  std::atomic<int> sum{0};
+  pool.parallel_for(512, [&](std::size_t) { ++sum; }, /*grain=*/4);
+  ASSERT_EQ(sum.load(), 512);
+
+  const PerturbStats stats = perturber.stats();
+  EXPECT_EQ(stats.grains_seen, 128u);  // 512 iterations / grain 4
+  // With the 5/8 action probability, 128 grains with zero actions would
+  // mean the hook never ran; both counters moving proves injection.
+  EXPECT_GT(stats.yields + stats.sleeps, 0u);
+}
+
 // --------------------------------------------------------------- repro specs
 
 TEST(ReproCommand, FormatAndParseRoundTrip) {
