@@ -6,15 +6,20 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "analysis/block_analyzer.h"
+#include "analysis/report.h"
 #include "account/contracts.h"
 #include "account/runtime.h"
 #include "common/rng.h"
 #include "common/sha256.h"
 #include "core/components.h"
 #include "core/scheduling.h"
+#include "core/speedup_model.h"
 #include "exec/executor.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 #include "workload/account_workload.h"
 #include "workload/profiles.h"
 #include "workload/utxo_workload.h"
@@ -317,6 +322,202 @@ void write_bench_exec_json() {
   std::cout << "wrote " << out_path << " (" << rows.size() << " cells)\n";
 }
 
+// ---------------------------------------------- §V phase breakdown emitter
+
+// Measured per-phase wall times next to the closed-form model of Section
+// V: the unit cost u comes from the sequential baseline (wall/x), the
+// conflict rate c from the speculative engine's own bin, and the model's
+// serial tail c*x*u is printed beside the measured phase-2 wall so the
+// two are directly diffable.
+void print_phase_breakdown() {
+  static const ExecFixture fixture;
+  account::RuntimeConfig config;
+  config.charge_fees = false;
+  config.enforce_nonce = false;
+
+  const unsigned n = 4;
+  const std::size_t x = fixture.block.size();
+  if (x == 0) return;
+
+  std::vector<exec::ExecutionReport> reports;
+  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+    const auto executor = spec.make(spec.parallel ? n : 1);
+    exec::ExecutionReport best;
+    for (int rep = 0; rep < 3; ++rep) {
+      account::StateDb db = fixture.genesis;
+      exec::ExecutionReport report =
+          executor->execute_block(db, fixture.block, config);
+      if (rep == 0 || report.wall_seconds < best.wall_seconds) {
+        best = std::move(report);
+      }
+    }
+    reports.push_back(std::move(best));
+  }
+
+  double sequential_wall = 0.0;
+  double c_hat = 0.0;
+  for (const auto& r : reports) {
+    if (r.executor == "sequential") sequential_wall = r.wall_seconds;
+    if (r.executor == "speculative") {
+      c_hat = static_cast<double>(r.sequential_txs) / static_cast<double>(x);
+    }
+  }
+  const double unit_us = sequential_wall / static_cast<double>(x) * 1e6;
+  const double model_tail_us = c_hat * static_cast<double>(x) * unit_us;
+
+  analysis::TextTable table({"executor", "phase1_us", "phase2_us", "wall_us",
+                             "model_wall_us", "model_tail_us"});
+  for (const auto& r : reports) {
+    double model_wall_us = 0.0;
+    if (r.executor == "sequential") {
+      model_wall_us = static_cast<double>(x) * unit_us;
+    } else if (r.executor == "speculative" || r.executor == "speculative-fww") {
+      model_wall_us =
+          core::SpeculativeModel::execution_time_exact(x, c_hat, n) * unit_us;
+    } else if (r.executor == "oracle-speculative") {
+      model_wall_us =
+          core::SpeculativeModel::oracle_execution_time(x, c_hat, n, 1.0) *
+          unit_us;
+    } else {
+      // Group/OCC engines: the model currency is the engine's own
+      // unit-cost critical path (simulated_units).
+      model_wall_us = r.simulated_units * unit_us;
+    }
+    const bool two_phase =
+        r.executor == "speculative" || r.executor == "speculative-fww" ||
+        r.executor == "oracle-speculative";
+    table.row({r.executor, analysis::fmt_double(r.sched.phase1_seconds * 1e6, 1),
+               analysis::fmt_double(r.sched.phase2_seconds * 1e6, 1),
+               analysis::fmt_double(r.wall_seconds * 1e6, 1),
+               analysis::fmt_double(model_wall_us, 1),
+               two_phase ? analysis::fmt_double(model_tail_us, 1) : "-"});
+  }
+  std::cout << "\nphase breakdown vs Section V model (x=" << x << ", n=" << n
+            << ", c=" << analysis::fmt_double(c_hat, 3)
+            << ", unit=" << analysis::fmt_double(unit_us, 2) << "us):\n"
+            << table.render()
+            << "model_tail_us is the closed-form c*x serial tail; compare "
+               "it against the measured phase2_us of the two-phase "
+               "engines.\n";
+}
+
+// ------------------------------------------------- BENCH_obs.json emitter
+
+// Tracer overhead harness: the same speculative run with (a) no obs scope
+// at all, (b) the scope installed but the tracer disabled (the production
+// default — must stay within ~2% of (a)), and (c) the tracer enabled.
+void write_bench_obs_json() {
+  static const ExecFixture fixture;
+  const unsigned threads = 4;
+  const int reps = 5;
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  const auto best_wall = [&](const obs::Scope* scope) {
+    account::RuntimeConfig config;
+    config.charge_fees = false;
+    config.enforce_nonce = false;
+    config.obs = scope;
+    const auto executor = exec::make_speculative_executor(threads);
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      account::StateDb db = fixture.genesis;
+      const exec::ExecutionReport report =
+          executor->execute_block(db, fixture.block, config);
+      if (rep == 0 || report.wall_seconds < best) best = report.wall_seconds;
+    }
+    return best;
+  };
+
+  tracer.disable();
+  const double off = best_wall(nullptr);
+  const double disabled = best_wall(&obs::global_scope());
+  tracer.enable();
+  const double enabled = best_wall(&obs::global_scope());
+  tracer.disable();
+  tracer.clear();  // keep the overhead runs out of any exported trace
+
+  const double disabled_pct = off > 0.0 ? (disabled / off - 1.0) * 100.0 : 0.0;
+  const double enabled_pct = off > 0.0 ? (enabled / off - 1.0) * 100.0 : 0.0;
+
+  const char* out_path = std::getenv("TXCONC_BENCH_OBS_OUT");
+  if (out_path == nullptr) out_path = "BENCH_obs.json";
+  std::ofstream out(out_path);
+  out << "{\n  \"executor\": \"speculative\",\n  \"threads\": " << threads
+      << ",\n  \"block_txs\": " << fixture.block.size()
+      << ",\n  \"tracer_off_seconds\": " << off
+      << ",\n  \"tracer_disabled_seconds\": " << disabled
+      << ",\n  \"tracer_enabled_seconds\": " << enabled
+      << ",\n  \"disabled_overhead_pct\": " << disabled_pct
+      << ",\n  \"enabled_overhead_pct\": " << enabled_pct << "\n}\n";
+  std::cout << "wrote " << out_path << " (disabled overhead "
+            << analysis::fmt_double(disabled_pct, 2) << "%, enabled "
+            << analysis::fmt_double(enabled_pct, 2) << "%)\n";
+}
+
+// ------------------------------------------------------ TXCONC_TRACE smoke
+
+// Run one block through every registered executor with the tracer live,
+// export the Chrome trace to `path`, then re-parse and validate it:
+// balanced spans, monotone timestamps, and the four canonical phase spans
+// (predict/schedule/execute/commit) present for every parallel engine.
+// Returns false (after printing why) on any failure.
+bool run_traced_executions(const std::string& path) {
+  static const ExecFixture fixture;
+  account::RuntimeConfig config;
+  config.charge_fees = false;
+  config.enforce_nonce = false;
+  config.obs = &obs::global_scope();
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+    const auto executor = spec.make(spec.parallel ? 4 : 1);
+    account::StateDb db = fixture.genesis;
+    executor->execute_block(db, fixture.block, config);
+  }
+  tracer.disable();
+
+  if (!tracer.write_chrome_trace_file(path)) {
+    std::cerr << "trace FAILED: cannot write " << path << "\n";
+    return false;
+  }
+  if (tracer.dropped() > 0) {
+    std::cerr << "trace FAILED: " << tracer.dropped()
+              << " events dropped (ring wrapped)\n";
+    return false;
+  }
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::TraceValidation validation =
+      obs::validate_chrome_trace(buffer.str());
+  if (!validation.ok) {
+    std::cerr << "trace FAILED: " << validation.error << "\n";
+    return false;
+  }
+  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+    if (!spec.parallel) continue;
+    const auto it = validation.spans_by_process.find(spec.name);
+    if (it == validation.spans_by_process.end()) {
+      std::cerr << "trace FAILED: no spans recorded for executor "
+                << spec.name << "\n";
+      return false;
+    }
+    for (const char* phase : {"predict", "schedule", "execute", "commit"}) {
+      if (!it->second.contains(phase)) {
+        std::cerr << "trace FAILED: executor " << spec.name
+                  << " is missing the '" << phase << "' span\n";
+        return false;
+      }
+    }
+  }
+  std::cout << "trace OK (" << validation.events << " events, "
+            << validation.complete_spans << " spans) -> " << path << "\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -325,5 +526,12 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_bench_exec_json();
+  print_phase_breakdown();
+  write_bench_obs_json();
+  // TXCONC_TRACE=<file>: re-run every engine traced and self-validate the
+  // exported Chrome trace (the tier-1 obs smoke drives this path).
+  if (const char* trace_path = std::getenv("TXCONC_TRACE")) {
+    if (!run_traced_executions(trace_path)) return 1;
+  }
   return 0;
 }

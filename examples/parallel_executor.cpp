@@ -4,16 +4,40 @@
 //
 // This is the execution engine the paper's conclusion names as future
 // work, running for real on worker threads.
+//
+// Pass --trace[=file] (or set TXCONC_TRACE=<file>) to record every span
+// to a Chrome trace_event JSON, loadable in Perfetto / chrome://tracing,
+// and to print the metrics registry afterwards.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <sstream>
 
 #include "analysis/report.h"
 #include "exec/executor.h"
 #include "exec/replay.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 #include "workload/profiles.h"
 
 using namespace txconc;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  if (const char* env = std::getenv("TXCONC_TRACE")) trace_path = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "parallel_executor_trace.json";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--trace[=file]]\n";
+      return 2;
+    }
+  }
+  const bool tracing = !trace_path.empty();
+  if (tracing) obs::Tracer::global().enable();
+
   // A late-history Ethereum block, replayed through each engine.
   const workload::ChainProfile profile = workload::ethereum_profile();
   const std::uint64_t skip = profile.default_blocks - 1;
@@ -34,6 +58,7 @@ int main() {
   std::size_t block_size = 0;
   for (const auto& engine : engines) {
     exec::HistoryReplayer replayer(profile, 2718, skip);
+    if (tracing) replayer.set_obs(&obs::global_scope());
     const exec::ExecutionReport report = replayer.replay_next(*engine);
     block_size = report.num_txs;
     const Hash256 digest = replayer.state().digest();
@@ -61,5 +86,18 @@ int main() {
          "    re-execute; OCC retries in parallel waves;\n"
          "  * unit-cost time is the paper's model currency: one unit per\n"
          "    transaction execution slot on the critical path.\n";
+
+  if (tracing) {
+    obs::Tracer::global().disable();
+    if (!obs::Tracer::global().write_chrome_trace_file(trace_path)) {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote Chrome trace to " << trace_path
+              << " (open in Perfetto or chrome://tracing)\n\nmetrics:\n";
+    std::ostringstream metrics;
+    obs::Registry::global().write_csv(metrics);
+    std::cout << metrics.str();
+  }
   return 0;
 }

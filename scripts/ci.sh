@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point. Lanes (select with TXCONC_CI_LANES, comma-separated;
 # default runs all):
-#  * tier1 — configure, build (-Wall -Wextra -Wshadow -Werror), ctest;
+#  * tier1 — configure, build (-Wall -Wextra -Wshadow -Werror), ctest,
+#    then an observability smoke: a traced ablation_engines run must
+#    emit a valid, non-empty Chrome trace;
 #  * asan  — ASan/UBSan on exec_test + conformance_test + audit_test:
 #    memory errors and UB under the thread pool's chunked parallel_for;
 #  * tsan  — TSan on the same binaries: data races, with the conformance
@@ -37,8 +39,8 @@ lane_enabled() {
 # Library targets for compile-only lanes (tsa): everything with annotated
 # or annotation-consuming code, which today is the whole src/ tree.
 LIB_TARGETS=(txconc_common txconc_core txconc_utxo txconc_account
-             txconc_chain txconc_shard txconc_workload txconc_exec
-             txconc_audit txconc_analysis txconc_conformance)
+             txconc_obs txconc_chain txconc_shard txconc_workload
+             txconc_exec txconc_audit txconc_analysis txconc_conformance)
 
 # --- tier-1 verify ---------------------------------------------------------
 if lane_enabled tier1; then
@@ -46,6 +48,15 @@ if lane_enabled tier1; then
   cmake -B build -S . -DTXCONC_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build build -j"${JOBS}"
   ctest --test-dir build --output-on-failure -j"${JOBS}"
+  # Observability smoke: a traced bench run must produce a non-empty
+  # Chrome trace whose spans the bench's built-in validator accepts
+  # ("trace OK ..."; see bench/ablation_engines.cpp).
+  TXCONC_TRACE=build/obs_smoke_trace.json \
+    ./build/bench/ablation_engines --benchmark_filter='^$' \
+    > build/obs_smoke.log 2>&1
+  grep -q "trace OK" build/obs_smoke.log
+  test -s build/obs_smoke_trace.json
+  echo "obs smoke OK: build/obs_smoke_trace.json"
 fi
 
 # --- ASan/UBSan over the execution layer -----------------------------------
@@ -55,9 +66,11 @@ if lane_enabled asan; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j"${JOBS}" \
-    --target exec_test --target conformance_test --target audit_test
+    --target exec_test --target conformance_test --target audit_test \
+    --target obs_test
   # Leak checking needs ptrace, which container CI runners often deny; the
   # races/UB we are after are caught without it.
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/obs_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
   ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
     ./build-asan/tests/conformance_test
@@ -77,8 +90,13 @@ if lane_enabled tsan; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j"${JOBS}" \
-    --target exec_test --target conformance_test --target audit_test
-  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/exec_test
+    --target exec_test --target conformance_test --target audit_test \
+    --target obs_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/obs_test
+  # exec_test runs with the tracer enabled (TraceEnv in exec_test.cpp):
+  # every pool/executor span-emission path executes under TSan.
+  TSAN_OPTIONS=halt_on_error=1 TXCONC_TRACE=build-tsan/exec_trace.json \
+    ./build-tsan/tests/exec_test
   TSAN_OPTIONS=halt_on_error=1 TXCONC_CONFORMANCE_FAST=1 \
     ./build-tsan/tests/conformance_test
   TSAN_OPTIONS=halt_on_error=1 TXCONC_CONFORMANCE_FAST=1 \

@@ -8,6 +8,10 @@
 #include "account/types.h"
 #include "account/vm.h"
 
+namespace txconc::obs {
+struct Scope;  // tracer + metrics bundle, see obs/scope.h
+}
+
 namespace txconc::account {
 
 /// Test-only fault injection: when RuntimeConfig::fault_injector is set,
@@ -61,6 +65,10 @@ struct RuntimeConfig {
   /// tracking is forced on so the recorder always sees real read/write
   /// sets, regardless of track_accesses.
   const AccessRecorder* recorder = nullptr;
+  /// Observability sink (span tracer + metrics registry, see obs/scope.h).
+  /// Null is the zero-cost disabled path; executors emit their per-phase
+  /// and per-transaction spans and block metrics through it.
+  const obs::Scope* obs = nullptr;
 };
 
 /// Apply one transaction to the state.

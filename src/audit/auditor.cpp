@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "exec/predict.h"
+#include "exec/replay.h"
 
 namespace txconc::audit {
 
@@ -66,6 +67,11 @@ std::string format_violations(const AuditReport& report) {
 void AccessAuditor::set_repro_hint(std::string hint) {
   const MutexLock lock(mu_);
   repro_hint_ = std::move(hint);
+}
+
+void AccessAuditor::set_executor(std::string name) {
+  const MutexLock lock(mu_);
+  executor_name_ = std::move(name);
 }
 
 void AccessAuditor::begin_block(std::span<const account::AccountTx> txs,
@@ -299,9 +305,12 @@ AuditReport AccessAuditor::finish_block() {
     }
   }
 
-  if (!repro_hint_.empty()) {
-    for (AuditViolation& v : report.violations) {
-      v.detail += "; TXCONC_REPRO='" + repro_hint_ + "'";
+  for (AuditViolation& v : report.violations) {
+    if (!executor_name_.empty()) {
+      v.detail += "; executor=" + executor_name_;
+    }
+    if (!repro_hint_.empty()) {
+      v.detail += "; " + exec::format_repro_env(repro_hint_);
     }
   }
 

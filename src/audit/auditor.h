@@ -87,8 +87,14 @@ class AccessAuditor final : public account::AccessRecorder {
   AccessAuditor& operator=(const AccessAuditor&) = delete;
 
   /// Replay hint appended to every violation detail as
-  /// "TXCONC_REPRO='<hint>'"; typically format_spec of the failing cell.
+  /// "TXCONC_REPRO='<hint>'" (via exec::format_repro_env); typically
+  /// format_spec of the failing cell.
   void set_repro_hint(std::string hint);
+
+  /// Executor under audit; when set, every violation detail names it
+  /// ("executor=<name>") so a violation line is attributable without the
+  /// surrounding harness context.
+  void set_executor(std::string name);
 
   /// Declare the next block: computes each transaction's predicted
   /// address closure and conflict component. Attempts reported through
@@ -151,6 +157,7 @@ class AccessAuditor final : public account::AccessRecorder {
   mutable std::vector<AuditViolation> stray_ GUARDED_BY(mu_);
   bool block_open_ GUARDED_BY(mu_) = false;
   std::string repro_hint_ GUARDED_BY(mu_);
+  std::string executor_name_ GUARDED_BY(mu_);
 };
 
 }  // namespace txconc::audit

@@ -1,5 +1,7 @@
 #include "chain/node.h"
 
+#include "obs/trace.h"
+
 namespace txconc::chain {
 
 AccountNode::AccountNode(AccountNodeConfig config, BlockExecutionFn executor)
@@ -64,6 +66,7 @@ std::vector<account::Receipt> AccountNode::execute(
 
 Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
   const MutexLock lock(mu_);
+  const TXCONC_SPAN("produce_block", "chain");
   // Pull candidates by fee priority, then order runnable ones. A candidate
   // whose nonce is not yet current goes back to the pool.
   std::vector<account::AccountTx> candidates =
@@ -74,41 +77,45 @@ Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
   const account::Snapshot pre_block = state_.snapshot();
   std::vector<account::Receipt> receipts;
 
-  // Multi-pass packing: a transaction with a future nonce becomes runnable
-  // once its same-sender predecessor lands, so retry deferrals while any
-  // pass makes progress.
-  bool progress = true;
-  while (progress && !candidates.empty()) {
-    progress = false;
-    std::vector<account::AccountTx> deferred;
-    for (auto& tx : candidates) {
-      if (included.size() >= config_.max_block_txs ||
-          tx.gas_limit > gas_budget) {
-        // Does not fit this block; back to the pool for the next one.
-        const std::uint64_t priority = tx.gas_price;
-        mempool_.add(std::move(tx), priority);
-        continue;
-      }
-      try {
-        receipts.push_back(
-            account::apply_transaction(state_, tx, config_.runtime));
-        gas_budget -= receipts.back().gas_used;
-        included.push_back(std::move(tx));
-        progress = true;
-      } catch (const ValidationError&) {
-        if (config_.runtime.enforce_nonce &&
-            tx.nonce > state_.nonce(tx.from)) {
-          deferred.push_back(std::move(tx));  // predecessor may still land
+  {
+    const TXCONC_SPAN("pack", "chain",
+                      static_cast<std::int64_t>(candidates.size()));
+    // Multi-pass packing: a transaction with a future nonce becomes
+    // runnable once its same-sender predecessor lands, so retry deferrals
+    // while any pass makes progress.
+    bool progress = true;
+    while (progress && !candidates.empty()) {
+      progress = false;
+      std::vector<account::AccountTx> deferred;
+      for (auto& tx : candidates) {
+        if (included.size() >= config_.max_block_txs ||
+            tx.gas_limit > gas_budget) {
+          // Does not fit this block; back to the pool for the next one.
+          const std::uint64_t priority = tx.gas_price;
+          mempool_.add(std::move(tx), priority);
+          continue;
         }
-        // Otherwise: drop (stale nonce or drained balance).
+        try {
+          receipts.push_back(
+              account::apply_transaction(state_, tx, config_.runtime));
+          gas_budget -= receipts.back().gas_used;
+          included.push_back(std::move(tx));
+          progress = true;
+        } catch (const ValidationError&) {
+          if (config_.runtime.enforce_nonce &&
+              tx.nonce > state_.nonce(tx.from)) {
+            deferred.push_back(std::move(tx));  // predecessor may still land
+          }
+          // Otherwise: drop (stale nonce or drained balance).
+        }
       }
+      candidates = std::move(deferred);
     }
-    candidates = std::move(deferred);
-  }
-  // Unresolved future nonces return to the pool.
-  for (auto& tx : candidates) {
-    const std::uint64_t priority = tx.gas_price;
-    mempool_.add(std::move(tx), priority);
+    // Unresolved future nonces return to the pool.
+    for (auto& tx : candidates) {
+      const std::uint64_t priority = tx.gas_price;
+      mempool_.add(std::move(tx), priority);
+    }
   }
 
   const BlockHeader* prev = ledger_.empty() ? nullptr : &ledger_.tip().header;
@@ -118,9 +125,11 @@ Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
     block.header.gas_used += r.gas_used;
   }
   if (config_.commit_state_root) {
+    const TXCONC_SPAN("state_root", "chain");
     block.header.state_root = account::build_state_trie(state_).root();
   }
   if (config_.mine) {
+    const TXCONC_SPAN("pow", "chain");
     const auto nonce = mine_header(block.header, config_.mine_budget);
     if (!nonce) {
       state_.revert(pre_block);
@@ -135,6 +144,8 @@ Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
 
 void AccountNode::receive_block(const Block<account::AccountTx>& block) {
   const MutexLock lock(mu_);
+  const TXCONC_SPAN("receive_block", "chain",
+                    static_cast<std::int64_t>(block.header.height));
   // Structural checks first (linkage + merkle) via a dry append guard.
   const BlockHeader* prev = ledger_.empty() ? nullptr : &ledger_.tip().header;
   if (prev) {
@@ -160,8 +171,12 @@ void AccountNode::receive_block(const Block<account::AccountTx>& block) {
   // Re-execute and verify the gas commitment; roll back on any failure.
   const account::Snapshot pre_block = state_.snapshot();
   try {
-    const std::vector<account::Receipt> receipts =
-        execute(state_, block.transactions);
+    std::vector<account::Receipt> receipts;
+    {
+      const TXCONC_SPAN("execute", "chain",
+                        static_cast<std::int64_t>(block.transactions.size()));
+      receipts = execute(state_, block.transactions);
+    }
     std::uint64_t gas_used = 0;
     for (const auto& r : receipts) gas_used += r.gas_used;
     if (gas_used != block.header.gas_used) {
@@ -179,8 +194,11 @@ void AccountNode::receive_block(const Block<account::AccountTx>& block) {
     state_.revert(pre_block);
     throw;
   }
-  state_.flush_journal();
-  ledger_.append(block);
+  {
+    const TXCONC_SPAN("commit", "chain");
+    state_.flush_journal();
+    ledger_.append(block);
+  }
 }
 
 }  // namespace txconc::chain

@@ -133,6 +133,7 @@ std::optional<Divergence> run_audit_cell(const RunSpec& spec) {
 
   audit::AccessAuditor auditor;
   auditor.set_repro_hint(format_spec(spec));
+  auditor.set_executor(spec.executor);
   AuditObserver observer(auditor);
   replayer.set_access_recorder(&auditor);
   replayer.set_block_observer(&observer);
@@ -329,8 +330,8 @@ RunSpec parse_spec(const std::string& text) {
 }
 
 std::string repro_command(const RunSpec& spec) {
-  return "TXCONC_REPRO='" + format_spec(spec) +
-         "' ./build/tests/conformance_test "
+  return exec::format_repro_env(format_spec(spec)) +
+         " ./build/tests/conformance_test "
          "--gtest_filter='ReproCommand.ReplaysEnvSpec'";
 }
 

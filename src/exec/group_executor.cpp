@@ -12,6 +12,8 @@
 #include "exec/predict.h"
 #include "exec/sched_trace.h"
 #include "exec/thread_pool.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 
 namespace txconc::exec {
 
@@ -101,13 +103,18 @@ namespace {
 class GroupExecutor final : public BlockExecutor {
  public:
   GroupExecutor(unsigned num_threads, bool use_lpt)
-      : pool_(num_threads), use_lpt_(use_lpt) {}
+      : label_(use_lpt ? "group-lpt" : "group-list"),
+        pool_(num_threads, label_),
+        use_lpt_(use_lpt) {}
 
   ExecutionReport execute_block(
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    SchedTrace trace(pool_);
+    obs::Tracer* const tracer = obs::tracer(config.obs);
+    obs::Registry* const registry = obs::metrics(config.obs);
+    const obs::ThreadProcessScope proc(label_);
+    SchedTrace trace(&pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -116,47 +123,64 @@ class GroupExecutor final : public BlockExecutor {
 
     // Partition transactions into predicted components (block order is
     // preserved inside each component).
-    const PredictedGroups groups = predict_groups(transactions, state);
-    std::vector<std::vector<std::size_t>> members(groups.num_components());
-    for (std::size_t i = 0; i < transactions.size(); ++i) {
-      members[groups.component_of_tx[i]].push_back(i);
-    }
-    // Drop empty components (address components with no transaction).
+    PredictedGroups groups;
     std::vector<std::vector<std::size_t>> jobs;
-    jobs.reserve(members.size());
-    for (auto& m : members) {
-      if (!m.empty()) jobs.push_back(std::move(m));
+    {
+      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      groups = predict_groups(transactions, state);
+      std::vector<std::vector<std::size_t>> members(groups.num_components());
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        members[groups.component_of_tx[i]].push_back(i);
+      }
+      // Drop empty components (address components with no transaction).
+      jobs.reserve(members.size());
+      for (auto& m : members) {
+        if (!m.empty()) jobs.push_back(std::move(m));
+      }
     }
 
-    std::vector<double> costs;
-    costs.reserve(jobs.size());
-    for (const auto& job : jobs) {
-      costs.push_back(static_cast<double>(job.size()));
+    core::Schedule schedule;
+    {
+      const TXCONC_SPAN_T(tracer, "schedule", "exec",
+                          static_cast<std::int64_t>(jobs.size()));
+      std::vector<double> costs;
+      costs.reserve(jobs.size());
+      for (const auto& job : jobs) {
+        costs.push_back(static_cast<double>(job.size()));
+      }
+      schedule = use_lpt_ ? core::schedule_lpt(costs, pool_.size())
+                          : core::schedule_list(costs, pool_.size());
     }
-    const core::Schedule schedule =
-        use_lpt_ ? core::schedule_lpt(costs, pool_.size())
-                 : core::schedule_list(costs, pool_.size());
 
     // Execute: each worker runs its assigned components sequentially on a
     // private overlay; disjoint components touch disjoint addresses, so
     // overlays commute and merge cleanly afterwards.
     std::vector<std::unique_ptr<account::OverlayState>> overlays(
         schedule.assignment.size());
-    pool_.parallel_for(schedule.assignment.size(), [&](std::size_t core_id) {
-      if (schedule.assignment[core_id].empty()) return;
-      overlays[core_id] = std::make_unique<account::OverlayState>(state);
-      for (std::size_t job_index : schedule.assignment[core_id]) {
-        for (std::size_t tx_index : jobs[job_index]) {
-          report.receipts[tx_index] = account::apply_transaction(
-              *overlays[core_id], transactions[tx_index], config);
+    {
+      const TXCONC_SPAN_T(tracer, "execute", "exec",
+                          static_cast<std::int64_t>(transactions.size()));
+      pool_.parallel_for(schedule.assignment.size(), [&](std::size_t core_id) {
+        if (schedule.assignment[core_id].empty()) return;
+        overlays[core_id] = std::make_unique<account::OverlayState>(state);
+        for (std::size_t job_index : schedule.assignment[core_id]) {
+          for (std::size_t tx_index : jobs[job_index]) {
+            const TXCONC_SPAN_T(tracer, "attempt", "exec",
+                                static_cast<std::int64_t>(tx_index));
+            report.receipts[tx_index] = account::apply_transaction(
+                *overlays[core_id], transactions[tx_index], config);
+          }
         }
-      }
-    });
-    trace.phase_boundary();
-    for (auto& overlay : overlays) {
-      if (overlay) overlay->apply_to(state);
+      });
     }
-    state.flush_journal();
+    trace.phase_boundary();
+    {
+      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      for (auto& overlay : overlays) {
+        if (overlay) overlay->apply_to(state);
+      }
+      state.flush_journal();
+    }
 
     std::size_t lcc = 0;
     for (const auto& job : jobs) lcc = std::max(lcc, job.size());
@@ -168,14 +192,28 @@ class GroupExecutor final : public BlockExecutor {
             ? static_cast<double>(transactions.size()) / schedule.makespan
             : 1.0;
     report.wall_seconds = trace.finish(report.sched);
+    if (registry != nullptr) {
+      // Serial dwell for group concurrency: the overlay-merge tail; the
+      // in-phase-1 stall (cores idling behind the longest component) is
+      // visible separately via exec.largest_component_txs.
+      registry->histogram("exec.conflict_stall_us")
+          .observe(report.sched.phase2_seconds * 1e6);
+      obs::Histogram& attempts_hist =
+          registry->histogram("exec.attempts_per_tx");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        attempts_hist.observe(1.0);  // groups never re-execute
+      }
+      registry->histogram("exec.largest_component_txs")
+          .observe(static_cast<double>(lcc));
+    }
+    record_block_metrics(registry, report);
     return report;
   }
 
-  std::string name() const override {
-    return use_lpt_ ? "group-lpt" : "group-list";
-  }
+  std::string name() const override { return label_; }
 
  private:
+  const char* label_;  // string literal; doubles as the trace process
   ThreadPool pool_;
   bool use_lpt_;
 };

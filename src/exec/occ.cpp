@@ -15,6 +15,8 @@
 #include "exec/predict.h"
 #include "exec/sched_trace.h"
 #include "exec/thread_pool.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 
 namespace txconc::exec {
 
@@ -25,7 +27,7 @@ using SlotHash = account::SlotAccessHash;
 class OccExecutor final : public BlockExecutor {
  public:
   OccExecutor(unsigned num_threads, unsigned max_waves)
-      : pool_(num_threads), max_waves_(max_waves) {
+      : pool_(num_threads, "occ"), max_waves_(max_waves) {
     if (max_waves_ == 0) throw UsageError("OccExecutor: max_waves must be > 0");
   }
 
@@ -33,7 +35,10 @@ class OccExecutor final : public BlockExecutor {
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    SchedTrace trace(pool_);
+    obs::Tracer* const tracer = obs::tracer(config.obs);
+    obs::Registry* const registry = obs::metrics(config.obs);
+    const obs::ThreadProcessScope proc("occ");
+    SchedTrace trace(&pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -49,10 +54,20 @@ class OccExecutor final : public BlockExecutor {
     // validation this wave). The a-priori address components bound what
     // any transaction can touch, so sharing a predicted component with a
     // deferred predecessor forces a retry.
-    const PredictedGroups groups = predict_groups(transactions, state);
+    PredictedGroups groups;
+    {
+      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      groups = predict_groups(transactions, state);
+    }
 
     std::vector<std::size_t> pending(transactions.size());
-    for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+    std::vector<std::uint32_t> tx_attempts(transactions.size(), 0);
+    {
+      // OCC's schedule is trivial — every pending transaction joins the
+      // next wave — but the span keeps the engine phase sets uniform.
+      const TXCONC_SPAN_T(tracer, "schedule", "exec");
+      for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+    }
 
     double simulated = 0.0;
     unsigned waves = 0;
@@ -63,7 +78,9 @@ class OccExecutor final : public BlockExecutor {
         // Degenerate fallback: finish the stragglers sequentially. With
         // max_waves >= longest dependency chain this never triggers.
         const auto tail_start = std::chrono::steady_clock::now();
+        const TXCONC_SPAN_T(tracer, "seq_bin", "exec");
         for (std::size_t i : pending) {
+          ++tx_attempts[i];
           report.receipts[i] =
               account::apply_transaction(state, transactions[i], config);
           report.executions += 1;
@@ -83,17 +100,24 @@ class OccExecutor final : public BlockExecutor {
         bool valid = false;
       };
       std::vector<Attempt> attempts(pending.size());
-      pool_.parallel_for(pending.size(), [&](std::size_t k) {
-        const std::size_t i = pending[k];
-        attempts[k].overlay = std::make_unique<account::OverlayState>(state);
-        try {
-          report.receipts[i] = account::apply_transaction(
-              *attempts[k].overlay, transactions[i], tracked);
-          attempts[k].valid = true;
-        } catch (const ValidationError&) {
-          attempts[k].valid = false;  // depends on an uncommitted tx
-        }
-      });
+      {
+        const TXCONC_SPAN_T(tracer, "execute", "exec",
+                            static_cast<std::int64_t>(waves));
+        pool_.parallel_for(pending.size(), [&](std::size_t k) {
+          const std::size_t i = pending[k];
+          const TXCONC_SPAN_T(tracer, "attempt", "exec",
+                              static_cast<std::int64_t>(i));
+          ++tx_attempts[i];  // one writer per index per wave
+          attempts[k].overlay = std::make_unique<account::OverlayState>(state);
+          try {
+            report.receipts[i] = account::apply_transaction(
+                *attempts[k].overlay, transactions[i], tracked);
+            attempts[k].valid = true;
+          } catch (const ValidationError&) {
+            attempts[k].valid = false;  // depends on an uncommitted tx
+          }
+        });
+      }
       const auto wave_end = std::chrono::steady_clock::now();
       trace.add_phase1(
           std::chrono::duration<double>(wave_end - wave_start).count());
@@ -103,6 +127,8 @@ class OccExecutor final : public BlockExecutor {
 
       // In-order validation: commit a transaction unless it read or wrote
       // anything an earlier commit of THIS wave wrote.
+      const TXCONC_SPAN_T(tracer, "commit", "exec",
+                          static_cast<std::int64_t>(waves));
       std::unordered_map<account::SlotAccess, bool, SlotHash> wave_writes;
       std::vector<char> deferred_component(groups.num_components(), 0);
       std::vector<std::size_t> retry;
@@ -151,6 +177,19 @@ class OccExecutor final : public BlockExecutor {
             ? static_cast<double>(transactions.size()) / simulated
             : 1.0;
     report.wall_seconds = trace.finish(report.sched);
+    if (registry != nullptr) {
+      // For OCC the conflict stall is the serial dwell: in-order
+      // validation plus the degenerate sequential tail (phase 2).
+      registry->histogram("exec.conflict_stall_us")
+          .observe(report.sched.phase2_seconds * 1e6);
+      obs::Histogram& attempts_hist =
+          registry->histogram("exec.attempts_per_tx");
+      for (const std::uint32_t a : tx_attempts) {
+        attempts_hist.observe(static_cast<double>(a));
+      }
+      registry->counter("exec.occ_waves").add(waves);
+    }
+    record_block_metrics(registry, report);
     return report;
   }
 

@@ -4,6 +4,19 @@
 
 namespace txconc::exec {
 
+std::string format_repro_env(const std::string& spec_text) {
+  std::string out = "TXCONC_REPRO='";
+  for (const char c : spec_text) {
+    if (c == '\'') {
+      out += "'\\''";  // close, escaped quote, reopen
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
 HistoryReplayer::HistoryReplayer(workload::ChainProfile profile,
                                  std::uint64_t seed,
                                  std::uint64_t skip_blocks)

@@ -9,7 +9,18 @@
 #include "exec/executor.h"
 #include "workload/account_workload.h"
 
+namespace txconc::obs {
+struct Scope;  // tracer + metrics bundle, see obs/scope.h
+}
+
 namespace txconc::exec {
+
+/// Render a replay spec as the environment assignment a human pastes to
+/// reproduce a failure: "TXCONC_REPRO='<spec_text>'". Single quotes in
+/// the spec are shell-escaped. Shared by the conformance divergence
+/// reports and the audit violation details so the two harnesses cannot
+/// drift apart on the repro syntax.
+std::string format_repro_env(const std::string& spec_text);
 
 /// Observes each replayed block around its execution. before_block fires
 /// after the out-of-band top-ups (so the state it sees is exactly the
@@ -63,6 +74,10 @@ class HistoryReplayer {
 
   /// Observe each block around its execution (nullptr disables).
   void set_block_observer(BlockObserver* observer) { observer_ = observer; }
+
+  /// Route an observability scope (tracer + metrics) into the replay
+  /// config; executors emit their spans and block metrics through it.
+  void set_obs(const obs::Scope* scope) { config_.obs = scope; }
 
  private:
   void apply_out_of_band(std::span<const account::AccountTx> txs);

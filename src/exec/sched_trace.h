@@ -1,20 +1,27 @@
-// Scheduling-overhead recorder shared by the parallel executors: diffs
-// ThreadPool counters around one block execution and splits the wall time
-// into a concurrent and a serial phase for the ExecutionReport.
+// Scheduling-overhead recorder shared by every executor: diffs ThreadPool
+// counters around one block execution and splits the wall time into a
+// concurrent and a serial phase for the ExecutionReport. The sequential
+// baseline passes a null pool so its phase attribution flows through the
+// exact same path as the parallel engines (comparable breakdowns).
 #pragma once
 
 #include <chrono>
 
 #include "exec/executor.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace txconc::exec {
 
 class SchedTrace {
  public:
-  explicit SchedTrace(const ThreadPool& pool)
+  explicit SchedTrace(const ThreadPool& pool) : SchedTrace(&pool) {}
+
+  /// Pool-less executors (sequential) pass nullptr: the task/grain
+  /// counters stay zero but the phase timers still work.
+  explicit SchedTrace(const ThreadPool* pool)
       : pool_(pool),
-        before_(pool.stats()),
+        before_(pool ? pool->stats() : ThreadPoolStats{}),
         start_(std::chrono::steady_clock::now()),
         boundary_(start_) {}
 
@@ -32,11 +39,13 @@ class SchedTrace {
   /// Fill the breakdown; returns total wall seconds since construction.
   double finish(SchedulingBreakdown& out) const {
     const auto now = std::chrono::steady_clock::now();
-    const ThreadPoolStats after = pool_.stats();
-    out.pool_tasks = after.tasks_run - before_.tasks_run;
-    out.grains = after.grains_total - before_.grains_total;
-    out.grains_caller_run =
-        after.grains_caller_run - before_.grains_caller_run;
+    if (pool_ != nullptr) {
+      const ThreadPoolStats after = pool_->stats();
+      out.pool_tasks = after.tasks_run - before_.tasks_run;
+      out.grains = after.grains_total - before_.grains_total;
+      out.grains_caller_run =
+          after.grains_caller_run - before_.grains_caller_run;
+    }
     out.phase1_seconds = extra_phase1_;
     out.phase2_seconds = extra_phase2_;
     if (boundary_set_) {
@@ -49,7 +58,7 @@ class SchedTrace {
   }
 
  private:
-  const ThreadPool& pool_;
+  const ThreadPool* pool_;
   ThreadPoolStats before_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point boundary_;
@@ -57,5 +66,25 @@ class SchedTrace {
   double extra_phase1_ = 0.0;
   double extra_phase2_ = 0.0;
 };
+
+/// Fold one finished block report into the metrics registry. Every
+/// executor calls this with the RuntimeConfig's obs registry (null-safe)
+/// so per-block counters and phase histograms accumulate uniformly.
+inline void record_block_metrics(obs::Registry* registry,
+                                 const ExecutionReport& report) {
+  if (registry == nullptr) return;
+  registry->counter("exec.blocks").add(1);
+  registry->counter("exec.txs").add(report.num_txs);
+  registry->counter("exec.executions").add(report.executions);
+  registry->counter("exec.sequential_txs").add(report.sequential_txs);
+  registry->histogram("exec.block_wall_us")
+      .observe(report.wall_seconds * 1e6);
+  registry->histogram("exec.phase1_us")
+      .observe(report.sched.phase1_seconds * 1e6);
+  registry->histogram("exec.phase2_us")
+      .observe(report.sched.phase2_seconds * 1e6);
+  registry->histogram("exec.seq_bin_txs")
+      .observe(static_cast<double>(report.sequential_txs));
+}
 
 }  // namespace txconc::exec

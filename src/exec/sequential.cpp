@@ -1,6 +1,7 @@
-#include <chrono>
-
 #include "exec/executor.h"
+#include "exec/sched_trace.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 
 namespace txconc::exec {
 
@@ -12,26 +13,41 @@ class SequentialExecutor final : public BlockExecutor {
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    const auto start = std::chrono::steady_clock::now();
+    obs::Tracer* const tracer = obs::tracer(config.obs);
+    const obs::ThreadProcessScope proc("sequential");
+    SchedTrace trace(static_cast<const ThreadPool*>(nullptr));
 
     ExecutionReport report;
     report.executor = name();
     report.num_txs = transactions.size();
     report.receipts.reserve(transactions.size());
-    for (const account::AccountTx& tx : transactions) {
-      report.receipts.push_back(account::apply_transaction(state, tx, config));
+    {
+      // The apply loop is the serial phase; there is no concurrent phase,
+      // so phase1 stays zero instead of absorbing setup/reporting time
+      // (the pre-obs code reported the whole wall as phase2, which made
+      // sequential-vs-parallel phase breakdowns incomparable).
+      const auto apply_start = std::chrono::steady_clock::now();
+      const TXCONC_SPAN_T(tracer, "execute", "exec");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        const TXCONC_SPAN_T(tracer, "tx", "exec", static_cast<long long>(i));
+        report.receipts.push_back(
+            account::apply_transaction(state, transactions[i], config));
+      }
+      trace.add_phase2(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - apply_start)
+                           .count());
     }
-    state.flush_journal();
+    {
+      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      state.flush_journal();
+    }
 
     report.sequential_txs = transactions.size();
     report.executions = transactions.size();
     report.simulated_units = static_cast<double>(transactions.size());
     report.simulated_speedup = 1.0;
-    report.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    // No pool, no concurrent phase: the whole block is serial time.
-    report.sched.phase2_seconds = report.wall_seconds;
+    report.wall_seconds = trace.finish(report.sched);
+    record_block_metrics(obs::metrics(config.obs), report);
     return report;
   }
 

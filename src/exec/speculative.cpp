@@ -10,6 +10,8 @@
 #include "exec/predict.h"
 #include "exec/sched_trace.h"
 #include "exec/thread_pool.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 
 namespace txconc::exec {
 
@@ -30,12 +32,15 @@ struct Attempt {
 /// overlays over the frozen base state.
 std::vector<Attempt> speculate(ThreadPool& pool, const account::StateDb& base,
                                std::span<const account::AccountTx> txs,
-                               const account::RuntimeConfig& config) {
+                               const account::RuntimeConfig& config,
+                               obs::Tracer* tracer) {
   account::RuntimeConfig tracked = config;
   tracked.track_accesses = true;
 
   std::vector<Attempt> attempts(txs.size());
   pool.parallel_for(txs.size(), [&](std::size_t i) {
+    const TXCONC_SPAN_T(tracer, "attempt", "exec",
+                        static_cast<std::int64_t>(i));
     Attempt& attempt = attempts[i];
     attempt.overlay = std::make_unique<account::OverlayState>(base);
     try {
@@ -161,13 +166,19 @@ std::vector<bool> detect_conflicts(const std::vector<Attempt>& attempts,
 class SpeculativeExecutor final : public BlockExecutor {
  public:
   SpeculativeExecutor(unsigned num_threads, AbortPolicy policy)
-      : pool_(num_threads), policy_(policy) {}
+      : label_(policy == AbortPolicy::kAllConflicted ? "speculative"
+                                                     : "speculative-fww"),
+        pool_(num_threads, label_),
+        policy_(policy) {}
 
   ExecutionReport execute_block(
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    SchedTrace trace(pool_);
+    obs::Tracer* const tracer = obs::tracer(config.obs);
+    obs::Registry* const registry = obs::metrics(config.obs);
+    const obs::ThreadProcessScope proc(label_);
+    SchedTrace trace(&pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -177,30 +188,62 @@ class SpeculativeExecutor final : public BlockExecutor {
     // Phase 1 (concurrent, speculative). The a-priori components are only
     // consulted to bound what failed attempts could touch; the happy path
     // stays purely speculative as in [17].
-    const PredictedGroups groups = predict_groups(transactions, state);
-    std::vector<Attempt> attempts =
-        speculate(pool_, state, transactions, config);
-    const std::vector<bool> conflicted =
-        detect_conflicts(attempts, groups, policy_);
+    PredictedGroups groups;
+    {
+      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      groups = predict_groups(transactions, state);
+    }
+    std::vector<Attempt> attempts;
+    {
+      const TXCONC_SPAN_T(tracer, "execute", "exec",
+                          static_cast<std::int64_t>(transactions.size()));
+      attempts = speculate(pool_, state, transactions, config, tracer);
+    }
+    std::vector<bool> conflicted;
+    {
+      const TXCONC_SPAN_T(tracer, "schedule", "exec");
+      conflicted = detect_conflicts(attempts, groups, policy_);
+    }
 
     // Commit the non-conflicted overlays (their access sets are disjoint
     // from everyone else's, so block order is immaterial).
-    for (std::size_t i = 0; i < transactions.size(); ++i) {
-      if (conflicted[i]) continue;
-      attempts[i].overlay->apply_to(state);
-      report.receipts[i] = std::move(attempts[i].receipt);
+    {
+      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        if (conflicted[i]) continue;
+        attempts[i].overlay->apply_to(state);
+        report.receipts[i] = std::move(attempts[i].receipt);
+      }
     }
     trace.phase_boundary();
 
     // Phase 2 (sequential bin, in block order).
+    const auto bin_start = std::chrono::steady_clock::now();
     std::size_t bin = 0;
-    for (std::size_t i = 0; i < transactions.size(); ++i) {
-      if (!conflicted[i]) continue;
-      ++bin;
-      report.receipts[i] =
-          account::apply_transaction(state, transactions[i], config);
+    {
+      const TXCONC_SPAN_T(tracer, "seq_bin", "exec");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        if (!conflicted[i]) continue;
+        ++bin;
+        const TXCONC_SPAN_T(tracer, "tx", "exec",
+                            static_cast<std::int64_t>(i));
+        report.receipts[i] =
+            account::apply_transaction(state, transactions[i], config);
+      }
+      state.flush_journal();
     }
-    state.flush_journal();
+    if (registry != nullptr) {
+      // Conflict stall: wall time the block spent serialized in the bin.
+      registry->histogram("exec.conflict_stall_us")
+          .observe(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - bin_start)
+                       .count());
+      obs::Histogram& attempts_hist =
+          registry->histogram("exec.attempts_per_tx");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        attempts_hist.observe(conflicted[i] ? 2.0 : 1.0);
+      }
+    }
 
     report.sequential_txs = bin;
     report.executions = transactions.size() + bin;
@@ -215,28 +258,31 @@ class SpeculativeExecutor final : public BlockExecutor {
             ? static_cast<double>(transactions.size()) / report.simulated_units
             : 1.0;
     report.wall_seconds = trace.finish(report.sched);
+    record_block_metrics(registry, report);
     return report;
   }
 
-  std::string name() const override {
-    return policy_ == AbortPolicy::kAllConflicted ? "speculative"
-                                                  : "speculative-fww";
-  }
+  std::string name() const override { return label_; }
 
  private:
+  const char* label_;  // string literal; doubles as the trace process
   ThreadPool pool_;
   AbortPolicy policy_;
 };
 
 class OracleExecutor final : public BlockExecutor {
  public:
-  explicit OracleExecutor(unsigned num_threads) : pool_(num_threads) {}
+  explicit OracleExecutor(unsigned num_threads)
+      : pool_(num_threads, "oracle-speculative") {}
 
   ExecutionReport execute_block(
       account::StateDb& state,
       std::span<const account::AccountTx> transactions,
       const account::RuntimeConfig& config) override {
-    SchedTrace trace(pool_);
+    obs::Tracer* const tracer = obs::tracer(config.obs);
+    obs::Registry* const registry = obs::metrics(config.obs);
+    const obs::ThreadProcessScope proc("oracle-speculative");
+    SchedTrace trace(&pool_);
 
     ExecutionReport report;
     report.executor = name();
@@ -247,11 +293,20 @@ class OracleExecutor final : public BlockExecutor {
     // model). A transaction whose predicted component holds >= 2
     // transactions goes straight to the sequential phase and is executed
     // exactly once.
-    const PredictedGroups groups = predict_groups(transactions, state);
+    PredictedGroups groups;
     std::vector<bool> conflicted(transactions.size(), false);
-    for (std::size_t i = 0; i < transactions.size(); ++i) {
-      conflicted[i] =
-          groups.component_sizes[groups.component_of_tx[i]] >= 2;
+    {
+      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      groups = predict_groups(transactions, state);
+    }
+    {
+      // The oracle's schedule is the predicted component partition itself:
+      // singleton components run concurrently, the rest go to the bin.
+      const TXCONC_SPAN_T(tracer, "schedule", "exec");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        conflicted[i] =
+            groups.component_sizes[groups.component_of_tx[i]] >= 2;
+      }
     }
 
     // Concurrent phase over the predicted-independent transactions.
@@ -259,29 +314,55 @@ class OracleExecutor final : public BlockExecutor {
     tracked.track_accesses = true;
     std::vector<std::unique_ptr<account::OverlayState>> overlays(
         transactions.size());
-    pool_.parallel_for(transactions.size(), [&](std::size_t i) {
-      if (conflicted[i]) return;
-      overlays[i] = std::make_unique<account::OverlayState>(state);
-      report.receipts[i] =
-          account::apply_transaction(*overlays[i], transactions[i], tracked);
-    });
+    {
+      const TXCONC_SPAN_T(tracer, "execute", "exec",
+                          static_cast<std::int64_t>(transactions.size()));
+      pool_.parallel_for(transactions.size(), [&](std::size_t i) {
+        if (conflicted[i]) return;
+        const TXCONC_SPAN_T(tracer, "attempt", "exec",
+                            static_cast<std::int64_t>(i));
+        overlays[i] = std::make_unique<account::OverlayState>(state);
+        report.receipts[i] =
+            account::apply_transaction(*overlays[i], transactions[i], tracked);
+      });
+    }
     std::size_t concurrent = 0;
-    for (std::size_t i = 0; i < transactions.size(); ++i) {
-      if (conflicted[i]) continue;
-      ++concurrent;
-      overlays[i]->apply_to(state);
+    {
+      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        if (conflicted[i]) continue;
+        ++concurrent;
+        overlays[i]->apply_to(state);
+      }
     }
     trace.phase_boundary();
 
     // Sequential phase, in block order.
+    const auto bin_start = std::chrono::steady_clock::now();
     std::size_t bin = 0;
-    for (std::size_t i = 0; i < transactions.size(); ++i) {
-      if (!conflicted[i]) continue;
-      ++bin;
-      report.receipts[i] =
-          account::apply_transaction(state, transactions[i], config);
+    {
+      const TXCONC_SPAN_T(tracer, "seq_bin", "exec");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        if (!conflicted[i]) continue;
+        ++bin;
+        const TXCONC_SPAN_T(tracer, "tx", "exec",
+                            static_cast<std::int64_t>(i));
+        report.receipts[i] =
+            account::apply_transaction(state, transactions[i], config);
+      }
+      state.flush_journal();
     }
-    state.flush_journal();
+    if (registry != nullptr) {
+      registry->histogram("exec.conflict_stall_us")
+          .observe(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - bin_start)
+                       .count());
+      obs::Histogram& attempts_hist =
+          registry->histogram("exec.attempts_per_tx");
+      for (std::size_t i = 0; i < transactions.size(); ++i) {
+        attempts_hist.observe(1.0);  // the oracle never re-executes
+      }
+    }
 
     report.sequential_txs = bin;
     report.executions = transactions.size();
@@ -298,6 +379,7 @@ class OracleExecutor final : public BlockExecutor {
             ? static_cast<double>(transactions.size()) / report.simulated_units
             : 1.0;
     report.wall_seconds = trace.finish(report.sched);
+    record_block_metrics(registry, report);
     return report;
   }
 

@@ -1,8 +1,11 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace txconc::exec {
 
@@ -53,11 +56,12 @@ struct ThreadPool::Batch {
   std::exception_ptr error GUARDED_BY(m);  ///< first grain exception
 };
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+ThreadPool::ThreadPool(unsigned num_threads, const char* name)
+    : label_(obs::intern_label(name)) {
   if (num_threads == 0) throw UsageError("ThreadPool needs >= 1 thread");
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -186,7 +190,14 @@ ThreadPoolStats ThreadPool::stats() const {
   return s;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_index) {
+  obs::set_thread_label(label_, static_cast<int>(worker_index));
+  // The gap histogram attributes scheduler idleness (time between
+  // finishing one task and dequeuing the next); only recorded while the
+  // global tracer is enabled so the quiescent path stays clock-free.
+  obs::Histogram* gap_histogram = nullptr;
+  std::chrono::steady_clock::time_point idle_since;
+  bool idle_since_valid = false;
   for (;;) {
     std::function<void()> task;
     {
@@ -201,7 +212,25 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (obs::Tracer::global().enabled()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (idle_since_valid) {
+        if (gap_histogram == nullptr) {
+          gap_histogram =
+              &obs::Registry::global().histogram("pool.dequeue_gap_us");
+        }
+        gap_histogram->observe(
+            std::chrono::duration<double, std::micro>(now - idle_since)
+                .count());
+      }
+      TXCONC_SPAN("pool_task", "pool");
+      task();
+      idle_since = std::chrono::steady_clock::now();
+      idle_since_valid = true;
+    } else {
+      task();
+      idle_since_valid = false;
+    }
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -38,7 +38,10 @@ struct ThreadPoolStats {
 /// atomics and deliberately unguarded.
 class ThreadPool {
  public:
-  explicit ThreadPool(unsigned num_threads);
+  /// @param name  observability label: workers register under this as
+  ///              their trace process (pid) and executors pass their
+  ///              engine name so worker spans group with caller spans.
+  explicit ThreadPool(unsigned num_threads, const char* name = "pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -87,9 +90,10 @@ class ThreadPool {
  private:
   struct Batch;  // shared state of one parallel_for call
 
-  void worker_loop();
+  void worker_loop(unsigned worker_index);
   void run_grains(Batch& batch, bool caller);
 
+  const char* label_;                 // interned pool name (see obs/trace.h)
   std::vector<std::thread> workers_;  // written once in the constructor
   Mutex mutex_;
   CondVar cv_;

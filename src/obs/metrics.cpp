@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace txconc::obs {
+
+namespace {
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bits_double(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+/// CAS-accumulate `delta` into a double stored as bits.
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      expected, double_bits(bits_double(expected) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Less>
+void atomic_extreme_double(std::atomic<std::uint64_t>& bits, double v,
+                           Less less) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (less(v, bits_double(expected)) &&
+         !bits.compare_exchange_weak(expected, double_bits(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::uint64_t Gauge::pack(double v) { return double_bits(v); }
+double Gauge::unpack(std::uint64_t bits) { return bits_double(bits); }
+
+Histogram::Histogram()
+    : min_bits_(double_bits(std::numeric_limits<double>::infinity())),
+      max_bits_(double_bits(-std::numeric_limits<double>::infinity())) {}
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // < 1, negatives and NaN
+  const int exponent = std::ilogb(v);  // floor(log2(v)) for finite v >= 1
+  if (exponent >= 63 || exponent == FP_ILOGBNAN) return kNumBuckets - 1;
+  return static_cast<std::size_t>(exponent) + 1;
+}
+
+double Histogram::bucket_lower(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(bucket) - 1);  // 2^(i-1)
+}
+
+double Histogram::bucket_upper(std::size_t bucket) {
+  return std::ldexp(1.0, static_cast<int>(bucket));  // 2^i
+}
+
+void Histogram::observe(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, v);
+  atomic_extreme_double(min_bits_, v, std::less<double>());
+  atomic_extreme_double(max_bits_, v, std::greater<double>());
+}
+
+double Histogram::sum() const {
+  return bits_double(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0
+                      : bits_double(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0
+                      : bits_double(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[b].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double lo = bucket_lower(b);
+      const double hi = bucket_upper(b);
+      const double frac = (target - cumulative) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return max();  // rounding fell past the last bucket
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked, like the tracer
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::size_t Registry::size() const {
+  const MutexLock lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& out) const {
+  const MutexLock lock(mu_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(out, name);
+    out << ": " << counter->value();
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(out, name);
+    out << ": " << gauge->value();
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(out, name);
+    out << ": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+        << ", \"min\": " << h->min() << ", \"max\": " << h->max()
+        << ", \"p50\": " << h->quantile(0.50)
+        << ", \"p95\": " << h->quantile(0.95)
+        << ", \"p99\": " << h->quantile(0.99) << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  const MutexLock lock(mu_);
+  CsvWriter csv(out);
+  csv.header({"kind", "name", "count", "value", "p50", "p95", "p99"});
+  const auto fmt = [](double v) {
+    std::ostringstream s;
+    s << v;
+    return s.str();
+  };
+  for (const auto& [name, counter] : counters_) {
+    csv.row({"counter", name, "", std::to_string(counter->value()), "", "",
+             ""});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    csv.row({"gauge", name, "", fmt(gauge->value()), "", "", ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    csv.row({"histogram", name, std::to_string(h->count()), fmt(h->sum()),
+             fmt(h->quantile(0.50)), fmt(h->quantile(0.95)),
+             fmt(h->quantile(0.99))});
+  }
+}
+
+}  // namespace txconc::obs

@@ -1,0 +1,35 @@
+// The observability hook threaded through account::RuntimeConfig next to
+// the fault-injector and access-recorder hooks: a nullable bundle of the
+// tracer and metrics registry a block execution should report into.
+//
+// A null Scope pointer (the default) is the null sink: the helpers below
+// return nullptr and every TXCONC_*_T macro site degrades to a relaxed
+// atomic load at most.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace txconc::obs {
+
+struct Scope {
+  Tracer* tracer = nullptr;
+  Registry* metrics = nullptr;
+};
+
+/// Null-safe accessors for the pointer carried in RuntimeConfig.
+inline Tracer* tracer(const Scope* scope) {
+  return scope != nullptr ? scope->tracer : nullptr;
+}
+inline Registry* metrics(const Scope* scope) {
+  return scope != nullptr ? scope->metrics : nullptr;
+}
+
+/// The default scope: global tracer + global registry. Benches and
+/// examples install this into RuntimeConfig when TXCONC_TRACE is set.
+inline const Scope& global_scope() {
+  static const Scope scope{&Tracer::global(), &Registry::global()};
+  return scope;
+}
+
+}  // namespace txconc::obs

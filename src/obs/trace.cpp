@@ -1,0 +1,581 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace txconc::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr const char* kDefaultProcess = "main";
+
+// Thread labels are process-wide (not per tracer): a pool worker is the
+// same worker no matter which tracer snapshots it.
+struct ThreadLabel {
+  const char* process = kDefaultProcess;
+  int worker = -1;
+};
+thread_local ThreadLabel t_label;
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+}  // namespace
+
+const char* intern_label(const char* label) {
+  static Mutex mu;
+  // unordered_set<std::string> is node-based: element addresses (and so
+  // c_str()) survive rehashing. Leaked intentionally with the process.
+  static std::unordered_set<std::string>* const interned =
+      new std::unordered_set<std::string>();
+  const MutexLock lock(mu);
+  return interned->emplace(label).first->c_str();
+}
+
+void set_thread_label(const char* process, int worker) {
+  t_label.process = process;
+  t_label.worker = worker;
+}
+
+ThreadProcessScope::ThreadProcessScope(const char* process)
+    : saved_(t_label.process) {
+  t_label.process = process;
+}
+
+ThreadProcessScope::~ThreadProcessScope() { t_label.process = saved_; }
+
+/// Per-thread event store. The owning thread appends lock-free and
+/// publishes through `written`; `mu` guards only the chunk list (grown
+/// every kChunkEvents events) and is shared with the flushing reader.
+struct Tracer::ThreadBuffer {
+  static constexpr std::size_t kChunkEvents = 1024;
+
+  explicit ThreadBuffer(std::size_t capacity) : cap(capacity) {}
+
+  const std::size_t cap;
+  const char* process_at_registration = kDefaultProcess;
+  int worker = -1;
+
+  mutable Mutex mu;
+  std::vector<std::unique_ptr<TraceEvent[]>> chunks GUARDED_BY(mu);
+  std::atomic<std::uint64_t> written{0};
+
+  // Owner-thread-only cache of the chunk being filled, so the hot path
+  // never takes mu; the lock is only needed when a new chunk is appended
+  // (every kChunkEvents events, never again once the ring has wrapped).
+  TraceEvent* current_chunk = nullptr;
+  std::size_t current_chunk_index = ~std::size_t{0};
+
+  void push(const TraceEvent& event) {
+    const std::uint64_t n = written.load(std::memory_order_relaxed);
+    const std::size_t slot = static_cast<std::size_t>(n % cap);
+    const std::size_t chunk = slot / kChunkEvents;
+    if (chunk != current_chunk_index) {
+      const MutexLock lock(mu);
+      while (chunks.size() <= chunk) {
+        chunks.push_back(std::make_unique<TraceEvent[]>(kChunkEvents));
+      }
+      current_chunk = chunks[chunk].get();
+      current_chunk_index = chunk;
+    }
+    current_chunk[slot % kChunkEvents] = event;
+    written.store(n + 1, std::memory_order_release);
+  }
+
+  template <typename Fn>
+  void scan(Fn&& fn) const REQUIRES(mu) {
+    const std::uint64_t n = written.load(std::memory_order_acquire);
+    const std::uint64_t first = n > cap ? n - cap : 0;
+    for (std::uint64_t i = first; i < n; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(i % cap);
+      fn(chunks[slot / kChunkEvents][slot % kChunkEvents]);
+    }
+  }
+
+  std::uint64_t dropped() const {
+    const std::uint64_t n = written.load(std::memory_order_acquire);
+    return n > cap ? n - cap : 0;
+  }
+};
+
+namespace {
+
+/// Thread-local registration cache: which tracer (id + clear generation)
+/// this thread last registered with, and its buffer. The shared_ptr keeps
+/// the buffer alive even if the tracer is destroyed first.
+struct ThreadSlot {
+  std::uint64_t tracer_id = 0;
+  std::uint64_t generation = 0;
+  std::shared_ptr<Tracer::ThreadBuffer> buffer;
+};
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_events_per_thread)
+    : cap_(std::max<std::size_t>(max_events_per_thread,
+                                 ThreadBuffer::kChunkEvents)),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(now_ns()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  // Leaked: spans may fire from worker threads during static destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
+  if (t_slot.tracer_id == id_ &&
+      t_slot.generation == generation_.load(std::memory_order_acquire)) {
+    return t_slot.buffer.get();
+  }
+  auto buffer = std::make_shared<ThreadBuffer>(cap_);
+  buffer->process_at_registration = t_label.process;
+  buffer->worker = t_label.worker;
+  {
+    const MutexLock lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  t_slot.tracer_id = id_;
+  t_slot.generation = generation_.load(std::memory_order_acquire);
+  t_slot.buffer = std::move(buffer);
+  return t_slot.buffer.get();
+}
+
+void Tracer::begin(const char* name, const char* category, std::int64_t arg) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.process = t_label.process;
+  event.ts_ns = now_ns() - epoch_ns_;
+  event.arg = arg;
+  event.phase = 'B';
+  buffer_for_this_thread()->push(event);
+}
+
+void Tracer::end(const char* name, const char* category,
+                 const char* process) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.process = process != nullptr ? process : t_label.process;
+  event.ts_ns = now_ns() - epoch_ns_;
+  event.phase = 'E';
+  buffer_for_this_thread()->push(event);
+}
+
+void Tracer::instant(const char* name, const char* category,
+                     std::int64_t arg) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.process = t_label.process;
+  event.ts_ns = now_ns() - epoch_ns_;
+  event.arg = arg;
+  event.phase = 'i';
+  buffer_for_this_thread()->push(event);
+}
+
+void Tracer::clear() {
+  const MutexLock lock(mu_);
+  buffers_.clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::size_t Tracer::event_count(const char* name) const {
+  const MutexLock lock(mu_);
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    const MutexLock buffer_lock(buffer->mu);
+    buffer->scan([&](const TraceEvent& event) {
+      if (name == nullptr || std::string_view(event.name) == name) ++count;
+    });
+  }
+  return count;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped();
+  return total;
+}
+
+namespace {
+
+void write_json_escaped(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const MutexLock lock(mu_);
+
+  // pid assignment: dense ids over the process labels referenced by any
+  // event, in first-seen order across buffers (stable for one snapshot).
+  std::unordered_map<const char*, int> pid_of;
+  std::vector<const char*> pid_labels;
+  const auto pid_for = [&](const char* process) {
+    const auto [it, inserted] =
+        pid_of.emplace(process, static_cast<int>(pid_labels.size()));
+    if (inserted) pid_labels.push_back(process);
+    return it->second;
+  };
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const TraceEvent& event, int tid) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"";
+    write_json_escaped(out, event.name);
+    out << "\",\"cat\":\"";
+    write_json_escaped(out, event.category);
+    out << "\",\"ph\":\"" << event.phase << "\",\"pid\":"
+        << pid_for(event.process) << ",\"tid\":" << tid << ",\"ts\":"
+        << static_cast<double>(event.ts_ns) / 1000.0;
+    if (event.phase == 'i') out << ",\"s\":\"t\"";
+    if (event.arg >= 0 && event.phase != 'E') {
+      out << ",\"args\":{\"arg\":" << event.arg << "}";
+    }
+    out << "}";
+  };
+
+  // (pid, tid) pairs seen, for thread_name metadata after the scan.
+  std::set<std::pair<int, int>> threads_seen;
+  std::vector<std::string> thread_names;
+  for (std::size_t b = 0; b < buffers_.size(); ++b) {
+    const ThreadBuffer& buffer = *buffers_[b];
+    const int tid = static_cast<int>(b);
+    std::string name = buffer.worker >= 0
+                           ? "worker-" + std::to_string(buffer.worker)
+                           : "caller-" + std::to_string(tid);
+    thread_names.push_back(std::move(name));
+    const MutexLock buffer_lock(buffer.mu);
+    buffer.scan([&](const TraceEvent& event) {
+      threads_seen.emplace(pid_for(event.process), tid);
+      emit(event, tid);
+    });
+  }
+
+  // Metadata: process and thread names.
+  for (std::size_t p = 0; p < pid_labels.size(); ++p) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << p
+        << ",\"tid\":0,\"args\":{\"name\":\"";
+    write_json_escaped(out, pid_labels[p]);
+    out << "\"}}";
+  }
+  for (const auto& [pid, tid] : threads_seen) {
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+    write_json_escaped(out, thread_names[static_cast<std::size_t>(tid)]);
+    out << "\"}}";
+  }
+  out << "\n]}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+SpanGuard::SpanGuard(Tracer* tracer, const char* name, const char* category,
+                     std::int64_t arg)
+    : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+      name_(name),
+      category_(category),
+      process_(t_label.process) {
+  if (tracer_ != nullptr) tracer_->begin(name, category, arg);
+}
+
+SpanGuard::~SpanGuard() {
+  if (tracer_ != nullptr) tracer_->end(name_, category_, process_);
+}
+
+// ---------------------------------------------------------------- validator
+
+namespace {
+
+/// Minimal JSON reader, sufficient for trace files: objects, arrays,
+/// strings (with escapes), numbers, true/false/null.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    std::string out;
+    if (!consume('"')) return fail("expected string"), out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            pos_ += 4;  // trace labels are ASCII; skip the code point
+            c = '?';
+            break;
+          default: c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string"), out;
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number"), 0.0;
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  /// Skip any value (used for unrecognized object members).
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      consume('{');
+      if (consume('}')) return;
+      do {
+        parse_string();
+        if (!consume(':')) return fail("expected ':'");
+        skip_value();
+      } while (consume(',') && !failed_);
+      if (!consume('}')) fail("expected '}'");
+    } else if (c == '[') {
+      consume('[');
+      if (consume(']')) return;
+      do {
+        skip_value();
+      } while (consume(',') && !failed_);
+      if (!consume(']')) fail("expected ']'");
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    } else {
+      parse_number();
+    }
+  }
+
+  void fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+struct ParsedEvent {
+  std::string name;
+  char phase = '\0';
+  int pid = 0;
+  int tid = 0;
+  double ts = 0.0;
+  bool has_ts = false;
+};
+
+}  // namespace
+
+TraceValidation validate_chrome_trace(const std::string& json) {
+  TraceValidation result;
+  JsonReader reader(json);
+
+  const auto fail = [&](std::string why) {
+    result.ok = false;
+    result.error = std::move(why);
+    return result;
+  };
+
+  if (!reader.consume('{')) return fail("trace is not a JSON object");
+  std::vector<ParsedEvent> events;
+  std::map<int, std::string> process_names;
+  bool saw_array = false;
+  if (!reader.consume('}')) {
+    do {
+      const std::string key = reader.parse_string();
+      if (!reader.consume(':')) return fail("expected ':' after key");
+      if (key != "traceEvents") {
+        reader.skip_value();
+        continue;
+      }
+      saw_array = true;
+      if (!reader.consume('[')) return fail("traceEvents is not an array");
+      if (reader.consume(']')) break;
+      do {
+        if (!reader.consume('{')) return fail("event is not an object");
+        ParsedEvent event;
+        std::string meta_name;
+        if (!reader.consume('}')) {
+          do {
+            const std::string field = reader.parse_string();
+            if (!reader.consume(':')) return fail("expected ':' in event");
+            if (field == "name") {
+              event.name = reader.parse_string();
+            } else if (field == "ph") {
+              const std::string ph = reader.parse_string();
+              event.phase = ph.empty() ? '\0' : ph[0];
+            } else if (field == "pid") {
+              event.pid = static_cast<int>(reader.parse_number());
+            } else if (field == "tid") {
+              event.tid = static_cast<int>(reader.parse_number());
+            } else if (field == "ts") {
+              event.ts = reader.parse_number();
+              event.has_ts = true;
+            } else if (field == "args") {
+              // Only metadata args carry a name we care about.
+              if (!reader.consume('{')) return fail("args not an object");
+              if (!reader.consume('}')) {
+                do {
+                  const std::string arg_key = reader.parse_string();
+                  if (!reader.consume(':')) return fail("bad args");
+                  if (arg_key == "name") {
+                    meta_name = reader.parse_string();
+                  } else {
+                    reader.skip_value();
+                  }
+                } while (reader.consume(','));
+                if (!reader.consume('}')) return fail("unclosed args");
+              }
+            } else {
+              reader.skip_value();
+            }
+            if (reader.failed()) return fail(reader.error());
+          } while (reader.consume(','));
+          if (!reader.consume('}')) return fail("unclosed event object");
+        }
+        if (event.phase == 'M' && event.name == "process_name") {
+          process_names[event.pid] = meta_name;
+        } else if (event.phase == 'B' || event.phase == 'E' ||
+                   event.phase == 'i') {
+          events.push_back(std::move(event));
+        }
+      } while (reader.consume(','));
+      if (!reader.consume(']')) return fail("unclosed traceEvents array");
+    } while (reader.consume(','));
+  }
+  if (!saw_array) return fail("no traceEvents array");
+
+  // Balanced B/E per (pid, tid), with monotone timestamps.
+  std::map<std::pair<int, int>, std::vector<std::string>> open;
+  std::map<std::pair<int, int>, double> last_ts;
+  for (const ParsedEvent& event : events) {
+    const std::pair<int, int> key{event.pid, event.tid};
+    if (!event.has_ts) return fail("event without ts: " + event.name);
+    const auto it = last_ts.find(key);
+    if (it != last_ts.end() && event.ts < it->second) {
+      return fail("timestamps not monotone on pid " +
+                  std::to_string(event.pid) + " tid " +
+                  std::to_string(event.tid) + " at '" + event.name + "'");
+    }
+    last_ts[key] = event.ts;
+    if (event.phase == 'B') {
+      open[key].push_back(event.name);
+    } else if (event.phase == 'E') {
+      auto& stack = open[key];
+      if (stack.empty() || stack.back() != event.name) {
+        return fail("unbalanced 'E' for '" + event.name + "' on pid " +
+                    std::to_string(event.pid) + " tid " +
+                    std::to_string(event.tid));
+      }
+      stack.pop_back();
+      ++result.complete_spans;
+      const auto name_it = process_names.find(event.pid);
+      const std::string process = name_it != process_names.end()
+                                      ? name_it->second
+                                      : std::to_string(event.pid);
+      result.spans_by_process[process].insert(event.name);
+    }
+  }
+  for (const auto& [key, stack] : open) {
+    if (!stack.empty()) {
+      return fail("span '" + stack.back() + "' never closed on pid " +
+                  std::to_string(key.first) + " tid " +
+                  std::to_string(key.second));
+    }
+  }
+
+  result.events = events.size();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace txconc::obs

@@ -1,6 +1,8 @@
 #include "shard/pbft.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace txconc::shard {
 
@@ -27,6 +29,8 @@ PbftSimulator::PbftSimulator(std::uint64_t seed, PbftConfig config)
 
 PbftOutcome PbftSimulator::run_round() {
   const MutexLock lock(mu_);
+  const TXCONC_SPAN("pbft_round", "shard",
+                    static_cast<std::int64_t>(config_.committee_size));
   PbftOutcome outcome;
   // View changes until an honest leader drives the round through.
   while (rng_.bernoulli(config_.faulty_leader_probability)) {
@@ -38,6 +42,12 @@ PbftOutcome PbftSimulator::run_round() {
   }
   outcome.latency_seconds += pbft_round_latency(config_);
   outcome.messages += pbft_message_count(config_.committee_size);
+  if (obs::Tracer::global().enabled()) {
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("pbft.rounds").add(1);
+    registry.counter("pbft.messages").add(outcome.messages);
+    registry.counter("pbft.view_changes").add(outcome.view_changes);
+  }
   return outcome;
 }
 

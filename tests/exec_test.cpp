@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <future>
+#include <string>
 #include <unordered_set>
 
 #include "account/contracts.h"
@@ -17,11 +19,36 @@
 #include "exec/replay.h"
 #include "exec/schedule_sim.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "workload/account_workload.h"
 #include "workload/profiles.h"
 
 namespace txconc::exec {
 namespace {
+
+// When TXCONC_TRACE is set (the tsan CI lane does this), enable the
+// global tracer for the whole run and write the Chrome trace on exit, so
+// the span-emission paths in the pool and executors run under the
+// sanitizers too.
+class TraceEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    if (const char* path = std::getenv("TXCONC_TRACE")) {
+      path_ = path;
+      obs::Tracer::global().enable();
+    }
+  }
+  void TearDown() override {
+    if (path_.empty()) return;
+    obs::Tracer::global().disable();
+    obs::Tracer::global().write_chrome_trace_file(path_);
+  }
+
+ private:
+  std::string path_;
+};
+[[maybe_unused]] const auto* const kTraceEnv =
+    ::testing::AddGlobalTestEnvironment(new TraceEnv);
 
 Address addr(std::uint64_t seed) { return Address::from_seed(seed); }
 
@@ -332,6 +359,17 @@ TEST_F(ExecutorRig, AllExecutorsMatchSequentialState) {
           << executor->name() << " tx " << i;
     }
   }
+}
+
+TEST_F(ExecutorRig, SequentialReportsApplyLoopAsPhase2) {
+  // The sequential engine has no scheduling phase: phase 1 must stay
+  // zero and phase 2 must cover the apply loop, not the whole wall
+  // clock (journal flush and reporting are outside it).
+  const auto sequential = make_sequential_executor();
+  const auto [state, report] = run(*sequential);
+  EXPECT_EQ(report.sched.phase1_seconds, 0.0);
+  EXPECT_GT(report.sched.phase2_seconds, 0.0);
+  EXPECT_LE(report.sched.phase2_seconds, report.wall_seconds);
 }
 
 TEST_F(ExecutorRig, SpeculativeBinsConflictedTransactions) {
