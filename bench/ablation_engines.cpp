@@ -3,15 +3,18 @@
 // scheduling policy, executor overheads, and substrate throughputs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "analysis/block_analyzer.h"
 #include "analysis/report.h"
 #include "account/contracts.h"
 #include "account/runtime.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/sha256.h"
 #include "core/components.h"
@@ -27,6 +30,40 @@
 namespace {
 
 using namespace txconc;
+
+// ------------------------------------------------------------ harness knobs
+
+// Synthetic per-transaction work (account::RuntimeConfig::synthetic_work),
+// settable via --tx-work=N or TXCONC_TX_WORK. The fixture's transactions
+// are light enough that thread-pool dispatch costs rival the transactions
+// themselves, which kept every parallel engine at wall_speedup <= 1; the
+// default burn makes each transaction as heavy as a modest contract call
+// so the engine ablation measures scheduling quality, not dispatch floor.
+// (On a multi-core host this lets parallel engines clear wall_speedup 1;
+// on a single-core host ~1.0 is the physical ceiling and the gate works
+// off ratios against a baseline recorded on the same host.)
+unsigned g_tx_work = 10000;
+
+// TXCONC_BENCH_FAST=1: fewer reps for CI lanes. The JSON records the
+// actual rep count, and the gate compares hardware-portable ratios, so
+// fast runs remain comparable against full-depth baselines.
+bool bench_fast() {
+  const char* fast = std::getenv("TXCONC_BENCH_FAST");
+  return fast != nullptr && std::string(fast) != "0";
+}
+int bench_reps() { return bench_fast() ? 5 : 9; }
+int bench_warmup() { return bench_fast() ? 1 : 2; }
+
+// TXCONC_BENCH_INJECT_SLOWDOWN_PCT=<pct>: negative-control hook for
+// scripts/bench_gate — inflates the measured wall times so CI can assert
+// the gate actually fires. Applied only to non-sequential rows: sequential
+// is the speedup denominator, so slowing every row equally would cancel
+// out of the gated ratios.
+double injected_slowdown_factor() {
+  const char* pct = std::getenv("TXCONC_BENCH_INJECT_SLOWDOWN_PCT");
+  if (pct == nullptr) return 1.0;
+  return 1.0 + std::atof(pct) / 100.0;
+}
 
 // ---------------------------------------------------------- graph algorithms
 
@@ -262,24 +299,28 @@ BENCHMARK(BM_ExecGroupLpt)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
 // ------------------------------------------------- BENCH_exec.json emitter
 
 // Machine-readable engine ablation: every registry executor across a
-// thread grid, best-of-3 wall time on the shared fixture block, wall
-// speedup vs sequential and the unit-cost simulated speedup next to it
-// (the wall/simulated gap is the engine's real-world overhead). Written
-// to TXCONC_BENCH_EXEC_OUT, defaulting to BENCH_exec.json in the CWD.
+// thread grid, warmed-up median-of-N wall time (with IQR dispersion) on
+// the shared fixture block, wall speedup vs sequential and the unit-cost
+// simulated speedup next to it (the wall/simulated gap is the engine's
+// real-world overhead). Written to TXCONC_BENCH_EXEC_OUT, defaulting to
+// BENCH_exec.json in the CWD. scripts/bench_gate compares this file
+// against bench/baselines/BENCH_exec.json.
 void write_bench_exec_json() {
   static const ExecFixture fixture;
   account::RuntimeConfig config;
   config.charge_fees = false;
   config.enforce_nonce = false;
+  config.synthetic_work = g_tx_work;
 
   struct Row {
     std::string executor;
     unsigned threads = 1;
-    double wall_seconds = 0.0;
+    bench::RepetitionStats wall;
     double simulated_speedup = 1.0;
   };
   std::vector<Row> rows;
   double sequential_wall = 0.0;
+  const double inject = injected_slowdown_factor();
 
   for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
     const std::vector<unsigned> thread_grid =
@@ -287,17 +328,19 @@ void write_bench_exec_json() {
                       : std::vector<unsigned>{1};
     for (const unsigned threads : thread_grid) {
       const auto executor = spec.make(threads);
-      Row row{spec.name, threads, 0.0, 1.0};
-      for (int rep = 0; rep < 3; ++rep) {
+      Row row{spec.name, threads, {}, 1.0};
+      row.wall = bench::measure_reps(bench_reps(), bench_warmup(), [&] {
         account::StateDb db = fixture.genesis;
         const exec::ExecutionReport report =
             executor->execute_block(db, fixture.block, config);
-        if (rep == 0 || report.wall_seconds < row.wall_seconds) {
-          row.wall_seconds = report.wall_seconds;
-        }
         row.simulated_speedup = report.simulated_speedup;
+        return report.wall_seconds;
+      });
+      if (spec.name == "sequential") {
+        sequential_wall = row.wall.median_seconds;
+      } else if (inject != 1.0) {
+        row.wall.median_seconds *= inject;
       }
-      if (spec.name == "sequential") sequential_wall = row.wall_seconds;
       rows.push_back(std::move(row));
     }
   }
@@ -307,19 +350,25 @@ void write_bench_exec_json() {
   std::ofstream out(out_path);
   out << "{\n  \"profile\": \"" << fixture.profile.name << "\",\n"
       << "  \"block_txs\": " << fixture.block.size() << ",\n"
+      << "  \"tx_work\": " << g_tx_work << ",\n"
+      << "  \"reps\": " << bench_reps() << ",\n"
+      << "  \"warmup\": " << bench_warmup() << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    const double wall_speedup =
-        row.wall_seconds > 0.0 ? sequential_wall / row.wall_seconds : 0.0;
+    const double wall_speedup = row.wall.median_seconds > 0.0
+                                    ? sequential_wall / row.wall.median_seconds
+                                    : 0.0;
     out << "    {\"executor\": \"" << row.executor << "\", \"threads\": "
-        << row.threads << ", \"wall_seconds\": " << row.wall_seconds
+        << row.threads << ", \"wall_seconds\": " << row.wall.median_seconds
+        << ", \"wall_iqr_seconds\": " << row.wall.iqr_seconds
         << ", \"wall_speedup\": " << wall_speedup
         << ", \"simulated_speedup\": " << row.simulated_speedup << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::cout << "wrote " << out_path << " (" << rows.size() << " cells)\n";
+  std::cout << "wrote " << out_path << " (" << rows.size() << " cells, "
+            << bench_reps() << " reps, tx_work=" << g_tx_work << ")\n";
 }
 
 // ---------------------------------------------- §V phase breakdown emitter
@@ -334,6 +383,7 @@ void print_phase_breakdown() {
   account::RuntimeConfig config;
   config.charge_fees = false;
   config.enforce_nonce = false;
+  config.synthetic_work = g_tx_work;
 
   const unsigned n = 4;
   const std::size_t x = fixture.block.size();
@@ -405,53 +455,84 @@ void print_phase_breakdown() {
 
 // Tracer overhead harness: the same speculative run with (a) no obs scope
 // at all, (b) the scope installed but the tracer disabled (the production
-// default — must stay within ~2% of (a)), and (c) the tracer enabled.
+// default — must stay within noise of (a)), and (c) the tracer enabled.
+// Each mode is a warmed-up median-of-N (N >= 9 in full mode): medians of
+// equal-sized samples are an apples-to-apples comparison, so the overhead
+// deltas no longer go negative the way dueling best-of-N minimums did.
 void write_bench_obs_json() {
   static const ExecFixture fixture;
   const unsigned threads = 4;
-  const int reps = 5;
+  const int reps = bench_reps();
+  const int warmup = bench_warmup();
 
   obs::Tracer& tracer = obs::Tracer::global();
-  const auto best_wall = [&](const obs::Scope* scope) {
+  const auto wall_stats = [&](const obs::Scope* scope) {
     account::RuntimeConfig config;
     config.charge_fees = false;
     config.enforce_nonce = false;
+    config.synthetic_work = g_tx_work;
     config.obs = scope;
     const auto executor = exec::make_speculative_executor(threads);
-    double best = 0.0;
-    for (int rep = 0; rep < reps; ++rep) {
+    return bench::measure_reps(reps, warmup, [&] {
       account::StateDb db = fixture.genesis;
-      const exec::ExecutionReport report =
-          executor->execute_block(db, fixture.block, config);
-      if (rep == 0 || report.wall_seconds < best) best = report.wall_seconds;
-    }
-    return best;
+      return executor->execute_block(db, fixture.block, config).wall_seconds;
+    });
   };
 
   tracer.disable();
-  const double off = best_wall(nullptr);
-  const double disabled = best_wall(&obs::global_scope());
+  const bench::RepetitionStats off = wall_stats(nullptr);
+  bench::RepetitionStats disabled = wall_stats(&obs::global_scope());
   tracer.enable();
-  const double enabled = best_wall(&obs::global_scope());
+  bench::RepetitionStats enabled = wall_stats(&obs::global_scope());
   tracer.disable();
   tracer.clear();  // keep the overhead runs out of any exported trace
 
-  const double disabled_pct = off > 0.0 ? (disabled / off - 1.0) * 100.0 : 0.0;
-  const double enabled_pct = off > 0.0 ? (enabled / off - 1.0) * 100.0 : 0.0;
+  const double inject = injected_slowdown_factor();
+  if (inject != 1.0) {
+    disabled.median_seconds *= inject;
+    enabled.median_seconds *= inject;
+  }
+
+  const double disabled_pct =
+      off.median_seconds > 0.0
+          ? (disabled.median_seconds / off.median_seconds - 1.0) * 100.0
+          : 0.0;
+  const double enabled_pct =
+      off.median_seconds > 0.0
+          ? (enabled.median_seconds / off.median_seconds - 1.0) * 100.0
+          : 0.0;
+  // Relative dispersion of the noisiest mode: overhead deltas below this
+  // are indistinguishable from scheduler noise on this host.
+  double noise_floor_pct = 0.0;
+  const bench::RepetitionStats* const modes[] = {&off, &disabled, &enabled};
+  for (const bench::RepetitionStats* s : modes) {
+    if (s->median_seconds > 0.0) {
+      noise_floor_pct = std::max(
+          noise_floor_pct, s->iqr_seconds / s->median_seconds * 100.0);
+    }
+  }
 
   const char* out_path = std::getenv("TXCONC_BENCH_OBS_OUT");
   if (out_path == nullptr) out_path = "BENCH_obs.json";
   std::ofstream out(out_path);
   out << "{\n  \"executor\": \"speculative\",\n  \"threads\": " << threads
       << ",\n  \"block_txs\": " << fixture.block.size()
-      << ",\n  \"tracer_off_seconds\": " << off
-      << ",\n  \"tracer_disabled_seconds\": " << disabled
-      << ",\n  \"tracer_enabled_seconds\": " << enabled
+      << ",\n  \"tx_work\": " << g_tx_work
+      << ",\n  \"reps\": " << reps
+      << ",\n  \"warmup\": " << warmup
+      << ",\n  \"tracer_off_seconds\": " << off.median_seconds
+      << ",\n  \"tracer_off_iqr_seconds\": " << off.iqr_seconds
+      << ",\n  \"tracer_disabled_seconds\": " << disabled.median_seconds
+      << ",\n  \"tracer_disabled_iqr_seconds\": " << disabled.iqr_seconds
+      << ",\n  \"tracer_enabled_seconds\": " << enabled.median_seconds
+      << ",\n  \"tracer_enabled_iqr_seconds\": " << enabled.iqr_seconds
       << ",\n  \"disabled_overhead_pct\": " << disabled_pct
-      << ",\n  \"enabled_overhead_pct\": " << enabled_pct << "\n}\n";
+      << ",\n  \"enabled_overhead_pct\": " << enabled_pct
+      << ",\n  \"noise_floor_pct\": " << noise_floor_pct << "\n}\n";
   std::cout << "wrote " << out_path << " (disabled overhead "
             << analysis::fmt_double(disabled_pct, 2) << "%, enabled "
-            << analysis::fmt_double(enabled_pct, 2) << "%)\n";
+            << analysis::fmt_double(enabled_pct, 2) << "%, noise floor "
+            << analysis::fmt_double(noise_floor_pct, 2) << "%)\n";
 }
 
 // ------------------------------------------------------ TXCONC_TRACE smoke
@@ -521,6 +602,23 @@ bool run_traced_executions(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // TXCONC_TX_WORK seeds the knob; an explicit --tx-work=N wins. The flag
+  // is stripped before benchmark::Initialize, which rejects unknown args.
+  if (const char* env_work = std::getenv("TXCONC_TX_WORK")) {
+    g_tx_work = static_cast<unsigned>(std::strtoul(env_work, nullptr, 10));
+  }
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const std::string prefix = "--tx-work=";
+    if (arg.rfind(prefix, 0) == 0) {
+      g_tx_work = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + prefix.size(), nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,6 +1,7 @@
 // Shared helpers for the figure benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -43,6 +44,51 @@ inline LabelledSeries years(const analysis::ChainSeries& cs,
                             const std::vector<SeriesPoint>& points,
                             const std::string& label) {
   return {label, cs.in_years(points)};
+}
+
+/// Summary statistics over repeated timed runs (see measure_reps).
+struct RepetitionStats {
+  double median_seconds = 0.0;
+  double iqr_seconds = 0.0;  ///< Interquartile range (q75 - q25).
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  int reps = 0;
+  int warmup = 0;
+};
+
+/// Linear-interpolated quantile of an already-sorted sample.
+inline double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Call `run()` (which returns elapsed seconds) `warmup` discarded times,
+/// then `reps` measured times, and summarize with median/IQR. The median
+/// is robust to scheduler noise in both directions, unlike the best-of-N
+/// minimum this replaces: a minimum only shrinks as N grows, so comparing
+/// minimums of runs with different N systematically favors the larger N
+/// (which is how overhead deltas used to come out negative).
+template <typename Fn>
+RepetitionStats measure_reps(int reps, int warmup, Fn&& run) {
+  RepetitionStats stats;
+  stats.reps = reps;
+  stats.warmup = warmup;
+  for (int i = 0; i < warmup; ++i) (void)run();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(run());
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.median_seconds = quantile_sorted(samples, 0.5);
+  stats.iqr_seconds =
+      quantile_sorted(samples, 0.75) - quantile_sorted(samples, 0.25);
+  stats.min_seconds = samples.front();
+  stats.max_seconds = samples.back();
+  return stats;
 }
 
 inline void print_header(const std::string& title, const std::string& paper) {

@@ -12,7 +12,16 @@
 #    -Wthread-safety -Werror=thread-safety-analysis, turning the
 #    GUARDED_BY/REQUIRES annotations (common/thread_annotations.h) into
 #    compile errors when lock discipline is violated;
-#  * tidy  — clang-tidy over src/ with the checks in .clang-tidy.
+#  * tidy  — clang-tidy over src/ with the checks in .clang-tidy;
+#  * bench — benchmark regression gate: a fresh TXCONC_BENCH_FAST run of
+#    bench/ablation_engines is compared against the committed baselines in
+#    bench/baselines/ by scripts/bench_gate (hardware-portable ratios with
+#    per-metric tolerances), then a negative control re-runs the bench
+#    with TXCONC_BENCH_INJECT_SLOWDOWN_PCT=20 and asserts the gate FAILS —
+#    proving the lane has teeth. After an intentional perf change, refresh
+#    the baselines with
+#      scripts/bench_gate --exec BENCH_exec.json --obs BENCH_obs.json --refresh
+#    and commit bench/baselines/*.json.
 # The tsa and tidy lanes need clang++/clang-tidy and are skipped with a
 # notice when the tools are absent (the annotations compile to no-ops
 # under GCC, so the other lanes still build the same code).
@@ -27,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
-LANES="${TXCONC_CI_LANES:-tier1,asan,tsan,tsa,tidy}"
+LANES="${TXCONC_CI_LANES:-tier1,asan,tsan,tsa,tidy,bench}"
 
 lane_enabled() {
   case ",${LANES}," in
@@ -67,10 +76,11 @@ if lane_enabled asan; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
-    --target obs_test
+    --target obs_test --target trace_propagation_test
   # Leak checking needs ptrace, which container CI runners often deny; the
   # races/UB we are after are caught without it.
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/obs_test
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/trace_propagation_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
   ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
     ./build-asan/tests/conformance_test
@@ -91,8 +101,9 @@ if lane_enabled tsan; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
-    --target obs_test
+    --target obs_test --target trace_propagation_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/obs_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_propagation_test
   # exec_test runs with the tracer enabled (TraceEnv in exec_test.cpp):
   # every pool/executor span-emission path executes under TSan.
   TSAN_OPTIONS=halt_on_error=1 TXCONC_TRACE=build-tsan/exec_trace.json \
@@ -135,4 +146,44 @@ if lane_enabled tidy; then
   else
     echo "tidy lane SKIPPED: clang-tidy not found"
   fi
+fi
+
+# --- bench lane: regression gate + negative control ------------------------
+# Gates hardware-portable ratios (wall_speedup / simulated_speedup /
+# tracer overhead) from a fresh fast-mode run against the committed
+# baselines, then proves the gate can fail by injecting a synthetic +20%
+# slowdown (applied to non-sequential rows only; see bench/ablation_engines
+# and DESIGN.md §12 for the tolerance rationale).
+if lane_enabled bench; then
+  echo "== lane: bench =="
+  if [ ! -x build/bench/ablation_engines ]; then
+    cmake -B build -S . -DTXCONC_WERROR=ON
+    cmake --build build -j"${JOBS}" --target ablation_engines
+  fi
+  BENCH_BIN="$(pwd)/build/bench/ablation_engines"
+  run_bench() {
+    # ablation_engines writes BENCH_*.json into the CWD; run it from a
+    # scratch dir so the gate never clobbers the committed files.
+    local out="$1"; shift
+    mkdir -p "${out}"
+    (cd "${out}" && env "$@" TXCONC_BENCH_FAST="${TXCONC_BENCH_FAST:-1}" \
+      "${BENCH_BIN}" --benchmark_filter='^$' > bench.log 2>&1)
+  }
+  run_bench build/bench-fresh
+  scripts/bench_gate --exec build/bench-fresh/BENCH_exec.json \
+    --obs build/bench-fresh/BENCH_obs.json
+  echo "bench gate vs committed baselines: OK"
+  # Negative control: the +20% injection must trip the gate. Gate the
+  # injected run against the same-session fresh run (not the committed
+  # baseline) so this check is insulated from host-to-host drift.
+  run_bench build/bench-inject TXCONC_BENCH_INJECT_SLOWDOWN_PCT=20
+  if scripts/bench_gate --exec build/bench-inject/BENCH_exec.json \
+       --obs build/bench-inject/BENCH_obs.json \
+       --baseline-exec build/bench-fresh/BENCH_exec.json \
+       > build/bench-inject/gate.log 2>&1; then
+    echo "bench lane FAILED: injected +20% slowdown did not trip the gate"
+    cat build/bench-inject/gate.log
+    exit 1
+  fi
+  echo "bench negative control OK: injected slowdown tripped the gate"
 fi

@@ -37,6 +37,20 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
   const bool track = config.track_accesses || config.recorder != nullptr;
   if (config.recorder != nullptr) config.recorder->on_begin(tx);
 
+  // Synthetic compute: a deterministic hash-mix burn (same count for every
+  // transaction and engine) standing in for heavier contract execution.
+  // The volatile sink keeps the loop from being optimized away.
+  if (config.synthetic_work > 0) {
+    std::uint64_t mix = tx.nonce + 0x9e3779b97f4a7c15ULL;
+    for (std::uint32_t i = 0; i < config.synthetic_work; ++i) {
+      mix ^= mix >> 33;
+      mix *= 0xff51afd7ed558ccdULL;
+      mix ^= mix >> 29;
+    }
+    volatile std::uint64_t sink = mix;
+    (void)sink;
+  }
+
   Receipt receipt;
   AccessTracker tracker;
   AccessTracker* tracker_ptr = track ? &tracker : nullptr;

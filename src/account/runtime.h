@@ -7,6 +7,7 @@
 #include "account/state.h"
 #include "account/types.h"
 #include "account/vm.h"
+#include "obs/context.h"
 
 namespace txconc::obs {
 struct Scope;  // tracer + metrics bundle, see obs/scope.h
@@ -69,6 +70,17 @@ struct RuntimeConfig {
   /// Null is the zero-cost disabled path; executors emit their per-phase
   /// and per-transaction spans and block metrics through it.
   const obs::Scope* obs = nullptr;
+  /// Causal trace context of the enclosing block (see obs/context.h).
+  /// Executors start their block/phase spans as children of this, so a
+  /// node relaying a block hands the whole execution to the block's
+  /// trace. The zero default means "start a fresh trace root".
+  obs::TraceContext trace;
+  /// Synthetic per-transaction compute cost: after the validity checks,
+  /// burn this many deterministic hash-mix iterations before executing.
+  /// Models heavier contracts (EVM interpretation, signature recovery)
+  /// without touching the VM; benches use it to move the workload from
+  /// overhead-bound to compute-bound (bench/ablation_engines --tx-work).
+  std::uint32_t synthetic_work = 0;
 };
 
 /// Apply one transaction to the state.

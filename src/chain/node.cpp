@@ -1,11 +1,44 @@
 #include "chain/node.h"
 
+#include <chrono>
+
+#include "obs/scope.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 namespace txconc::chain {
 
+namespace {
+
+/// The node's tracer: the scope threaded through RuntimeConfig when set,
+/// the process tracer otherwise (matching the pre-context TXCONC_SPAN
+/// behavior of the chain layer).
+obs::Tracer* node_tracer(const AccountNodeConfig& config) {
+  obs::Tracer* scoped = obs::tracer(config.runtime.obs);
+  return scoped != nullptr ? scoped : &obs::Tracer::global();
+}
+
+/// The node's metrics sink: scope registry when set, otherwise the global
+/// registry while the global tracer is enabled (the shard layer's
+/// convention), else null.
+obs::Registry* node_registry(const AccountNodeConfig& config) {
+  obs::Registry* scoped = obs::metrics(config.runtime.obs);
+  if (scoped != nullptr) return scoped;
+  return obs::Tracer::global().enabled() ? &obs::Registry::global() : nullptr;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 AccountNode::AccountNode(AccountNodeConfig config, BlockExecutionFn executor)
-    : config_(config), executor_(std::move(executor)) {}
+    : config_(std::move(config)),
+      executor_(std::move(executor)),
+      trace_process_(obs::intern_label(config_.trace_label.c_str())) {}
 
 void AccountNode::genesis_fund(const Address& addr, std::uint64_t amount) {
   const MutexLock lock(mu_);
@@ -54,19 +87,28 @@ void AccountNode::submit_transaction(account::AccountTx tx) {
 }
 
 std::vector<account::Receipt> AccountNode::execute(
-    account::StateDb& state, std::span<const account::AccountTx> txs) {
-  if (executor_) return executor_(state, txs, config_.runtime);
+    account::StateDb& state, std::span<const account::AccountTx> txs,
+    const obs::TraceContext& trace) {
+  account::RuntimeConfig runtime = config_.runtime;
+  runtime.trace = trace;
+  if (executor_) return executor_(state, txs, runtime);
   std::vector<account::Receipt> receipts;
   receipts.reserve(txs.size());
   for (const auto& tx : txs) {
-    receipts.push_back(account::apply_transaction(state, tx, config_.runtime));
+    receipts.push_back(account::apply_transaction(state, tx, runtime));
   }
   return receipts;
 }
 
-Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
+Block<account::AccountTx> AccountNode::produce_block(
+    std::uint64_t timestamp, obs::TraceContext* trace_out) {
   const MutexLock lock(mu_);
-  const TXCONC_SPAN("produce_block", "chain");
+  const auto start = std::chrono::steady_clock::now();
+  obs::Tracer* const tracer = node_tracer(config_);
+  const obs::ThreadProcessScope proc(trace_process_);
+  // Root of the block's causal story: everything downstream — gossip,
+  // pbft rounds, cross-shard 2PC, remote re-execution — links back here.
+  const obs::CausalSpan block_span(tracer, "produce_block", "chain");
   // Pull candidates by fee priority, then order runnable ones. A candidate
   // whose nonce is not yet current goes back to the pool.
   std::vector<account::AccountTx> candidates =
@@ -78,8 +120,8 @@ Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
   std::vector<account::Receipt> receipts;
 
   {
-    const TXCONC_SPAN("pack", "chain",
-                      static_cast<std::int64_t>(candidates.size()));
+    const obs::CausalSpan span(tracer, "pack", "chain", block_span.context(),
+                               static_cast<std::int64_t>(candidates.size()));
     // Multi-pass packing: a transaction with a future nonce becomes
     // runnable once its same-sender predecessor lands, so retry deferrals
     // while any pass makes progress.
@@ -125,11 +167,12 @@ Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
     block.header.gas_used += r.gas_used;
   }
   if (config_.commit_state_root) {
-    const TXCONC_SPAN("state_root", "chain");
+    const obs::CausalSpan span(tracer, "state_root", "chain",
+                               block_span.context());
     block.header.state_root = account::build_state_trie(state_).root();
   }
   if (config_.mine) {
-    const TXCONC_SPAN("pow", "chain");
+    const obs::CausalSpan span(tracer, "pow", "chain", block_span.context());
     const auto nonce = mine_header(block.header, config_.mine_budget);
     if (!nonce) {
       state_.revert(pre_block);
@@ -139,13 +182,27 @@ Block<account::AccountTx> AccountNode::produce_block(std::uint64_t timestamp) {
   }
   state_.flush_journal();
   ledger_.append(block);
+  if (obs::Registry* const registry = node_registry(config_)) {
+    registry->counter("node.blocks_produced").add(1);
+    registry->counter("node.txs_included").add(block.transactions.size());
+    registry->histogram("node.produce_us").observe(elapsed_us(start));
+  }
+  if (config_.snapshots != nullptr) config_.snapshots->tick();
+  // Fork the context inside the producing span so the flow arrow starts
+  // here and the relay sites (gossip, pbft, cross-shard) just forward it.
+  if (trace_out != nullptr) *trace_out = block_span.fork();
   return block;
 }
 
-void AccountNode::receive_block(const Block<account::AccountTx>& block) {
+void AccountNode::receive_block(const Block<account::AccountTx>& block,
+                                const obs::TraceContext& trace) {
   const MutexLock lock(mu_);
-  const TXCONC_SPAN("receive_block", "chain",
-                    static_cast<std::int64_t>(block.header.height));
+  const auto start = std::chrono::steady_clock::now();
+  obs::Tracer* const tracer = node_tracer(config_);
+  const obs::ThreadProcessScope proc(trace_process_);
+  const obs::CausalSpan block_span(
+      tracer, "receive_block", "chain", trace,
+      static_cast<std::int64_t>(block.header.height));
   // Structural checks first (linkage + merkle) via a dry append guard.
   const BlockHeader* prev = ledger_.empty() ? nullptr : &ledger_.tip().header;
   if (prev) {
@@ -173,9 +230,12 @@ void AccountNode::receive_block(const Block<account::AccountTx>& block) {
   try {
     std::vector<account::Receipt> receipts;
     {
-      const TXCONC_SPAN("execute", "chain",
-                        static_cast<std::int64_t>(block.transactions.size()));
-      receipts = execute(state_, block.transactions);
+      const obs::CausalSpan span(
+          tracer, "execute", "chain", block_span.context(),
+          static_cast<std::int64_t>(block.transactions.size()));
+      // The executor joins the block's trace through RuntimeConfig::trace
+      // (its execute_block span becomes a child of this one).
+      receipts = execute(state_, block.transactions, span.context());
     }
     std::uint64_t gas_used = 0;
     for (const auto& r : receipts) gas_used += r.gas_used;
@@ -195,10 +255,17 @@ void AccountNode::receive_block(const Block<account::AccountTx>& block) {
     throw;
   }
   {
-    const TXCONC_SPAN("commit", "chain");
+    const obs::CausalSpan span(tracer, "commit", "chain",
+                               block_span.context());
     state_.flush_journal();
     ledger_.append(block);
   }
+  if (obs::Registry* const registry = node_registry(config_)) {
+    registry->counter("node.blocks_received").add(1);
+    registry->counter("node.txs_executed").add(block.transactions.size());
+    registry->histogram("node.receive_us").observe(elapsed_us(start));
+  }
+  if (config_.snapshots != nullptr) config_.snapshots->tick();
 }
 
 }  // namespace txconc::chain

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "account/runtime.h"
 #include "account/state.h"
@@ -14,6 +15,11 @@
 #include "chain/pow.h"
 #include "common/error.h"
 #include "common/thread_annotations.h"
+#include "obs/context.h"
+
+namespace txconc::obs {
+class SnapshotWriter;  // periodic metrics snapshots, see obs/snapshot.h
+}
 
 namespace txconc::chain {
 
@@ -32,6 +38,13 @@ struct AccountNodeConfig {
   /// Commit the post-state trie root into headers and verify it when
   /// receiving blocks (O(accounts) per block).
   bool commit_state_root = true;
+  /// Chrome-trace process row this node's spans land under ("node-A",
+  /// "node-B", ...); interned at construction. Multi-node runs give each
+  /// node its own label so one trace shows one pid row per node.
+  std::string trace_label = "node";
+  /// Optional periodic metrics snapshots, ticked after every produced and
+  /// received block. Not owned; must outlive the node.
+  obs::SnapshotWriter* snapshots = nullptr;
 };
 
 /// How a node executes the transactions of a block. Receives the node's
@@ -62,15 +75,21 @@ class AccountNode {
   /// Assemble, execute and append the next block from the mempool.
   /// Transactions that fail validation at execution time (stale nonce
   /// after reordering, drained balance) are skipped, not included.
-  /// Returns the produced block.
-  Block<account::AccountTx> produce_block(std::uint64_t timestamp);
+  /// Returns the produced block. When `trace_out` is non-null it receives
+  /// a forked causal context of the block's root span — relay it alongside
+  /// the block (receive_block, pbft, cross-shard) so every downstream span
+  /// joins the block's trace.
+  Block<account::AccountTx> produce_block(
+      std::uint64_t timestamp, obs::TraceContext* trace_out = nullptr);
 
   /// Validate a block received from a peer: linkage, merkle root, PoW
   /// (when the header carries a mined nonce), then re-execute and check
   /// the header's gas_used commitment. On success the block is appended
   /// and the state advanced; on failure the state is untouched and
-  /// ValidationError is thrown.
-  void receive_block(const Block<account::AccountTx>& block);
+  /// ValidationError is thrown. `trace` is the message-envelope causal
+  /// context relayed with the block (zero = start a fresh trace).
+  void receive_block(const Block<account::AccountTx>& block,
+                     const obs::TraceContext& trace = {});
 
   /// Quiescent use only: the reference escapes the monitor lock, so do
   /// not hold it across concurrent mutating calls.
@@ -93,16 +112,19 @@ class AccountNode {
   void genesis_deploy(const Address& addr, account::ContractCode code);
 
  private:
-  /// Runs the block-execution strategy. The state parameter aliases the
-  /// guarded state_ member (annotations cannot see through the alias), so
-  /// the helper requires the monitor lock.
+  /// Runs the block-execution strategy under `trace` (threaded into the
+  /// executor through RuntimeConfig::trace). The state parameter aliases
+  /// the guarded state_ member (annotations cannot see through the
+  /// alias), so the helper requires the monitor lock.
   std::vector<account::Receipt> execute(account::StateDb& state,
-                                        std::span<const account::AccountTx> txs)
+                                        std::span<const account::AccountTx> txs,
+                                        const obs::TraceContext& trace)
       REQUIRES(mu_);
 
   mutable Mutex mu_;
   AccountNodeConfig config_;   // immutable after construction
   BlockExecutionFn executor_;  // immutable after construction
+  const char* trace_process_;  // interned config_.trace_label
   account::StateDb state_ GUARDED_BY(mu_);
   Ledger<account::AccountTx> ledger_ GUARDED_BY(mu_);
   Mempool<account::AccountTx> mempool_ GUARDED_BY(mu_);

@@ -114,6 +114,9 @@ class GroupExecutor final : public BlockExecutor {
     obs::Tracer* const tracer = obs::tracer(config.obs);
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc(label_);
+    const obs::CausalSpan block_span(
+        tracer, "execute_block", "exec", config.trace,
+        static_cast<std::int64_t>(transactions.size()));
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -126,7 +129,8 @@ class GroupExecutor final : public BlockExecutor {
     PredictedGroups groups;
     std::vector<std::vector<std::size_t>> jobs;
     {
-      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      const obs::CausalSpan span(tracer, "predict", "exec",
+                                 block_span.context());
       groups = predict_groups(transactions, state);
       std::vector<std::vector<std::size_t>> members(groups.num_components());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
@@ -141,8 +145,9 @@ class GroupExecutor final : public BlockExecutor {
 
     core::Schedule schedule;
     {
-      const TXCONC_SPAN_T(tracer, "schedule", "exec",
-                          static_cast<std::int64_t>(jobs.size()));
+      const obs::CausalSpan span(tracer, "schedule", "exec",
+                                 block_span.context(),
+                                 static_cast<std::int64_t>(jobs.size()));
       std::vector<double> costs;
       costs.reserve(jobs.size());
       for (const auto& job : jobs) {
@@ -158,8 +163,9 @@ class GroupExecutor final : public BlockExecutor {
     std::vector<std::unique_ptr<account::OverlayState>> overlays(
         schedule.assignment.size());
     {
-      const TXCONC_SPAN_T(tracer, "execute", "exec",
-                          static_cast<std::int64_t>(transactions.size()));
+      const obs::CausalSpan span(tracer, "execute", "exec",
+                                 block_span.context(),
+                                 static_cast<std::int64_t>(transactions.size()));
       pool_.parallel_for(schedule.assignment.size(), [&](std::size_t core_id) {
         if (schedule.assignment[core_id].empty()) return;
         overlays[core_id] = std::make_unique<account::OverlayState>(state);
@@ -175,7 +181,8 @@ class GroupExecutor final : public BlockExecutor {
     }
     trace.phase_boundary();
     {
-      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      const obs::CausalSpan span(tracer, "commit", "exec",
+                                 block_span.context());
       for (auto& overlay : overlays) {
         if (overlay) overlay->apply_to(state);
       }

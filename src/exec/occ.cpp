@@ -38,6 +38,9 @@ class OccExecutor final : public BlockExecutor {
     obs::Tracer* const tracer = obs::tracer(config.obs);
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc("occ");
+    const obs::CausalSpan block_span(
+        tracer, "execute_block", "exec", config.trace,
+        static_cast<std::int64_t>(transactions.size()));
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -56,7 +59,8 @@ class OccExecutor final : public BlockExecutor {
     // deferred predecessor forces a retry.
     PredictedGroups groups;
     {
-      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      const obs::CausalSpan span(tracer, "predict", "exec",
+                                 block_span.context());
       groups = predict_groups(transactions, state);
     }
 
@@ -65,7 +69,8 @@ class OccExecutor final : public BlockExecutor {
     {
       // OCC's schedule is trivial — every pending transaction joins the
       // next wave — but the span keeps the engine phase sets uniform.
-      const TXCONC_SPAN_T(tracer, "schedule", "exec");
+      const obs::CausalSpan span(tracer, "schedule", "exec",
+                                 block_span.context());
       for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
     }
 
@@ -78,7 +83,8 @@ class OccExecutor final : public BlockExecutor {
         // Degenerate fallback: finish the stragglers sequentially. With
         // max_waves >= longest dependency chain this never triggers.
         const auto tail_start = std::chrono::steady_clock::now();
-        const TXCONC_SPAN_T(tracer, "seq_bin", "exec");
+        const obs::CausalSpan span(tracer, "seq_bin", "exec",
+                                   block_span.context());
         for (std::size_t i : pending) {
           ++tx_attempts[i];
           report.receipts[i] =
@@ -101,8 +107,9 @@ class OccExecutor final : public BlockExecutor {
       };
       std::vector<Attempt> attempts(pending.size());
       {
-        const TXCONC_SPAN_T(tracer, "execute", "exec",
-                            static_cast<std::int64_t>(waves));
+        const obs::CausalSpan span(tracer, "execute", "exec",
+                                   block_span.context(),
+                                   static_cast<std::int64_t>(waves));
         pool_.parallel_for(pending.size(), [&](std::size_t k) {
           const std::size_t i = pending[k];
           const TXCONC_SPAN_T(tracer, "attempt", "exec",
@@ -127,8 +134,9 @@ class OccExecutor final : public BlockExecutor {
 
       // In-order validation: commit a transaction unless it read or wrote
       // anything an earlier commit of THIS wave wrote.
-      const TXCONC_SPAN_T(tracer, "commit", "exec",
-                          static_cast<std::int64_t>(waves));
+      const obs::CausalSpan commit_span(tracer, "commit", "exec",
+                                        block_span.context(),
+                                        static_cast<std::int64_t>(waves));
       std::unordered_map<account::SlotAccess, bool, SlotHash> wave_writes;
       std::vector<char> deferred_component(groups.num_components(), 0);
       std::vector<std::size_t> retry;

@@ -15,6 +15,9 @@ class SequentialExecutor final : public BlockExecutor {
       const account::RuntimeConfig& config) override {
     obs::Tracer* const tracer = obs::tracer(config.obs);
     const obs::ThreadProcessScope proc("sequential");
+    const obs::CausalSpan block_span(
+        tracer, "execute_block", "exec", config.trace,
+        static_cast<std::int64_t>(transactions.size()));
     SchedTrace trace(static_cast<const ThreadPool*>(nullptr));
 
     ExecutionReport report;
@@ -27,7 +30,8 @@ class SequentialExecutor final : public BlockExecutor {
       // (the pre-obs code reported the whole wall as phase2, which made
       // sequential-vs-parallel phase breakdowns incomparable).
       const auto apply_start = std::chrono::steady_clock::now();
-      const TXCONC_SPAN_T(tracer, "execute", "exec");
+      const obs::CausalSpan span(tracer, "execute", "exec",
+                                 block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         const TXCONC_SPAN_T(tracer, "tx", "exec", static_cast<long long>(i));
         report.receipts.push_back(
@@ -38,7 +42,8 @@ class SequentialExecutor final : public BlockExecutor {
                            .count());
     }
     {
-      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      const obs::CausalSpan span(tracer, "commit", "exec",
+                                 block_span.context());
       state.flush_journal();
     }
 

@@ -178,6 +178,9 @@ class SpeculativeExecutor final : public BlockExecutor {
     obs::Tracer* const tracer = obs::tracer(config.obs);
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc(label_);
+    const obs::CausalSpan block_span(
+        tracer, "execute_block", "exec", config.trace,
+        static_cast<std::int64_t>(transactions.size()));
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -190,25 +193,29 @@ class SpeculativeExecutor final : public BlockExecutor {
     // stays purely speculative as in [17].
     PredictedGroups groups;
     {
-      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      const obs::CausalSpan span(tracer, "predict", "exec",
+                                 block_span.context());
       groups = predict_groups(transactions, state);
     }
     std::vector<Attempt> attempts;
     {
-      const TXCONC_SPAN_T(tracer, "execute", "exec",
-                          static_cast<std::int64_t>(transactions.size()));
+      const obs::CausalSpan span(tracer, "execute", "exec",
+                                 block_span.context(),
+                                 static_cast<std::int64_t>(transactions.size()));
       attempts = speculate(pool_, state, transactions, config, tracer);
     }
     std::vector<bool> conflicted;
     {
-      const TXCONC_SPAN_T(tracer, "schedule", "exec");
+      const obs::CausalSpan span(tracer, "schedule", "exec",
+                                 block_span.context());
       conflicted = detect_conflicts(attempts, groups, policy_);
     }
 
     // Commit the non-conflicted overlays (their access sets are disjoint
     // from everyone else's, so block order is immaterial).
     {
-      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      const obs::CausalSpan span(tracer, "commit", "exec",
+                                 block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         if (conflicted[i]) continue;
         attempts[i].overlay->apply_to(state);
@@ -221,7 +228,8 @@ class SpeculativeExecutor final : public BlockExecutor {
     const auto bin_start = std::chrono::steady_clock::now();
     std::size_t bin = 0;
     {
-      const TXCONC_SPAN_T(tracer, "seq_bin", "exec");
+      const obs::CausalSpan span(tracer, "seq_bin", "exec",
+                                 block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         if (!conflicted[i]) continue;
         ++bin;
@@ -282,6 +290,9 @@ class OracleExecutor final : public BlockExecutor {
     obs::Tracer* const tracer = obs::tracer(config.obs);
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc("oracle-speculative");
+    const obs::CausalSpan block_span(
+        tracer, "execute_block", "exec", config.trace,
+        static_cast<std::int64_t>(transactions.size()));
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -296,13 +307,15 @@ class OracleExecutor final : public BlockExecutor {
     PredictedGroups groups;
     std::vector<bool> conflicted(transactions.size(), false);
     {
-      const TXCONC_SPAN_T(tracer, "predict", "exec");
+      const obs::CausalSpan span(tracer, "predict", "exec",
+                                 block_span.context());
       groups = predict_groups(transactions, state);
     }
     {
       // The oracle's schedule is the predicted component partition itself:
       // singleton components run concurrently, the rest go to the bin.
-      const TXCONC_SPAN_T(tracer, "schedule", "exec");
+      const obs::CausalSpan span(tracer, "schedule", "exec",
+                                 block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         conflicted[i] =
             groups.component_sizes[groups.component_of_tx[i]] >= 2;
@@ -315,8 +328,9 @@ class OracleExecutor final : public BlockExecutor {
     std::vector<std::unique_ptr<account::OverlayState>> overlays(
         transactions.size());
     {
-      const TXCONC_SPAN_T(tracer, "execute", "exec",
-                          static_cast<std::int64_t>(transactions.size()));
+      const obs::CausalSpan span(tracer, "execute", "exec",
+                                 block_span.context(),
+                                 static_cast<std::int64_t>(transactions.size()));
       pool_.parallel_for(transactions.size(), [&](std::size_t i) {
         if (conflicted[i]) return;
         const TXCONC_SPAN_T(tracer, "attempt", "exec",
@@ -328,7 +342,8 @@ class OracleExecutor final : public BlockExecutor {
     }
     std::size_t concurrent = 0;
     {
-      const TXCONC_SPAN_T(tracer, "commit", "exec");
+      const obs::CausalSpan span(tracer, "commit", "exec",
+                                 block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         if (conflicted[i]) continue;
         ++concurrent;
@@ -341,7 +356,8 @@ class OracleExecutor final : public BlockExecutor {
     const auto bin_start = std::chrono::steady_clock::now();
     std::size_t bin = 0;
     {
-      const TXCONC_SPAN_T(tracer, "seq_bin", "exec");
+      const obs::CausalSpan span(tracer, "seq_bin", "exec",
+                                 block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         if (!conflicted[i]) continue;
         ++bin;

@@ -1,0 +1,101 @@
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <ostream>
+
+namespace txconc::obs {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(const Registry* registry, Options options)
+    : registry_(registry), options_(options) {}
+
+void SnapshotWriter::capture(std::uint64_t ts_ms) {
+  Snapshot snap;
+  snap.ts_ms = ts_ms;
+  snap.counters = registry_->counter_values();
+  snap.gauges = registry_->gauge_values();
+  ring_.push_back(std::move(snap));
+  while (ring_.size() > options_.capacity && !ring_.empty()) {
+    ring_.pop_front();
+  }
+}
+
+void SnapshotWriter::snapshot(std::uint64_t ts_ms) {
+  const MutexLock lock(mu_);
+  capture(ts_ms);
+}
+
+void SnapshotWriter::tick() {
+  const std::uint64_t now = steady_ms();
+  const MutexLock lock(mu_);
+  if (ticked_ && now - last_tick_ms_ < options_.min_interval_ms) return;
+  ticked_ = true;
+  last_tick_ms_ = now;
+  capture(now);
+}
+
+std::size_t SnapshotWriter::size() const {
+  const MutexLock lock(mu_);
+  return ring_.size();
+}
+
+SnapshotWriter::Snapshot SnapshotWriter::latest() const {
+  const MutexLock lock(mu_);
+  return ring_.empty() ? Snapshot{} : ring_.back();
+}
+
+std::map<std::string, double> SnapshotWriter::rates_per_second() const {
+  const MutexLock lock(mu_);
+  std::map<std::string, double> rates;
+  if (ring_.size() < 2) return rates;
+  const Snapshot& oldest = ring_.front();
+  const Snapshot& newest = ring_.back();
+  if (newest.ts_ms <= oldest.ts_ms) return rates;
+  const double window_s =
+      static_cast<double>(newest.ts_ms - oldest.ts_ms) / 1000.0;
+  for (const auto& [name, value] : newest.counters) {
+    const auto it = oldest.counters.find(name);
+    const std::uint64_t before = it != oldest.counters.end() ? it->second : 0;
+    // Counters are monotonic, but guard the subtraction anyway (a merge
+    // into the registry mid-window only ever increases them).
+    const std::uint64_t delta = value >= before ? value - before : 0;
+    rates.emplace(name, static_cast<double>(delta) / window_s);
+  }
+  return rates;
+}
+
+void SnapshotWriter::write_json(std::ostream& out) const {
+  const MutexLock lock(mu_);
+  out << "[";
+  bool first_snap = true;
+  for (const Snapshot& snap : ring_) {
+    out << (first_snap ? "\n" : ",\n") << " {\"ts_ms\": " << snap.ts_ms
+        << ", \"counters\": {";
+    first_snap = false;
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+      out << (first ? "" : ", ") << "\"" << name << "\": " << value;
+      first = false;
+    }
+    out << "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : snap.gauges) {
+      out << (first ? "" : ", ") << "\"" << name << "\": " << value;
+      first = false;
+    }
+    out << "}}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace txconc::obs

@@ -168,6 +168,22 @@ void Tracer::begin(const char* name, const char* category, std::int64_t arg) {
   buffer_for_this_thread()->push(event);
 }
 
+void Tracer::begin_causal(const char* name, const char* category,
+                          std::uint64_t trace_id, std::uint64_t span_id,
+                          std::uint64_t parent_span, std::int64_t arg) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.process = t_label.process;
+  event.ts_ns = now_ns() - epoch_ns_;
+  event.arg = arg;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_span = parent_span;
+  event.phase = 'B';
+  buffer_for_this_thread()->push(event);
+}
+
 void Tracer::end(const char* name, const char* category,
                  const char* process) {
   TraceEvent event;
@@ -189,6 +205,33 @@ void Tracer::instant(const char* name, const char* category,
   event.arg = arg;
   event.phase = 'i';
   buffer_for_this_thread()->push(event);
+}
+
+void Tracer::flow_start(std::uint64_t flow_id) {
+  TraceEvent event;
+  event.name = "flow";
+  event.category = "ctx";
+  event.process = t_label.process;
+  event.ts_ns = now_ns() - epoch_ns_;
+  event.span_id = flow_id;  // span_id doubles as the flow id
+  event.phase = 's';
+  buffer_for_this_thread()->push(event);
+}
+
+void Tracer::flow_bind(std::uint64_t flow_id) {
+  TraceEvent event;
+  event.name = "flow";
+  event.category = "ctx";
+  event.process = t_label.process;
+  event.ts_ns = now_ns() - epoch_ns_;
+  event.span_id = flow_id;
+  event.phase = 'f';
+  buffer_for_this_thread()->push(event);
+}
+
+std::uint64_t Tracer::next_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Tracer::clear() {
@@ -265,8 +308,24 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
         << pid_for(event.process) << ",\"tid\":" << tid << ",\"ts\":"
         << static_cast<double>(event.ts_ns) / 1000.0;
     if (event.phase == 'i') out << ",\"s\":\"t\"";
-    if (event.arg >= 0 && event.phase != 'E') {
-      out << ",\"args\":{\"arg\":" << event.arg << "}";
+    if (event.phase == 's' || event.phase == 'f') {
+      out << ",\"id\":" << event.span_id;
+      if (event.phase == 'f') out << ",\"bp\":\"e\"";
+    }
+    const bool causal = event.phase == 'B' && event.trace_id != 0;
+    const bool has_arg = event.arg >= 0 && event.phase != 'E';
+    if (causal || has_arg) {
+      out << ",\"args\":{";
+      if (causal) {
+        out << "\"trace_id\":" << event.trace_id
+            << ",\"span_id\":" << event.span_id
+            << ",\"parent_span\":" << event.parent_span;
+      }
+      if (has_arg) {
+        if (causal) out << ",";
+        out << "\"arg\":" << event.arg;
+      }
+      out << "}";
     }
     out << "}";
   };
@@ -324,6 +383,33 @@ SpanGuard::SpanGuard(Tracer* tracer, const char* name, const char* category,
 
 SpanGuard::~SpanGuard() {
   if (tracer_ != nullptr) tracer_->end(name_, category_, process_);
+}
+
+CausalSpan::CausalSpan(Tracer* tracer, const char* name, const char* category,
+                       const TraceContext& parent, std::int64_t arg)
+    : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+      name_(name),
+      category_(category),
+      process_(t_label.process) {
+  if (tracer_ == nullptr) return;
+  trace_id_ = parent.valid() ? parent.trace_id : Tracer::next_id();
+  span_id_ = Tracer::next_id();
+  tracer_->begin_causal(name, category, trace_id_, span_id_,
+                        parent.valid() ? parent.parent_span : 0, arg);
+  // Bind the incoming flow inside this slice so the viewer draws the
+  // arrow from the forwarding site into this span.
+  if (parent.flow_id != 0) tracer_->flow_bind(parent.flow_id);
+}
+
+CausalSpan::~CausalSpan() {
+  if (tracer_ != nullptr) tracer_->end(name_, category_, process_);
+}
+
+TraceContext CausalSpan::fork() const {
+  if (tracer_ == nullptr) return {};
+  const std::uint64_t flow_id = Tracer::next_id();
+  tracer_->flow_start(flow_id);
+  return {trace_id_, span_id_, flow_id};
 }
 
 // ---------------------------------------------------------------- validator
@@ -451,6 +537,11 @@ struct ParsedEvent {
   int tid = 0;
   double ts = 0.0;
   bool has_ts = false;
+  // Causal identity from args ('B' events) / top-level id ('s'/'f').
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t flow_id = 0;
 };
 
 }  // namespace
@@ -500,8 +591,11 @@ TraceValidation validate_chrome_trace(const std::string& json) {
             } else if (field == "ts") {
               event.ts = reader.parse_number();
               event.has_ts = true;
+            } else if (field == "id") {
+              event.flow_id =
+                  static_cast<std::uint64_t>(reader.parse_number());
             } else if (field == "args") {
-              // Only metadata args carry a name we care about.
+              // Metadata name plus the causal identity of 'B' events.
               if (!reader.consume('{')) return fail("args not an object");
               if (!reader.consume('}')) {
                 do {
@@ -509,6 +603,15 @@ TraceValidation validate_chrome_trace(const std::string& json) {
                   if (!reader.consume(':')) return fail("bad args");
                   if (arg_key == "name") {
                     meta_name = reader.parse_string();
+                  } else if (arg_key == "trace_id") {
+                    event.trace_id =
+                        static_cast<std::uint64_t>(reader.parse_number());
+                  } else if (arg_key == "span_id") {
+                    event.span_id =
+                        static_cast<std::uint64_t>(reader.parse_number());
+                  } else if (arg_key == "parent_span") {
+                    event.parent_span =
+                        static_cast<std::uint64_t>(reader.parse_number());
                   } else {
                     reader.skip_value();
                   }
@@ -525,7 +628,8 @@ TraceValidation validate_chrome_trace(const std::string& json) {
         if (event.phase == 'M' && event.name == "process_name") {
           process_names[event.pid] = meta_name;
         } else if (event.phase == 'B' || event.phase == 'E' ||
-                   event.phase == 'i') {
+                   event.phase == 'i' || event.phase == 's' ||
+                   event.phase == 'f') {
           events.push_back(std::move(event));
         }
       } while (reader.consume(','));
@@ -571,6 +675,82 @@ TraceValidation validate_chrome_trace(const std::string& json) {
                   std::to_string(key.first) + " tid " +
                   std::to_string(key.second));
     }
+  }
+
+  // Causal identity: span ids must be unique, every non-root parent must
+  // resolve to a span of the same trace, and parent chains must be
+  // acyclic. A trace passing these checks has every causal span reachable
+  // from a root of its own trace.
+  std::unordered_map<std::uint64_t, std::size_t> span_index;
+  for (const ParsedEvent& event : events) {
+    if (event.phase != 'B' || event.trace_id == 0) continue;
+    if (event.span_id == 0) {
+      return fail("causal span '" + event.name + "' has span_id 0");
+    }
+    if (!span_index.emplace(event.span_id, result.causal.size()).second) {
+      return fail("duplicate span_id " + std::to_string(event.span_id) +
+                  " on '" + event.name + "'");
+    }
+    CausalSpanInfo info;
+    info.name = event.name;
+    info.trace_id = event.trace_id;
+    info.span_id = event.span_id;
+    info.parent_span = event.parent_span;
+    result.causal.push_back(std::move(info));
+  }
+  for (const CausalSpanInfo& info : result.causal) {
+    if (info.parent_span == 0) continue;
+    const auto it = span_index.find(info.parent_span);
+    if (it == span_index.end()) {
+      return fail("span '" + info.name + "' references unknown parent_span " +
+                  std::to_string(info.parent_span));
+    }
+    if (result.causal[it->second].trace_id != info.trace_id) {
+      return fail("span '" + info.name + "' links to parent_span " +
+                  std::to_string(info.parent_span) +
+                  " in a different trace");
+    }
+  }
+  // Parent chains resolve within their trace; walking one longer than the
+  // span count means it loops.
+  std::vector<char> chain_ok(result.causal.size(), 0);
+  for (std::size_t i = 0; i < result.causal.size(); ++i) {
+    std::vector<std::size_t> path;
+    std::size_t cur = i;
+    while (chain_ok[cur] == 0 && result.causal[cur].parent_span != 0) {
+      path.push_back(cur);
+      if (path.size() > result.causal.size()) {
+        return fail("parent chain of span '" + result.causal[i].name +
+                    "' contains a cycle");
+      }
+      cur = span_index.at(result.causal[cur].parent_span);
+    }
+    chain_ok[cur] = 1;
+    for (const std::size_t j : path) chain_ok[j] = 1;
+  }
+  for (CausalSpanInfo& info : result.causal) {
+    info.linked = true;
+    if (info.parent_span == 0) ++result.causal_roots;
+  }
+  result.causal_linked = result.causal.size();
+
+  // Flow events: every bind ('f') must name a started flow ('s').
+  std::unordered_set<std::uint64_t> flow_starts;
+  for (const ParsedEvent& event : events) {
+    if (event.phase != 's' && event.phase != 'f') continue;
+    if (event.flow_id == 0) {
+      return fail(std::string("flow event ('") + event.phase +
+                  "') without an id");
+    }
+    if (event.phase == 's') flow_starts.insert(event.flow_id);
+  }
+  for (const ParsedEvent& event : events) {
+    if (event.phase != 'f') continue;
+    if (flow_starts.count(event.flow_id) == 0) {
+      return fail("flow bind " + std::to_string(event.flow_id) +
+                  " has no matching flow start");
+    }
+    ++result.flow_binds;
   }
 
   result.events = events.size();

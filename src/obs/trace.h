@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "obs/context.h"
 
 namespace txconc::obs {
 
@@ -70,22 +71,45 @@ struct TraceEvent {
   const char* process = nullptr;
   std::uint64_t ts_ns = 0;  ///< steady-clock, relative to the tracer epoch
   std::int64_t arg = -1;    ///< optional integer payload (tx index, wave)
-  char phase = 'i';         ///< 'B' begin, 'E' end, 'i' instant
+  /// Causal identity of a 'B' event (all zero for plain spans); for flow
+  /// events ('s'/'f'), span_id doubles as the flow id.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  char phase = 'i';  ///< 'B' begin, 'E' end, 'i' instant, 's'/'f' flow
+};
+
+/// One causally-identified span as seen by validate_chrome_trace.
+struct CausalSpanInfo {
+  std::string name;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;  ///< 0 = trace root
+  /// True when the parent chain reaches a root span of the same trace.
+  bool linked = false;
 };
 
 /// Outcome of validate_chrome_trace (used by tests and the CI smoke).
 struct TraceValidation {
   bool ok = false;
   std::string error;
-  std::size_t events = 0;          ///< trace events parsed ('B'/'E'/'i')
+  std::size_t events = 0;  ///< trace events parsed ('B'/'E'/'i'/'s'/'f')
   std::size_t complete_spans = 0;  ///< matched B/E pairs
   /// process name -> span names with at least one balanced B/E pair.
   std::map<std::string, std::set<std::string>> spans_by_process;
+  /// Spans carrying a trace context, in parse order.
+  std::vector<CausalSpanInfo> causal;
+  std::size_t causal_roots = 0;   ///< causal spans with parent_span == 0
+  std::size_t causal_linked = 0;  ///< causal spans reachable from a root
+  std::size_t flow_binds = 0;     ///< 'f' events matched to an 's'
 };
 
 /// Minimal Chrome-trace JSON checker: parses the traceEvents array and
 /// verifies that every 'E' matches the innermost open 'B' of its
-/// (pid, tid) and that timestamps are monotone per (pid, tid).
+/// (pid, tid), that timestamps are monotone per (pid, tid), that every
+/// span's parent reference resolves inside its own trace (no dangling
+/// parent ids, no duplicate span ids), and that every flow bind ('f')
+/// has a matching flow start ('s').
 TraceValidation validate_chrome_trace(const std::string& json);
 
 /// Span/instant recorder. One process-wide instance (global()) backs the
@@ -109,10 +133,24 @@ class Tracer {
 
   /// Raw event emission (the macros are the intended entry points).
   void begin(const char* name, const char* category, std::int64_t arg = -1);
+  /// Causal begin: like begin(), stamping the span's trace identity into
+  /// the event (exported as args and checked by validate_chrome_trace).
+  void begin_causal(const char* name, const char* category,
+                    std::uint64_t trace_id, std::uint64_t span_id,
+                    std::uint64_t parent_span, std::int64_t arg = -1);
   /// @param process pass the process label captured at begin() so a
   ///        ThreadProcessScope ending mid-span cannot unbalance the pair.
   void end(const char* name, const char* category, const char* process);
   void instant(const char* name, const char* category, std::int64_t arg = -1);
+  /// Flow events: flow_start ('s') at the forwarding site, flow_bind
+  /// ('f', bp=e) inside the receiving span. Same id links the pair and
+  /// makes Perfetto draw the cross-thread/cross-node arrow.
+  void flow_start(std::uint64_t flow_id);
+  void flow_bind(std::uint64_t flow_id);
+
+  /// Process-unique non-zero id (trace / span / flow ids). One relaxed
+  /// atomic increment; never allocates.
+  static std::uint64_t next_id();
 
   /// Drop every recorded event and detach all thread buffers; threads
   /// re-register on their next emission. Call quiescently.
@@ -166,6 +204,49 @@ class SpanGuard {
   const char* name_;
   const char* category_;
   const char* process_;
+};
+
+/// RAII span that participates in causal tracing (see obs/context.h).
+///
+/// Started under a valid parent context it joins that trace and links to
+/// the parent span; started under the zero context it mints a fresh
+/// trace root. Either way it hands out contexts for its children:
+///
+///   obs::CausalSpan block(tracer, "produce_block", "chain");   // root
+///   obs::CausalSpan pack(tracer, "pack", "chain", block.context());
+///   relay_to_peer(block_bytes, block.fork());  // cross-node edge
+///
+/// context() is for same-process children (parent linkage only);
+/// fork() additionally emits a flow-start event on the calling thread —
+/// use it when the context crosses a thread, node or committee boundary
+/// so the trace viewer draws the arrow. Both are null-safe and
+/// allocation-free when the span was skipped (tracer null or disabled):
+/// they return the zero context and emit nothing.
+class CausalSpan {
+ public:
+  CausalSpan(Tracer* tracer, const char* name, const char* category,
+             const TraceContext& parent = {}, std::int64_t arg = -1);
+  ~CausalSpan();
+
+  CausalSpan(const CausalSpan&) = delete;
+  CausalSpan& operator=(const CausalSpan&) = delete;
+
+  /// Context for children of this span (zero when the span was skipped).
+  TraceContext context() const { return {trace_id_, span_id_, 0}; }
+  /// Like context(), plus a flow-start event so the consumer's flow_bind
+  /// draws a cross-thread arrow. Call from the thread that owns the span.
+  TraceContext fork() const;
+
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::uint64_t span_id() const { return span_id_; }
+
+ private:
+  Tracer* tracer_;  ///< null when the span was skipped
+  const char* name_;
+  const char* category_;
+  const char* process_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
 };
 
 }  // namespace txconc::obs

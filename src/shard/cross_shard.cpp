@@ -2,8 +2,26 @@
 
 #include "chain/block.h"
 #include "common/error.h"
+#include "obs/scope.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 
 namespace txconc::shard {
+
+namespace {
+
+obs::Tracer* shard_tracer(const ShardConfig& config) {
+  obs::Tracer* scoped = obs::tracer(config.pbft.obs);
+  return scoped != nullptr ? scoped : &obs::Tracer::global();
+}
+
+obs::Registry* shard_registry(const ShardConfig& config) {
+  obs::Registry* scoped = obs::metrics(config.pbft.obs);
+  if (scoped != nullptr) return scoped;
+  return obs::Tracer::global().enabled() ? &obs::Registry::global() : nullptr;
+}
+
+}  // namespace
 
 CrossShardCoordinator::CrossShardCoordinator(std::uint64_t seed,
                                              ShardConfig config)
@@ -44,12 +62,28 @@ std::uint64_t CrossShardCoordinator::total_supply() const {
 }
 
 CrossShardOutcome CrossShardCoordinator::transfer(
-    const account::AccountTx& tx, bool force_dest_reject) {
+    const account::AccountTx& tx, bool force_dest_reject,
+    const obs::TraceContext& trace) {
   const MutexLock lock(mu_);
+  obs::Tracer* const tracer = shard_tracer(config_);
+  const obs::CausalSpan xfer_span(tracer, "xshard_transfer", "shard", trace);
+  obs::Registry* const registry = shard_registry(config_);
+  const auto finish = [&](CrossShardOutcome outcome) {
+    if (registry != nullptr) {
+      registry->counter("xshard.transfers").add(1);
+      registry->counter(outcome.committed ? "xshard.commits"
+                                          : "xshard.aborts")
+          .add(1);
+      registry->histogram("xshard.latency_s").observe(outcome.latency_seconds);
+    }
+    if (config_.snapshots != nullptr) config_.snapshots->tick();
+    return outcome;
+  };
+
   CrossShardOutcome outcome;
   if (!tx.to.has_value()) {
     outcome.reason = "creations are not routed cross-shard";
-    return outcome;
+    return finish(std::move(outcome));
   }
   const unsigned source = shard_of(tx.from, config_.num_shards);
   const unsigned dest = shard_of(*tx.to, config_.num_shards);
@@ -61,54 +95,71 @@ CrossShardOutcome CrossShardCoordinator::transfer(
 
   // Same-shard: one committee round, direct application.
   if (source == dest) {
-    const PbftOutcome round = committees_[source].run_round();
+    const PbftOutcome round =
+        committees_[source].run_round(xfer_span.context());
     outcome.latency_seconds = round.latency_seconds;
     account::StateDb& state = states_[source];
     if (state.balance(tx.from) < tx.value) {
       outcome.reason = "insufficient funds";
-      return outcome;
+      return finish(std::move(outcome));
     }
     state.transfer(tx.from, *tx.to, tx.value);
     state.flush_journal();
     outcome.proof.accepted = true;
     outcome.committed = true;
-    return outcome;
+    return finish(std::move(outcome));
   }
 
   // Phase 1 — the source committee validates and locks the funds.
-  const PbftOutcome lock_round = committees_[source].run_round();
-  outcome.latency_seconds += lock_round.latency_seconds;
   account::StateDb& source_state = states_[source];
-  if (source_state.balance(tx.from) < tx.value) {
-    // Proof-of-rejection: nothing was locked, the client learns why.
-    outcome.proof.accepted = false;
-    outcome.reason = "insufficient funds at source shard";
-    return outcome;
+  {
+    const obs::CausalSpan span(tracer, "xshard_lock", "shard",
+                               xfer_span.context(),
+                               static_cast<std::int64_t>(source));
+    const PbftOutcome lock_round =
+        committees_[source].run_round(span.context());
+    outcome.latency_seconds += lock_round.latency_seconds;
+    if (source_state.balance(tx.from) < tx.value) {
+      // Proof-of-rejection: nothing was locked, the client learns why.
+      outcome.proof.accepted = false;
+      outcome.reason = "insufficient funds at source shard";
+      return finish(std::move(outcome));
+    }
+    source_state.debit(tx.from, tx.value);
+    source_state.flush_journal();
+    escrow_total_ += tx.value;
+    outcome.proof.accepted = true;
   }
-  source_state.debit(tx.from, tx.value);
-  source_state.flush_journal();
-  escrow_total_ += tx.value;
-  outcome.proof.accepted = true;
 
   // Phase 2 — the destination committee verifies the proof and credits.
-  const PbftOutcome redeem_round = committees_[dest].run_round();
-  outcome.latency_seconds += redeem_round.latency_seconds;
+  {
+    const obs::CausalSpan span(tracer, "xshard_redeem", "shard",
+                               xfer_span.context(),
+                               static_cast<std::int64_t>(dest));
+    const PbftOutcome redeem_round =
+        committees_[dest].run_round(span.context());
+    outcome.latency_seconds += redeem_round.latency_seconds;
+  }
   if (force_dest_reject) {
     // Abort path: the client presents the rejection back to the source
     // committee, which unlocks the escrowed funds (one more round).
-    const PbftOutcome unlock_round = committees_[source].run_round();
+    const obs::CausalSpan span(tracer, "xshard_unlock", "shard",
+                               xfer_span.context(),
+                               static_cast<std::int64_t>(source));
+    const PbftOutcome unlock_round =
+        committees_[source].run_round(span.context());
     outcome.latency_seconds += unlock_round.latency_seconds;
     source_state.credit(tx.from, tx.value);
     source_state.flush_journal();
     escrow_total_ -= tx.value;
     outcome.reason = "destination rejected; funds unlocked";
-    return outcome;
+    return finish(std::move(outcome));
   }
   states_[dest].credit(*tx.to, tx.value);
   states_[dest].flush_journal();
   escrow_total_ -= tx.value;
   outcome.committed = true;
-  return outcome;
+  return finish(std::move(outcome));
 }
 
 }  // namespace txconc::shard

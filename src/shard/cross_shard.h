@@ -59,8 +59,12 @@ class CrossShardCoordinator {
   /// @param force_dest_reject  fault injection: the destination committee
   /// rejects the proof, driving the abort path (unlock + refund at the
   /// source).
+  /// @param trace  causal context of the originating block/transaction;
+  /// the transfer span and its lock/redeem/unlock committee rounds join
+  /// that trace (see obs/context.h).
   CrossShardOutcome transfer(const account::AccountTx& tx,
-                             bool force_dest_reject = false);
+                             bool force_dest_reject = false,
+                             const obs::TraceContext& trace = {});
 
   /// Committee-local state access. Quiescent use only: the returned
   /// reference escapes the monitor lock, so callers must not hold it

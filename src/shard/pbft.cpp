@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/scope.h"
 #include "obs/trace.h"
 
 namespace txconc::shard {
@@ -27,26 +28,47 @@ PbftSimulator::PbftSimulator(std::uint64_t seed, PbftConfig config)
   }
 }
 
-PbftOutcome PbftSimulator::run_round() {
+PbftOutcome PbftSimulator::run_round(const obs::TraceContext& trace) {
   const MutexLock lock(mu_);
-  const TXCONC_SPAN("pbft_round", "shard",
-                    static_cast<std::int64_t>(config_.committee_size));
+  obs::Tracer* tracer = obs::tracer(config_.obs);
+  if (tracer == nullptr) tracer = &obs::Tracer::global();
+  const obs::CausalSpan round_span(
+      tracer, "pbft_round", "shard", trace,
+      static_cast<std::int64_t>(config_.committee_size));
   PbftOutcome outcome;
-  // View changes until an honest leader drives the round through.
-  while (rng_.bernoulli(config_.faulty_leader_probability)) {
-    ++outcome.view_changes;
-    outcome.latency_seconds += config_.view_change_timeout;
-    // A view change is itself an all-to-all broadcast.
-    outcome.messages += static_cast<std::uint64_t>(config_.committee_size) *
-                        (config_.committee_size - 1);
+  // Pre-prepare: the leader proposes — view changes until an honest one
+  // drives the round through.
+  {
+    const obs::CausalSpan span(tracer, "pbft_pre_prepare", "shard",
+                               round_span.context());
+    while (rng_.bernoulli(config_.faulty_leader_probability)) {
+      ++outcome.view_changes;
+      outcome.latency_seconds += config_.view_change_timeout;
+      // A view change is itself an all-to-all broadcast.
+      outcome.messages += static_cast<std::uint64_t>(config_.committee_size) *
+                          (config_.committee_size - 1);
+    }
+  }
+  // Prepare and commit: modeled all-to-all phases; the spans carry the
+  // causal linkage of the modeled rounds into the trace.
+  {
+    const obs::CausalSpan span(tracer, "pbft_prepare", "shard",
+                               round_span.context());
+  }
+  {
+    const obs::CausalSpan span(tracer, "pbft_commit", "shard",
+                               round_span.context());
   }
   outcome.latency_seconds += pbft_round_latency(config_);
   outcome.messages += pbft_message_count(config_.committee_size);
-  if (obs::Tracer::global().enabled()) {
-    obs::Registry& registry = obs::Registry::global();
-    registry.counter("pbft.rounds").add(1);
-    registry.counter("pbft.messages").add(outcome.messages);
-    registry.counter("pbft.view_changes").add(outcome.view_changes);
+  obs::Registry* registry = obs::metrics(config_.obs);
+  if (registry == nullptr && obs::Tracer::global().enabled()) {
+    registry = &obs::Registry::global();
+  }
+  if (registry != nullptr) {
+    registry->counter("pbft.rounds").add(1);
+    registry->counter("pbft.messages").add(outcome.messages);
+    registry->counter("pbft.view_changes").add(outcome.view_changes);
   }
   return outcome;
 }

@@ -11,6 +11,11 @@
 
 #include "common/rng.h"
 #include "common/thread_annotations.h"
+#include "obs/context.h"
+
+namespace txconc::obs {
+struct Scope;  // tracer + metrics bundle, see obs/scope.h
+}
 
 namespace txconc::shard {
 
@@ -20,6 +25,10 @@ struct PbftConfig {
   double message_latency = 0.1;      ///< One-way delay in seconds.
   double view_change_timeout = 2.0;  ///< Seconds wasted per faulty leader.
   double faulty_leader_probability = 0.0;
+  /// Observability sink for round spans and counters. Null keeps the old
+  /// behavior: spans to the global tracer, counters to the global
+  /// registry while the global tracer is enabled.
+  const obs::Scope* obs = nullptr;
 };
 
 /// Result of one consensus round.
@@ -49,7 +58,10 @@ class PbftSimulator {
   PbftSimulator(std::uint64_t seed, PbftConfig config);
 
   /// Run one round to completion (retrying through view changes).
-  PbftOutcome run_round();
+  /// `trace` is the causal context of whatever the round decides on (a
+  /// block, a cross-shard phase); the round span and its pre-prepare /
+  /// prepare / commit children join that trace.
+  PbftOutcome run_round(const obs::TraceContext& trace = {});
 
   const PbftConfig& config() const { return config_; }
 

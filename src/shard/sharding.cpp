@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/scope.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 
 namespace txconc::shard {
 
@@ -28,8 +31,13 @@ ZilliqaSimulator::ZilliqaSimulator(std::uint64_t seed, ShardConfig config)
 }
 
 EpochResult ZilliqaSimulator::run_epoch(
-    std::vector<account::AccountTx> pending) {
+    std::vector<account::AccountTx> pending, const obs::TraceContext& trace) {
   const MutexLock lock(mu_);
+  obs::Tracer* tracer = obs::tracer(config_.pbft.obs);
+  if (tracer == nullptr) tracer = &obs::Tracer::global();
+  const obs::CausalSpan epoch_span(
+      tracer, "epoch", "shard", trace,
+      static_cast<std::int64_t>(pending.size()));
   EpochResult result;
   result.micro_blocks.resize(config_.num_shards);
   for (unsigned s = 0; s < config_.num_shards; ++s) {
@@ -54,13 +62,13 @@ EpochResult ZilliqaSimulator::run_epoch(
   // epoch waits for the slowest one.
   double slowest = 0.0;
   for (MicroBlock& micro : result.micro_blocks) {
-    micro.consensus = committees_[micro.shard].run_round();
+    micro.consensus = committees_[micro.shard].run_round(epoch_span.context());
     slowest = std::max(slowest, micro.consensus.latency_seconds);
     result.total_messages += micro.consensus.messages;
   }
 
   // The DS committee aggregates the micro-blocks into the final block.
-  const PbftOutcome ds = ds_committee_.run_round();
+  const PbftOutcome ds = ds_committee_.run_round(epoch_span.context());
   result.total_messages += ds.messages;
   result.latency_seconds =
       slowest + ds.latency_seconds + config_.state_sync_latency;
@@ -70,6 +78,20 @@ EpochResult ZilliqaSimulator::run_epoch(
                               micro.transactions.begin(),
                               micro.transactions.end());
   }
+  obs::Registry* registry = obs::metrics(config_.pbft.obs);
+  if (registry == nullptr && obs::Tracer::global().enabled()) {
+    registry = &obs::Registry::global();
+  }
+  if (registry != nullptr) {
+    registry->counter("shard.epochs").add(1);
+    registry->counter("shard.messages").add(result.total_messages);
+    registry->counter("shard.rejected_cross_shard")
+        .add(result.rejected_cross_shard.size());
+    registry->counter("shard.final_block_txs").add(result.final_block.size());
+    registry->histogram("shard.epoch_latency_s")
+        .observe(result.latency_seconds);
+  }
+  if (config_.snapshots != nullptr) config_.snapshots->tick();
   return result;
 }
 

@@ -15,6 +15,10 @@
 #include "common/thread_annotations.h"
 #include "shard/pbft.h"
 
+namespace txconc::obs {
+class SnapshotWriter;  // periodic metrics snapshots, see obs/snapshot.h
+}
+
 namespace txconc::shard {
 
 /// Static sharding parameters.
@@ -27,6 +31,9 @@ struct ShardConfig {
   /// wait for state synchronization between committees before transactions
   /// are confirmed").
   double state_sync_latency = 5.0;
+  /// Optional periodic metrics snapshots, ticked once per epoch (and per
+  /// cross-shard transfer). Not owned; must outlive the simulator.
+  obs::SnapshotWriter* snapshots = nullptr;
 };
 
 /// Committee of a sender: the low bits of the address, as in Zilliqa.
@@ -70,7 +77,10 @@ class ZilliqaSimulator {
  public:
   ZilliqaSimulator(std::uint64_t seed, ShardConfig config);
 
-  EpochResult run_epoch(std::vector<account::AccountTx> pending);
+  /// `trace` joins the epoch span (and every committee/DS round under it)
+  /// to the caller's causal story (see obs/context.h).
+  EpochResult run_epoch(std::vector<account::AccountTx> pending,
+                        const obs::TraceContext& trace = {});
 
   const ShardConfig& config() const { return config_; }
 

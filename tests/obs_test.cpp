@@ -14,8 +14,10 @@
 #include <thread>
 
 #include "exec/thread_pool.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/scope.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 // ------------------------------------------------- allocation counting
@@ -277,6 +279,248 @@ TEST(Tracer, ConcurrentEmissionFromPoolWorkersIsComplete) {
   const TraceValidation v = validate_chrome_trace(out.str());
   EXPECT_TRUE(v.ok) << v.error;
   EXPECT_EQ(v.events, kEvents);
+}
+
+// ------------------------------------------------- registry aggregation
+
+TEST(Registry, MergeAddsCountersAndHistogramsTakesGaugeMax) {
+  Registry a;
+  Registry b;
+  a.counter("node.blocks").add(3);
+  b.counter("node.blocks").add(4);
+  b.counter("node.only_b").add(7);
+  a.gauge("node.depth").set(2.0);
+  b.gauge("node.depth").set(5.0);
+  a.histogram("node.lat").observe(1.0);
+  b.histogram("node.lat").observe(3.0);
+  b.histogram("node.lat").observe(100.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("node.blocks").value(), 7u);
+  EXPECT_EQ(a.counter("node.only_b").value(), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("node.depth").value(), 5.0);  // max roll-up
+  const Histogram& h = a.histogram("node.lat");
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(1.0)), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(3.0)), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(100.0)), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.counter("node.blocks").value(), 4u);
+  EXPECT_EQ(b.histogram("node.lat").count(), 2u);
+}
+
+TEST(Registry, MergeIntoEmptyHistogramPreservesExtremes) {
+  // The untouched side's min/max start at +/-inf; merging must not let
+  // those leak into the result.
+  Registry a;
+  Registry b;
+  b.histogram("h").observe(4.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.histogram("h").min(), 4.0);
+  EXPECT_DOUBLE_EQ(a.histogram("h").max(), 4.0);
+  // Merging an empty histogram into a populated one is a no-op.
+  Registry empty;
+  empty.histogram("h");
+  a.merge_from(empty);
+  EXPECT_EQ(a.histogram("h").count(), 1u);
+  EXPECT_DOUBLE_EQ(a.histogram("h").min(), 4.0);
+}
+
+TEST(Registry, PrometheusExposition) {
+  Registry registry;
+  registry.counter("exec.txs_total").add(42);
+  registry.gauge("pool.depth").set(1.5);
+  for (int i = 0; i < 4; ++i) registry.histogram("exec.wall_us").observe(1.0);
+
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  // Dots sanitize to underscores; counters/gauges are single samples.
+  EXPECT_NE(text.find("# TYPE exec_txs_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exec_txs_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("pool_depth 1.5"), std::string::npos);
+  // Histograms export as summaries with quantiles + _sum/_count.
+  EXPECT_NE(text.find("# TYPE exec_wall_us summary"), std::string::npos);
+  EXPECT_NE(text.find("exec_wall_us{quantile=\"0.5\"} 1.5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exec_wall_us_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("exec_wall_us_count 4"), std::string::npos);
+}
+
+// ------------------------------------------------------- snapshot writer
+
+TEST(SnapshotWriter, RingDropsOldestBeyondCapacity) {
+  Registry registry;
+  SnapshotWriter::Options options;
+  options.capacity = 2;
+  SnapshotWriter writer(&registry, options);
+  EXPECT_EQ(writer.size(), 0u);
+  EXPECT_EQ(writer.latest().ts_ms, 0u);  // default-constructed when empty
+
+  registry.counter("c").add(1);
+  writer.snapshot(10);
+  registry.counter("c").add(1);
+  writer.snapshot(20);
+  registry.counter("c").add(1);
+  writer.snapshot(30);
+  EXPECT_EQ(writer.size(), 2u);  // ts 10 evicted
+  EXPECT_EQ(writer.latest().ts_ms, 30u);
+  EXPECT_EQ(writer.latest().counters.at("c"), 3u);
+}
+
+TEST(SnapshotWriter, RatesPerSecondFromCounterDeltas) {
+  Registry registry;
+  SnapshotWriter writer(&registry);
+  EXPECT_TRUE(writer.rates_per_second().empty());  // < 2 snapshots
+
+  writer.snapshot(1000);  // counter not yet registered: counts from 0
+  registry.counter("node.txs").add(500);
+  registry.gauge("g").set(9.0);  // gauges carry no rate
+  writer.snapshot(3000);
+  const auto rates = writer.rates_per_second();
+  ASSERT_TRUE(rates.contains("node.txs"));
+  EXPECT_DOUBLE_EQ(rates.at("node.txs"), 250.0);  // 500 over 2 seconds
+  EXPECT_FALSE(rates.contains("g"));
+}
+
+TEST(SnapshotWriter, WriteJsonRoundTrip) {
+  Registry registry;
+  registry.counter("c").add(2);
+  registry.gauge("g").set(0.5);
+  SnapshotWriter writer(&registry);
+  writer.snapshot(7);
+  std::ostringstream out;
+  writer.write_json(out);
+  EXPECT_NE(out.str().find("\"ts_ms\": 7"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("\"c\": 2"), std::string::npos);
+  EXPECT_NE(out.str().find("\"g\": 0.5"), std::string::npos);
+}
+
+TEST(SnapshotWriter, TickRateLimitsOnSteadyClock) {
+  Registry registry;
+  SnapshotWriter::Options options;
+  options.min_interval_ms = 60'000;  // nothing in this test waits that long
+  SnapshotWriter writer(&registry, options);
+  writer.tick();
+  writer.tick();
+  writer.tick();
+  EXPECT_EQ(writer.size(), 1u);  // first tick captures, the rest rate-limit
+}
+
+// ---------------------------------------------------------- causal spans
+
+TEST(CausalSpan, RootChildAndCrossThreadForkLink) {
+  Tracer tracer;
+  tracer.enable();
+  std::uint64_t root_trace = 0;
+  {
+    const ThreadProcessScope proc("node-A");
+    const CausalSpan root(&tracer, "produce_block", "chain");
+    root_trace = root.trace_id();
+    EXPECT_NE(root_trace, 0u);
+    EXPECT_EQ(root.context().trace_id, root_trace);
+    EXPECT_EQ(root.context().parent_span, root.span_id());
+    { const CausalSpan child(&tracer, "pack", "chain", root.context()); }
+    // fork() crosses a thread boundary: the flow start lands in this
+    // slice, the bind in the consumer's.
+    const TraceContext relayed = root.fork();
+    EXPECT_EQ(relayed.trace_id, root_trace);
+    EXPECT_NE(relayed.flow_id, 0u);
+    std::thread consumer([&] {
+      set_thread_label(intern_label("node-B"), 0);
+      const CausalSpan remote(&tracer, "receive_block", "chain", relayed);
+      EXPECT_EQ(remote.trace_id(), root_trace);  // joined, not minted
+    });
+    consumer.join();
+  }
+  tracer.disable();
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const TraceValidation v = validate_chrome_trace(out.str());
+  ASSERT_TRUE(v.ok) << v.error;
+  ASSERT_EQ(v.causal.size(), 3u);
+  EXPECT_EQ(v.causal_roots, 1u);
+  EXPECT_EQ(v.causal_linked, 3u);  // every causal span reaches the root
+  EXPECT_EQ(v.flow_binds, 1u);
+  for (const CausalSpanInfo& span : v.causal) {
+    EXPECT_EQ(span.trace_id, root_trace) << span.name;
+    EXPECT_TRUE(span.linked) << span.name;
+  }
+  ASSERT_TRUE(v.spans_by_process.contains("node-B"));
+  EXPECT_TRUE(v.spans_by_process.at("node-B").contains("receive_block"));
+}
+
+TEST(CausalSpan, ValidatorRejectsDanglingParent) {
+  const TraceValidation v = validate_chrome_trace(
+      R"({"traceEvents":[)"
+      R"({"name":"a","ph":"B","pid":0,"tid":0,"ts":1,)"
+      R"("args":{"trace_id":7,"span_id":2,"parent_span":99}},)"
+      R"({"name":"a","ph":"E","pid":0,"tid":0,"ts":2}]})");
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("unknown parent_span"), std::string::npos) << v.error;
+}
+
+TEST(CausalSpan, ValidatorRejectsCrossTraceParent) {
+  const TraceValidation v = validate_chrome_trace(
+      R"({"traceEvents":[)"
+      R"({"name":"a","ph":"B","pid":0,"tid":0,"ts":1,)"
+      R"("args":{"trace_id":7,"span_id":1,"parent_span":0}},)"
+      R"({"name":"a","ph":"E","pid":0,"tid":0,"ts":2},)"
+      R"({"name":"b","ph":"B","pid":0,"tid":0,"ts":3,)"
+      R"("args":{"trace_id":8,"span_id":2,"parent_span":1}},)"
+      R"({"name":"b","ph":"E","pid":0,"tid":0,"ts":4}]})");
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("different trace"), std::string::npos) << v.error;
+}
+
+TEST(CausalSpan, ValidatorRejectsDuplicateSpanIds) {
+  const TraceValidation v = validate_chrome_trace(
+      R"({"traceEvents":[)"
+      R"({"name":"a","ph":"B","pid":0,"tid":0,"ts":1,)"
+      R"("args":{"trace_id":7,"span_id":3,"parent_span":0}},)"
+      R"({"name":"a","ph":"E","pid":0,"tid":0,"ts":2},)"
+      R"({"name":"b","ph":"B","pid":0,"tid":0,"ts":3,)"
+      R"("args":{"trace_id":7,"span_id":3,"parent_span":0}},)"
+      R"({"name":"b","ph":"E","pid":0,"tid":0,"ts":4}]})");
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("duplicate span_id"), std::string::npos) << v.error;
+}
+
+TEST(CausalSpan, ValidatorRejectsFlowBindWithoutStart) {
+  const TraceValidation v = validate_chrome_trace(
+      R"({"traceEvents":[)"
+      R"({"name":"flow","ph":"f","bp":"e","pid":0,"tid":0,"ts":1,"id":5}]})");
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("flow"), std::string::npos) << v.error;
+}
+
+TEST(CausalSpan, DisabledPathAllocatesNothingWhileForwardingContext) {
+  // The satellite guarantee: a disabled tracer must stay allocation-free
+  // even when code stamps, forks and forwards TraceContexts through the
+  // whole propagation fast path (the production default for every node).
+  Tracer tracer;  // disabled by default
+  { const CausalSpan warm(&tracer, "warm", "test"); }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  TraceContext carried;
+  for (int i = 0; i < 1000; ++i) {
+    const CausalSpan root(&tracer, "produce_block", "chain");
+    const CausalSpan child(&tracer, "pack", "chain", root.context());
+    const CausalSpan null_span(nullptr, "null", "chain", carried);
+    carried = root.fork();              // zero context, no flow event
+    const TraceContext ctx = child.context();
+    const CausalSpan remote(&tracer, "receive_block", "chain", ctx);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_FALSE(carried.valid());  // disabled spans hand out the zero context
 }
 
 // ----------------------------------------------------------------- scope
