@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "analysis/block_analyzer.h"
 #include "analysis/report.h"
@@ -53,6 +55,27 @@ bool bench_fast() {
 }
 int bench_reps() { return bench_fast() ? 5 : 9; }
 int bench_warmup() { return bench_fast() ? 1 : 2; }
+
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::string(value) != "0";
+}
+
+// Block-size grid for the engine ablation. The per-block fixed costs
+// (pool dispatch, conflict-table setup, report assembly) amortize with
+// block size, so the large cells are where parallel engines must beat
+// sequential on wall clock. Fast mode measures {base, 1000};
+// TXCONC_BENCH_LARGE adds the 10k cell to fast runs (the ci.sh
+// bench-large lane), full mode always includes it, and TXCONC_BENCH_HUGE
+// opts into the 100k cell (expensive: ~1M generated transactions).
+std::vector<std::size_t> large_block_sizes() {
+  std::vector<std::size_t> sizes = {1000};
+  if (!bench_fast() || env_flag("TXCONC_BENCH_LARGE")) {
+    sizes.push_back(10'000);
+  }
+  if (env_flag("TXCONC_BENCH_HUGE")) sizes.push_back(100'000);
+  return sizes;
+}
 
 // TXCONC_BENCH_INJECT_SLOWDOWN_PCT=<pct>: negative-control hook for
 // scripts/bench_gate — inflates the measured wall times so CI can assert
@@ -232,6 +255,55 @@ struct ExecFixture {
   }
 };
 
+// Large-block fixture: consecutive late-era generator blocks concatenated
+// into one pool, measured via prefixes. The generator's era position is
+// height/horizon, so the horizon scales with the pool size to keep every
+// measured window in the same busy late-era band (position >= 7/8) as
+// ExecFixture's single block; prefixes of the pool are then valid blocks
+// under the replay config (enforce_nonce=false keeps per-sender nonce
+// sequences from consecutive source blocks composable).
+struct PoolFixture {
+  workload::ChainProfile profile = workload::ethereum_profile();
+  std::vector<account::AccountTx> pool;
+  account::StateDb genesis;
+
+  explicit PoolFixture(std::size_t min_txs) {
+    // Late-era Ethereum blocks carry ~110-130 transactions; headroom on
+    // the block count keeps the while-loop from exhausting the horizon.
+    const std::uint64_t needed = min_txs / 100 + 16;
+    const std::uint64_t horizon = 8 * needed;
+    workload::AccountWorkloadGenerator gen(profile, 42, horizon);
+    for (std::uint64_t i = 0; i < 7 * needed; ++i) gen.next_block();
+    genesis = gen.state();
+    while (pool.size() < min_txs) {
+      const auto block = gen.next_block().account_txs;
+      pool.insert(pool.end(), block.begin(), block.end());
+    }
+    for (const auto& tx : pool) {
+      genesis.set_balance(tx.from, 1'000'000'000'000'000ULL);
+    }
+    genesis.flush_journal();
+  }
+
+  std::span<const account::AccountTx> prefix(std::size_t n) const {
+    return {pool.data(), std::min(n, pool.size())};
+  }
+};
+
+// One pool sized for the standard grid: built once, so the 1k cell's
+// transactions are byte-identical whether or not the 10k cell runs.
+const PoolFixture& standard_pool() {
+  static const PoolFixture fixture(10'000);
+  return fixture;
+}
+
+// The 100k pool generates ~1M transactions; only built when the huge
+// cell was requested.
+const PoolFixture& huge_pool() {
+  static const PoolFixture fixture(100'000);
+  return fixture;
+}
+
 void run_executor_benchmark(benchmark::State& state,
                             exec::BlockExecutor& executor) {
   static const ExecFixture fixture;
@@ -299,12 +371,14 @@ BENCHMARK(BM_ExecGroupLpt)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
 // ------------------------------------------------- BENCH_exec.json emitter
 
 // Machine-readable engine ablation: every registry executor across a
-// thread grid, warmed-up median-of-N wall time (with IQR dispersion) on
-// the shared fixture block, wall speedup vs sequential and the unit-cost
-// simulated speedup next to it (the wall/simulated gap is the engine's
-// real-world overhead). Written to TXCONC_BENCH_EXEC_OUT, defaulting to
-// BENCH_exec.json in the CWD. scripts/bench_gate compares this file
-// against bench/baselines/BENCH_exec.json.
+// (thread x block-size) grid, warmed-up median-of-N wall time (with IQR
+// dispersion), wall speedup vs sequential AT THE SAME BLOCK SIZE, and the
+// unit-cost simulated speedup next to it (the wall/simulated gap is the
+// engine's real-world overhead). The header records hw_cores so
+// scripts/bench_gate can decide whether wall_speedup > 1 is physically
+// attainable on the recording host. Written to TXCONC_BENCH_EXEC_OUT,
+// defaulting to BENCH_exec.json in the CWD; scripts/bench_gate compares
+// this file against bench/baselines/BENCH_exec.json.
 void write_bench_exec_json() {
   static const ExecFixture fixture;
   account::RuntimeConfig config;
@@ -312,36 +386,78 @@ void write_bench_exec_json() {
   config.enforce_nonce = false;
   config.synthetic_work = g_tx_work;
 
+  struct Cell {
+    std::size_t block_txs;
+    std::span<const account::AccountTx> block;
+    const account::StateDb* genesis;
+  };
+  std::vector<Cell> cells;
+  cells.push_back({fixture.block.size(),
+                   {fixture.block.data(), fixture.block.size()},
+                   &fixture.genesis});
+  for (const std::size_t size : large_block_sizes()) {
+    const PoolFixture& pool = size > 10'000 ? huge_pool() : standard_pool();
+    cells.push_back({size, pool.prefix(size), &pool.genesis});
+  }
+
   struct Row {
     std::string executor;
     unsigned threads = 1;
+    std::size_t block_txs = 0;
+    int reps = 0;
     bench::RepetitionStats wall;
+    double wall_speedup = 0.0;
     double simulated_speedup = 1.0;
   };
   std::vector<Row> rows;
-  double sequential_wall = 0.0;
   const double inject = injected_slowdown_factor();
 
-  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
-    const std::vector<unsigned> thread_grid =
-        spec.parallel ? std::vector<unsigned>{1, 2, 4, 8}
-                      : std::vector<unsigned>{1};
-    for (const unsigned threads : thread_grid) {
-      const auto executor = spec.make(threads);
-      Row row{spec.name, threads, {}, 1.0};
-      row.wall = bench::measure_reps(bench_reps(), bench_warmup(), [&] {
-        account::StateDb db = fixture.genesis;
-        const exec::ExecutionReport report =
-            executor->execute_block(db, fixture.block, config);
-        row.simulated_speedup = report.simulated_speedup;
-        return report.wall_seconds;
-      });
-      if (spec.name == "sequential") {
-        sequential_wall = row.wall.median_seconds;
-      } else if (inject != 1.0) {
-        row.wall.median_seconds *= inject;
+  for (const Cell& cell : cells) {
+    // The 10k+ cells cost ~100x a base-block rep; 3 reps keep the CI
+    // bench-large lane inside its budget while the gate's ratios stay
+    // median-based.
+    const int reps =
+        cell.block_txs >= 10'000 ? std::min(bench_reps(), 3) : bench_reps();
+    const int warmup = cell.block_txs >= 10'000 ? 1 : bench_warmup();
+    double sequential_wall = 0.0;
+    for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+      if (cell.block_txs >= 10'000 && spec.name == "occ") {
+        // Concatenated late-era blocks run ~70% conflicted; occ's
+        // in-order validation serializes such blocks into O(conflicts)
+        // waves (~35x sequential wall at 1k txs already), so 10k+ cells
+        // would take minutes per rep. Its scaling story is captured by
+        // the 124/1000 cells; don't leave the gap unlogged.
+        std::cout << "skipping occ at block_txs=" << cell.block_txs
+                  << " (wave serialization: see the 1000-tx cells)\n";
+        continue;
       }
-      rows.push_back(std::move(row));
+      const std::vector<unsigned> thread_grid =
+          spec.parallel ? std::vector<unsigned>{1, 2, 4, 8}
+                        : std::vector<unsigned>{1};
+      for (const unsigned threads : thread_grid) {
+        const auto executor = spec.make(threads);
+        Row row;
+        row.executor = spec.name;
+        row.threads = threads;
+        row.block_txs = cell.block_txs;
+        row.reps = reps;
+        row.wall = bench::measure_reps(reps, warmup, [&] {
+          account::StateDb db = *cell.genesis;
+          const exec::ExecutionReport report =
+              executor->execute_block(db, cell.block, config);
+          row.simulated_speedup = report.simulated_speedup;
+          return report.wall_seconds;
+        });
+        if (spec.name == "sequential") {
+          sequential_wall = row.wall.median_seconds;
+        } else if (inject != 1.0) {
+          row.wall.median_seconds *= inject;
+        }
+        row.wall_speedup = row.wall.median_seconds > 0.0
+                               ? sequential_wall / row.wall.median_seconds
+                               : 0.0;
+        rows.push_back(std::move(row));
+      }
     }
   }
 
@@ -350,25 +466,30 @@ void write_bench_exec_json() {
   std::ofstream out(out_path);
   out << "{\n  \"profile\": \"" << fixture.profile.name << "\",\n"
       << "  \"block_txs\": " << fixture.block.size() << ",\n"
+      << "  \"block_sizes\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out << (i > 0 ? ", " : "") << cells[i].block_txs;
+  }
+  out << "],\n"
+      << "  \"hw_cores\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"tx_work\": " << g_tx_work << ",\n"
       << "  \"reps\": " << bench_reps() << ",\n"
       << "  \"warmup\": " << bench_warmup() << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    const double wall_speedup = row.wall.median_seconds > 0.0
-                                    ? sequential_wall / row.wall.median_seconds
-                                    : 0.0;
     out << "    {\"executor\": \"" << row.executor << "\", \"threads\": "
-        << row.threads << ", \"wall_seconds\": " << row.wall.median_seconds
+        << row.threads << ", \"block_txs\": " << row.block_txs
+        << ", \"reps\": " << row.reps
+        << ", \"wall_seconds\": " << row.wall.median_seconds
         << ", \"wall_iqr_seconds\": " << row.wall.iqr_seconds
-        << ", \"wall_speedup\": " << wall_speedup
+        << ", \"wall_speedup\": " << row.wall_speedup
         << ", \"simulated_speedup\": " << row.simulated_speedup << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::cout << "wrote " << out_path << " (" << rows.size() << " cells, "
-            << bench_reps() << " reps, tx_work=" << g_tx_work << ")\n";
+  std::cout << "wrote " << out_path << " (" << rows.size() << " cells over "
+            << cells.size() << " block sizes, tx_work=" << g_tx_work << ")\n";
 }
 
 // ---------------------------------------------- §V phase breakdown emitter
@@ -378,15 +499,15 @@ void write_bench_exec_json() {
 // conflict rate c from the speculative engine's own bin, and the model's
 // serial tail c*x*u is printed beside the measured phase-2 wall so the
 // two are directly diffable.
-void print_phase_breakdown() {
-  static const ExecFixture fixture;
+void print_phase_breakdown(std::span<const account::AccountTx> block,
+                           const account::StateDb& genesis) {
   account::RuntimeConfig config;
   config.charge_fees = false;
   config.enforce_nonce = false;
   config.synthetic_work = g_tx_work;
 
   const unsigned n = 4;
-  const std::size_t x = fixture.block.size();
+  const std::size_t x = block.size();
   if (x == 0) return;
 
   std::vector<exec::ExecutionReport> reports;
@@ -394,9 +515,9 @@ void print_phase_breakdown() {
     const auto executor = spec.make(spec.parallel ? n : 1);
     exec::ExecutionReport best;
     for (int rep = 0; rep < 3; ++rep) {
-      account::StateDb db = fixture.genesis;
+      account::StateDb db = genesis;
       exec::ExecutionReport report =
-          executor->execute_block(db, fixture.block, config);
+          executor->execute_block(db, block, config);
       if (rep == 0 || report.wall_seconds < best.wall_seconds) {
         best = std::move(report);
       }
@@ -624,7 +745,16 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_bench_exec_json();
-  print_phase_breakdown();
+  {
+    // Phase attribution at both ends of the amortization curve: the base
+    // block shows the per-block fixed costs, the 1k block shows the
+    // steady state the large-block cells gate (DESIGN.md §13).
+    static const ExecFixture fixture;
+    print_phase_breakdown({fixture.block.data(), fixture.block.size()},
+                          fixture.genesis);
+    print_phase_breakdown(standard_pool().prefix(1000),
+                          standard_pool().genesis);
+  }
   write_bench_obs_json();
   // TXCONC_TRACE=<file>: re-run every engine traced and self-validate the
   // exported Chrome trace (the tier-1 obs smoke drives this path).

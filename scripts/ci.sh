@@ -21,7 +21,11 @@
 #    proving the lane has teeth. After an intentional perf change, refresh
 #    the baselines with
 #      scripts/bench_gate --exec BENCH_exec.json --obs BENCH_obs.json --refresh
-#    and commit bench/baselines/*.json.
+#    and commit bench/baselines/*.json;
+#  * bench-large — the same bench with TXCONC_BENCH_LARGE=1: adds the
+#    10k-tx concatenated-block cells (reduced reps) and enforces the
+#    large-block attainment floor (wall_speedup > 1 at >= 4 threads on
+#    multicore hosts; >= 0.9 on < 4-core hosts) via scripts/bench_gate.
 # The tsa and tidy lanes need clang++/clang-tidy and are skipped with a
 # notice when the tools are absent (the annotations compile to no-ops
 # under GCC, so the other lanes still build the same code).
@@ -36,7 +40,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
-LANES="${TXCONC_CI_LANES:-tier1,asan,tsan,tsa,tidy,bench}"
+LANES="${TXCONC_CI_LANES:-tier1,asan,tsan,tsa,tidy,bench,bench-large}"
 
 lane_enabled() {
   case ",${LANES}," in
@@ -76,10 +80,11 @@ if lane_enabled asan; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
-    --target obs_test --target trace_propagation_test
+    --target obs_test --target trace_propagation_test --target hotpath_test
   # Leak checking needs ptrace, which container CI runners often deny; the
   # races/UB we are after are caught without it.
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/obs_test
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/hotpath_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/trace_propagation_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
   ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
@@ -101,8 +106,9 @@ if lane_enabled tsan; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
-    --target obs_test --target trace_propagation_test
+    --target obs_test --target trace_propagation_test --target hotpath_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/obs_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/hotpath_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_propagation_test
   # exec_test runs with the tracer enabled (TraceEnv in exec_test.cpp):
   # every pool/executor span-emission path executes under TSan.
@@ -186,4 +192,29 @@ if lane_enabled bench; then
     exit 1
   fi
   echo "bench negative control OK: injected slowdown tripped the gate"
+fi
+
+# --- bench-large lane: block-size scaling smoke ----------------------------
+# Re-runs the bench with TXCONC_BENCH_LARGE=1, which adds the 10k-tx
+# concatenated-block cells on top of the fast {124, 1000} grid (reps are
+# automatically cut to <=3 for cells of 10k+ txs, and occ is excluded
+# there — see the skip notice in bench/ablation_engines.cpp). The gate
+# then checks the large cells against the committed baselines AND the
+# attainment floor: >= 2 parallel engines must beat sequential wall clock
+# at >= 4 threads on >= 1000-tx blocks on multicore hosts, or hold
+# wall_speedup >= 0.9 on hosts with < 4 cores.
+if lane_enabled bench-large; then
+  echo "== lane: bench-large =="
+  if [ ! -x build/bench/ablation_engines ]; then
+    cmake -B build -S . -DTXCONC_WERROR=ON
+    cmake --build build -j"${JOBS}" --target ablation_engines
+  fi
+  BENCH_BIN="$(pwd)/build/bench/ablation_engines"
+  mkdir -p build/bench-large
+  (cd build/bench-large && env TXCONC_BENCH_LARGE=1 \
+    TXCONC_BENCH_FAST="${TXCONC_BENCH_FAST:-1}" \
+    "${BENCH_BIN}" --benchmark_filter='^$' > bench.log 2>&1)
+  grep -q "skipping occ at block_txs=10000" build/bench-large/bench.log
+  scripts/bench_gate --exec build/bench-large/BENCH_exec.json
+  echo "bench-large gate OK (10k-tx cells within tolerances + attainment)"
 fi

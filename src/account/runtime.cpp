@@ -8,8 +8,37 @@ std::uint64_t creation_gas(const GasSchedule& gas, std::size_t code_size) {
   return gas.create_base + gas.create_per_byte * code_size;
 }
 
-Receipt apply_transaction(State& state, const AccountTx& tx,
-                          const RuntimeConfig& config) {
+namespace {
+
+std::uint64_t intrinsic_gas(const AccountTx& tx, const RuntimeConfig& config) {
+  return config.gas.tx_base +
+         (tx.is_creation() ? creation_gas(config.gas, tx.init_code.code.size())
+                           : 0);
+}
+
+}  // namespace
+
+const char* precheck_transaction(const State& state, const AccountTx& tx,
+                                 const RuntimeConfig& config) {
+  // Mirrors apply_transaction's validity checks, in order, without
+  // building the throw-path error strings.
+  if (config.enforce_nonce && state.nonce(tx.from) != tx.nonce) {
+    return "bad nonce";
+  }
+  const std::uint64_t max_fee =
+      config.charge_fees ? tx.gas_limit * tx.gas_price : 0;
+  if (state.balance(tx.from) < tx.value + max_fee) {
+    return "sender cannot cover value plus max fee";
+  }
+  if (tx.gas_limit < intrinsic_gas(tx, config)) {
+    return "gas limit below intrinsic cost";
+  }
+  return nullptr;
+}
+
+void apply_transaction_into(State& state, const AccountTx& tx,
+                            const RuntimeConfig& config, Receipt& receipt,
+                            AccessTracker& tracker) {
   // ---- Validity checks: failures here mean the transaction could never
   // have been included in a block, so the state must remain untouched.
   if (config.enforce_nonce && state.nonce(tx.from) != tx.nonce) {
@@ -23,10 +52,7 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
   if (state.balance(tx.from) < tx.value + max_fee) {
     throw ValidationError("sender cannot cover value plus max fee");
   }
-  const std::uint64_t intrinsic =
-      config.gas.tx_base +
-      (tx.is_creation() ? creation_gas(config.gas, tx.init_code.code.size())
-                        : 0);
+  const std::uint64_t intrinsic = intrinsic_gas(tx, config);
   if (tx.gas_limit < intrinsic) {
     throw ValidationError("gas limit below intrinsic cost");
   }
@@ -51,8 +77,8 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
     (void)sink;
   }
 
-  Receipt receipt;
-  AccessTracker tracker;
+  receipt.reset();
+  tracker.clear();
   AccessTracker* tracker_ptr = track ? &tracker : nullptr;
 
   state.set_nonce(tx.from, state.nonce(tx.from) + 1);
@@ -152,10 +178,19 @@ Receipt apply_transaction(State& state, const AccountTx& tx,
   receipt.success = success;
   receipt.gas_used = gas_used;
   if (tracker_ptr) {
-    receipt.reads = tracker_ptr->reads();
-    receipt.writes = tracker_ptr->writes();
+    // Copy-assign into the receipt's existing vectors: no allocation once
+    // the receipt slot has seen comparable access counts.
+    receipt.reads = tracker_ptr->finalize_reads();
+    receipt.writes = tracker_ptr->finalize_writes();
   }
   if (config.recorder != nullptr) config.recorder->on_complete(tx, receipt);
+}
+
+Receipt apply_transaction(State& state, const AccountTx& tx,
+                          const RuntimeConfig& config) {
+  Receipt receipt;
+  AccessTracker tracker;
+  apply_transaction_into(state, tx, config, receipt, tracker);
   return receipt;
 }
 

@@ -94,6 +94,24 @@ struct RuntimeConfig {
 Receipt apply_transaction(State& state, const AccountTx& tx,
                           const RuntimeConfig& config = {});
 
+/// Allocation-free flavor of apply_transaction for the engines' per-worker
+/// hot paths: the receipt is reset() and filled in place (vector/string
+/// capacity reused) and the caller-owned tracker replaces the per-call
+/// AccessTracker. Identical semantics otherwise, including the
+/// ValidationError throws.
+void apply_transaction_into(State& state, const AccountTx& tx,
+                            const RuntimeConfig& config, Receipt& receipt,
+                            AccessTracker& tracker);
+
+/// The validity checks of apply_transaction as a non-throwing predicate:
+/// returns nullptr when the transaction would pass them against `state`,
+/// else a static description of the first failing check. Speculative
+/// engines call this before apply_transaction_into so the common stale-
+/// nonce rejection costs neither an exception throw nor the error-string
+/// allocations. Must stay in lockstep with apply_transaction's checks.
+const char* precheck_transaction(const State& state, const AccountTx& tx,
+                                 const RuntimeConfig& config);
+
 /// Install a contract at an address without a creation transaction
 /// (genesis-style bootstrap used by tests and the workload generator).
 void genesis_deploy(State& state, const Address& addr, ContractCode code);

@@ -31,6 +31,17 @@ void State::credit(const Address& addr, std::uint64_t value) {
   set_balance(addr, balance(addr) + value);
 }
 
+// ------------------------------------------------------------------ WriteLog
+
+void WriteLog::apply_to(State& target) const {
+  for (const BalanceOp& op : balances_) target.set_balance(op.addr, op.value);
+  for (const BalanceOp& op : nonces_) target.set_nonce(op.addr, op.value);
+  for (const auto& [addr, code] : codes_) target.set_code(addr, *code);
+  for (const StorageOp& op : storage_) {
+    target.set_storage(op.slot.addr, op.slot.key, op.value);
+  }
+}
+
 // ------------------------------------------------------------------- StateDb
 
 const StateDb::AccountRecord* StateDb::find(const Address& addr) const {
@@ -45,7 +56,7 @@ std::uint64_t StateDb::balance(const Address& addr) const {
 
 void StateDb::set_balance(const Address& addr, std::uint64_t value) {
   AccountRecord& rec = record(addr);
-  journal_.push_back(BalanceEntry{addr, rec.balance});
+  if (journaling_) journal_.push_back(BalanceEntry{addr, rec.balance});
   rec.balance = value;
 }
 
@@ -56,7 +67,7 @@ std::uint64_t StateDb::nonce(const Address& addr) const {
 
 void StateDb::set_nonce(const Address& addr, std::uint64_t value) {
   AccountRecord& rec = record(addr);
-  journal_.push_back(NonceEntry{addr, rec.nonce});
+  if (journaling_) journal_.push_back(NonceEntry{addr, rec.nonce});
   rec.nonce = value;
 }
 
@@ -67,7 +78,7 @@ const ContractCode* StateDb::code(const Address& addr) const {
 
 void StateDb::set_code(const Address& addr, ContractCode new_code) {
   AccountRecord& rec = record(addr);
-  journal_.push_back(CodeEntry{addr, rec.code});
+  if (journaling_) journal_.push_back(CodeEntry{addr, rec.code});
   rec.code = std::make_shared<const ContractCode>(std::move(new_code));
 }
 
@@ -81,9 +92,11 @@ std::uint64_t StateDb::storage(const Address& addr, StorageKey key) const {
 void StateDb::set_storage(const Address& addr, StorageKey key,
                           std::uint64_t value) {
   AccountRecord& rec = record(addr);
-  const auto it = rec.storage.find(key);
-  journal_.push_back(
-      StorageEntry{addr, key, it == rec.storage.end() ? 0 : it->second});
+  if (journaling_) {
+    const auto it = rec.storage.find(key);
+    journal_.push_back(
+        StorageEntry{addr, key, it == rec.storage.end() ? 0 : it->second});
+  }
   rec.storage[key] = value;
 }
 
@@ -176,32 +189,32 @@ Hash256 StateDb::digest() const {
 // -------------------------------------------------------------- OverlayState
 
 std::uint64_t OverlayState::balance(const Address& addr) const {
-  const auto it = balances_.find(addr);
-  return it != balances_.end() ? it->second : base_.balance(addr);
+  const std::uint64_t* local = balances_.find(addr);
+  return local != nullptr ? *local : base_->balance(addr);
 }
 
 void OverlayState::set_balance(const Address& addr, std::uint64_t value) {
-  const auto it = balances_.find(addr);
+  const std::uint64_t* local = balances_.find(addr);
   journal_.push_back(BalanceEntry{
-      addr, it != balances_.end(), it != balances_.end() ? it->second : 0});
-  balances_[addr] = value;
+      addr, local != nullptr, local != nullptr ? *local : 0});
+  balances_.insert_or_assign(addr, value);
 }
 
 std::uint64_t OverlayState::nonce(const Address& addr) const {
-  const auto it = nonces_.find(addr);
-  return it != nonces_.end() ? it->second : base_.nonce(addr);
+  const std::uint64_t* local = nonces_.find(addr);
+  return local != nullptr ? *local : base_->nonce(addr);
 }
 
 void OverlayState::set_nonce(const Address& addr, std::uint64_t value) {
-  const auto it = nonces_.find(addr);
+  const std::uint64_t* local = nonces_.find(addr);
   journal_.push_back(NonceEntry{
-      addr, it != nonces_.end(), it != nonces_.end() ? it->second : 0});
-  nonces_[addr] = value;
+      addr, local != nullptr, local != nullptr ? *local : 0});
+  nonces_.insert_or_assign(addr, value);
 }
 
 const ContractCode* OverlayState::code(const Address& addr) const {
   const auto it = codes_.find(addr);
-  return it != codes_.end() ? it->second.get() : base_.code(addr);
+  return it != codes_.end() ? it->second.get() : base_->code(addr);
 }
 
 void OverlayState::set_code(const Address& addr, ContractCode new_code) {
@@ -213,17 +226,17 @@ void OverlayState::set_code(const Address& addr, ContractCode new_code) {
 
 std::uint64_t OverlayState::storage(const Address& addr,
                                     StorageKey key) const {
-  const auto it = storage_.find(SlotId{addr, key});
-  return it != storage_.end() ? it->second : base_.storage(addr, key);
+  const std::uint64_t* local = storage_.find(SlotId{addr, key});
+  return local != nullptr ? *local : base_->storage(addr, key);
 }
 
 void OverlayState::set_storage(const Address& addr, StorageKey key,
                                std::uint64_t value) {
   const SlotId slot{addr, key};
-  const auto it = storage_.find(slot);
+  const std::uint64_t* local = storage_.find(slot);
   journal_.push_back(StorageEntry{
-      slot, it != storage_.end(), it != storage_.end() ? it->second : 0});
-  storage_[slot] = value;
+      slot, local != nullptr, local != nullptr ? *local : 0});
+  storage_.insert_or_assign(slot, value);
 }
 
 Snapshot OverlayState::snapshot() const { return journal_.size(); }
@@ -240,13 +253,13 @@ void OverlayState::revert(Snapshot snap) {
           using T = std::decay_t<decltype(e)>;
           if constexpr (std::is_same_v<T, BalanceEntry>) {
             if (e.existed) {
-              balances_[e.addr] = e.old_value;
+              balances_.insert_or_assign(e.addr, e.old_value);
             } else {
               balances_.erase(e.addr);
             }
           } else if constexpr (std::is_same_v<T, NonceEntry>) {
             if (e.existed) {
-              nonces_[e.addr] = e.old_value;
+              nonces_.insert_or_assign(e.addr, e.old_value);
             } else {
               nonces_.erase(e.addr);
             }
@@ -258,7 +271,7 @@ void OverlayState::revert(Snapshot snap) {
             }
           } else {
             if (e.existed) {
-              storage_[e.slot] = e.old_value;
+              storage_.insert_or_assign(e.slot, e.old_value);
             } else {
               storage_.erase(e.slot);
             }
@@ -269,12 +282,28 @@ void OverlayState::revert(Snapshot snap) {
 }
 
 void OverlayState::apply_to(State& target) const {
-  for (const auto& [addr, value] : balances_) target.set_balance(addr, value);
-  for (const auto& [addr, value] : nonces_) target.set_nonce(addr, value);
+  balances_.for_each(
+      [&](const Address& addr, std::uint64_t v) { target.set_balance(addr, v); });
+  nonces_.for_each(
+      [&](const Address& addr, std::uint64_t v) { target.set_nonce(addr, v); });
   for (const auto& [addr, code] : codes_) target.set_code(addr, *code);
-  for (const auto& [slot, value] : storage_) {
-    target.set_storage(slot.addr, slot.key, value);
-  }
+  storage_.for_each([&](const SlotId& slot, std::uint64_t v) {
+    target.set_storage(slot.addr, slot.key, v);
+  });
+}
+
+void OverlayState::export_writes(WriteLog& out) const {
+  out.clear();
+  balances_.for_each([&](const Address& addr, std::uint64_t v) {
+    out.balances_.push_back({addr, v});
+  });
+  nonces_.for_each([&](const Address& addr, std::uint64_t v) {
+    out.nonces_.push_back({addr, v});
+  });
+  for (const auto& [addr, code] : codes_) out.codes_.emplace_back(addr, code);
+  storage_.for_each([&](const SlotId& slot, std::uint64_t v) {
+    out.storage_.push_back({slot, v});
+  });
 }
 
 bool OverlayState::dirty() const {
@@ -300,20 +329,33 @@ std::vector<Address> diff_accounts(const StateDb& a, const StateDb& b) {
 
 namespace {
 
-std::vector<SlotAccess> sorted_unique(std::vector<SlotAccess> v) {
+void sort_unique_in_place(std::vector<SlotAccess>& v) {
   std::sort(v.begin(), v.end());
   v.erase(std::unique(v.begin(), v.end()), v.end());
-  return v;
 }
 
 }  // namespace
 
 std::vector<SlotAccess> AccessTracker::reads() const {
-  return sorted_unique(reads_);
+  std::vector<SlotAccess> v = reads_;
+  sort_unique_in_place(v);
+  return v;
 }
 
 std::vector<SlotAccess> AccessTracker::writes() const {
-  return sorted_unique(writes_);
+  std::vector<SlotAccess> v = writes_;
+  sort_unique_in_place(v);
+  return v;
+}
+
+const std::vector<SlotAccess>& AccessTracker::finalize_reads() {
+  sort_unique_in_place(reads_);
+  return reads_;
+}
+
+const std::vector<SlotAccess>& AccessTracker::finalize_writes() {
+  sort_unique_in_place(writes_);
+  return writes_;
 }
 
 }  // namespace txconc::account

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "account/types.h"
+#include "common/flat_table.h"
 #include "common/hash.h"
 
 namespace txconc::account {
@@ -23,6 +24,20 @@ using StorageKey = std::uint64_t;
 
 /// Opaque journal position returned by snapshot().
 using Snapshot = std::size_t;
+
+/// One (account, storage key) coordinate, the overlay's storage index.
+struct SlotId {
+  Address addr;
+  StorageKey key = 0;
+  bool operator==(const SlotId&) const = default;
+};
+struct SlotIdHash {
+  std::size_t operator()(const SlotId& s) const noexcept {
+    // Same hash_combine mixing as SlotAccessHash: XOR-folding the raw
+    // key aliases related (address, key) pairs.
+    return SlotAccessHash{}(SlotAccess{s.addr, s.key});
+  }
+};
 
 /// Abstract mutable world state with nested rollback.
 ///
@@ -57,6 +72,51 @@ class State {
   void credit(const Address& addr, std::uint64_t value);
 };
 
+/// Replayable record of an overlay's final values: a handful of flat
+/// vectors instead of a whole OverlayState. The speculative engines
+/// extract one per attempt (OverlayState::export_writes) and batch-apply
+/// the non-conflicted logs at commit, so the per-transaction retained
+/// footprint is capacity-reusing PODs and the commit walk is one linear
+/// pass.
+class WriteLog {
+ public:
+  void clear() {
+    balances_.clear();
+    nonces_.clear();
+    storage_.clear();
+    codes_.clear();
+  }
+
+  bool empty() const {
+    return balances_.empty() && nonces_.empty() && storage_.empty() &&
+           codes_.empty();
+  }
+
+  std::size_t num_ops() const {
+    return balances_.size() + nonces_.size() + storage_.size() +
+           codes_.size();
+  }
+
+  /// Replay every recorded value onto the target, mirroring
+  /// OverlayState::apply_to.
+  void apply_to(State& target) const;
+
+ private:
+  friend class OverlayState;
+  struct BalanceOp {
+    Address addr;
+    std::uint64_t value = 0;
+  };
+  struct StorageOp {
+    SlotId slot;
+    std::uint64_t value = 0;
+  };
+  std::vector<BalanceOp> balances_;
+  std::vector<BalanceOp> nonces_;  // same shape: (addr, value)
+  std::vector<StorageOp> storage_;
+  std::vector<std::pair<Address, std::shared_ptr<const ContractCode>>> codes_;
+};
+
 /// The authoritative account store.
 class StateDb final : public State {
  public:
@@ -76,6 +136,14 @@ class StateDb final : public State {
 
   /// Drop the journal (changes become permanent; snapshots invalidated).
   void flush_journal();
+
+  /// Toggle undo journaling. While off, writes skip the journal entirely;
+  /// snapshots taken before the pause cannot revert past it. The engines'
+  /// commit phases use this (via JournalPause) because committed overlay
+  /// values are never rolled back — journaling them only to flush is pure
+  /// allocation traffic on the hot path.
+  void set_journaling(bool on) { journaling_ = on; }
+  bool journaling() const { return journaling_; }
 
   std::size_t num_accounts() const { return accounts_.size(); }
   /// Sum of all balances (invariant checks in tests).
@@ -127,6 +195,23 @@ class StateDb final : public State {
 
   std::unordered_map<Address, AccountRecord> accounts_;
   mutable std::vector<JournalEntry> journal_;
+  bool journaling_ = true;
+};
+
+/// RAII journaling pause for a commit phase (see StateDb::set_journaling).
+class JournalPause {
+ public:
+  explicit JournalPause(StateDb& db) : db_(db), prev_(db.journaling()) {
+    db_.set_journaling(false);
+  }
+  ~JournalPause() { db_.set_journaling(prev_); }
+
+  JournalPause(const JournalPause&) = delete;
+  JournalPause& operator=(const JournalPause&) = delete;
+
+ private:
+  StateDb& db_;
+  bool prev_;
 };
 
 /// Copy-on-write view over a frozen base state.
@@ -134,9 +219,26 @@ class StateDb final : public State {
 /// Reads fall through to the base until the overlay has written the entry;
 /// writes stay local. apply_to() merges the overlay's final values into a
 /// mutable target (normally the base itself, after conflict checks pass).
+///
+/// The local entries live in open-addressed FlatTables whose capacity
+/// persists across reset(): workers keep one overlay each and rebase it
+/// per attempt, so the steady-state speculation path never allocates.
 class OverlayState final : public State {
  public:
-  explicit OverlayState(const State& base) : base_(base) {}
+  /// An unbased overlay; reset() must run before any access.
+  OverlayState() = default;
+  explicit OverlayState(const State& base) : base_(&base) {}
+
+  /// Rebase onto `base` and logically drop every local entry and journal
+  /// record. O(1) except for the (rare) code map; capacity is retained.
+  void reset(const State& base) {
+    base_ = &base;
+    balances_.clear();
+    nonces_.clear();
+    storage_.clear();
+    if (!codes_.empty()) codes_.clear();
+    journal_.clear();
+  }
 
   std::uint64_t balance(const Address& addr) const override;
   void set_balance(const Address& addr, std::uint64_t value) override;
@@ -153,22 +255,14 @@ class OverlayState final : public State {
   /// Write every overlay value into the target state.
   void apply_to(State& target) const;
 
+  /// Append every overlay value to `out` (cleared first), detaching the
+  /// attempt's effects from the overlay so the overlay can be rebased for
+  /// the next transaction.
+  void export_writes(WriteLog& out) const;
+
   bool dirty() const;
 
  private:
-  struct SlotId {
-    Address addr;
-    StorageKey key;
-    bool operator==(const SlotId&) const = default;
-  };
-  struct SlotIdHash {
-    std::size_t operator()(const SlotId& s) const noexcept {
-      // Same hash_combine mixing as SlotAccessHash: XOR-folding the raw
-      // key aliases related (address, key) pairs.
-      return SlotAccessHash{}(SlotAccess{s.addr, s.key});
-    }
-  };
-
   struct BalanceEntry {
     Address addr;
     bool existed;
@@ -192,11 +286,13 @@ class OverlayState final : public State {
   using JournalEntry =
       std::variant<BalanceEntry, NonceEntry, CodeEntry, StorageEntry>;
 
-  const State& base_;
-  std::unordered_map<Address, std::uint64_t> balances_;
-  std::unordered_map<Address, std::uint64_t> nonces_;
+  const State* base_ = nullptr;
+  common::FlatTable<Address, std::uint64_t> balances_;
+  common::FlatTable<Address, std::uint64_t> nonces_;
+  // Code deployments are rare (creations only) and carry shared_ptrs;
+  // a node-based map is fine here and keeps FlatTable POD-friendly.
   std::unordered_map<Address, std::shared_ptr<const ContractCode>> codes_;
-  std::unordered_map<SlotId, std::uint64_t, SlotIdHash> storage_;
+  common::FlatTable<SlotId, std::uint64_t, SlotIdHash> storage_;
   mutable std::vector<JournalEntry> journal_;
 };
 
@@ -215,9 +311,22 @@ class AccessTracker {
   void read_slot(const Address& addr, StorageKey key) { reads_.push_back({addr, key}); }
   void write_slot(const Address& addr, StorageKey key) { writes_.push_back({addr, key}); }
 
-  /// Sorted, deduplicated access lists.
+  /// Drop the recorded accesses, keeping the vectors' capacity (the
+  /// runtime reuses one tracker per worker across transactions).
+  void clear() {
+    reads_.clear();
+    writes_.clear();
+  }
+
+  /// Sorted, deduplicated access lists (copies).
   std::vector<SlotAccess> reads() const;
   std::vector<SlotAccess> writes() const;
+
+  /// Sort + dedupe in place and return a reference to the internal list,
+  /// valid until the next mutation. The allocation-free flavor of
+  /// reads()/writes() used by the per-transaction hot path.
+  const std::vector<SlotAccess>& finalize_reads();
+  const std::vector<SlotAccess>& finalize_writes();
 
   /// Sentinel storage key representing the account balance/nonce itself.
   static constexpr StorageKey kBalanceKey = ~StorageKey{0};

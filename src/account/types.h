@@ -111,6 +111,21 @@ struct Receipt {
 
   /// Logged values (the SVM's LOG opcode).
   std::vector<std::uint64_t> logs;
+
+  /// Return to the default-constructed state while keeping the vectors'
+  /// (and the error string's) capacity, so a receipt slot reused across
+  /// transactions stays allocation-free once warm.
+  void reset() {
+    success = false;
+    gas_used = 0;
+    return_value = 0;
+    error.clear();
+    internal_txs.clear();
+    created.reset();
+    reads.clear();
+    writes.clear();
+    logs.clear();
+  }
 };
 
 }  // namespace txconc::account

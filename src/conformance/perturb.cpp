@@ -63,13 +63,14 @@ PerturbStats SchedulePerturber::stats() const {
   return stats_;
 }
 
-SchedulePerturber::SchedulePerturber(std::uint64_t seed) {
+exec::ThreadPool::GrainHook SchedulePerturber::make_hook(
+    SchedulePerturber* self, std::uint64_t seed) {
   // The hook closure only calls record(), which takes mu_ itself: the
   // thread-safety analysis cannot see a held capability inside a lambda
   // body, so guarded members must never be touched here directly.
-  exec::ThreadPool::set_grain_hook([this, seed](std::uint64_t grain_seq) {
+  return [self, seed](std::uint64_t grain_seq) {
     const Perturbation p = perturbation_for(seed, grain_seq);
-    record(p);
+    self->record(p);
     switch (p.action) {
       case PerturbAction::kNone:
         break;
@@ -81,11 +82,10 @@ SchedulePerturber::SchedulePerturber(std::uint64_t seed) {
         std::this_thread::sleep_for(std::chrono::microseconds(p.micros));
         break;
     }
-  });
+  };
 }
 
-SchedulePerturber::~SchedulePerturber() {
-  exec::ThreadPool::set_grain_hook(nullptr);
-}
+SchedulePerturber::SchedulePerturber(std::uint64_t seed)
+    : guard_(make_hook(this, seed)) {}
 
 }  // namespace txconc::conformance

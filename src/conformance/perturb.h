@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/thread_annotations.h"
+#include "exec/thread_pool.h"
 
 namespace txconc::conformance {
 
@@ -43,13 +44,16 @@ struct PerturbStats {
 };
 
 /// RAII installer of the process-wide ThreadPool grain hook. While alive,
-/// every grain of every pool follows the seeded schedule above. At most
-/// one perturber may be alive at a time, and pools must be idle at
-/// (de)installation — the conformance oracle scopes one per run.
+/// every grain of every pool follows the seeded schedule above; the
+/// underlying GrainHookGuard restores whatever hook was installed before,
+/// so nested perturbers compose and a grid that unwinds through a test
+/// failure can never leak perturbation into later tests or benches. Pools
+/// must be idle at (de)installation — the conformance oracle scopes one
+/// per run.
 class SchedulePerturber {
  public:
   explicit SchedulePerturber(std::uint64_t seed);
-  ~SchedulePerturber();
+  ~SchedulePerturber() = default;
 
   SchedulePerturber(const SchedulePerturber&) = delete;
   SchedulePerturber& operator=(const SchedulePerturber&) = delete;
@@ -62,8 +66,13 @@ class SchedulePerturber {
  private:
   void record(const Perturbation& p);
 
+  static exec::ThreadPool::GrainHook make_hook(SchedulePerturber* self,
+                                               std::uint64_t seed);
+
   mutable Mutex mu_;
   PerturbStats stats_ GUARDED_BY(mu_);
+  // Declared last: installs the hook only after mu_/stats_ are live.
+  exec::ThreadPool::GrainHookGuard guard_;
 };
 
 }  // namespace txconc::conformance

@@ -11,6 +11,7 @@
 #include "exec/executor.h"
 #include "exec/predict.h"
 #include "exec/sched_trace.h"
+#include "exec/scratch.h"
 #include "exec/thread_pool.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
@@ -159,22 +160,29 @@ class GroupExecutor final : public BlockExecutor {
 
     // Execute: each worker runs its assigned components sequentially on a
     // private overlay; disjoint components touch disjoint addresses, so
-    // overlays commute and merge cleanly afterwards.
-    std::vector<std::unique_ptr<account::OverlayState>> overlays(
-        schedule.assignment.size());
+    // overlays commute and merge cleanly afterwards. The overlays and
+    // trackers live in cross-block scratch — rebased per block, never
+    // reallocated (the parallel_for index IS the core id, so no slot
+    // indirection is needed here).
+    if (scratch_.size() < schedule.assignment.size()) {
+      scratch_.resize(schedule.assignment.size());
+    }
     {
       const obs::CausalSpan span(tracer, "execute", "exec",
                                  block_span.context(),
                                  static_cast<std::int64_t>(transactions.size()));
       pool_.parallel_for(schedule.assignment.size(), [&](std::size_t core_id) {
         if (schedule.assignment[core_id].empty()) return;
-        overlays[core_id] = std::make_unique<account::OverlayState>(state);
+        WorkerScratch& ws = scratch_[core_id];
+        ws.overlay.reset(state);
         for (std::size_t job_index : schedule.assignment[core_id]) {
           for (std::size_t tx_index : jobs[job_index]) {
             const TXCONC_SPAN_T(tracer, "attempt", "exec",
                                 static_cast<std::int64_t>(tx_index));
-            report.receipts[tx_index] = account::apply_transaction(
-                *overlays[core_id], transactions[tx_index], config);
+            account::apply_transaction_into(ws.overlay,
+                                            transactions[tx_index], config,
+                                            report.receipts[tx_index],
+                                            ws.tracker);
           }
         }
       });
@@ -183,8 +191,12 @@ class GroupExecutor final : public BlockExecutor {
     {
       const obs::CausalSpan span(tracer, "commit", "exec",
                                  block_span.context());
-      for (auto& overlay : overlays) {
-        if (overlay) overlay->apply_to(state);
+      // Merged values are final; skip the undo journal.
+      const account::JournalPause pause(state);
+      for (std::size_t core_id = 0; core_id < schedule.assignment.size();
+           ++core_id) {
+        if (schedule.assignment[core_id].empty()) continue;
+        scratch_[core_id].overlay.apply_to(state);
       }
       state.flush_journal();
     }
@@ -223,6 +235,7 @@ class GroupExecutor final : public BlockExecutor {
   const char* label_;  // string literal; doubles as the trace process
   ThreadPool pool_;
   bool use_lpt_;
+  std::vector<WorkerScratch> scratch_;  // per core, reused across blocks
 };
 
 }  // namespace

@@ -5,15 +5,19 @@
 // tail is itself re-run in parallel, so heavily conflicted blocks finish
 // in O(depth-of-dependency-chain) waves instead of one long sequential
 // bin.
+//
+// Hot-path discipline matches speculative.cpp: per-worker overlays are
+// rebased (not reallocated) per attempt, per-transaction effects travel
+// as write logs, and the wave write set is a flat epoch-cleared table.
 #include <chrono>
 #include <memory>
-#include <unordered_map>
 
 #include "account/state.h"
 #include "common/error.h"
 #include "exec/executor.h"
 #include "exec/predict.h"
 #include "exec/sched_trace.h"
+#include "exec/scratch.h"
 #include "exec/thread_pool.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
@@ -21,8 +25,6 @@
 namespace txconc::exec {
 
 namespace {
-
-using SlotHash = account::SlotAccessHash;
 
 class OccExecutor final : public BlockExecutor {
  public:
@@ -51,6 +53,10 @@ class OccExecutor final : public BlockExecutor {
     account::RuntimeConfig tracked = config;
     tracked.track_accesses = true;
 
+    ensure_worker_scratch(scratch_, pool_.size());
+    writes_.resize(std::max(writes_.size(), transactions.size()));
+    tx_attempts_.assign(transactions.size(), 0);
+
     // Sound ordering guard: a transaction must not commit ahead of an
     // earlier-in-block transaction it could conflict with, even when that
     // earlier transaction has not produced access sets yet (it failed
@@ -64,114 +70,126 @@ class OccExecutor final : public BlockExecutor {
       groups = predict_groups(transactions, state);
     }
 
-    std::vector<std::size_t> pending(transactions.size());
-    std::vector<std::uint32_t> tx_attempts(transactions.size(), 0);
+    pending_.resize(transactions.size());
     {
       // OCC's schedule is trivial — every pending transaction joins the
       // next wave — but the span keeps the engine phase sets uniform.
       const obs::CausalSpan span(tracer, "schedule", "exec",
                                  block_span.context());
-      for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+      for (std::size_t i = 0; i < pending_.size(); ++i) pending_[i] = i;
     }
 
     double simulated = 0.0;
     unsigned waves = 0;
     std::size_t max_retry_depth = 0;
 
-    while (!pending.empty()) {
+    while (!pending_.empty()) {
       if (++waves > max_waves_) {
         // Degenerate fallback: finish the stragglers sequentially. With
         // max_waves >= longest dependency chain this never triggers.
         const auto tail_start = std::chrono::steady_clock::now();
         const obs::CausalSpan span(tracer, "seq_bin", "exec",
                                    block_span.context());
-        for (std::size_t i : pending) {
-          ++tx_attempts[i];
-          report.receipts[i] =
-              account::apply_transaction(state, transactions[i], config);
+        account::AccessTracker& tail_tracker = scratch_[0].tracker;
+        for (std::size_t i : pending_) {
+          ++tx_attempts_[i];
+          account::apply_transaction_into(state, transactions[i], config,
+                                          report.receipts[i], tail_tracker);
           report.executions += 1;
           simulated += 1.0;
         }
-        pending.clear();
+        pending_.clear();
         trace.add_phase2(std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - tail_start)
                              .count());
         break;
       }
 
-      // Parallel speculative wave against the frozen base.
+      // Parallel speculative wave against the frozen base: each worker
+      // slot rebases its private overlay per attempt and exports the
+      // effects to the transaction's write log.
       const auto wave_start = std::chrono::steady_clock::now();
-      struct Attempt {
-        std::unique_ptr<account::OverlayState> overlay;
-        bool valid = false;
-      };
-      std::vector<Attempt> attempts(pending.size());
+      wave_valid_.assign(pending_.size(), 0);
       {
         const obs::CausalSpan span(tracer, "execute", "exec",
                                    block_span.context(),
                                    static_cast<std::int64_t>(waves));
-        pool_.parallel_for(pending.size(), [&](std::size_t k) {
-          const std::size_t i = pending[k];
+        const ThreadPool::SlotFn body = [&](unsigned slot, std::size_t k) {
+          const std::size_t i = pending_[k];
           const TXCONC_SPAN_T(tracer, "attempt", "exec",
                               static_cast<std::int64_t>(i));
-          ++tx_attempts[i];  // one writer per index per wave
-          attempts[k].overlay = std::make_unique<account::OverlayState>(state);
-          try {
-            report.receipts[i] = account::apply_transaction(
-                *attempts[k].overlay, transactions[i], tracked);
-            attempts[k].valid = true;
-          } catch (const ValidationError&) {
-            attempts[k].valid = false;  // depends on an uncommitted tx
+          ++tx_attempts_[i];  // one writer per index per wave
+          WorkerScratch& ws = scratch_[slot];
+          if (account::precheck_transaction(state, transactions[i],
+                                            tracked) != nullptr) {
+            writes_[i].clear();  // depends on an uncommitted tx
+            return;
           }
-        });
+          ws.overlay.reset(state);
+          try {
+            account::apply_transaction_into(ws.overlay, transactions[i],
+                                            tracked, report.receipts[i],
+                                            ws.tracker);
+            wave_valid_[k] = 1;
+            ws.overlay.export_writes(writes_[i]);
+          } catch (const ValidationError&) {
+            writes_[i].clear();  // precheck/apply drifted; retry next wave
+          }
+        };
+        pool_.parallel_for_slots(pending_.size(), body);
       }
       const auto wave_end = std::chrono::steady_clock::now();
       trace.add_phase1(
           std::chrono::duration<double>(wave_end - wave_start).count());
-      report.executions += pending.size();
+      report.executions += pending_.size();
       simulated += static_cast<double>(
-          (pending.size() + pool_.size() - 1) / pool_.size());
+          (pending_.size() + pool_.size() - 1) / pool_.size());
 
       // In-order validation: commit a transaction unless it read or wrote
-      // anything an earlier commit of THIS wave wrote.
+      // anything an earlier commit of THIS wave wrote. Commits replay the
+      // write logs with the undo journal paused — committed values are
+      // final, so journaling them is wasted allocation.
       const obs::CausalSpan commit_span(tracer, "commit", "exec",
                                         block_span.context(),
                                         static_cast<std::int64_t>(waves));
-      std::unordered_map<account::SlotAccess, bool, SlotHash> wave_writes;
-      std::vector<char> deferred_component(groups.num_components(), 0);
-      std::vector<std::size_t> retry;
-      for (std::size_t k = 0; k < pending.size(); ++k) {
-        const std::size_t i = pending[k];
-        bool clash = !attempts[k].valid ||
-                     deferred_component[groups.component_of_tx[i]] != 0;
-        if (!clash) {
-          for (const auto& r : report.receipts[i].reads) {
-            if (wave_writes.contains(r)) {
-              clash = true;
-              break;
+      wave_writes_.clear();
+      deferred_component_.assign(groups.num_components(), 0);
+      retry_.clear();
+      {
+        const account::JournalPause pause(state);
+        for (std::size_t k = 0; k < pending_.size(); ++k) {
+          const std::size_t i = pending_[k];
+          bool clash = !wave_valid_[k] ||
+                       deferred_component_[groups.component_of_tx[i]] != 0;
+          if (!clash) {
+            for (const auto& r : report.receipts[i].reads) {
+              if (wave_writes_.contains(r)) {
+                clash = true;
+                break;
+              }
             }
           }
-        }
-        if (!clash) {
+          if (!clash) {
+            for (const auto& w : report.receipts[i].writes) {
+              if (wave_writes_.contains(w)) {
+                clash = true;
+                break;
+              }
+            }
+          }
+          if (clash) {
+            retry_.push_back(i);
+            deferred_component_[groups.component_of_tx[i]] = 1;
+            continue;
+          }
+          writes_[i].apply_to(state);
           for (const auto& w : report.receipts[i].writes) {
-            if (wave_writes.contains(w)) {
-              clash = true;
-              break;
-            }
+            wave_writes_.insert(w);
           }
-        }
-        if (clash) {
-          retry.push_back(i);
-          deferred_component[groups.component_of_tx[i]] = 1;
-          continue;
-        }
-        attempts[k].overlay->apply_to(state);
-        for (const auto& w : report.receipts[i].writes) {
-          wave_writes.emplace(w, true);
         }
       }
-      max_retry_depth = std::max(max_retry_depth, retry.size());
-      pending = std::move(retry);
+      max_retry_depth = std::max(max_retry_depth, retry_.size());
+      std::swap(pending_, retry_);
       trace.add_phase2(std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - wave_end)
                            .count());
@@ -192,7 +210,7 @@ class OccExecutor final : public BlockExecutor {
           .observe(report.sched.phase2_seconds * 1e6);
       obs::Histogram& attempts_hist =
           registry->histogram("exec.attempts_per_tx");
-      for (const std::uint32_t a : tx_attempts) {
+      for (const std::uint32_t a : tx_attempts_) {
         attempts_hist.observe(static_cast<double>(a));
       }
       registry->counter("exec.occ_waves").add(waves);
@@ -206,6 +224,16 @@ class OccExecutor final : public BlockExecutor {
  private:
   ThreadPool pool_;
   unsigned max_waves_;
+
+  // Cross-block scratch: capacity persists, contents are per-block.
+  std::vector<WorkerScratch> scratch_;
+  std::vector<account::WriteLog> writes_;     // per tx
+  std::vector<unsigned char> wave_valid_;     // per wave position
+  std::vector<std::uint32_t> tx_attempts_;    // per tx
+  std::vector<std::size_t> pending_;
+  std::vector<std::size_t> retry_;
+  std::vector<char> deferred_component_;      // per predicted component
+  SlotAccessSet wave_writes_;
 };
 
 }  // namespace

@@ -23,7 +23,7 @@ class SequentialExecutor final : public BlockExecutor {
     ExecutionReport report;
     report.executor = name();
     report.num_txs = transactions.size();
-    report.receipts.reserve(transactions.size());
+    report.receipts.resize(transactions.size());
     {
       // The apply loop is the serial phase; there is no concurrent phase,
       // so phase1 stays zero instead of absorbing setup/reporting time
@@ -34,8 +34,11 @@ class SequentialExecutor final : public BlockExecutor {
                                  block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         const TXCONC_SPAN_T(tracer, "tx", "exec", static_cast<long long>(i));
-        report.receipts.push_back(
-            account::apply_transaction(state, transactions[i], config));
+        // The into-variant reuses the executor's tracker and the receipt
+        // slot's capacity: the baseline benefits from the same
+        // runtime-level allocation wins as the parallel engines.
+        account::apply_transaction_into(state, transactions[i], config,
+                                        report.receipts[i], tracker_);
       }
       trace.add_phase2(std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - apply_start)
@@ -57,6 +60,9 @@ class SequentialExecutor final : public BlockExecutor {
   }
 
   std::string name() const override { return "sequential"; }
+
+ private:
+  account::AccessTracker tracker_;  // reused across transactions
 };
 
 }  // namespace

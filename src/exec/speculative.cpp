@@ -1,7 +1,12 @@
 // Two-phase speculative executors (blind and oracle variants).
+//
+// Hot-path discipline: an executor instance keeps per-worker scratch
+// (overlays, trackers) and per-block flat tables alive across blocks, so
+// the steady-state per-transaction path — rebase overlay, execute, export
+// a write log, aggregate conflicts, batch-commit — performs no heap
+// allocation (asserted by tests/hotpath_test.cpp).
 #include <chrono>
 #include <memory>
-#include <unordered_map>
 
 #include "account/state.h"
 #include "common/error.h"
@@ -9,6 +14,7 @@
 #include "exec/executor.h"
 #include "exec/predict.h"
 #include "exec/sched_trace.h"
+#include "exec/scratch.h"
 #include "exec/thread_pool.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
@@ -17,151 +23,17 @@ namespace txconc::exec {
 
 namespace {
 
-using SlotHash = account::SlotAccessHash;
+constexpr std::uint32_t kNoTx = 0xffffffffu;
 
-/// One speculative attempt: the overlay it ran on and what it touched.
-struct Attempt {
-  std::unique_ptr<account::OverlayState> overlay;
-  account::Receipt receipt;
-  bool valid = false;
-  std::vector<account::SlotAccess> reads;
-  std::vector<account::SlotAccess> writes;
+/// Per-slot conflict aggregate: writer count plus distinct-accessor count
+/// (deduplicated through last_tx — each transaction's access lists are
+/// already sorted-unique, so a tx touches the aggregate at most once per
+/// list and the read+write case collapses via the last_tx check).
+struct SlotAgg {
+  std::uint32_t writers = 0;
+  std::uint32_t accessors = 0;
+  std::uint32_t last_tx = kNoTx;
 };
-
-/// Phase 1: run every transaction concurrently against copy-on-write
-/// overlays over the frozen base state.
-std::vector<Attempt> speculate(ThreadPool& pool, const account::StateDb& base,
-                               std::span<const account::AccountTx> txs,
-                               const account::RuntimeConfig& config,
-                               obs::Tracer* tracer) {
-  account::RuntimeConfig tracked = config;
-  tracked.track_accesses = true;
-
-  std::vector<Attempt> attempts(txs.size());
-  pool.parallel_for(txs.size(), [&](std::size_t i) {
-    const TXCONC_SPAN_T(tracer, "attempt", "exec",
-                        static_cast<std::int64_t>(i));
-    Attempt& attempt = attempts[i];
-    attempt.overlay = std::make_unique<account::OverlayState>(base);
-    try {
-      attempt.receipt =
-          account::apply_transaction(*attempt.overlay, txs[i], tracked);
-      attempt.valid = true;
-      attempt.reads = attempt.receipt.reads;
-      attempt.writes = attempt.receipt.writes;
-    } catch (const ValidationError&) {
-      // Stale nonce / balance against the frozen base: the transaction
-      // depends on an earlier in-block transaction. Record the sender
-      // accesses we know it must make so conflict detection links it to
-      // its same-sender predecessors.
-      attempt.valid = false;
-      const account::SlotAccess sender{
-          txs[i].from, account::AccessTracker::kBalanceKey};
-      attempt.reads = {sender};
-      attempt.writes = {sender};
-    }
-  });
-  return attempts;
-}
-
-/// Conflict detection over the recorded access sets: a slot is contended
-/// when it has at least one writer and at least two distinct accessors.
-///
-/// Soundness subtlety: an attempt that failed validation (stale nonce)
-/// has no recorded access sets beyond its sender, yet it WILL touch state
-/// when the sequential phase re-runs it. Any transaction that could
-/// overlap with it must therefore also go to the bin; the a-priori
-/// address components bound that overlap, so invalid attempts poison
-/// their whole predicted component.
-std::vector<bool> detect_conflicts(const std::vector<Attempt>& attempts,
-                                   const PredictedGroups& groups,
-                                   AbortPolicy policy) {
-  struct SlotUse {
-    std::vector<std::uint32_t> readers;
-    std::vector<std::uint32_t> writers;
-  };
-  std::unordered_map<account::SlotAccess, SlotUse, SlotHash> slots;
-  for (std::uint32_t i = 0; i < attempts.size(); ++i) {
-    for (const auto& r : attempts[i].reads) slots[r].readers.push_back(i);
-    for (const auto& w : attempts[i].writes) slots[w].writers.push_back(i);
-  }
-
-  std::vector<bool> conflicted(attempts.size(), false);
-  if (policy == AbortPolicy::kAllConflicted) {
-    for (const auto& [slot, use] : slots) {
-      if (use.writers.empty()) continue;
-      const std::size_t accessors = use.writers.size() + use.readers.size();
-      // readers may also appear as writers; contention needs a second
-      // distinct accessor beyond a lone writer.
-      if (use.writers.size() >= 2 ||
-          (use.writers.size() == 1 && accessors >= 2 &&
-           !(use.readers.size() == 1 &&
-             use.readers[0] == use.writers[0]))) {
-        for (std::uint32_t w : use.writers) conflicted[w] = true;
-        for (std::uint32_t r : use.readers) conflicted[r] = true;
-      }
-    }
-    // Invalid attempts poison their predicted component.
-    std::vector<char> poisoned(groups.num_components(), 0);
-    for (std::size_t i = 0; i < attempts.size(); ++i) {
-      if (!attempts[i].valid) poisoned[groups.component_of_tx[i]] = 1;
-    }
-    for (std::size_t i = 0; i < attempts.size(); ++i) {
-      if (poisoned[groups.component_of_tx[i]]) conflicted[i] = true;
-    }
-  } else {
-    // First writer wins: walk in block order, committing a transaction
-    // only when its accesses avoid (a) every previously committed write,
-    // (b) every slot a previously *binned* transaction touched (the bin
-    // re-runs after the commits, out of block order), and (c) the
-    // predicted component of any earlier invalid attempt.
-    std::unordered_map<account::SlotAccess, bool, SlotHash> committed_writes;
-    std::unordered_map<account::SlotAccess, bool, SlotHash> poisoned_slots;
-    std::vector<char> poisoned_components(groups.num_components(), 0);
-    for (std::uint32_t i = 0; i < attempts.size(); ++i) {
-      bool clash = !attempts[i].valid ||
-                   poisoned_components[groups.component_of_tx[i]] != 0;
-      if (!clash) {
-        for (const auto& r : attempts[i].reads) {
-          if (committed_writes.contains(r) || poisoned_slots.contains(r)) {
-            clash = true;
-            break;
-          }
-        }
-      }
-      if (!clash) {
-        for (const auto& w : attempts[i].writes) {
-          if (committed_writes.contains(w) || poisoned_slots.contains(w)) {
-            clash = true;
-            break;
-          }
-        }
-      }
-      if (clash) {
-        conflicted[i] = true;
-        if (!attempts[i].valid) {
-          poisoned_components[groups.component_of_tx[i]] = 1;
-        } else {
-          for (const auto& r : attempts[i].reads) {
-            poisoned_slots.emplace(r, true);
-          }
-          for (const auto& w : attempts[i].writes) {
-            poisoned_slots.emplace(w, true);
-          }
-        }
-      } else {
-        for (const auto& w : attempts[i].writes) {
-          committed_writes.emplace(w, true);
-        }
-      }
-    }
-  }
-  // Invalid attempts always re-run.
-  for (std::size_t i = 0; i < attempts.size(); ++i) {
-    if (!attempts[i].valid) conflicted[i] = true;
-  }
-  return conflicted;
-}
 
 class SpeculativeExecutor final : public BlockExecutor {
  public:
@@ -188,6 +60,11 @@ class SpeculativeExecutor final : public BlockExecutor {
     report.num_txs = transactions.size();
     report.receipts.resize(transactions.size());
 
+    ensure_worker_scratch(scratch_, pool_.size());
+    writes_.resize(std::max(writes_.size(), transactions.size()));
+    valid_.assign(transactions.size(), 0);
+    conflicted_.assign(transactions.size(), 0);
+
     // Phase 1 (concurrent, speculative). The a-priori components are only
     // consulted to bound what failed attempts could touch; the happy path
     // stays purely speculative as in [17].
@@ -197,59 +74,68 @@ class SpeculativeExecutor final : public BlockExecutor {
                                  block_span.context());
       groups = predict_groups(transactions, state);
     }
-    std::vector<Attempt> attempts;
     {
       const obs::CausalSpan span(tracer, "execute", "exec",
                                  block_span.context(),
                                  static_cast<std::int64_t>(transactions.size()));
-      attempts = speculate(pool_, state, transactions, config, tracer);
+      speculate(state, transactions, config, report, tracer);
     }
-    std::vector<bool> conflicted;
     {
       const obs::CausalSpan span(tracer, "schedule", "exec",
                                  block_span.context());
-      conflicted = detect_conflicts(attempts, groups, policy_);
+      detect_conflicts(transactions, report, groups);
     }
 
-    // Commit the non-conflicted overlays (their access sets are disjoint
-    // from everyone else's, so block order is immaterial).
+    // Commit the non-conflicted write logs (their access sets are disjoint
+    // from everyone else's, so block order is immaterial). Committed
+    // values are final — pause the undo journal instead of filling it
+    // only to flush it.
     {
       const obs::CausalSpan span(tracer, "commit", "exec",
                                  block_span.context());
+      const account::JournalPause pause(state);
       for (std::size_t i = 0; i < transactions.size(); ++i) {
-        if (conflicted[i]) continue;
-        attempts[i].overlay->apply_to(state);
-        report.receipts[i] = std::move(attempts[i].receipt);
+        if (!conflicted_[i]) writes_[i].apply_to(state);
       }
     }
     trace.phase_boundary();
 
-    // Phase 2 (sequential bin, in block order).
-    const auto bin_start = std::chrono::steady_clock::now();
+    // Phase 2 (sequential bin, in block order). The conflict stall is the
+    // apply work only — summed per transaction so span construction and
+    // per-tx tracer overhead stay out of the histogram, mirroring the
+    // sequential executor's phase-2 timing.
+    double stall_seconds = 0.0;
     std::size_t bin = 0;
     {
       const obs::CausalSpan span(tracer, "seq_bin", "exec",
                                  block_span.context());
+      account::AccessTracker& bin_tracker = scratch_[0].tracker;
       for (std::size_t i = 0; i < transactions.size(); ++i) {
-        if (!conflicted[i]) continue;
+        if (!conflicted_[i]) continue;
         ++bin;
         const TXCONC_SPAN_T(tracer, "tx", "exec",
                             static_cast<std::int64_t>(i));
-        report.receipts[i] =
-            account::apply_transaction(state, transactions[i], config);
+        if (registry != nullptr) {
+          const auto apply_start = std::chrono::steady_clock::now();
+          account::apply_transaction_into(state, transactions[i], config,
+                                          report.receipts[i], bin_tracker);
+          stall_seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - apply_start)
+                               .count();
+        } else {
+          account::apply_transaction_into(state, transactions[i], config,
+                                          report.receipts[i], bin_tracker);
+        }
       }
       state.flush_journal();
     }
     if (registry != nullptr) {
-      // Conflict stall: wall time the block spent serialized in the bin.
       registry->histogram("exec.conflict_stall_us")
-          .observe(std::chrono::duration<double, std::micro>(
-                       std::chrono::steady_clock::now() - bin_start)
-                       .count());
+          .observe(stall_seconds * 1e6);
       obs::Histogram& attempts_hist =
           registry->histogram("exec.attempts_per_tx");
       for (std::size_t i = 0; i < transactions.size(); ++i) {
-        attempts_hist.observe(conflicted[i] ? 2.0 : 1.0);
+        attempts_hist.observe(conflicted_[i] ? 2.0 : 1.0);
       }
     }
 
@@ -273,9 +159,189 @@ class SpeculativeExecutor final : public BlockExecutor {
   std::string name() const override { return label_; }
 
  private:
+  /// Phase 1: run every transaction concurrently, each worker slot
+  /// rebasing its private copy-on-write overlay over the frozen base.
+  /// Receipts land directly in the report; the overlay's effects are
+  /// exported to the per-transaction write log.
+  void speculate(const account::StateDb& base,
+                 std::span<const account::AccountTx> txs,
+                 const account::RuntimeConfig& config,
+                 ExecutionReport& report, obs::Tracer* tracer) {
+    account::RuntimeConfig tracked = config;
+    tracked.track_accesses = true;
+
+    const ThreadPool::SlotFn body = [&](unsigned slot, std::size_t i) {
+      const TXCONC_SPAN_T(tracer, "attempt", "exec",
+                          static_cast<std::int64_t>(i));
+      WorkerScratch& ws = scratch_[slot];
+      // The cheap non-throwing precheck screens out stale-nonce /
+      // underfunded attempts (common under speculation: the transaction
+      // depends on an earlier in-block transaction) before the throwing
+      // path would allocate an exception and error strings.
+      if (account::precheck_transaction(base, txs[i], tracked) != nullptr) {
+        writes_[i].clear();
+        return;
+      }
+      ws.overlay.reset(base);
+      try {
+        account::apply_transaction_into(ws.overlay, txs[i], tracked,
+                                        report.receipts[i], ws.tracker);
+        valid_[i] = 1;
+        ws.overlay.export_writes(writes_[i]);
+      } catch (const ValidationError&) {
+        // Unreachable when the precheck is in lockstep; kept as a belt so
+        // a future check added to apply_transaction fails soft here.
+        writes_[i].clear();
+      }
+    };
+    pool_.parallel_for_slots(txs.size(), body);
+  }
+
+  /// Conflict detection over the recorded access sets: a slot is
+  /// contended when it has at least one writer and at least two distinct
+  /// accessors.
+  ///
+  /// Soundness subtlety: an attempt that failed validation (stale nonce)
+  /// has no recorded access sets beyond its sender, yet it WILL touch
+  /// state when the sequential phase re-runs it. Any transaction that
+  /// could overlap with it must therefore also go to the bin; the
+  /// a-priori address components bound that overlap, so invalid attempts
+  /// poison their whole predicted component.
+  void detect_conflicts(std::span<const account::AccountTx> txs,
+                        const ExecutionReport& report,
+                        const PredictedGroups& groups) {
+    if (policy_ == AbortPolicy::kAllConflicted) {
+      slot_agg_.clear();
+      const auto touch = [&](const account::SlotAccess& slot,
+                             std::uint32_t tx, bool write) {
+        SlotAgg& agg = slot_agg_[slot];
+        if (agg.last_tx != tx) {
+          agg.last_tx = tx;
+          ++agg.accessors;
+        }
+        if (write) ++agg.writers;
+      };
+      for (std::uint32_t i = 0; i < txs.size(); ++i) {
+        if (valid_[i]) {
+          for (const auto& r : report.receipts[i].reads) touch(r, i, false);
+          for (const auto& w : report.receipts[i].writes) touch(w, i, true);
+        } else {
+          const account::SlotAccess sender{
+              txs[i].from, account::AccessTracker::kBalanceKey};
+          touch(sender, i, false);
+          touch(sender, i, true);
+        }
+      }
+      const auto contended = [&](const account::SlotAccess& slot) {
+        const SlotAgg* agg = slot_agg_.find(slot);
+        return agg != nullptr && agg->writers >= 1 && agg->accessors >= 2;
+      };
+      for (std::uint32_t i = 0; i < txs.size(); ++i) {
+        if (valid_[i]) {
+          bool hit = false;
+          for (const auto& r : report.receipts[i].reads) {
+            if (contended(r)) {
+              hit = true;
+              break;
+            }
+          }
+          if (!hit) {
+            for (const auto& w : report.receipts[i].writes) {
+              if (contended(w)) {
+                hit = true;
+                break;
+              }
+            }
+          }
+          conflicted_[i] = hit ? 1 : 0;
+        } else {
+          const account::SlotAccess sender{
+              txs[i].from, account::AccessTracker::kBalanceKey};
+          conflicted_[i] = contended(sender) ? 1 : 0;
+        }
+      }
+      // Invalid attempts poison their predicted component.
+      poisoned_components_.assign(groups.num_components(), 0);
+      for (std::size_t i = 0; i < txs.size(); ++i) {
+        if (!valid_[i]) poisoned_components_[groups.component_of_tx[i]] = 1;
+      }
+      for (std::size_t i = 0; i < txs.size(); ++i) {
+        if (poisoned_components_[groups.component_of_tx[i]]) {
+          conflicted_[i] = 1;
+        }
+      }
+    } else {
+      // First writer wins: walk in block order, committing a transaction
+      // only when its accesses avoid (a) every previously committed write,
+      // (b) every slot a previously *binned* transaction touched (the bin
+      // re-runs after the commits, out of block order), and (c) the
+      // predicted component of any earlier invalid attempt.
+      committed_writes_.clear();
+      poisoned_slots_.clear();
+      poisoned_components_.assign(groups.num_components(), 0);
+      for (std::uint32_t i = 0; i < txs.size(); ++i) {
+        const account::SlotAccess sender{
+            txs[i].from, account::AccessTracker::kBalanceKey};
+        const std::span<const account::SlotAccess> reads =
+            valid_[i] ? std::span<const account::SlotAccess>(
+                            report.receipts[i].reads)
+                      : std::span<const account::SlotAccess>(&sender, 1);
+        const std::span<const account::SlotAccess> writes =
+            valid_[i] ? std::span<const account::SlotAccess>(
+                            report.receipts[i].writes)
+                      : std::span<const account::SlotAccess>(&sender, 1);
+        bool clash = !valid_[i] ||
+                     poisoned_components_[groups.component_of_tx[i]] != 0;
+        if (!clash) {
+          for (const auto& r : reads) {
+            if (committed_writes_.contains(r) ||
+                poisoned_slots_.contains(r)) {
+              clash = true;
+              break;
+            }
+          }
+        }
+        if (!clash) {
+          for (const auto& w : writes) {
+            if (committed_writes_.contains(w) ||
+                poisoned_slots_.contains(w)) {
+              clash = true;
+              break;
+            }
+          }
+        }
+        if (clash) {
+          conflicted_[i] = 1;
+          if (!valid_[i]) {
+            poisoned_components_[groups.component_of_tx[i]] = 1;
+          } else {
+            for (const auto& r : reads) poisoned_slots_.insert(r);
+            for (const auto& w : writes) poisoned_slots_.insert(w);
+          }
+        } else {
+          for (const auto& w : writes) committed_writes_.insert(w);
+        }
+      }
+    }
+    // Invalid attempts always re-run.
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      if (!valid_[i]) conflicted_[i] = 1;
+    }
+  }
+
   const char* label_;  // string literal; doubles as the trace process
   ThreadPool pool_;
   AbortPolicy policy_;
+
+  // Cross-block scratch: capacity persists, contents are per-block.
+  std::vector<WorkerScratch> scratch_;
+  std::vector<account::WriteLog> writes_;    // per tx
+  std::vector<unsigned char> valid_;         // per tx
+  std::vector<unsigned char> conflicted_;    // per tx
+  std::vector<char> poisoned_components_;    // per predicted component
+  SlotAccessTable<SlotAgg> slot_agg_;
+  SlotAccessSet committed_writes_;
+  SlotAccessSet poisoned_slots_;
 };
 
 class OracleExecutor final : public BlockExecutor {
@@ -300,12 +366,14 @@ class OracleExecutor final : public BlockExecutor {
     report.num_txs = transactions.size();
     report.receipts.resize(transactions.size());
 
+    ensure_worker_scratch(scratch_, pool_.size());
+    conflicted_.assign(transactions.size(), 0);
+
     // Preprocessing: predict the conflict set a priori (cost K in the
     // model). A transaction whose predicted component holds >= 2
     // transactions goes straight to the sequential phase and is executed
     // exactly once.
     PredictedGroups groups;
-    std::vector<bool> conflicted(transactions.size(), false);
     {
       const obs::CausalSpan span(tracer, "predict", "exec",
                                  block_span.context());
@@ -317,62 +385,77 @@ class OracleExecutor final : public BlockExecutor {
       const obs::CausalSpan span(tracer, "schedule", "exec",
                                  block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
-        conflicted[i] =
-            groups.component_sizes[groups.component_of_tx[i]] >= 2;
+        conflicted_[i] =
+            groups.component_sizes[groups.component_of_tx[i]] >= 2 ? 1 : 0;
       }
     }
 
-    // Concurrent phase over the predicted-independent transactions.
+    // Concurrent phase over the predicted-independent transactions. Txs
+    // in distinct predicted components touch disjoint addresses, so each
+    // worker slot accumulates its share into ONE private overlay and the
+    // commit below merges per worker — a handful of batched merges
+    // instead of one overlay allocation + merge per transaction.
     account::RuntimeConfig tracked = config;
     tracked.track_accesses = true;
-    std::vector<std::unique_ptr<account::OverlayState>> overlays(
-        transactions.size());
     {
       const obs::CausalSpan span(tracer, "execute", "exec",
                                  block_span.context(),
                                  static_cast<std::int64_t>(transactions.size()));
-      pool_.parallel_for(transactions.size(), [&](std::size_t i) {
-        if (conflicted[i]) return;
+      for (WorkerScratch& ws : scratch_) ws.overlay.reset(state);
+      const ThreadPool::SlotFn body = [&](unsigned slot, std::size_t i) {
+        if (conflicted_[i]) return;
         const TXCONC_SPAN_T(tracer, "attempt", "exec",
                             static_cast<std::int64_t>(i));
-        overlays[i] = std::make_unique<account::OverlayState>(state);
-        report.receipts[i] =
-            account::apply_transaction(*overlays[i], transactions[i], tracked);
-      });
+        WorkerScratch& ws = scratch_[slot];
+        account::apply_transaction_into(ws.overlay, transactions[i], tracked,
+                                        report.receipts[i], ws.tracker);
+      };
+      pool_.parallel_for_slots(transactions.size(), body);
     }
     std::size_t concurrent = 0;
+    for (std::size_t i = 0; i < transactions.size(); ++i) {
+      if (!conflicted_[i]) ++concurrent;
+    }
     {
       const obs::CausalSpan span(tracer, "commit", "exec",
                                  block_span.context());
-      for (std::size_t i = 0; i < transactions.size(); ++i) {
-        if (conflicted[i]) continue;
-        ++concurrent;
-        overlays[i]->apply_to(state);
+      const account::JournalPause pause(state);
+      for (WorkerScratch& ws : scratch_) {
+        if (ws.overlay.dirty()) ws.overlay.apply_to(state);
       }
     }
     trace.phase_boundary();
 
-    // Sequential phase, in block order.
-    const auto bin_start = std::chrono::steady_clock::now();
+    // Sequential phase, in block order. Stall = apply work only (see the
+    // blind executor's bin).
+    double stall_seconds = 0.0;
     std::size_t bin = 0;
     {
       const obs::CausalSpan span(tracer, "seq_bin", "exec",
                                  block_span.context());
+      account::AccessTracker& bin_tracker = scratch_[0].tracker;
       for (std::size_t i = 0; i < transactions.size(); ++i) {
-        if (!conflicted[i]) continue;
+        if (!conflicted_[i]) continue;
         ++bin;
         const TXCONC_SPAN_T(tracer, "tx", "exec",
                             static_cast<std::int64_t>(i));
-        report.receipts[i] =
-            account::apply_transaction(state, transactions[i], config);
+        if (registry != nullptr) {
+          const auto apply_start = std::chrono::steady_clock::now();
+          account::apply_transaction_into(state, transactions[i], config,
+                                          report.receipts[i], bin_tracker);
+          stall_seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - apply_start)
+                               .count();
+        } else {
+          account::apply_transaction_into(state, transactions[i], config,
+                                          report.receipts[i], bin_tracker);
+        }
       }
       state.flush_journal();
     }
     if (registry != nullptr) {
       registry->histogram("exec.conflict_stall_us")
-          .observe(std::chrono::duration<double, std::micro>(
-                       std::chrono::steady_clock::now() - bin_start)
-                       .count());
+          .observe(stall_seconds * 1e6);
       obs::Histogram& attempts_hist =
           registry->histogram("exec.attempts_per_tx");
       for (std::size_t i = 0; i < transactions.size(); ++i) {
@@ -403,6 +486,8 @@ class OracleExecutor final : public BlockExecutor {
 
  private:
   ThreadPool pool_;
+  std::vector<WorkerScratch> scratch_;
+  std::vector<unsigned char> conflicted_;  // per tx
 };
 
 }  // namespace

@@ -27,16 +27,28 @@ std::shared_ptr<const ThreadPool::GrainHook> load_grain_hook() {
 
 }  // namespace
 
-void ThreadPool::set_grain_hook(GrainHook hook) {
+ThreadPool::GrainHook ThreadPool::swap_grain_hook(GrainHook hook) {
   const MutexLock lock(g_grain_hook_mutex);
+  GrainHook previous = g_grain_hook ? *g_grain_hook : GrainHook{};
   if (hook) {
     g_grain_hook = std::make_shared<const GrainHook>(std::move(hook));
+    // Each installation restarts the sequence so a seeded hook replays the
+    // same schedule regardless of what ran before it.
     g_grain_seq.store(0, std::memory_order_relaxed);
     g_grain_hook_installed.store(true, std::memory_order_release);
   } else {
     g_grain_hook = nullptr;
     g_grain_hook_installed.store(false, std::memory_order_release);
   }
+  return previous;
+}
+
+void ThreadPool::set_grain_hook(GrainHook hook) {
+  (void)swap_grain_hook(std::move(hook));
+}
+
+bool ThreadPool::grain_hook_installed() {
+  return g_grain_hook_installed.load(std::memory_order_acquire);
 }
 
 /// Shared state of one parallel_for call. Helper tasks hold a shared_ptr
@@ -46,7 +58,7 @@ struct ThreadPool::Batch {
   std::size_t count = 0;
   std::size_t grain = 1;
   std::size_t num_grains = 0;
-  const std::function<void(std::size_t)>* fn = nullptr;
+  const SlotFn* fn = nullptr;
 
   std::atomic<std::size_t> next{0};  ///< grain cursor
   std::atomic<std::size_t> done{0};  ///< completed (or skipped) grains
@@ -89,22 +101,25 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::run_grains(Batch& batch, bool caller) {
+void ThreadPool::run_grains(Batch& batch, unsigned slot) {
   std::uint64_t ran = 0;
   for (;;) {
     const std::size_t g = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (g >= batch.num_grains) break;
-    ++ran;
     if (g_grain_hook_installed.load(std::memory_order_acquire)) {
       if (const auto hook = load_grain_hook(); hook) {
         (*hook)(g_grain_seq.fetch_add(1, std::memory_order_relaxed));
       }
     }
     if (!batch.failed.load(std::memory_order_relaxed)) {
+      // Only grains whose body runs count towards grains_total; grains
+      // claimed after a failure are skipped work and would otherwise
+      // inflate the per-block sched counters (they used to).
+      ++ran;
       const std::size_t begin = g * batch.grain;
       const std::size_t end = std::min(batch.count, begin + batch.grain);
       try {
-        for (std::size_t i = begin; i < end; ++i) (*batch.fn)(i);
+        for (std::size_t i = begin; i < end; ++i) (*batch.fn)(slot, i);
       } catch (...) {
         const MutexLock lock(batch.m);
         if (!batch.error) batch.error = std::current_exception();
@@ -120,12 +135,18 @@ void ThreadPool::run_grains(Batch& batch, bool caller) {
     }
   }
   grains_total_.fetch_add(ran, std::memory_order_relaxed);
-  if (caller) grains_caller_run_.fetch_add(ran, std::memory_order_relaxed);
+  if (slot == 0) grains_caller_run_.fetch_add(ran, std::memory_order_relaxed);
 }
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
+  const SlotFn slotted = [&fn](unsigned, std::size_t i) { fn(i); };
+  parallel_for_slots(count, slotted, grain);
+}
+
+void ThreadPool::parallel_for_slots(std::size_t count, const SlotFn& fn,
+                                    std::size_t grain) {
   if (count == 0) return;
   parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
 
@@ -152,7 +173,8 @@ void ThreadPool::parallel_for(std::size_t count,
       const MutexLock lock(mutex_);
       if (!stopping_) {
         for (std::size_t h = 0; h < helpers; ++h) {
-          queue_.push([this, batch] { run_grains(*batch, /*caller=*/false); });
+          const unsigned slot = static_cast<unsigned>(h) + 1;
+          queue_.push([this, batch, slot] { run_grains(*batch, slot); });
         }
       }
     }
@@ -163,7 +185,7 @@ void ThreadPool::parallel_for(std::size_t count,
     }
   }
 
-  run_grains(*batch, /*caller=*/true);
+  run_grains(*batch, /*slot=*/0);
 
   std::exception_ptr error;
   {
@@ -195,6 +217,8 @@ void ThreadPool::worker_loop(unsigned worker_index) {
   // The gap histogram attributes scheduler idleness (time between
   // finishing one task and dequeuing the next); only recorded while the
   // global tracer is enabled so the quiescent path stays clock-free.
+  // Caller-run grains never feed it: they are not dequeues, and the
+  // submitting thread was busy, not idle (see the pinned-count test).
   obs::Histogram* gap_histogram = nullptr;
   std::chrono::steady_clock::time_point idle_since;
   bool idle_since_valid = false;

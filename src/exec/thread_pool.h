@@ -22,7 +22,9 @@ struct ThreadPoolStats {
   /// per-worker helper tasks parallel_for enqueues).
   std::uint64_t tasks_run = 0;
   std::uint64_t parallel_for_calls = 0;
-  /// Contiguous index grains executed across all parallel_for calls.
+  /// Contiguous index grains whose body actually ran, across all
+  /// parallel_for calls. Grains claimed after a failure was recorded are
+  /// skipped and NOT counted (they did no work).
   std::uint64_t grains_total = 0;
   /// Grains the submitting thread drained itself (caller-runs share);
   /// always > 0 when the pool is saturated or the call is nested.
@@ -72,6 +74,20 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0);
 
+  /// parallel_for variant whose fn also receives a stable execution-slot
+  /// id in [0, size()]: the calling thread always claims slot 0 and the
+  /// h-th helper task claims slot h+1. Each helper is a distinct queue
+  /// entry and a worker runs one task at a time, so two concurrently
+  /// running grains never share a slot — engines index per-worker scratch
+  /// (overlays, trackers, accumulators) by it without locks.
+  ///
+  /// Caveat: slot ids are per-call, so a NESTED slotted call reuses slot
+  /// ids already live in the outer call. The engines only fan out one
+  /// level; keep it that way for slot-indexed scratch.
+  using SlotFn = std::function<void(unsigned slot, std::size_t i)>;
+  void parallel_for_slots(std::size_t count, const SlotFn& fn,
+                          std::size_t grain = 0);
+
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Snapshot of the monotonic scheduling counters.
@@ -87,11 +103,36 @@ class ThreadPool {
   using GrainHook = std::function<void(std::uint64_t grain_seq)>;
   static void set_grain_hook(GrainHook hook);
 
+  /// Like set_grain_hook but returns the previously installed hook (an
+  /// empty function when none), so scoped installers can restore it.
+  static GrainHook swap_grain_hook(GrainHook hook);
+
+  /// Whether any grain hook is currently installed (test assertions).
+  static bool grain_hook_installed();
+
+  /// RAII installer for the grain hook: installs `hook` on construction
+  /// and restores the PREVIOUS hook on destruction. Nested guards compose
+  /// and a scope that unwinds through an exception cannot leak its hook
+  /// into later tests or benches — the conformance SchedulePerturber is
+  /// built on this.
+  class GrainHookGuard {
+   public:
+    explicit GrainHookGuard(GrainHook hook)
+        : prev_(swap_grain_hook(std::move(hook))) {}
+    ~GrainHookGuard() { swap_grain_hook(std::move(prev_)); }
+
+    GrainHookGuard(const GrainHookGuard&) = delete;
+    GrainHookGuard& operator=(const GrainHookGuard&) = delete;
+
+   private:
+    GrainHook prev_;
+  };
+
  private:
   struct Batch;  // shared state of one parallel_for call
 
   void worker_loop(unsigned worker_index);
-  void run_grains(Batch& batch, bool caller);
+  void run_grains(Batch& batch, unsigned slot);
 
   const char* label_;                 // interned pool name (see obs/trace.h)
   std::vector<std::thread> workers_;  // written once in the constructor

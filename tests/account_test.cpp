@@ -918,6 +918,90 @@ TEST_F(RuntimeTest, ZeroValueTransferTouchesNothing) {
   }
 }
 
+// ------------------------------------------- hot-path runtime plumbing
+
+// precheck_transaction is the engines' cheap speculative fast-reject; it
+// must agree with apply_transaction's phase-1 verdict exactly: non-null
+// reason <=> apply throws ValidationError. Drift between the two would
+// make the speculative engines silently skip (or doubly execute) txs.
+TEST(Precheck, StaysInLockstepWithApplyValidation) {
+  StateDb db;
+  db.set_balance(addr(1), 100'000);
+  db.set_nonce(addr(1), 2);
+  db.flush_journal();
+  RuntimeConfig config;
+
+  auto make_tx = [] {
+    AccountTx tx;
+    tx.from = addr(1);
+    tx.to = addr(2);
+    tx.value = 10;
+    tx.gas_limit = 30000;
+    tx.gas_price = 1;
+    tx.nonce = 2;
+    return tx;
+  };
+
+  std::vector<AccountTx> cases;
+  cases.push_back(make_tx());  // valid
+  cases.push_back(make_tx());
+  cases.back().nonce = 1;  // stale nonce
+  cases.push_back(make_tx());
+  cases.back().nonce = 9;  // future nonce
+  cases.push_back(make_tx());
+  cases.back().value = 10'000'000;  // cannot cover value + max fee
+  cases.push_back(make_tx());
+  cases.back().gas_limit = 1;  // below intrinsic cost
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const char* reason = precheck_transaction(db, cases[i], config);
+    StateDb scratch = db;
+    if (reason == nullptr) {
+      EXPECT_NO_THROW(apply_transaction(scratch, cases[i], config)) << i;
+    } else {
+      EXPECT_THROW(apply_transaction(scratch, cases[i], config),
+                   ValidationError)
+          << i << ": precheck said '" << reason << "'";
+    }
+  }
+}
+
+TEST(JournalPauseTest, PausedWritesSurviveRevert) {
+  StateDb db;
+  db.set_balance(addr(1), 100);
+  db.flush_journal();
+  const Snapshot snap = db.snapshot();
+  db.set_balance(addr(2), 50);  // journaled: revert will undo it
+  {
+    const JournalPause pause(db);
+    EXPECT_FALSE(db.journaling());
+    db.set_balance(addr(3), 75);  // committed value: skips the journal
+  }
+  EXPECT_TRUE(db.journaling());  // restored on scope exit
+  db.revert(snap);
+  EXPECT_EQ(db.balance(addr(2)), 0u);   // journaled write rolled back
+  EXPECT_EQ(db.balance(addr(3)), 75u);  // paused write is permanent
+}
+
+TEST(ReceiptReset, ClearsFieldsButKeepsCapacity) {
+  Receipt receipt;
+  receipt.success = true;
+  receipt.gas_used = 123;
+  receipt.error = "boom";
+  receipt.reads.assign(8, SlotAccess{addr(1), 0});
+  receipt.writes.assign(4, SlotAccess{addr(2), 1});
+  const std::size_t reads_cap = receipt.reads.capacity();
+  receipt.reset();
+  EXPECT_FALSE(receipt.success);
+  EXPECT_EQ(receipt.gas_used, 0u);
+  EXPECT_TRUE(receipt.error.empty());
+  EXPECT_TRUE(receipt.reads.empty());
+  EXPECT_TRUE(receipt.writes.empty());
+  // Capacity survives: reusing one receipt across a block's transactions
+  // must not reallocate its access-set vectors every time.
+  EXPECT_EQ(receipt.reads.capacity(), reads_cap);
+}
+
 TEST_F(RuntimeTest, SupplyConservedAcrossContractCalls) {
   // Fees are burned, so supply decreases exactly by gas_used * price.
   const Address cold = addr(11);

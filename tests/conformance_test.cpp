@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "account/runtime.h"
@@ -210,6 +211,66 @@ TEST(SchedulePerturber, PoolStaysCorrectUnderPerturbation) {
       ASSERT_EQ(h.load(), 1);
     }
   }
+}
+
+// The perturber owns its grain hook through a GrainHookGuard: it must be
+// uninstalled on EVERY scope exit — normal, nested, or exceptional. A
+// leaked hook would keep perturbing every later test and benchmark in
+// the process (and a failing grid aborts mid-sweep, exactly the path a
+// manual uninstall-at-the-end misses).
+TEST(SchedulePerturber, HookUninstalledOnScopeExit) {
+  ASSERT_FALSE(exec::ThreadPool::grain_hook_installed());
+  {
+    const SchedulePerturber perturber(11);
+    EXPECT_TRUE(exec::ThreadPool::grain_hook_installed());
+  }
+  EXPECT_FALSE(exec::ThreadPool::grain_hook_installed());
+}
+
+TEST(SchedulePerturber, HookUninstalledWhenScopeThrows) {
+  ASSERT_FALSE(exec::ThreadPool::grain_hook_installed());
+  try {
+    const SchedulePerturber perturber(12);
+    EXPECT_TRUE(exec::ThreadPool::grain_hook_installed());
+    throw std::runtime_error("grid cell diverged");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(exec::ThreadPool::grain_hook_installed());
+}
+
+TEST(SchedulePerturber, NestedPerturbersRestoreTheOuterHook) {
+  exec::ThreadPool pool(2);
+  const SchedulePerturber outer(1);
+  {
+    const SchedulePerturber inner(2);
+    std::atomic<int> sum{0};
+    pool.parallel_for(64, [&](std::size_t) { ++sum; }, /*grain=*/4);
+    ASSERT_EQ(sum.load(), 64);
+    EXPECT_GT(inner.stats().grains_seen, 0u);
+    EXPECT_EQ(outer.stats().grains_seen, 0u);  // shadowed, not invoked
+  }
+  // The inner guard restored the outer perturber rather than removing
+  // the hook outright.
+  EXPECT_TRUE(exec::ThreadPool::grain_hook_installed());
+  std::atomic<int> sum{0};
+  pool.parallel_for(64, [&](std::size_t) { ++sum; }, /*grain=*/4);
+  ASSERT_EQ(sum.load(), 64);
+  EXPECT_GT(outer.stats().grains_seen, 0u);
+}
+
+// Negative control at the grid level: a full differential sweep installs
+// and removes perturbers for every cell; after it returns (pass or
+// fail), no hook may remain installed.
+TEST(SchedulePerturber, GridLeavesNoHookInstalled) {
+  GridOptions options;
+  options.profiles = {"ethereum"};
+  options.executors = {"speculative"};
+  options.thread_grid = {2};
+  options.num_schedule_seeds = 1;
+  options.num_blocks = 1;
+  options.tx_scale = 0.25;
+  (void)run_grid(options);
+  EXPECT_FALSE(exec::ThreadPool::grain_hook_installed());
 }
 
 // A wired-but-dead hook would silently weaken every conformance sweep, so

@@ -19,6 +19,8 @@
 #include "exec/replay.h"
 #include "exec/schedule_sim.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "obs/trace.h"
 #include "workload/account_workload.h"
 #include "workload/profiles.h"
@@ -156,6 +158,139 @@ TEST(ThreadPool, NestedParallelForCompletes) {
   watchdog.get();
   EXPECT_EQ(inner_total.load(), 32);
   delete pool;
+}
+
+// Deterministic counter audit: park the single worker behind a gate so
+// the CALLING thread must drain every grain alone, then pin the stats
+// deltas exactly. grains_total counts only grains whose body ran —
+// grains claimed after a failure are skipped work and must not count
+// (they used to, inflating the per-block sched counters after any
+// grain threw).
+TEST(ThreadPool, GrainsTotalCountsOnlyBodiesThatRan) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  auto gate = pool.submit([f = release.get_future().share()] { f.wait(); });
+
+  const ThreadPoolStats before = pool.stats();
+  int bodies_run = 0;
+  EXPECT_THROW(pool.parallel_for(
+                   50,
+                   [&](std::size_t i) {
+                     ++bodies_run;
+                     if (i == 0) throw UsageError("first grain fails");
+                   },
+                   /*grain=*/1),
+               UsageError);
+  const ThreadPoolStats after = pool.stats();
+  // The caller claims grain 0, runs it (it throws), then skips the
+  // remaining 49: exactly one grain ran, entirely caller-run.
+  EXPECT_EQ(bodies_run, 1);
+  EXPECT_EQ(after.grains_total - before.grains_total, 1u);
+  EXPECT_EQ(after.grains_caller_run - before.grains_caller_run, 1u);
+
+  release.set_value();
+  gate.get();
+}
+
+// Same gated-worker setup, success path: the caller drains all grains,
+// so the caller-run share equals the total — no grain is double-counted
+// between the caller and the (parked) helper.
+TEST(ThreadPool, CallerDrainsEveryGrainWhenWorkerIsBusy) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  auto gate = pool.submit([f = release.get_future().share()] { f.wait(); });
+
+  const ThreadPoolStats before = pool.stats();
+  std::atomic<int> sum{0};
+  pool.parallel_for(40, [&](std::size_t) { ++sum; }, /*grain=*/4);
+  const ThreadPoolStats after = pool.stats();
+  EXPECT_EQ(sum.load(), 40);
+  EXPECT_EQ(after.grains_total - before.grains_total, 10u);
+  EXPECT_EQ(after.grains_caller_run - before.grains_caller_run, 10u);
+
+  release.set_value();
+  gate.get();
+}
+
+// Metric-skew audit for pool.dequeue_gap_us: the histogram measures
+// worker idle time between QUEUE TASK dequeues. Caller-run grains are
+// not dequeues (the submitting thread was busy, not idle), so a
+// parallel_for drained entirely by the caller contributes gap samples
+// only for its helper task — never one per grain. A regression that
+// observed the gap per grain would skew the scheduling attribution by
+// an order of magnitude.
+TEST(ThreadPool, CallerRunGrainsDoNotFeedDequeueGapHistogram) {
+  const bool was_enabled = obs::Tracer::global().enabled();
+  obs::Tracer::global().enable();  // gap sampling is tracer-gated
+
+  {
+    ThreadPool pool(1);
+    obs::Histogram& gap =
+        obs::Registry::global().histogram("pool.dequeue_gap_us");
+    // Park the worker. Its dequeue of the gate task records no gap: the
+    // fresh worker has no previous-task timestamp.
+    std::promise<void> release;
+    auto gate = pool.submit([f = release.get_future().share()] { f.wait(); });
+    const std::uint64_t gap_before = gap.count();
+    const ThreadPoolStats stats_before = pool.stats();
+
+    std::atomic<int> sum{0};
+    pool.parallel_for(32, [&](std::size_t) { ++sum; }, /*grain=*/1);
+    ASSERT_EQ(sum.load(), 32);
+    ASSERT_EQ(pool.stats().grains_caller_run - stats_before.grains_caller_run,
+              32u);
+
+    release.set_value();
+    gate.get();
+    // Two dequeues follow the gate task: the parked helper task and this
+    // sentinel — so exactly two gap samples despite 32 caller-run grains.
+    pool.submit([] {}).get();
+    EXPECT_EQ(gap.count() - gap_before, 2u);
+  }
+
+  if (!was_enabled) obs::Tracer::global().disable();
+}
+
+// GrainHookGuard: scoped installation restores the PREVIOUS hook, so
+// nested installers compose and an exception cannot leak a hook into
+// later tests or benches.
+TEST(ThreadPool, GrainHookGuardRestoresPreviousHookOnExit) {
+  ASSERT_FALSE(ThreadPool::grain_hook_installed());
+  ThreadPool pool(2);
+  std::atomic<int> outer_hits{0};
+  std::atomic<int> inner_hits{0};
+  {
+    const ThreadPool::GrainHookGuard outer(
+        [&](std::uint64_t) { ++outer_hits; });
+    pool.parallel_for(8, [](std::size_t) {}, /*grain=*/1);
+    const int outer_after_first = outer_hits.load();
+    EXPECT_GT(outer_after_first, 0);
+    {
+      const ThreadPool::GrainHookGuard inner(
+          [&](std::uint64_t) { ++inner_hits; });
+      pool.parallel_for(8, [](std::size_t) {}, /*grain=*/1);
+      EXPECT_GT(inner_hits.load(), 0);
+      EXPECT_EQ(outer_hits.load(), outer_after_first);  // outer dormant
+    }
+    // Inner scope gone: the outer hook is live again, not removed.
+    EXPECT_TRUE(ThreadPool::grain_hook_installed());
+    const int inner_final = inner_hits.load();
+    pool.parallel_for(8, [](std::size_t) {}, /*grain=*/1);
+    EXPECT_GT(outer_hits.load(), outer_after_first);
+    EXPECT_EQ(inner_hits.load(), inner_final);
+  }
+  EXPECT_FALSE(ThreadPool::grain_hook_installed());
+}
+
+TEST(ThreadPool, GrainHookGuardUninstallsWhenScopeThrows) {
+  ASSERT_FALSE(ThreadPool::grain_hook_installed());
+  try {
+    const ThreadPool::GrainHookGuard guard([](std::uint64_t) {});
+    EXPECT_TRUE(ThreadPool::grain_hook_installed());
+    throw UsageError("unwind through the guard");
+  } catch (const UsageError&) {
+  }
+  EXPECT_FALSE(ThreadPool::grain_hook_installed());
 }
 
 // Regression (exception aggregation): many grains throw, the caller sees
@@ -381,6 +516,63 @@ TEST_F(ExecutorRig, SpeculativeBinsConflictedTransactions) {
   EXPECT_LT(report.sequential_txs, report.num_txs);
   // Conflicted transactions execute twice.
   EXPECT_EQ(report.executions, report.num_txs + report.sequential_txs);
+}
+
+// conflict_stall_us must time the serial bin's APPLY work only — not the
+// span construction, tracer bookkeeping, or commit walking around it. A
+// conflict-free block has an empty bin, so the engine must report a
+// stall of exactly zero (the pre-fix code timed the whole phase-2 scope
+// and reported a nonzero stall even with nothing binned).
+TEST(ExecutorStallMetric, ConflictFreeBlockReportsExactlyZeroStall) {
+  account::StateDb state;
+  std::vector<account::AccountTx> block;
+  for (std::uint64_t s = 1; s <= 16; ++s) {
+    state.set_balance(addr(s), 1'000'000);
+    account::AccountTx tx;
+    tx.from = addr(s);
+    tx.to = addr(100 + s);  // pairwise-disjoint transfers: no conflicts
+    tx.value = 5;
+    tx.gas_limit = 30000;
+    tx.nonce = 0;
+    block.push_back(tx);
+  }
+  state.flush_journal();
+
+  for (const char* engine : {"speculative", "speculative-fww",
+                             "oracle-speculative"}) {
+    obs::Registry registry;
+    const obs::Scope scope{nullptr, &registry};
+    account::RuntimeConfig config;
+    config.obs = &scope;
+    auto executor = make_executor(engine, 4);
+    account::StateDb db = state;
+    const ExecutionReport report = executor->execute_block(db, block, config);
+    ASSERT_EQ(report.sequential_txs, 0u) << engine;
+
+    const obs::Histogram& stall =
+        registry.histogram("exec.conflict_stall_us");
+    EXPECT_EQ(stall.count(), 1u) << engine;
+    EXPECT_EQ(stall.sum(), 0.0)
+        << engine << ": empty bin must observe a stall of exactly 0us, "
+        << "not residual span/tracer overhead";
+  }
+}
+
+TEST_F(ExecutorRig, ConflictStallIsPositiveButWithinPhase2) {
+  // The rig block has real conflicts, so the bin is non-empty: the stall
+  // must be positive yet bounded by the whole phase-2 wall (conflict
+  // detection + commit + bin), of which the bin apply time is a subset.
+  obs::Registry registry;
+  const obs::Scope scope{nullptr, &registry};
+  config_.obs = &scope;
+  auto executor = make_speculative_executor(4);
+  const auto [state, report] = run(*executor);
+  ASSERT_GT(report.sequential_txs, 0u);
+
+  const obs::Histogram& stall = registry.histogram("exec.conflict_stall_us");
+  ASSERT_EQ(stall.count(), 1u);
+  EXPECT_GT(stall.sum(), 0.0);
+  EXPECT_LE(stall.sum(), report.sched.phase2_seconds * 1e6);
 }
 
 TEST_F(ExecutorRig, FirstWriterWinsBinsFewer) {
