@@ -408,6 +408,9 @@ void write_bench_exec_json() {
     bench::RepetitionStats wall;
     double wall_speedup = 0.0;
     double simulated_speedup = 1.0;
+    /// Mean execution attempts per transaction (1.0 = no re-execution);
+    /// the retry-cost axis for engines with targeted re-execution.
+    double attempts_per_tx = 1.0;
   };
   std::vector<Row> rows;
   const double inject = injected_slowdown_factor();
@@ -446,6 +449,10 @@ void write_bench_exec_json() {
           const exec::ExecutionReport report =
               executor->execute_block(db, cell.block, config);
           row.simulated_speedup = report.simulated_speedup;
+          row.attempts_per_tx =
+              report.num_txs > 0
+                  ? static_cast<double>(report.executions) / report.num_txs
+                  : 1.0;
           return report.wall_seconds;
         });
         if (spec.name == "sequential") {
@@ -484,7 +491,8 @@ void write_bench_exec_json() {
         << ", \"wall_seconds\": " << row.wall.median_seconds
         << ", \"wall_iqr_seconds\": " << row.wall.iqr_seconds
         << ", \"wall_speedup\": " << row.wall_speedup
-        << ", \"simulated_speedup\": " << row.simulated_speedup << "}"
+        << ", \"simulated_speedup\": " << row.simulated_speedup
+        << ", \"attempts_per_tx\": " << row.attempts_per_tx << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

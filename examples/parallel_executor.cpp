@@ -7,7 +7,8 @@
 //
 // Pass --trace[=file] (or set TXCONC_TRACE=<file>) to record every span
 // to a Chrome trace_event JSON, loadable in Perfetto / chrome://tracing,
-// and to print the metrics registry afterwards.
+// and to print the metrics registry afterwards. Pass --engine=<name> to
+// run only one registered engine (sequential always runs as the oracle).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -22,17 +23,50 @@
 
 using namespace txconc;
 
+namespace {
+
+// Registry names, comma-joined, for the usage and error messages — the
+// engine list below is registry-driven, so this is always current
+// (speculative, speculative-fww, oracle, group, occ, block-stm, ...).
+std::string registry_names() {
+  std::string names;
+  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+    if (!names.empty()) names += ", ";
+    names += spec.name;
+  }
+  return names;
+}
+
+int usage(const char* argv0, int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: " << argv0 << " [--trace[=file]] [--engine=<name>]\n"
+      << "  --trace[=file]   write a Chrome trace (default file:\n"
+      << "                   parallel_executor_trace.json) and print the\n"
+      << "                   metrics registry\n"
+      << "  --engine=<name>  run only <name> (plus the sequential oracle).\n"
+      << "                   registered engines: " << registry_names()
+      << "\n";
+  return code;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string engine_filter;
   if (const char* env = std::getenv("TXCONC_TRACE")) trace_path = env;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = "parallel_executor_trace.json";
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      engine_filter = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      return usage(argv[0], 0);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--trace[=file]]\n";
-      return 2;
+      return usage(argv[0], 2);
     }
   }
   const bool tracing = !trace_path.empty();
@@ -42,14 +76,24 @@ int main(int argc, char** argv) {
   const workload::ChainProfile profile = workload::ethereum_profile();
   const std::uint64_t skip = profile.default_blocks - 1;
 
+  // Every registered engine at 4 threads, sequential first (it is the
+  // digest oracle the others are compared against, so it always runs
+  // even under --engine).
   std::vector<std::unique_ptr<exec::BlockExecutor>> engines;
-  engines.push_back(exec::make_sequential_executor());
-  engines.push_back(exec::make_speculative_executor(4));
-  engines.push_back(exec::make_speculative_executor(
-      4, exec::AbortPolicy::kFirstWriterWins));
-  engines.push_back(exec::make_oracle_executor(4));
-  engines.push_back(exec::make_group_executor(4));
-  engines.push_back(exec::make_occ_executor(4));
+  bool filter_found = engine_filter.empty();
+  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+    const bool selected =
+        engine_filter.empty() || spec.name == engine_filter;
+    if (spec.name == engine_filter) filter_found = true;
+    if (spec.name == "sequential" || selected) {
+      engines.push_back(spec.make(4));
+    }
+  }
+  if (!filter_found) {
+    std::cerr << "unknown engine \"" << engine_filter
+              << "\"; registered engines: " << registry_names() << "\n";
+    return 2;
+  }
 
   analysis::TextTable table({"executor", "sequential txs", "executions",
                              "unit-cost time", "speed-up", "state"});
@@ -83,7 +127,10 @@ int main(int argc, char** argv) {
          "twice\n"
          "    (executions > block size); the oracle and group engines "
          "never\n"
-         "    re-execute; OCC retries in parallel waves;\n"
+         "    re-execute; OCC retries in parallel waves; block-stm "
+         "re-executes\n"
+         "    only invalidated transactions against its multi-version "
+         "store;\n"
          "  * unit-cost time is the paper's model currency: one unit per\n"
          "    transaction execution slot on the critical path.\n";
 

@@ -80,11 +80,13 @@ if lane_enabled asan; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
-    --target obs_test --target trace_propagation_test --target hotpath_test
+    --target obs_test --target trace_propagation_test --target hotpath_test \
+    --target block_stm_test
   # Leak checking needs ptrace, which container CI runners often deny; the
   # races/UB we are after are caught without it.
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/obs_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/hotpath_test
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/block_stm_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/trace_propagation_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
   ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
@@ -106,9 +108,13 @@ if lane_enabled tsan; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
-    --target obs_test --target trace_propagation_test --target hotpath_test
+    --target obs_test --target trace_propagation_test --target hotpath_test \
+    --target block_stm_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/obs_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/hotpath_test
+  # block_stm_test's concurrent rounds drive the MV store, ESTIMATE
+  # suspension, and validation sweep from real pool workers.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/block_stm_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_propagation_test
   # exec_test runs with the tracer enabled (TraceEnv in exec_test.cpp):
   # every pool/executor span-emission path executes under TSan.

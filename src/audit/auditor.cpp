@@ -74,6 +74,11 @@ void AccessAuditor::set_executor(std::string name) {
   executor_name_ = std::move(name);
 }
 
+void AccessAuditor::set_commit_discipline(CommitDiscipline discipline) {
+  const MutexLock lock(mu_);
+  discipline_ = discipline;
+}
+
 void AccessAuditor::begin_block(std::span<const account::AccountTx> txs,
                                 const account::State& state) {
   const MutexLock lock(mu_);
@@ -197,13 +202,29 @@ AuditReport AccessAuditor::finish_block() {
   for (std::size_t i = 0; i < by_index.size(); ++i) {
     Declared* declared = by_index[i];
     if (declared == nullptr) continue;
+    // Under kMultiVersion an abandoned attempt is legitimate (an ESTIMATE
+    // read unwound the execution) — unless it is the transaction's LAST
+    // attempt, since the committed value must come from the final run.
+    const Attempt* latest = nullptr;
+    for (const Attempt& attempt : declared->attempts) {
+      if (latest == nullptr || attempt.begin_seq > latest->begin_seq) {
+        latest = &attempt;
+      }
+    }
     for (const Attempt& attempt : declared->attempts) {
       if (attempt.open) {
+        if (discipline_ == CommitDiscipline::kMultiVersion) {
+          ++report.attempts_abandoned;
+          if (&attempt != latest) continue;
+        }
         AuditViolation v;
         v.kind = AuditViolation::Kind::kUnmatchedRecord;
         v.tx_a = i;
-        v.detail = "execution attempt never completed (begin_seq " +
-                   std::to_string(attempt.begin_seq) + ")";
+        v.detail =
+            (discipline_ == CommitDiscipline::kMultiVersion
+                 ? "last execution attempt was abandoned (begin_seq "
+                 : "execution attempt never completed (begin_seq ") +
+            std::to_string(attempt.begin_seq) + ")";
         report.violations.push_back(std::move(v));
         continue;
       }
@@ -254,6 +275,48 @@ AuditReport AccessAuditor::finish_block() {
         const std::size_t j = members[b];
         const Attempt& fi = *finals[i];
         const Attempt& fj = *finals[j];
+
+        if (discipline_ == CommitDiscipline::kMultiVersion) {
+          // Publication ordering: for every slot j's final run read that
+          // i's final run wrote — and no intermediate same-component
+          // transaction's final wrote (j read *that* version instead) —
+          // j's validated read can only have seen a value published after
+          // i completed, so i's final must end before j's does. Output and
+          // anti-dependencies carry no constraint: versions coexist in the
+          // store, and reads resolve strictly-lower indices.
+          const account::SlotAccess* dep = nullptr;
+          for (const account::SlotAccess& slot : fj.reads) {
+            if (write_sets[i].count(slot) == 0) continue;
+            bool shadowed = false;
+            for (std::size_t m = a + 1; m < b; ++m) {
+              if (write_sets[members[m]].count(slot) != 0) {
+                shadowed = true;
+                break;
+              }
+            }
+            if (!shadowed) {
+              dep = &slot;
+              break;
+            }
+          }
+          if (dep != nullptr) {
+            ++report.conflict_pairs_checked;
+            if (fi.end_seq >= fj.end_seq) {
+              AuditViolation v;
+              v.kind = AuditViolation::Kind::kUnorderedConflict;
+              v.tx_a = i;
+              v.tx_b = j;
+              v.detail = "reader's final run completed before its "
+                         "writer's on " +
+                         slot_name(*dep) + ": tx#" + std::to_string(i) +
+                         " ended at " + std::to_string(fi.end_seq) +
+                         ", tx#" + std::to_string(j) + " ended at " +
+                         std::to_string(fj.end_seq);
+              report.violations.push_back(std::move(v));
+            }
+          }
+          continue;
+        }
 
         // True or output dependency: i's writes feed (or race with) j.
         const account::SlotAccess* true_dep =

@@ -54,10 +54,35 @@ struct AuditViolation {
 
 const char* to_string(AuditViolation::Kind kind);
 
+/// How the executor under audit orders conflicting commits — selects which
+/// check-(b) rules finish_block applies.
+enum class CommitDiscipline {
+  /// Interval exclusivity (every engine up to occ): a true or output
+  /// dependency requires the earlier final run to end strictly before the
+  /// later one begins; anti-dependencies may overlap but the reader must
+  /// not run strictly after the writer; abandoned attempts are broken
+  /// recorder pairings.
+  kInterval,
+  /// Multi-version stores (block-stm): concurrent attempts over the same
+  /// slots are the design. Reads resolve strictly-lower-index versions, so
+  /// anti-dependencies are structurally safe, and write-write pairs
+  /// coexist as separate versions. The checkable ordering is publication:
+  /// a later transaction whose final run read a slot the earlier one wrote
+  /// (with no intermediate same-component writer of that slot) must have
+  /// completed after the earlier one did — its validated read saw a value
+  /// published only after the writer's completion. Abandoned attempts are
+  /// counted, and only the *last* attempt of a transaction being abandoned
+  /// is a violation (the committed value must come from the final run).
+  kMultiVersion,
+};
+
 /// What one audited block looked like.
 struct AuditReport {
   std::size_t transactions_declared = 0;
   std::size_t attempts_recorded = 0;     ///< Completed execution attempts.
+  /// Attempts begun but never completed. A violation under kInterval;
+  /// expected under kMultiVersion (ESTIMATE aborts unwind mid-execution).
+  std::size_t attempts_abandoned = 0;
   std::size_t conflict_pairs_checked = 0;
   std::size_t threads_seen = 0;          ///< Distinct executing threads.
   std::vector<AuditViolation> violations;
@@ -95,6 +120,11 @@ class AccessAuditor final : public account::AccessRecorder {
   /// ("executor=<name>") so a violation line is attributable without the
   /// surrounding harness context.
   void set_executor(std::string name);
+
+  /// Select the commit-ordering rules for the engine under audit (see
+  /// CommitDiscipline). Defaults to kInterval; harnesses set kMultiVersion
+  /// for registry entries flagged ExecutorSpec::multi_version.
+  void set_commit_discipline(CommitDiscipline discipline);
 
   /// Declare the next block: computes each transaction's predicted
   /// address closure and conflict component. Attempts reported through
@@ -158,6 +188,7 @@ class AccessAuditor final : public account::AccessRecorder {
   bool block_open_ GUARDED_BY(mu_) = false;
   std::string repro_hint_ GUARDED_BY(mu_);
   std::string executor_name_ GUARDED_BY(mu_);
+  CommitDiscipline discipline_ GUARDED_BY(mu_) = CommitDiscipline::kInterval;
 };
 
 }  // namespace txconc::audit

@@ -134,6 +134,11 @@ std::optional<Divergence> run_audit_cell(const RunSpec& spec) {
   audit::AccessAuditor auditor;
   auditor.set_repro_hint(format_spec(spec));
   auditor.set_executor(spec.executor);
+  for (const exec::ExecutorSpec& entry : exec::executor_registry()) {
+    if (entry.name == spec.executor && entry.multi_version) {
+      auditor.set_commit_discipline(audit::CommitDiscipline::kMultiVersion);
+    }
+  }
   AuditObserver observer(auditor);
   replayer.set_access_recorder(&auditor);
   replayer.set_block_observer(&observer);

@@ -1,0 +1,199 @@
+// Block-STM executor (Gelashvili et al., PPoPP'22): optimistic
+// multi-version execution with dynamic dependency discovery.
+//
+// Unlike the OCC wave executor — which freezes the base state per wave and
+// validates in order, serializing on the first conflict of every wave
+// (DESIGN.md §13.3) — Block-STM gives every transaction a private view
+// over a multi-version store: reads resolve to the highest lower-index
+// speculative write, aborted incarnations leave ESTIMATE markers that
+// suspend dependent reads instead of letting them run on garbage, and
+// validation failures re-execute only the invalidated transaction (plus
+// revalidation of its suffix), never the whole block.
+//
+// This header exposes the multi-version store itself so the unit tests in
+// tests/block_stm_test.cpp can drive it directly; the engine, view, and
+// cooperative scheduler live in block_stm.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "account/state.h"
+#include "account/types.h"
+#include "common/flat_table.h"
+#include "common/thread_annotations.h"
+#include "exec/executor.h"
+
+namespace txconc::exec {
+
+/// Thrown by the multi-version view when a read resolves to an ESTIMATE
+/// marker (the blocking transaction aborted and has not re-executed yet).
+/// Deliberately NOT derived from std::exception: the runtime catches
+/// ValidationError/VmError around transaction execution, and this signal
+/// must unwind through apply_transaction_into untouched, back to the
+/// scheduler that suspends the reader on `blocking_tx`.
+struct EstimateAbort {
+  std::uint32_t blocking_tx = 0;
+};
+
+/// Which value channel of an account a multi-version entry covers.
+/// Balance and nonce get their own channels (rather than the tracker's
+/// kBalanceKey aliasing) so a storage slot can never collide with them.
+enum class MvChannel : std::uint8_t {
+  kStorage = 0,
+  kBalance = 1,
+  kNonce = 2,
+  kCode = 3,
+};
+
+/// One multi-version coordinate: (account, storage key, channel).
+struct MvKey {
+  Address addr;
+  account::StorageKey key = 0;  ///< 0 for the non-storage channels
+  MvChannel channel = MvChannel::kStorage;
+
+  bool operator==(const MvKey&) const = default;
+};
+
+struct MvKeyHash {
+  std::size_t operator()(const MvKey& k) const noexcept {
+    std::size_t seed =
+        account::SlotAccessHash{}(account::SlotAccess{k.addr, k.key});
+    seed ^= (static_cast<std::size_t>(k.channel) + 0x9e3779b97f4a7c15ULL +
+             (seed << 6) + (seed >> 2));
+    return seed;
+  }
+};
+
+/// Multi-version in-memory state for one block execution.
+///
+/// Every write of transaction `tx`, incarnation `inc`, is stored as the
+/// version (tx, inc); a reader at transaction index `r` resolves a key to
+/// the version with the highest tx < r, or falls through to the base
+/// state when no such version exists. Aborted incarnations flip their
+/// versions to ESTIMATE markers in place; a resolution landing on an
+/// estimate tells the reader which transaction to wait for.
+///
+/// Thread safety: internally sharded by key hash; every operation locks
+/// only the key's shard (plus the code map's own mutex for the kCode
+/// channel). Value channels are allocation-free in the steady state —
+/// version chains and the per-shard index keep their capacity across
+/// reset() — matching the engines' hot-path discipline (DESIGN.md §13).
+class MultiVersionStore {
+ public:
+  /// Reader-index sentinel recorded for reads that fell through to the
+  /// base state (no lower-index version existed).
+  static constexpr std::uint32_t kBase = 0xffffffffu;
+
+  struct Resolution {
+    bool found = false;     ///< false: fall through to the base state
+    bool estimate = false;  ///< true: blocked on `tx` (value invalid)
+    std::uint32_t tx = 0;
+    std::uint32_t incarnation = 0;
+    std::uint64_t value = 0;
+    /// kCode channel only: the resolved deployment (null on fall-through).
+    std::shared_ptr<const account::ContractCode> code;
+  };
+
+  /// Highest-lower-index read: the version with the greatest tx strictly
+  /// below reader_tx, estimates included (callers must check .estimate).
+  Resolution resolve(const MvKey& key, std::uint32_t reader_tx) const;
+
+  /// Record `value` as (tx, incarnation). Re-publishing the same (key, tx)
+  /// replaces the entry and must not decrease the incarnation — that would
+  /// mean a stale execution overwrote a newer one (UsageError).
+  void publish(const MvKey& key, std::uint32_t tx, std::uint32_t incarnation,
+               std::uint64_t value);
+
+  /// kCode-channel flavor of publish (deployments are rare; the code
+  /// pointer is shared with every resolving reader).
+  void publish_code(const Address& addr, std::uint32_t tx,
+                    std::uint32_t incarnation,
+                    std::shared_ptr<const account::ContractCode> code);
+
+  /// Flip (key, tx)'s version to an ESTIMATE marker, keeping its
+  /// incarnation. The entry must exist (UsageError otherwise): aborts mark
+  /// exactly the keys the incarnation published.
+  void mark_estimate(const MvKey& key, std::uint32_t tx);
+
+  /// Drop (key, tx) entirely (a re-execution stopped writing the key).
+  /// @return true when an entry was removed.
+  bool remove(const MvKey& key, std::uint32_t tx);
+
+  /// Logically empty the store for the next block. Capacity of the value
+  /// channels is retained (epoch-cleared index, reused chain vectors).
+  void reset();
+
+ private:
+  struct Version {
+    std::uint32_t tx = 0;
+    std::uint32_t incarnation = 0;
+    std::uint64_t value = 0;
+    bool estimate = false;
+  };
+  /// Versions of one key, sorted by tx ascending (chains are short: the
+  /// writers of one slot within one block).
+  using Chain = std::vector<Version>;
+
+  struct CodeVersion {
+    std::uint32_t tx = 0;
+    std::uint32_t incarnation = 0;
+    std::shared_ptr<const account::ContractCode> code;
+    bool estimate = false;
+  };
+
+  static constexpr std::size_t kNumShards = 16;
+
+  struct Shard {
+    mutable Mutex mu;
+    /// key -> chain slot + 1 (0 = unassigned; FlatTable default-constructs
+    /// missing values, so the +1 shift doubles as the presence bit).
+    common::FlatTable<MvKey, std::uint32_t, MvKeyHash> index
+        GUARDED_BY(mu);
+    /// Chain storage, recycled across blocks: chains[0..chains_used) are
+    /// live this block, the rest are warmed capacity from earlier blocks.
+    std::vector<Chain> chains GUARDED_BY(mu);
+    std::size_t chains_used GUARDED_BY(mu) = 0;
+
+    Chain& chain_for(const MvKey& key) REQUIRES(mu);
+    Chain* find_chain(const MvKey& key) REQUIRES(mu);
+    const Chain* find_chain(const MvKey& key) const REQUIRES(mu);
+  };
+
+  Shard& shard_for(const MvKey& key) {
+    return shards_[MvKeyHash{}(key) % kNumShards];
+  }
+  const Shard& shard_for(const MvKey& key) const {
+    return shards_[MvKeyHash{}(key) % kNumShards];
+  }
+
+  Shard shards_[kNumShards];
+
+  mutable Mutex code_mu_;
+  std::unordered_map<Address, std::vector<CodeVersion>> code_versions_
+      GUARDED_BY(code_mu_);
+};
+
+/// Test hooks for the block-stm engine. The defaults are the production
+/// configuration; tests pin schedules with them.
+struct BlockStmOptions {
+  /// Skip read-set validation entirely (negative control: proves the
+  /// validation step is load-bearing by diverging on dependent blocks).
+  bool validate = true;
+  /// Run the cooperative scheduler on the calling thread only, making the
+  /// task interleaving a pure function of the dispatch order (exact
+  /// attempt-count assertions in tests).
+  bool deterministic = false;
+  /// Initial execution dispatch order (a permutation of [0, num_txs));
+  /// empty = block order. Lets tests force "execute dependents first" so
+  /// the ESTIMATE/re-execution machinery provably engages.
+  std::vector<std::uint32_t> first_dispatch;
+};
+
+std::unique_ptr<BlockExecutor> make_block_stm_executor(unsigned num_threads);
+std::unique_ptr<BlockExecutor> make_block_stm_executor(
+    unsigned num_threads, const BlockStmOptions& options);
+
+}  // namespace txconc::exec

@@ -56,6 +56,12 @@ struct ExecutionReport {
   SchedulingBreakdown sched;
   /// Receipts in block order (identical across executors by contract).
   std::vector<account::Receipt> receipts;
+  /// Per-transaction execution attempts / incarnations reached, in block
+  /// order. Filled by engines with targeted re-execution (block-stm);
+  /// empty for wave- and bin-style engines, whose retries are aggregated
+  /// in `executions` / `sequential_txs`.
+  std::vector<std::uint32_t> tx_attempts;
+  std::vector<std::uint32_t> tx_incarnations;
 };
 
 /// Abstract block executor over the account model.
@@ -119,6 +125,11 @@ struct ExecutorSpec {
   std::string name;
   bool parallel = true;
   std::function<std::unique_ptr<BlockExecutor>(unsigned num_threads)> make;
+  /// True for engines that commit through a multi-version store rather
+  /// than interval-exclusive ownership of slots: concurrent attempts over
+  /// the same slots are expected, and the access auditor must check
+  /// publication ordering instead of attempt-interval disjointness.
+  bool multi_version = false;
 };
 
 /// Every registered executor family, sequential first. The conformance

@@ -3,6 +3,7 @@
 #include "exec/executor.h"
 
 #include "common/error.h"
+#include "exec/block_stm.h"
 
 namespace txconc::exec {
 
@@ -22,6 +23,9 @@ const std::vector<ExecutorSpec>& executor_registry() {
       {"group-list", true,
        [](unsigned n) { return make_group_executor(n, /*use_lpt=*/false); }},
       {"occ", true, [](unsigned n) { return make_occ_executor(n); }},
+      {"block-stm", true,
+       [](unsigned n) { return make_block_stm_executor(n); },
+       /*multi_version=*/true},
   };
   return registry;
 }

@@ -75,7 +75,7 @@ TEST(AuditGrid, AllRegisteredExecutorsPassTheAudit) {
 TEST(AuditGrid, AuditHoldsUnderInjectedFaults) {
   conformance::GridOptions options;
   options.profiles = {"ethereum"};
-  options.executors = {"speculative", "occ"};
+  options.executors = {"speculative", "occ", "block-stm"};
   options.thread_grid = {4};
   options.num_schedule_seeds = fast_mode() ? 1 : 2;
   options.num_blocks = 2;
@@ -218,6 +218,165 @@ TEST(AuditNegativeControl, AntiDependencyOverlapIsLegalButInversionFires) {
     ASSERT_EQ(report.violations.size(), 1u);
     EXPECT_EQ(report.violations.front().kind,
               AuditViolation::Kind::kUnorderedConflict);
+  }
+}
+
+// ------------------------------------------- multi-version discipline
+
+// Under CommitDiscipline::kMultiVersion (block-stm), dependent runs may
+// overlap — the multi-version store serializes them by publication — so
+// the interval rule is replaced by end-ordering: the reader's final run
+// must COMPLETE after its writer's final run did.
+TEST(MultiVersionDiscipline, OverlappingDependentRunsAreLegal) {
+  const Address alice = addr(1);
+  const Address carol = addr(3);
+  const Address bob = addr(2);
+
+  StateDb state;
+  const std::vector<AccountTx> txs = {transfer_tx(alice, bob, 0),
+                                      transfer_tx(carol, bob, 0)};
+
+  Receipt first;  // tx#0 writes bob
+  first.success = true;
+  first.reads = {balance_slot(alice)};
+  first.writes = {balance_slot(alice), balance_slot(bob)};
+  Receipt second;  // tx#1 reads AND writes bob: a true dependency on tx#0
+  second.success = true;
+  second.reads = {balance_slot(carol), balance_slot(bob)};
+  second.writes = {balance_slot(carol), balance_slot(bob)};
+
+  AccessAuditor auditor;
+  auditor.set_commit_discipline(CommitDiscipline::kMultiVersion);
+  auditor.begin_block(txs, state);
+  const account::AccessRecorder& recorder = auditor;
+  recorder.on_begin(txs[0]);             // [0,
+  recorder.on_begin(txs[1]);             // [1,   -- overlaps tx#0
+  recorder.on_complete(txs[0], first);   //    2]
+  recorder.on_complete(txs[1], second);  //       3] -- ends after tx#0
+  const AuditReport report = auditor.finish_block();
+  EXPECT_TRUE(report.ok()) << format_violations(report);
+  EXPECT_EQ(report.conflict_pairs_checked, 1u);
+}
+
+TEST(MultiVersionDiscipline, EndInversionOnATrueDependencyFires) {
+  const Address alice = addr(1);
+  const Address carol = addr(3);
+  const Address bob = addr(2);
+
+  StateDb state;
+  const std::vector<AccountTx> txs = {transfer_tx(alice, bob, 0),
+                                      transfer_tx(carol, bob, 0)};
+
+  Receipt writer;  // tx#0 writes bob
+  writer.success = true;
+  writer.reads = {balance_slot(alice)};
+  writer.writes = {balance_slot(alice), balance_slot(bob)};
+  Receipt reader;  // tx#1 reads bob
+  reader.success = true;
+  reader.reads = {balance_slot(carol), balance_slot(bob)};
+  reader.writes = {balance_slot(carol)};
+
+  AccessAuditor auditor;
+  auditor.set_commit_discipline(CommitDiscipline::kMultiVersion);
+  auditor.set_repro_hint("negative-control mv-end-inversion");
+  auditor.begin_block(txs, state);
+  const account::AccessRecorder& recorder = auditor;
+  // The reader's final run completed BEFORE its writer's: whatever it
+  // validated against, it cannot have been tx#0's published value.
+  recorder.on_begin(txs[1]);             // [0,
+  recorder.on_complete(txs[1], reader);  //    1]
+  recorder.on_begin(txs[0]);             // [2,
+  recorder.on_complete(txs[0], writer);  //    3]
+  const AuditReport report = auditor.finish_block();
+  ASSERT_EQ(report.violations.size(), 1u);
+  const AuditViolation& v = report.violations.front();
+  EXPECT_EQ(v.kind, AuditViolation::Kind::kUnorderedConflict);
+  EXPECT_EQ(v.tx_a, 0u);
+  EXPECT_EQ(v.tx_b, 1u);
+  EXPECT_NE(v.detail.find("TXCONC_REPRO="), std::string::npos) << v.detail;
+}
+
+TEST(MultiVersionDiscipline, IntermediateWriterShadowsTheDependency) {
+  const Address alice = addr(1);
+  const Address carol = addr(3);
+  const Address dave = addr(4);
+  const Address bob = addr(2);
+
+  StateDb state;
+  const std::vector<AccountTx> txs = {transfer_tx(alice, bob, 0),
+                                      transfer_tx(carol, bob, 0),
+                                      transfer_tx(dave, bob, 0)};
+
+  Receipt w0;  // tx#0 writes bob...
+  w0.success = true;
+  w0.reads = {balance_slot(alice)};
+  w0.writes = {balance_slot(alice), balance_slot(bob)};
+  Receipt w1;  // ...but tx#1 also writes bob, shadowing tx#0 for tx#2
+  w1.success = true;
+  w1.reads = {balance_slot(carol)};
+  w1.writes = {balance_slot(carol), balance_slot(bob)};
+  Receipt r2;  // tx#2 reads bob: its version came from tx#1, not tx#0
+  r2.success = true;
+  r2.reads = {balance_slot(dave), balance_slot(bob)};
+  r2.writes = {balance_slot(dave)};
+
+  AccessAuditor auditor;
+  auditor.set_commit_discipline(CommitDiscipline::kMultiVersion);
+  auditor.begin_block(txs, state);
+  const account::AccessRecorder& recorder = auditor;
+  recorder.on_begin(txs[1]);         // [0,
+  recorder.on_complete(txs[1], w1);  //    1]
+  recorder.on_begin(txs[2]);         // [2,
+  recorder.on_complete(txs[2], r2);  //    3] -- after its writer tx#1
+  recorder.on_begin(txs[0]);         // [4,
+  recorder.on_complete(txs[0], w0);  //    5] -- after tx#2, but shadowed
+  const AuditReport report = auditor.finish_block();
+  // (0,1) and (0,2) write-write pairs carry no constraint; (0,2)'s read
+  // of bob is shadowed by tx#1's write; only (1,2) is checked — ordered.
+  EXPECT_TRUE(report.ok()) << format_violations(report);
+  EXPECT_EQ(report.conflict_pairs_checked, 1u);
+}
+
+TEST(MultiVersionDiscipline, AbandonedAttemptsAreCountedNotFlagged) {
+  const Address alice = addr(1);
+  StateDb state;
+  const std::vector<AccountTx> txs = {transfer_tx(alice, addr(2), 0)};
+
+  Receipt receipt;
+  receipt.success = true;
+  receipt.reads = {balance_slot(alice)};
+  receipt.writes = {balance_slot(alice)};
+
+  {
+    // An early attempt unwound mid-execution (ESTIMATE abort): legal, and
+    // surfaced in the report as attempts_abandoned.
+    AccessAuditor auditor;
+    auditor.set_commit_discipline(CommitDiscipline::kMultiVersion);
+    auditor.begin_block(txs, state);
+    const account::AccessRecorder& recorder = auditor;
+    recorder.on_begin(txs[0]);  // abandoned: no completion
+    recorder.on_begin(txs[0]);
+    recorder.on_complete(txs[0], receipt);
+    const AuditReport report = auditor.finish_block();
+    EXPECT_TRUE(report.ok()) << format_violations(report);
+    EXPECT_EQ(report.attempts_abandoned, 1u);
+    EXPECT_EQ(report.attempts_recorded, 1u);
+  }
+  {
+    // The LAST attempt being abandoned is still a violation: the committed
+    // value must come from the final run.
+    AccessAuditor auditor;
+    auditor.set_commit_discipline(CommitDiscipline::kMultiVersion);
+    auditor.begin_block(txs, state);
+    const account::AccessRecorder& recorder = auditor;
+    recorder.on_begin(txs[0]);
+    recorder.on_complete(txs[0], receipt);
+    recorder.on_begin(txs[0]);  // abandoned final
+    const AuditReport report = auditor.finish_block();
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations.front().kind,
+              AuditViolation::Kind::kUnmatchedRecord);
+    EXPECT_EQ(report.attempts_abandoned, 1u);
   }
 }
 

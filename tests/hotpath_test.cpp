@@ -18,6 +18,7 @@
 #include "account/state.h"
 #include "account/types.h"
 #include "common/flat_table.h"
+#include "exec/block_stm.h"
 #include "exec/executor.h"
 #include "exec/scratch.h"
 
@@ -338,6 +339,87 @@ TEST(EngineAllocations, SpeculativeSteadyStateStaysWithinBudget) {
   EXPECT_EQ(report.num_txs, kTxs);
   EXPECT_LE(spent, 8 * kTxs + 512)
       << "steady-state speculative block burned " << spent
+      << " allocations for " << kTxs << " transactions";
+}
+
+// ------------------------------------------- multi-version hot path
+
+// The multi-version store is reset and refilled once per block; after one
+// block has warmed the per-shard chain vectors and the epoch-cleared
+// index, the reset/publish/resolve cycle must stay off the heap entirely.
+TEST(MultiVersionStoreHotPath, WarmResetAndRepublishAreAllocationFree) {
+  using exec::MultiVersionStore;
+  using exec::MvChannel;
+  using exec::MvKey;
+
+  MultiVersionStore store;
+  constexpr std::uint32_t kKeys = 128;
+  const auto key_of = [](std::uint32_t k) {
+    return MvKey{Address::from_seed(k % 32), k, MvChannel::kStorage};
+  };
+  const auto fill = [&](std::uint64_t salt) {
+    for (std::uint32_t k = 0; k < kKeys; ++k) {
+      // Two writers per key so resolve walks a real chain.
+      store.publish(key_of(k), k % 8, 0, salt + k);
+      store.publish(key_of(k), 8 + k % 8, 0, salt + k + 1);
+    }
+  };
+  fill(0);  // warm: establishes chain + index capacity for this footprint
+  const std::uint64_t before = allocations();
+  for (int round = 1; round <= 50; ++round) {
+    store.reset();
+    fill(static_cast<std::uint64_t>(round));
+    for (std::uint32_t k = 0; k < kKeys; ++k) {
+      const MultiVersionStore::Resolution r = store.resolve(key_of(k), 20);
+      if (!r.found || r.value != static_cast<std::uint64_t>(round) + k + 1) {
+        FAIL() << "round " << round << " key " << k;
+      }
+    }
+    // The abort path (mark + republish at the next incarnation) is also
+    // per-block steady state and must stay flat.
+    store.mark_estimate(key_of(0), 0);
+    store.publish(key_of(0), 0, 1, 42);
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "warm MultiVersionStore reset/publish/resolve must not allocate";
+}
+
+// Engine-level bound for block-stm, mirroring the speculative budget
+// above. On a low-conflict block the steady state is one incarnation per
+// transaction; the per-block cost is report assembly (receipts plus the
+// tx_attempts/tx_incarnations vectors) and the per-attempt cost is the
+// receipt's access-set vectors — the multi-version store, views, and
+// write logs are all warm. 16/tx leaves room for the occasional raced
+// re-execution without masking a per-tx container regression.
+TEST(EngineAllocations, BlockStmSteadyStateStaysWithinBudget) {
+  account::StateDb db;
+  std::vector<account::AccountTx> block;
+  constexpr std::uint64_t kTxs = 200;
+  for (std::uint64_t s = 1; s <= kTxs; ++s) {
+    db.set_balance(addr(s), 1'000'000'000'000ULL);
+    account::AccountTx tx;
+    tx.from = addr(s);
+    tx.to = addr(5000 + (s % 16));  // some receiver fan-in conflicts
+    tx.value = 3;
+    tx.gas_limit = 30000;
+    tx.nonce = 0;
+    block.push_back(tx);
+  }
+  db.flush_journal();
+  account::RuntimeConfig config;
+  config.enforce_nonce = false;  // replay the same block repeatedly
+
+  auto executor = exec::make_block_stm_executor(2);
+  for (int warm = 0; warm < 2; ++warm) {
+    executor->execute_block(db, block, config);
+  }
+  const std::uint64_t before = allocations();
+  const exec::ExecutionReport report =
+      executor->execute_block(db, block, config);
+  const std::uint64_t spent = allocations() - before;
+  EXPECT_EQ(report.num_txs, kTxs);
+  EXPECT_LE(spent, 16 * kTxs + 1024)
+      << "steady-state block-stm block burned " << spent
       << " allocations for " << kTxs << " transactions";
 }
 
