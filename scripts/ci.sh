@@ -13,6 +13,14 @@
 #    GUARDED_BY/REQUIRES annotations (common/thread_annotations.h) into
 #    compile errors when lock discipline is violated;
 #  * tidy  — clang-tidy over src/ with the checks in .clang-tidy;
+#  * lint  — txconc-lint (tools/txconc_lint): the repo's own AST-level
+#    checker for invariants generic tooling can't see — TXCONC_HOT
+#    functions must not allocate, relaxed/acquire/release atomics need an
+#    "ordering:" justification and release stores a matching acquire
+#    side, the MutexLock acquisition graph must stay acyclic, TSA escapes
+#    need a "tsa:" note, and raw Tracer begin/end outside the RAII span
+#    helpers is rejected. Unlike tsa/tidy this lane is never skipped: the
+#    checker is built by this repo's own CMake with no clang dependency;
 #  * bench — benchmark regression gate: a fresh TXCONC_BENCH_FAST run of
 #    bench/ablation_engines is compared against the committed baselines in
 #    bench/baselines/ by scripts/bench_gate (hardware-portable ratios with
@@ -35,12 +43,12 @@
 # Examples:
 #   ./scripts/ci.sh                          # everything
 #   TXCONC_CI_LANES=tier1 ./scripts/ci.sh    # fast local gate
-#   TXCONC_CI_LANES=tsa,tidy ./scripts/ci.sh # static analysis only
+#   TXCONC_CI_LANES=tsa,tidy,lint ./scripts/ci.sh # static analysis only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
-LANES="${TXCONC_CI_LANES:-tier1,asan,tsan,tsa,tidy,bench,bench-large}"
+LANES="${TXCONC_CI_LANES:-tier1,asan,tsan,tsa,tidy,lint,bench,bench-large}"
 
 lane_enabled() {
   case ",${LANES}," in
@@ -158,6 +166,27 @@ if lane_enabled tidy; then
   else
     echo "tidy lane SKIPPED: clang-tidy not found"
   fi
+fi
+
+# --- txconc-lint lane: the repo's own invariants, enforced -----------------
+# txconc-lint exits non-zero on any finding, so set -e fails the lane on
+# a violation. The footer check on top of that proves the whole catalogue
+# actually ran (a silently-empty registry would otherwise pass). Fixture
+# coverage lives in tests/lint_test.cpp (tier1), which asserts every rule
+# both fires on its bad fixture and stays silent on the good one.
+if lane_enabled lint; then
+  echo "== lane: lint =="
+  if [ ! -x build/tools/txconc_lint/txconc_lint ]; then
+    cmake -B build -S . -DTXCONC_WERROR=ON
+    cmake --build build -j"${JOBS}" --target txconc_lint
+  fi
+  ./build/tools/txconc_lint/txconc_lint src | tee build/lint.log
+  RULES="$(sed -n 's/^txconc-lint: \([0-9][0-9]*\) rules.*/\1/p' build/lint.log)"
+  if [ -z "${RULES}" ] || [ "${RULES}" -lt 5 ]; then
+    echo "lint lane FAILED: expected >= 5 rules in footer, got '${RULES:-none}'"
+    exit 1
+  fi
+  echo "lint lane OK: ${RULES} rules clean over src/"
 fi
 
 # --- bench lane: regression gate + negative control ------------------------

@@ -15,6 +15,7 @@
 
 #include "account/types.h"
 #include "common/flat_table.h"
+#include "common/hot_path.h"
 #include "common/hash.h"
 
 namespace txconc::account {
@@ -99,7 +100,7 @@ class WriteLog {
 
   /// Replay every recorded value onto the target, mirroring
   /// OverlayState::apply_to.
-  void apply_to(State& target) const;
+  TXCONC_HOT void apply_to(State& target) const;
 
  private:
   friend class OverlayState;
@@ -135,7 +136,7 @@ class StateDb final : public State {
   void revert(Snapshot snap) override;
 
   /// Drop the journal (changes become permanent; snapshots invalidated).
-  void flush_journal();
+  TXCONC_HOT void flush_journal();
 
   /// Toggle undo journaling. While off, writes skip the journal entirely;
   /// snapshots taken before the pause cannot revert past it. The engines'
@@ -231,7 +232,7 @@ class OverlayState final : public State {
 
   /// Rebase onto `base` and logically drop every local entry and journal
   /// record. O(1) except for the (rare) code map; capacity is retained.
-  void reset(const State& base) {
+  TXCONC_HOT void reset(const State& base) {
     base_ = &base;
     balances_.clear();
     nonces_.clear();
@@ -253,12 +254,12 @@ class OverlayState final : public State {
   void revert(Snapshot snap) override;
 
   /// Write every overlay value into the target state.
-  void apply_to(State& target) const;
+  TXCONC_HOT void apply_to(State& target) const;
 
   /// Append every overlay value to `out` (cleared first), detaching the
   /// attempt's effects from the overlay so the overlay can be rebased for
   /// the next transaction.
-  void export_writes(WriteLog& out) const;
+  TXCONC_HOT void export_writes(WriteLog& out) const;
 
   bool dirty() const;
 

@@ -93,10 +93,13 @@ class AccountNode {
 
   /// Quiescent use only: the reference escapes the monitor lock, so do
   /// not hold it across concurrent mutating calls.
+  // tsa: the escaping reference cannot carry a REQUIRES(mu_) contract —
+  // callers inspect state between rounds, when no mutator runs.
   const account::StateDb& state() const NO_THREAD_SAFETY_ANALYSIS {
     return state_;
   }
   /// Quiescent use only (see state()).
+  // tsa: same escape as state() — quiescent read-only access.
   const Ledger<account::AccountTx>& ledger() const NO_THREAD_SAFETY_ANALYSIS {
     return ledger_;
   }

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot_path.h"
+
 namespace txconc::common {
 
 /// Open-addressed, linear-probing hash map over a power-of-two slot array.
@@ -36,7 +38,7 @@ class FlatTable {
   }
 
   /// Logically empty the table without releasing or touching the slots.
-  void clear() {
+  TXCONC_HOT void clear() {
     ++epoch_;
     size_ = 0;
     tombstones_ = 0;
@@ -47,7 +49,7 @@ class FlatTable {
   /// Slot-array size (diagnostics; capacity is retained across clear()).
   std::size_t capacity() const { return slots_.size(); }
 
-  const Value* find(const Key& key) const {
+  TXCONC_HOT const Value* find(const Key& key) const {
     const std::size_t mask = slots_.size() - 1;
     std::size_t idx = Hash{}(key) & mask;
     for (;;) {
@@ -61,14 +63,15 @@ class FlatTable {
     }
   }
 
-  Value* find(const Key& key) {
+  TXCONC_HOT Value* find(const Key& key) {
     return const_cast<Value*>(std::as_const(*this).find(key));
   }
 
-  bool contains(const Key& key) const { return find(key) != nullptr; }
+  TXCONC_HOT bool contains(const Key& key) const { return find(key) != nullptr; }
 
   /// Value for key, default-constructing (and inserting) when absent.
-  Value& operator[](const Key& key) {
+  TXCONC_HOT Value& operator[](const Key& key) {
+    // txconc-lint: allow(hot-path-alloc) — growth is the one sanctioned path
     maybe_grow();
     const std::size_t mask = slots_.size() - 1;
     std::size_t idx = Hash{}(key) & mask;
@@ -95,11 +98,11 @@ class FlatTable {
     }
   }
 
-  void insert_or_assign(const Key& key, const Value& value) {
+  TXCONC_HOT void insert_or_assign(const Key& key, const Value& value) {
     (*this)[key] = value;
   }
 
-  bool erase(const Key& key) {
+  TXCONC_HOT bool erase(const Key& key) {
     const std::size_t mask = slots_.size() - 1;
     std::size_t idx = Hash{}(key) & mask;
     for (;;) {
@@ -120,7 +123,7 @@ class FlatTable {
 
   /// Invoke fn(key, value) for every live entry (unspecified order).
   template <typename Fn>
-  void for_each(Fn&& fn) const {
+  TXCONC_HOT void for_each(Fn&& fn) const {
     for (const Slot& slot : slots_) {
       if (slot.stamp == live_stamp()) fn(slot.key, slot.value);
     }
@@ -170,12 +173,12 @@ class FlatSet {
  public:
   explicit FlatSet(std::size_t capacity_hint = 0) : table_(capacity_hint) {}
 
-  void clear() { table_.clear(); }
+  TXCONC_HOT void clear() { table_.clear(); }
   std::size_t size() const { return table_.size(); }
   bool empty() const { return table_.empty(); }
-  bool contains(const Key& key) const { return table_.contains(key); }
+  TXCONC_HOT bool contains(const Key& key) const { return table_.contains(key); }
   /// @return true when the key was newly inserted.
-  bool insert(const Key& key) {
+  TXCONC_HOT bool insert(const Key& key) {
     if (table_.contains(key)) return false;
     table_[key] = true;
     return true;

@@ -1,0 +1,22 @@
+// TXCONC_HOT: marks a function as part of a steady-state hot path that
+// must not allocate.
+//
+// The annotation is the contract txconc-lint's hot-path-alloc rule
+// enforces statically (tools/txconc_lint, DESIGN.md §15): a TXCONC_HOT
+// function may not contain `new`, by-value standard-container
+// constructions, or calls to allocating functions that are not
+// themselves TXCONC_HOT. It complements hotpath_test's runtime
+// operator-new counter: the counter proves the paths it drives are
+// clean, the lint rule keeps every marked path clean under refactoring
+// without needing a workload that reaches it.
+//
+// Under GCC/Clang the macro also applies __attribute__((hot)) so the
+// optimizer places and optimizes the function accordingly; elsewhere it
+// is annotation-only.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TXCONC_HOT __attribute__((hot))
+#else
+#define TXCONC_HOT
+#endif

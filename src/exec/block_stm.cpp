@@ -472,6 +472,8 @@ class BlockStmExecutor final : public BlockExecutor {
                          std::chrono::steady_clock::now() - exec_end)
                          .count());
 
+    // ordering: relaxed — workers have joined by now (the scheduler
+    // barrier), so the counter is quiescent; this is a plain read-back.
     report.executions = executions_.load(std::memory_order_relaxed);
     report.tx_attempts = attempts_;
     report.tx_incarnations.resize(n_);
@@ -500,8 +502,10 @@ class BlockStmExecutor final : public BlockExecutor {
         attempts_hist.observe(static_cast<double>(a));
       }
       registry->counter("exec.block_stm_validations")
+          // ordering: relaxed — quiescent read-back, as above.
           .add(validations_.load(std::memory_order_relaxed));
       registry->counter("exec.block_stm_aborts")
+          // ordering: relaxed — quiescent read-back, as above.
           .add(aborts_.load(std::memory_order_relaxed));
     }
     record_block_metrics(registry, report);
@@ -575,9 +579,11 @@ class BlockStmExecutor final : public BlockExecutor {
     val_cursor_.store(options_.validate ? 0 : n_, std::memory_order_seq_cst);
     active_.store(0, std::memory_order_seq_cst);
     done_.store(n_ == 0, std::memory_order_seq_cst);
+    // ordering: relaxed — statistical counters reset before the workers
+    // start; the parallel_for hand-off publishes them.
     executions_.store(0, std::memory_order_relaxed);
-    validations_.store(0, std::memory_order_relaxed);
-    aborts_.store(0, std::memory_order_relaxed);
+    validations_.store(0, std::memory_order_relaxed);  // ordering: ditto
+    aborts_.store(0, std::memory_order_relaxed);       // ordering: ditto
   }
 
   /// One scheduler participant: claim and run tasks until the block
@@ -650,6 +656,8 @@ class BlockStmExecutor final : public BlockExecutor {
     const TXCONC_SPAN_T(tracer_, "attempt", "exec",
                         static_cast<std::int64_t>(j));
     const std::uint64_t total =
+        // ordering: relaxed — statistical counter; the livelock cap only
+        // needs an eventually-accurate total, not cross-thread ordering.
         executions_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (total > 64 * static_cast<std::uint64_t>(n_) + 1024) {
       throw Error("block-stm: execution count exceeded the livelock cap");
@@ -773,6 +781,7 @@ class BlockStmExecutor final : public BlockExecutor {
     // index resolve to exactly one abort.
     MutexLock lock(slot.mu);
     if (slot.status != TxSlot::Status::kExecuted) return;
+    // ordering: relaxed — statistical counter, read quiescently.
     validations_.fetch_add(1, std::memory_order_relaxed);
     bool valid = true;
     for (const ReadRecord& rec : slot.reads) {
@@ -787,6 +796,7 @@ class BlockStmExecutor final : public BlockExecutor {
       }
     }
     if (valid) return;
+    // ordering: relaxed — statistical counter, read quiescently.
     aborts_.fetch_add(1, std::memory_order_relaxed);
     // Expose ESTIMATE markers so dependents suspend instead of reading
     // doomed values, then requeue this transaction and the validation
@@ -798,7 +808,7 @@ class BlockStmExecutor final : public BlockExecutor {
     decrease(exec_cursor_, pos_of_[j]);
   }
 
-  void commit(account::StateDb& state) {
+  TXCONC_HOT void commit(account::StateDb& state) {
     const account::JournalPause pause(state);
     for (std::size_t i = 0; i < n_; ++i) {
       TxSlot& slot = slots_[i];
@@ -811,6 +821,7 @@ class BlockStmExecutor final : public BlockExecutor {
         // The final incarnation failed the validity checks against its
         // (validated) view; replaying it against the real prefix raises
         // the same ValidationError the sequential baseline would.
+        // txconc-lint: allow(hot-path-alloc) — cold error replay, ends in throw
         account::apply_transaction_into(state, txs_[i], *config_,
                                         report_->receipts[i],
                                         scratch_[0].tracker);

@@ -23,6 +23,7 @@
 #include "account/state.h"
 #include "account/types.h"
 #include "common/flat_table.h"
+#include "common/hot_path.h"
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
 
@@ -99,13 +100,13 @@ class MultiVersionStore {
 
   /// Highest-lower-index read: the version with the greatest tx strictly
   /// below reader_tx, estimates included (callers must check .estimate).
-  Resolution resolve(const MvKey& key, std::uint32_t reader_tx) const;
+  TXCONC_HOT Resolution resolve(const MvKey& key, std::uint32_t reader_tx) const;
 
   /// Record `value` as (tx, incarnation). Re-publishing the same (key, tx)
   /// replaces the entry and must not decrease the incarnation — that would
   /// mean a stale execution overwrote a newer one (UsageError).
-  void publish(const MvKey& key, std::uint32_t tx, std::uint32_t incarnation,
-               std::uint64_t value);
+  TXCONC_HOT void publish(const MvKey& key, std::uint32_t tx,
+                          std::uint32_t incarnation, std::uint64_t value);
 
   /// kCode-channel flavor of publish (deployments are rare; the code
   /// pointer is shared with every resolving reader).
@@ -116,15 +117,15 @@ class MultiVersionStore {
   /// Flip (key, tx)'s version to an ESTIMATE marker, keeping its
   /// incarnation. The entry must exist (UsageError otherwise): aborts mark
   /// exactly the keys the incarnation published.
-  void mark_estimate(const MvKey& key, std::uint32_t tx);
+  TXCONC_HOT void mark_estimate(const MvKey& key, std::uint32_t tx);
 
   /// Drop (key, tx) entirely (a re-execution stopped writing the key).
   /// @return true when an entry was removed.
-  bool remove(const MvKey& key, std::uint32_t tx);
+  TXCONC_HOT bool remove(const MvKey& key, std::uint32_t tx);
 
   /// Logically empty the store for the next block. Capacity of the value
   /// channels is retained (epoch-cleared index, reused chain vectors).
-  void reset();
+  TXCONC_HOT void reset();
 
  private:
   struct Version {
@@ -157,15 +158,15 @@ class MultiVersionStore {
     std::vector<Chain> chains GUARDED_BY(mu);
     std::size_t chains_used GUARDED_BY(mu) = 0;
 
-    Chain& chain_for(const MvKey& key) REQUIRES(mu);
-    Chain* find_chain(const MvKey& key) REQUIRES(mu);
-    const Chain* find_chain(const MvKey& key) const REQUIRES(mu);
+    TXCONC_HOT Chain& chain_for(const MvKey& key) REQUIRES(mu);
+    TXCONC_HOT Chain* find_chain(const MvKey& key) REQUIRES(mu);
+    TXCONC_HOT const Chain* find_chain(const MvKey& key) const REQUIRES(mu);
   };
 
-  Shard& shard_for(const MvKey& key) {
+  TXCONC_HOT Shard& shard_for(const MvKey& key) {
     return shards_[MvKeyHash{}(key) % kNumShards];
   }
-  const Shard& shard_for(const MvKey& key) const {
+  TXCONC_HOT const Shard& shard_for(const MvKey& key) const {
     return shards_[MvKeyHash{}(key) % kNumShards];
   }
 

@@ -34,10 +34,16 @@ ThreadPool::GrainHook ThreadPool::swap_grain_hook(GrainHook hook) {
     g_grain_hook = std::make_shared<const GrainHook>(std::move(hook));
     // Each installation restarts the sequence so a seeded hook replays the
     // same schedule regardless of what ran before it.
+    // ordering: relaxed — the seq is only read by grains that already
+    // observed the installed flag; no data rides on it.
     g_grain_seq.store(0, std::memory_order_relaxed);
+    // ordering: release publishes the hook written under the mutex above;
+    // pairs with the acquire loads in run_grains / grain_hook_installed.
     g_grain_hook_installed.store(true, std::memory_order_release);
   } else {
     g_grain_hook = nullptr;
+    // ordering: release so the cleared hook is ordered before the flag;
+    // a straggler that raced the removal holds a shared_ptr anyway.
     g_grain_hook_installed.store(false, std::memory_order_release);
   }
   return previous;
@@ -48,6 +54,7 @@ void ThreadPool::set_grain_hook(GrainHook hook) {
 }
 
 bool ThreadPool::grain_hook_installed() {
+  // ordering: acquire pairs with the release stores in swap_grain_hook.
   return g_grain_hook_installed.load(std::memory_order_acquire);
 }
 
@@ -104,13 +111,19 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::run_grains(Batch& batch, unsigned slot) {
   std::uint64_t ran = 0;
   for (;;) {
+    // ordering: relaxed — the cursor only partitions indices; batch data
+    // is published by the queue mutex, completion by the acq_rel on done.
     const std::size_t g = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (g >= batch.num_grains) break;
+    // ordering: acquire pairs with swap_grain_hook's release publication.
     if (g_grain_hook_installed.load(std::memory_order_acquire)) {
       if (const auto hook = load_grain_hook(); hook) {
+        // ordering: relaxed — monotone ticket; no data rides on it.
         (*hook)(g_grain_seq.fetch_add(1, std::memory_order_relaxed));
       }
     }
+    // ordering: relaxed — failed is a best-effort skip hint; the error
+    // itself travels under batch.m.
     if (!batch.failed.load(std::memory_order_relaxed)) {
       // Only grains whose body runs count towards grains_total; grains
       // claimed after a failure are skipped work and would otherwise
@@ -123,9 +136,12 @@ void ThreadPool::run_grains(Batch& batch, unsigned slot) {
       } catch (...) {
         const MutexLock lock(batch.m);
         if (!batch.error) batch.error = std::current_exception();
+        // ordering: relaxed — hint only; error publication is the mutex.
         batch.failed.store(true, std::memory_order_relaxed);
       }
     }
+    // ordering: acq_rel — see every finished grain's writes and publish
+    // ours to the waiter's acquire load of done in parallel_for_slots.
     if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch.num_grains) {
       // Taking the lock pairs with the caller's predicate check so the
@@ -134,6 +150,7 @@ void ThreadPool::run_grains(Batch& batch, unsigned slot) {
       batch.cv.notify_all();
     }
   }
+  // ordering: relaxed — statistical counters, read via stats() only.
   grains_total_.fetch_add(ran, std::memory_order_relaxed);
   if (slot == 0) grains_caller_run_.fetch_add(ran, std::memory_order_relaxed);
 }
@@ -148,6 +165,7 @@ void ThreadPool::parallel_for(std::size_t count,
 void ThreadPool::parallel_for_slots(std::size_t count, const SlotFn& fn,
                                     std::size_t grain) {
   if (count == 0) return;
+  // ordering: relaxed — statistical counter, read via stats() only.
   parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
 
   const std::size_t workers = size();
@@ -192,6 +210,7 @@ void ThreadPool::parallel_for_slots(std::size_t count, const SlotFn& fn,
     const MutexLock lock(batch->m);
     // The done counter is an atomic, not guarded state; the lock pairs
     // with the final notifier so the wakeup cannot be lost.
+    // ordering: acquire pairs with the workers' acq_rel increments.
     while (batch->done.load(std::memory_order_acquire) != batch->num_grains) {
       batch->cv.wait(batch->m);
     }
@@ -205,8 +224,10 @@ void ThreadPool::parallel_for_slots(std::size_t count, const SlotFn& fn,
 
 ThreadPoolStats ThreadPool::stats() const {
   ThreadPoolStats s;
+  // ordering: relaxed — monotone stats snapshot; no data rides on it.
   s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
   s.parallel_for_calls = parallel_for_calls_.load(std::memory_order_relaxed);
+  // ordering: relaxed — as above.
   s.grains_total = grains_total_.load(std::memory_order_relaxed);
   s.grains_caller_run = grains_caller_run_.load(std::memory_order_relaxed);
   return s;
@@ -255,6 +276,7 @@ void ThreadPool::worker_loop(unsigned worker_index) {
       task();
       idle_since_valid = false;
     }
+    // ordering: relaxed — statistical counter, read via stats() only.
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
   }
 }

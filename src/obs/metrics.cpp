@@ -18,10 +18,14 @@ std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
 double bits_double(std::uint64_t b) { return std::bit_cast<double>(b); }
 
 /// CAS-accumulate `delta` into a double stored as bits.
+/// ordering: relaxed throughout — instruments are statistical; each CAS
+/// only needs atomicity of its own word, never publication of other data.
 void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  // ordering: relaxed — see above.
   std::uint64_t expected = bits.load(std::memory_order_relaxed);
   while (!bits.compare_exchange_weak(
       expected, double_bits(bits_double(expected) + delta),
+      // ordering: relaxed — see above; the retry loop re-reads anyway.
       std::memory_order_relaxed)) {
   }
 }
@@ -29,9 +33,11 @@ void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
 template <typename Less>
 void atomic_extreme_double(std::atomic<std::uint64_t>& bits, double v,
                            Less less) {
+  // ordering: relaxed — see atomic_add_double.
   std::uint64_t expected = bits.load(std::memory_order_relaxed);
   while (less(v, bits_double(expected)) &&
          !bits.compare_exchange_weak(expected, double_bits(v),
+                                     // ordering: relaxed — as above.
                                      std::memory_order_relaxed)) {
   }
 }
@@ -62,49 +68,62 @@ double Histogram::bucket_upper(std::size_t bucket) {
 }
 
 void Histogram::observe(double v) {
+  // ordering: relaxed — buckets/count/extremes are each independently
+  // atomic; readers take a statistical snapshot, never a transaction.
   buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);  // ordering: ditto
   atomic_add_double(sum_bits_, v);
   atomic_extreme_double(min_bits_, v, std::less<double>());
   atomic_extreme_double(max_bits_, v, std::greater<double>());
 }
 
 double Histogram::sum() const {
+  // ordering: relaxed — statistical snapshot; see observe().
   return bits_double(sum_bits_.load(std::memory_order_relaxed));
 }
 
 double Histogram::min() const {
+  // ordering: relaxed — statistical snapshot; see observe().
   return count() == 0 ? 0.0
                       : bits_double(min_bits_.load(std::memory_order_relaxed));
 }
 
 double Histogram::max() const {
+  // ordering: relaxed — statistical snapshot; see observe().
   return count() == 0 ? 0.0
                       : bits_double(max_bits_.load(std::memory_order_relaxed));
 }
 
 void Histogram::merge_from(const Histogram& other) {
+  // ordering: relaxed — the copy is a statistical snapshot, not an
+  // atomic transaction across instruments (see the header contract).
   const std::uint64_t n = other.count_.load(std::memory_order_relaxed);
   if (n == 0) return;
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    // ordering: relaxed — as above.
     const std::uint64_t in_bucket =
         other.buckets_[b].load(std::memory_order_relaxed);
     if (in_bucket != 0) {
+      // ordering: relaxed — as above.
       buckets_[b].fetch_add(in_bucket, std::memory_order_relaxed);
     }
   }
+  // ordering: relaxed — as above.
   count_.fetch_add(n, std::memory_order_relaxed);
   atomic_add_double(sum_bits_, other.sum());
   // min/max start at +/-inf, so merging an untouched side is a no-op.
+  // ordering: relaxed — statistical snapshot, as above.
   atomic_extreme_double(
       min_bits_, bits_double(other.min_bits_.load(std::memory_order_relaxed)),
       std::less<double>());
   atomic_extreme_double(
+      // ordering: relaxed — statistical snapshot, as above.
       max_bits_, bits_double(other.max_bits_.load(std::memory_order_relaxed)),
       std::greater<double>());
 }
 
 std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
+  // ordering: relaxed — statistical snapshot; see observe().
   return bucket < kNumBuckets
              ? buckets_[bucket].load(std::memory_order_relaxed)
              : 0;
@@ -117,6 +136,7 @@ double Histogram::quantile(double q) const {
   const double target = q * static_cast<double>(n);
   double cumulative = 0.0;
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    // ordering: relaxed — statistical snapshot; see observe().
     const auto in_bucket = static_cast<double>(
         buckets_[b].load(std::memory_order_relaxed));
     if (in_bucket == 0.0) continue;

@@ -23,9 +23,11 @@ namespace txconc::obs {
 class Counter {
  public:
   void add(std::uint64_t n = 1) {
+    // ordering: relaxed — statistical instrument; no data rides on it.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const {
+    // ordering: relaxed — readers tolerate a stale count.
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -36,8 +38,10 @@ class Counter {
 /// Last-write-wins gauge.
 class Gauge {
  public:
+  // ordering: relaxed — last-write-wins value; no data rides on it.
   void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
   double value() const {
+    // ordering: relaxed — readers tolerate a stale value.
     return unpack(bits_.load(std::memory_order_relaxed));
   }
 
@@ -61,6 +65,7 @@ class Histogram {
   void observe(double v);
 
   std::uint64_t count() const {
+    // ordering: relaxed — statistical snapshot; see observe().
     return count_.load(std::memory_order_relaxed);
   }
   double sum() const;

@@ -80,6 +80,8 @@ struct Tracer::ThreadBuffer {
   std::size_t current_chunk_index = ~std::size_t{0};
 
   void push(const TraceEvent& event) {
+    // ordering: relaxed — written is only advanced by this owner thread;
+    // the load just reads our own last store.
     const std::uint64_t n = written.load(std::memory_order_relaxed);
     const std::size_t slot = static_cast<std::size_t>(n % cap);
     const std::size_t chunk = slot / kChunkEvents;
@@ -92,11 +94,15 @@ struct Tracer::ThreadBuffer {
       current_chunk_index = chunk;
     }
     current_chunk[slot % kChunkEvents] = event;
+    // ordering: release publishes the slot write above; pairs with the
+    // acquire loads in scan()/dropped().
     written.store(n + 1, std::memory_order_release);
   }
 
   template <typename Fn>
   void scan(Fn&& fn) const REQUIRES(mu) {
+    // ordering: acquire pairs with push()'s release so every event below
+    // index n is fully visible before we read it.
     const std::uint64_t n = written.load(std::memory_order_acquire);
     const std::uint64_t first = n > cap ? n - cap : 0;
     for (std::uint64_t i = first; i < n; ++i) {
@@ -106,6 +112,7 @@ struct Tracer::ThreadBuffer {
   }
 
   std::uint64_t dropped() const {
+    // ordering: acquire pairs with push()'s release (same as scan()).
     const std::uint64_t n = written.load(std::memory_order_acquire);
     return n > cap ? n - cap : 0;
   }
@@ -128,6 +135,7 @@ thread_local ThreadSlot t_slot;
 Tracer::Tracer(std::size_t max_events_per_thread)
     : cap_(std::max<std::size_t>(max_events_per_thread,
                                  ThreadBuffer::kChunkEvents)),
+      // ordering: relaxed — unique-id ticket; no data rides on it.
       id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
       epoch_ns_(now_ns()) {}
 
@@ -141,6 +149,8 @@ Tracer& Tracer::global() {
 
 Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
   if (t_slot.tracer_id == id_ &&
+      // ordering: acquire pairs with clear()'s acq_rel bump so a thread
+      // re-registering after a clear sees the emptied buffer list.
       t_slot.generation == generation_.load(std::memory_order_acquire)) {
     return t_slot.buffer.get();
   }
@@ -152,6 +162,7 @@ Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
     buffers_.push_back(buffer);
   }
   t_slot.tracer_id = id_;
+  // ordering: acquire — same pairing as the fast-path check above.
   t_slot.generation = generation_.load(std::memory_order_acquire);
   t_slot.buffer = std::move(buffer);
   return t_slot.buffer.get();
@@ -231,12 +242,15 @@ void Tracer::flow_bind(std::uint64_t flow_id) {
 
 std::uint64_t Tracer::next_id() {
   static std::atomic<std::uint64_t> next{1};
+  // ordering: relaxed — unique-id ticket; no data rides on it.
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Tracer::clear() {
   const MutexLock lock(mu_);
   buffers_.clear();
+  // ordering: acq_rel — the release side publishes the cleared list to
+  // buffer_for_this_thread()'s acquire loads of generation_.
   generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 

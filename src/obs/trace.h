@@ -127,8 +127,18 @@ class Tracer {
   /// The process tracer the TXCONC_SPAN/TXCONC_INSTANT macros target.
   static Tracer& global();
 
-  void enable() { enabled_.store(true, std::memory_order_release); }
-  void disable() { enabled_.store(false, std::memory_order_release); }
+  // ordering: relaxed — the flag is an advisory on/off switch, not a
+  // publication: event data travels through each ThreadBuffer's `written`
+  // release/acquire pair, and emitters only race harmlessly with a
+  // toggle (a span around the flip may or may not be recorded). The
+  // stores used to be `release`, but with every reader relaxed that
+  // release synchronized with nothing — a lone-release publication the
+  // atomics-discipline lint rule now rejects outright.
+  // ordering: relaxed — advisory flag, see above.
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  // ordering: relaxed — as above.
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  // ordering: relaxed — as above.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Raw event emission (the macros are the intended entry points).

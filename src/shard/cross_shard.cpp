@@ -35,12 +35,15 @@ CrossShardCoordinator::CrossShardCoordinator(std::uint64_t seed,
   }
 }
 
+// tsa: quiescent escape, justified on the declaration (cross_shard.h);
+// the attribute must be repeated on the definition for TSA to honor it.
 const account::StateDb& CrossShardCoordinator::shard_state(
     unsigned shard) const NO_THREAD_SAFETY_ANALYSIS {
   if (shard >= states_.size()) throw UsageError("unknown shard");
   return states_[shard];
 }
 
+// tsa: same quiescent escape as the const overload above.
 account::StateDb& CrossShardCoordinator::shard_state(unsigned shard)
     NO_THREAD_SAFETY_ANALYSIS {
   if (shard >= states_.size()) throw UsageError("unknown shard");

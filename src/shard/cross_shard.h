@@ -69,8 +69,11 @@ class CrossShardCoordinator {
   /// Committee-local state access. Quiescent use only: the returned
   /// reference escapes the monitor lock, so callers must not hold it
   /// across concurrent transfer() calls.
+  // tsa: the escaping reference cannot carry a REQUIRES(mu_) contract;
+  // tests use it strictly between transfers (see conservation checks).
   const account::StateDb& shard_state(unsigned shard) const
       NO_THREAD_SAFETY_ANALYSIS;
+  // tsa: same quiescent escape as the const overload above.
   account::StateDb& shard_state(unsigned shard) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Funds held in escrow by in-flight or leaked locks.

@@ -1,0 +1,28 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// Both halves of atomics-discipline must fire here.
+#include <atomic>
+
+struct Channel {
+  std::atomic<bool> ready{false};
+  std::atomic<int> hint{0};
+  int payload = 0;
+
+  void publish(int v) {
+    payload = v;
+    // BAD: release store, but every load of `ready` below is relaxed —
+    // the release synchronizes with nothing (lone-release publication).
+    ready.store(true, std::memory_order_release);
+  }
+
+  int consume() {
+    // BAD: non-seq_cst order with no '// ordering:' justification.
+    while (!ready.load(std::memory_order_relaxed)) {
+    }
+    return payload;
+  }
+
+  void nudge() {
+    // BAD: unjustified relaxed RMW.
+    hint.fetch_add(1, std::memory_order_relaxed);
+  }
+};

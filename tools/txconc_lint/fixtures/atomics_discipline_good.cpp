@@ -1,0 +1,31 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// Justified orders and a properly paired publication: no findings.
+#include <atomic>
+
+struct Channel {
+  std::atomic<bool> ready{false};
+  std::atomic<int> stat{0};
+  int payload = 0;
+
+  void publish(int v) {
+    payload = v;
+    // ordering: release publishes payload; pairs with consume()'s acquire.
+    ready.store(true, std::memory_order_release);
+  }
+
+  int consume() {
+    // ordering: acquire pairs with publish()'s release store of ready.
+    while (!ready.load(std::memory_order_acquire)) {
+    }
+    return payload;
+  }
+
+  void bump() {
+    // ordering: relaxed — statistical counter; no data rides on it.
+    stat.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int snapshot() const {
+    return stat.load(std::memory_order_seq_cst);  // seq_cst needs no note
+  }
+};

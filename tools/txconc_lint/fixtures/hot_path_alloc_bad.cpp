@@ -1,0 +1,33 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// Every construct here must trip hot-path-alloc.
+#include <memory>
+#include <string>
+#include <vector>
+
+int* make_buffer();
+
+// An allocating helper that is NOT hot: calling it from a hot function
+// is a finding at the call site.
+std::vector<int> build_scratch() {
+  std::vector<int> scratch;
+  return scratch;
+}
+
+TXCONC_HOT void hot_direct_new() {
+  int* p = new int[16];  // BAD: operator new on a hot path
+  delete[] p;
+}
+
+TXCONC_HOT void hot_container_local() {
+  std::string label = "tx";  // BAD: by-value std::string construction
+  (void)label;
+}
+
+TXCONC_HOT void hot_denylist_call() {
+  auto owned = std::make_unique<int>(7);  // BAD: make_unique allocates
+  (void)owned;
+}
+
+TXCONC_HOT void hot_calls_allocating_helper() {
+  build_scratch();  // BAD: allocating non-hot callee
+}

@@ -1,0 +1,44 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// Nothing here may trip hot-path-alloc.
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+struct Slot {
+  int value = 0;
+};
+
+// Hot helper calling hot helper: the closure stays clean.
+TXCONC_HOT int hot_probe(const std::vector<Slot>& slots, int idx) {
+  return slots[static_cast<unsigned>(idx) % slots.size()].value;
+}
+
+TXCONC_HOT int hot_sum(const std::vector<Slot>& slots) {
+  int sum = 0;
+  for (const Slot& slot : slots) sum += slot.value;  // iteration only
+  return sum + hot_probe(slots, 0);
+}
+
+TXCONC_HOT void hot_placement_new(void* storage) {
+  new (storage) Slot{};  // placement new builds in caller-owned memory
+}
+
+TXCONC_HOT void hot_throw_is_cold(int v) {
+  // A throw-expression is the cold exit; the construction it allocates
+  // never runs in steady state.
+  if (v < 0) throw std::runtime_error("negative");
+}
+
+// References/pointers to containers are not constructions.
+TXCONC_HOT int hot_by_reference(const std::vector<int>& v, std::vector<int>* out) {
+  if (out != nullptr && !v.empty()) out->back() = v.front();
+  return hot_probe({}, 0) == 0 ? 1 : 0;
+}
+
+std::vector<int> warmup_pool();
+
+TXCONC_HOT int hot_with_suppression() {
+  // txconc-lint: allow(hot-path-alloc) — warm-up only; pool is pre-sized after
+  std::vector<int> pool = warmup_pool();
+  return static_cast<int>(pool.size());
+}

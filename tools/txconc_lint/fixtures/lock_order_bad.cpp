@@ -1,0 +1,27 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// An A->B / B->A inversion and an interprocedural self-deadlock.
+#include "common/thread_annotations.h"
+
+struct Accounts {
+  Mutex ledger_;
+  Mutex mempool_;
+
+  void commit() {
+    MutexLock ledger_lock(ledger_);
+    MutexLock mempool_lock(mempool_);  // edge ledger_ -> mempool_
+  }
+
+  void evict() {
+    MutexLock mempool_lock(mempool_);
+    MutexLock ledger_lock(ledger_);  // BAD: edge mempool_ -> ledger_ closes a cycle
+  }
+};
+
+Mutex g_registry;
+
+void registry_helper() { MutexLock lock(g_registry); }
+
+void registry_report() {
+  MutexLock lock(g_registry);
+  registry_helper();  // BAD: re-acquires g_registry while held
+}

@@ -1,0 +1,33 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// Consistent acquisition order, scoped release, and adopt_lock: silent.
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+struct Accounts {
+  Mutex ledger_;
+  Mutex mempool_;
+  Mutex stats_;
+
+  void commit() {
+    MutexLock ledger_lock(ledger_);
+    MutexLock mempool_lock(mempool_);  // ledger_ -> mempool_, everywhere
+  }
+
+  void evict() {
+    {
+      MutexLock ledger_lock(ledger_);
+      MutexLock mempool_lock(mempool_);
+    }
+    // ledger_lock's scope closed above: no mempool_ -> stats_ -> ledger_
+    // chain exists, only ledger_ -> mempool_ and stats_ alone.
+    MutexLock stats_lock(stats_);
+  }
+
+  void wait_like(std::mutex& raw) {
+    // adopt/defer/try tags re-wrap an already-held mutex (CondVar::wait
+    // does exactly this) and must not count as a fresh acquisition.
+    std::unique_lock<std::mutex> relock(raw, std::adopt_lock);
+    relock.release();
+  }
+};

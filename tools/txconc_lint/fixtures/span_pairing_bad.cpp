@@ -1,0 +1,20 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+#include "obs/trace.h"
+
+void execute_block_manually() {
+  obs::Tracer& tracer = obs::Tracer::global();
+  // BAD: raw begin/end pair; an early return or exception between them
+  // leaves the span unbalanced (use TXCONC_SPAN / CausalSpan instead).
+  tracer.begin("block", "exec", 42);
+  tracer.end("block", "exec", "node0");
+}
+
+void forward_with_flow(obs::Tracer& t, unsigned long long flow) {
+  t.flow_start(flow);  // BAD: raw flow emission outside the RAII helpers
+  t.flow_bind(flow);   // BAD: same
+}
+
+void causal_by_hand() {
+  // BAD: raw causal begin outside CausalSpan.
+  obs::Tracer::global().begin_causal("xfer", "shard", 1, 2, 0);
+}

@@ -1,0 +1,21 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+#include <vector>
+
+#include "obs/trace.h"
+
+void execute_block(const std::vector<int>& txs) {
+  TXCONC_SPAN("block", "exec");  // macro expands to the RAII guard
+  for (auto it = txs.begin(); it != txs.end(); ++it) {
+    // .begin()/.end() iterator accessors are not Tracer emissions.
+  }
+}
+
+struct MvStateView {
+  void begin(void* store, int base) { (void)store; (void)base; }
+};
+
+void rebind_view(MvStateView& view) {
+  // A non-Tracer receiver with a method named begin stays allowed: the
+  // rule keys on the receiver expression, not the bare method name.
+  view.begin(nullptr, 0);
+}

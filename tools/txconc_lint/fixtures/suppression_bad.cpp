@@ -1,0 +1,12 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// Every txconc-lint comment below is malformed and must be flagged by
+// the suppression meta-rule (and must suppress nothing).
+
+// txconc-lint: allow(not-a-real-rule) — the rule name is unknown
+int unknown_rule() { return 1; }
+
+// txconc-lint: allow(hot-path-alloc)
+int missing_reason() { return 2; }
+
+// txconc-lint: please ignore this file
+int not_even_allow() { return 3; }

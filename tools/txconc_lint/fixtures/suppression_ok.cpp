@@ -1,0 +1,12 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+// A well-formed suppression: names a real rule, gives a reason, and
+// silences the finding on the next line without tripping the meta-rule.
+#include <vector>
+
+std::vector<int> warmup();
+
+TXCONC_HOT int presized_scratch() {
+  // txconc-lint: allow(hot-path-alloc) — constructor-time warm-up, not steady state
+  std::vector<int> scratch = warmup();
+  return static_cast<int>(scratch.size());
+}

@@ -1,0 +1,15 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+#include "common/thread_annotations.h"
+
+struct Monitor {
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+
+  // BAD: opts out of thread-safety analysis with no justification comment.
+  int unsafe_peek() const NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+  int safe_read() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+};

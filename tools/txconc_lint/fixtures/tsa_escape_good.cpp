@@ -1,0 +1,16 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+#include "common/thread_annotations.h"
+
+struct Monitor {
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+
+  // tsa: quiescent use only — callers read between rounds, when no
+  // mutator runs; the escape cannot carry a REQUIRES contract.
+  int quiescent_peek() const NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+  int safe_read() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+};

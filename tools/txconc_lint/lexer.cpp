@@ -1,0 +1,202 @@
+#include "lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace txconc::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+constexpr std::array<const char*, 21> kMultiOps = {
+    "->*", "<<=", ">>=", "...", "::",  "->", "<<", ">>", "<=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=",
+};
+// Note: ">=" is intentionally absent from kMultiOps as a *combined* token
+// would also swallow the '>' closing a template argument list followed by
+// '='; single '>' then '=' keeps brace/angle scanning simple and no rule
+// needs ">=" as one token.
+
+}  // namespace
+
+LexedFile lex(std::string path, const std::string& content) {
+  LexedFile out;
+  out.path = std::move(path);
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto add_comment = [&out](int at_line, const std::string& text) {
+    std::string& slot = out.comments[at_line];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+
+  auto bump = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t' || c == '\f' ||
+        c == '\v') {
+      bump(c);
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && content[j] != '\n') ++j;
+      add_comment(line, content.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Block comment: contributes to every line it touches.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int l = line;
+      std::size_t seg_start = i;
+      while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/')) {
+        if (content[j] == '\n') {
+          add_comment(l, content.substr(seg_start, j - seg_start));
+          ++l;
+          seg_start = j + 1;
+        }
+        ++j;
+      }
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      add_comment(l, content.substr(seg_start, end - seg_start));
+      line = l;
+      i = end;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring backslash
+    // continuations; a trailing // comment on the directive line is still
+    // recorded (justification comments may sit on #define lines).
+    if (c == '#' && at_line_start) {
+      std::size_t j = i;
+      while (j < n) {
+        if (content[j] == '/' && j + 1 < n && content[j + 1] == '/') {
+          std::size_t k = j;
+          while (k < n && content[k] != '\n') ++k;
+          add_comment(line, content.substr(j, k - j));
+          j = k;
+          continue;
+        }
+        if (content[j] == '\n') {
+          // Continued directive?
+          std::size_t b = j;
+          while (b > i && (content[b - 1] == ' ' || content[b - 1] == '\t' ||
+                           content[b - 1] == '\r')) {
+            --b;
+          }
+          if (b > i && content[b - 1] == '\\') {
+            ++line;
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      at_line_start = true;
+      if (j < n) {
+        ++line;
+        ++j;  // consume the newline
+      }
+      i = j;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t body = (j < n) ? j + 1 : n;
+      std::size_t end = content.find(close, body);
+      if (end == std::string::npos) end = n;
+      const std::string text = content.substr(body, end - body);
+      out.tokens.push_back({TokKind::kString, text, line});
+      for (std::size_t k = i; k < end && k < n; ++k) bump(content[k]);
+      at_line_start = false;
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && content[j] != quote && content[j] != '\n') {
+        if (content[j] == '\\' && j + 1 < n) {
+          text += content[j];
+          text += content[j + 1];
+          j += 2;
+          continue;
+        }
+        text += content[j++];
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, text, line});
+      i = (j < n && content[j] == quote) ? j + 1 : j;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(content[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])) != 0)) {
+      // pp-number: digits, idents, ', ., and exponent signs after e/E/p/P.
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = content[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                    content[j - 1] == 'p' || content[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, maximal munch over the multi-char table.
+    std::string matched(1, c);
+    for (const char* op : kMultiOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (i + len <= n && content.compare(i, len, op) == 0) {
+        matched.assign(op, len);
+        break;
+      }
+    }
+    out.tokens.push_back({TokKind::kPunct, matched, line});
+    i += matched.size();
+  }
+  out.num_lines = line;
+  out.tokens.push_back({TokKind::kEnd, "", line});
+  return out;
+}
+
+}  // namespace txconc::lint

@@ -1,0 +1,47 @@
+// Lexer for txconc-lint (tools/txconc_lint).
+//
+// txconc-lint analyses the repo's own C++ sources, so the frontend only
+// needs to be faithful to the subset of the language the tree uses: it
+// tokenizes raw (un-preprocessed) source, records comments per line (the
+// rules key justification comments off them), and skips preprocessor
+// directives wholesale. Macro *invocations* in code position (TXCONC_HOT,
+// NO_THREAD_SAFETY_ANALYSIS, REQUIRES(...)) survive as ordinary
+// identifier tokens — which is exactly what the rules match on, the same
+// way Clang TSA matches attributes before expansion.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace txconc::lint {
+
+enum class TokKind {
+  kIdent,   ///< identifiers and keywords (rules tell them apart)
+  kNumber,  ///< pp-number-ish literal
+  kString,  ///< "...", R"(...)" (text excludes quotes/delimiters)
+  kChar,    ///< '...'
+  kPunct,   ///< operators/punctuation; multi-char ops are one token
+  kEnd,     ///< sentinel; always the last token
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;  ///< never empty; last element is kEnd
+  /// line -> concatenated text of every comment touching that line
+  /// (a block comment spanning lines contributes to each of them).
+  std::map<int, std::string> comments;
+  int num_lines = 0;
+};
+
+/// Tokenize `content`; never throws on malformed input (best effort:
+/// unterminated literals run to end of line / file).
+LexedFile lex(std::string path, const std::string& content);
+
+}  // namespace txconc::lint

@@ -1,0 +1,132 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace txconc::lint {
+namespace {
+
+/// Valid suppressions in a file: line -> set of rule names allowed on
+/// that line AND the line below it (a suppression comment conventionally
+/// sits on the offending line or immediately above it). Only well-formed
+/// suppressions with a reason suppress; malformed ones are findings of
+/// the `suppression` rule instead.
+std::map<int, std::set<std::string>> valid_suppressions(const LexedFile& lx) {
+  std::map<int, std::set<std::string>> out;
+  for (const auto& [line, text] : lx.comments) {
+    std::size_t pos = text.find("txconc-lint:");
+    if (pos == std::string::npos) continue;
+    const std::string rest = text.substr(pos + 12);
+    const std::size_t a = rest.find("allow(");
+    if (a == std::string::npos) continue;
+    const std::size_t close = rest.find(')', a);
+    if (close == std::string::npos) continue;
+    std::string rule = rest.substr(a + 6, close - a - 6);
+    rule.erase(0, rule.find_first_not_of(" \t"));
+    rule.erase(rule.find_last_not_of(" \t") + 1);
+    bool known = false;
+    for (const RuleInfo& r : all_rules()) known = known || rule == r.name;
+    if (!known) continue;
+    const std::string reason = rest.substr(close + 1);
+    if (reason.find_first_not_of(" \t-:\xE2\x80\x94") == std::string::npos) {
+      continue;  // reason-less: does not suppress (and is itself flagged)
+    }
+    out[line].insert(rule);
+    out[line + 1].insert(rule);
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Linter::add_file(const std::string& path, const std::string& content) {
+  corpus_.push_back(build_model(lex(path, content)));
+}
+
+LintResult Linter::run(const std::vector<std::string>& enabled) const {
+  LintResult res;
+  res.files = static_cast<int>(corpus_.size());
+  std::vector<Finding> raw;
+  for (const RuleInfo& rule : all_rules()) {
+    if (!enabled.empty() &&
+        std::find(enabled.begin(), enabled.end(), rule.name) ==
+            enabled.end()) {
+      continue;
+    }
+    ++res.rules_run;
+    rule.run(corpus_, raw);
+  }
+  std::map<std::string, std::map<int, std::set<std::string>>> allow;
+  for (const FileModel& fm : corpus_) {
+    allow[fm.lx.path] = valid_suppressions(fm.lx);
+  }
+  for (Finding& f : raw) {
+    const auto& file_allow = allow[f.path];
+    const auto it = file_allow.find(f.line);
+    if (it != file_allow.end() && it->second.count(f.rule) != 0) {
+      ++res.suppressed;
+      continue;
+    }
+    res.findings.push_back(std::move(f));
+  }
+  std::sort(res.findings.begin(), res.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return res;
+}
+
+std::string to_text(const LintResult& r) {
+  std::ostringstream os;
+  for (const Finding& f : r.findings) {
+    os << f.path << ':' << f.line << ": [" << f.rule << "] " << f.message
+       << '\n';
+  }
+  os << "txconc-lint: " << r.rules_run << " rules x " << r.files
+     << " files: " << r.findings.size() << " findings (" << r.suppressed
+     << " suppressed)\n";
+  return os.str();
+}
+
+std::string to_json(const LintResult& r) {
+  std::ostringstream os;
+  os << "{\n  \"rules_run\": " << r.rules_run
+     << ",\n  \"files\": " << r.files << ",\n  \"suppressed\": " << r.suppressed
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"path\": \""
+       << json_escape(f.path) << "\", \"line\": " << f.line
+       << ", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  os << (r.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace txconc::lint

@@ -1,0 +1,57 @@
+// txconc-lint driver: rule registry, corpus, suppression filtering and
+// output formatting. See DESIGN.md §15 for the rule catalogue.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace txconc::lint {
+
+using Corpus = std::vector<FileModel>;
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+  void (*run)(const Corpus&, std::vector<Finding>&);
+};
+
+/// All registered rules, in stable catalogue order.
+const std::vector<RuleInfo>& all_rules();
+
+struct LintResult {
+  std::vector<Finding> findings;  ///< post-suppression, sorted path/line
+  int suppressed = 0;
+  int files = 0;
+  int rules_run = 0;
+};
+
+class Linter {
+ public:
+  /// Lex + model one translation-unit-ish input. Order is irrelevant;
+  /// cross-file rules see the whole corpus.
+  void add_file(const std::string& path, const std::string& content);
+
+  /// Run `enabled` rules (empty = all). Valid
+  /// `// txconc-lint: allow(<rule>) — <reason>` comments on the finding
+  /// line or the line above suppress that rule's findings there.
+  LintResult run(const std::vector<std::string>& enabled = {}) const;
+
+  const Corpus& corpus() const { return corpus_; }
+
+ private:
+  Corpus corpus_;
+};
+
+std::string to_text(const LintResult& r);
+std::string to_json(const LintResult& r);
+
+}  // namespace txconc::lint

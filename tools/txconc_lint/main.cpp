@@ -1,0 +1,104 @@
+// txconc-lint CLI.
+//
+//   txconc_lint [--format=text|json] [--rules=a,b,...] [--list-rules]
+//               <file-or-dir>...
+//
+// Directories are recursed for .h/.hpp/.cc/.cpp. Exit codes:
+//   0  clean
+//   1  findings
+//   2  usage or I/O error
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using txconc::lint::Linter;
+
+namespace {
+
+bool source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".cc" || e == ".cpp";
+}
+
+int usage() {
+  std::cerr << "usage: txconc_lint [--format=text|json] [--rules=a,b] "
+               "[--list-rules] <file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::vector<std::string> rules;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return usage();
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::stringstream ss(arg.substr(8));
+      std::string r;
+      while (std::getline(ss, r, ',')) {
+        if (!r.empty()) rules.push_back(r);
+      }
+    } else if (arg == "--list-rules") {
+      for (const auto& r : txconc::lint::all_rules()) {
+        std::cout << r.name << "\t" << r.description << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  Linter linter;
+  int loaded = 0;
+  for (const std::string& in : inputs) {
+    std::error_code ec;
+    std::vector<fs::path> files;
+    if (fs::is_directory(in, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(in, ec)) {
+        if (entry.is_regular_file() && source_ext(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::cerr << "txconc_lint: cannot read '" << in << "'\n";
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& p : files) {
+      std::ifstream f(p);
+      if (!f) {
+        std::cerr << "txconc_lint: cannot open '" << p.string() << "'\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      linter.add_file(p.generic_string(), ss.str());
+      ++loaded;
+    }
+  }
+  if (loaded == 0) {
+    std::cerr << "txconc_lint: no source files found\n";
+    return 2;
+  }
+  const auto res = linter.run(rules);
+  std::cout << (format == "json" ? txconc::lint::to_json(res)
+                                 : txconc::lint::to_text(res));
+  return res.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,538 @@
+#include "model.h"
+
+#include <unordered_set>
+
+namespace txconc::lint {
+namespace {
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "alignas",   "alignof",  "asm",          "auto",     "bool",
+      "break",     "case",     "catch",        "char",     "class",
+      "const",     "consteval","constexpr",    "constinit","const_cast",
+      "continue",  "co_await", "co_return",    "co_yield", "decltype",
+      "default",   "delete",   "do",           "double",   "dynamic_cast",
+      "else",      "enum",     "explicit",     "export",   "extern",
+      "false",     "float",    "for",          "friend",   "goto",
+      "if",        "inline",   "int",          "long",     "mutable",
+      "namespace", "new",      "noexcept",     "nullptr",  "operator",
+      "private",   "protected","public",       "register", "reinterpret_cast",
+      "requires",  "return",   "short",        "signed",   "sizeof",
+      "static",    "static_assert", "static_cast", "struct", "switch",
+      "template",  "this",     "thread_local", "throw",    "true",
+      "try",       "typedef",  "typeid",       "typename", "union",
+      "unsigned",  "using",    "virtual",      "void",     "volatile",
+      "wchar_t",   "while",
+  };
+  return kw;
+}
+
+/// Attribute-like macros (and keyword-operators) whose trailing (...)
+/// group is a qualifier, never a parameter list or a call.
+const std::unordered_set<std::string>& qualifier_macros() {
+  static const std::unordered_set<std::string> q = {
+      "REQUIRES",        "REQUIRES_SHARED", "ACQUIRE",         "RELEASE",
+      "ACQUIRE_SHARED",  "RELEASE_SHARED",  "TRY_ACQUIRE",     "EXCLUDES",
+      "GUARDED_BY",      "PT_GUARDED_BY",   "ACQUIRED_BEFORE", "ACQUIRED_AFTER",
+      "RETURN_CAPABILITY", "ASSERT_CAPABILITY", "CAPABILITY",
+      "TXCONC_TS_ATTRIBUTE", "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+      "noexcept",        "throw",           "decltype",        "alignas",
+      "__attribute__",   "requires",        "defined",
+  };
+  return q;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// Skip a balanced <...> group starting at `open` (toks[open] == "<").
+/// Returns the index just past the closing '>' on success; `open` itself
+/// (no move) when this does not look like a template argument list.
+std::size_t try_skip_angles(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  std::size_t limit = 64;  // template args are short in this tree
+  for (std::size_t j = open; toks[j].kind != TokKind::kEnd && limit > 0;
+       --limit) {
+    const Token& t = toks[j];
+    if (is_punct(t, "<")) {
+      ++depth;
+      ++j;
+    } else if (is_punct(t, ">")) {
+      if (--depth == 0) return j + 1;
+      ++j;
+    } else if (is_punct(t, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+      ++j;
+    } else if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) {
+      j = find_matching(toks, j) + 1;
+    } else if (is_punct(t, ";") || is_punct(t, "}")) {
+      return open;  // statement ended first: it was a comparison
+    } else {
+      ++j;
+    }
+  }
+  return open;
+}
+
+/// Skip to just past the next ';' at the current nesting level.
+std::size_t skip_to_semi(const std::vector<Token>& toks, std::size_t i) {
+  for (std::size_t j = i; toks[j].kind != TokKind::kEnd;) {
+    const Token& t = toks[j];
+    if (is_punct(t, ";")) return j + 1;
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) {
+      j = find_matching(toks, j) + 1;
+      continue;
+    }
+    if (is_punct(t, "}")) return j;  // scope ended without a ';'
+    ++j;
+  }
+  return toks.size() - 1;
+}
+
+struct DeclResult {
+  bool is_def = false;
+  FunctionDef def;
+  bool hot_decl = false;
+  std::string hot_decl_name;
+  std::size_t resume = 0;
+};
+
+/// Parse one declaration starting at `i` (an identifier at namespace or
+/// class scope). Recognizes function definitions; everything else is
+/// skipped to its end.
+DeclResult parse_decl(const LexedFile& lx, std::size_t i,
+                      const std::string& enclosing_class) {
+  const std::vector<Token>& toks = lx.tokens;
+  DeclResult out;
+  std::string cand_name;
+  std::string cand_qual;
+  int cand_line = 0;
+  bool have_params = false;
+  bool hot = false;
+
+  std::size_t j = i;
+  while (toks[j].kind != TokKind::kEnd) {
+    const Token& t = toks[j];
+    if (is_punct(t, ";")) {
+      if (hot && have_params && !cand_name.empty()) {
+        out.hot_decl = true;
+        out.hot_decl_name = cand_name;
+      }
+      out.resume = j + 1;
+      return out;
+    }
+    if (is_punct(t, "{")) {
+      const std::size_t end = find_matching(toks, j);
+      if (have_params && !cand_name.empty() &&
+          keywords().count(cand_name) == 0) {
+        out.is_def = true;
+        out.def.name = cand_name;
+        out.def.qualified = cand_qual;
+        out.def.enclosing_class = enclosing_class;
+        out.def.line = cand_line;
+        out.def.body_begin = j;
+        out.def.body_end = end;
+        out.def.hot = hot;
+      }
+      out.resume = end + 1;
+      return out;
+    }
+    if (is_punct(t, "=")) {
+      // "= default;", "= delete;", "= 0;" or a variable initializer.
+      if (hot && have_params && !cand_name.empty()) {
+        out.hot_decl = true;
+        out.hot_decl_name = cand_name;
+      }
+      out.resume = skip_to_semi(toks, j);
+      return out;
+    }
+    if (is_punct(t, ":") && !is_punct(toks[j + 1], ":")) {
+      if (!have_params) {  // label / bitfield: not a function
+        out.resume = skip_to_semi(toks, j);
+        return out;
+      }
+      // Ctor-init list: initializer groups until the body brace.
+      std::size_t k = j + 1;
+      while (toks[k].kind != TokKind::kEnd) {
+        while (is_ident(toks[k]) || is_punct(toks[k], "::")) ++k;
+        if (is_punct(toks[k], "<")) {
+          const std::size_t a = try_skip_angles(toks, k);
+          if (a == k) break;
+          k = a;
+        }
+        if (is_punct(toks[k], "(") || is_punct(toks[k], "{")) {
+          k = find_matching(toks, k) + 1;
+        } else {
+          break;
+        }
+        if (is_punct(toks[k], "...")) ++k;
+        if (is_punct(toks[k], ",")) {
+          ++k;
+          continue;
+        }
+        if (is_punct(toks[k], "{")) {
+          const std::size_t end = find_matching(toks, k);
+          out.is_def = true;
+          out.def.name = cand_name;
+          out.def.qualified = cand_qual;
+          out.def.enclosing_class = enclosing_class;
+          out.def.line = cand_line;
+          out.def.body_begin = k;
+          out.def.body_end = end;
+          out.def.hot = hot;
+          out.resume = end + 1;
+          return out;
+        }
+        break;
+      }
+      out.resume = j + 1;  // bail: malformed for our grammar subset
+      return out;
+    }
+    if (is_punct(t, "(") || is_punct(t, "[")) {
+      j = find_matching(toks, j) + 1;
+      continue;
+    }
+    if (is_punct(t, "}")) {  // scope closed mid-declaration: bail
+      out.resume = j;
+      return out;
+    }
+    if (is_ident(t)) {
+      if (t.text == "TXCONC_HOT") {
+        hot = true;
+        ++j;
+        continue;
+      }
+      if (t.text == "operator") {
+        std::string op = "operator";
+        std::size_t k = j + 1;
+        if (is_punct(toks[k], "(") && is_punct(toks[k + 1], ")")) {
+          op += "()";
+          k += 2;
+        } else if (is_punct(toks[k], "[") && is_punct(toks[k + 1], "]")) {
+          op += "[]";
+          k += 2;
+        } else {
+          while (toks[k].kind == TokKind::kPunct && !is_punct(toks[k], "(")) {
+            op += toks[k].text;
+            ++k;
+          }
+          while (is_ident(toks[k]) ||
+                 (toks[k].kind == TokKind::kPunct && !is_punct(toks[k], "(") &&
+                  !is_punct(toks[k], ";"))) {
+            op += (is_ident(toks[k]) ? " " + toks[k].text : toks[k].text);
+            ++k;  // conversion operators: operator bool, operator T*
+          }
+        }
+        if (is_punct(toks[k], "(")) {
+          cand_name = op;
+          cand_qual = cand_qual.empty() ? op : cand_qual + "::" + op;
+          cand_line = t.line;
+          have_params = true;
+          j = find_matching(toks, k) + 1;
+          continue;
+        }
+        j = k;
+        continue;
+      }
+      // Identifier chain a::b::c, candidate when directly followed by '('.
+      std::string name = t.text;
+      std::string qual = t.text;
+      const int line = t.line;
+      std::size_t k = j + 1;
+      while (is_punct(toks[k], "::") && is_ident(toks[k + 1])) {
+        qual += "::" + toks[k + 1].text;
+        name = toks[k + 1].text;
+        k += 2;
+      }
+      if (is_punct(toks[k], "(")) {
+        if (qualifier_macros().count(name) != 0 || keywords().count(name) != 0) {
+          j = find_matching(toks, k) + 1;  // qualifier group, not params
+          continue;
+        }
+        cand_name = name;
+        cand_qual = qual;
+        cand_line = line;
+        have_params = true;
+        j = find_matching(toks, k) + 1;
+        continue;
+      }
+      j = k;
+      continue;
+    }
+    ++j;  // *, &, <, >, ~, ',', number, string, ...
+  }
+  out.resume = toks.size() - 1;
+  return out;
+}
+
+}  // namespace
+
+bool is_cpp_keyword(const std::string& s) { return keywords().count(s) != 0; }
+
+std::size_t find_matching(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t j = open; toks[j].kind != TokKind::kEnd; ++j) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    if (toks[j].text == o) {
+      ++depth;
+    } else if (toks[j].text == close) {
+      if (--depth == 0) return j;
+    }
+  }
+  return toks.size() - 1;
+}
+
+FileModel build_model(LexedFile lx) {
+  FileModel fm;
+  fm.lx = std::move(lx);
+  const std::vector<Token>& toks = fm.lx.tokens;
+
+  struct Ctx {
+    char kind;  // 'n' namespace, 'c' class, 'o' other
+    std::string name;
+  };
+  std::vector<Ctx> stack;
+  auto enclosing_class = [&stack]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == 'c') return it->name;
+    }
+    return std::string();
+  };
+
+  std::size_t i = 0;
+  while (toks[i].kind != TokKind::kEnd) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {  // unclassified brace (initializer, ...): skip
+      i = find_matching(toks, i) + 1;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!stack.empty()) stack.pop_back();
+      ++i;
+      continue;
+    }
+    if (!is_ident(t)) {
+      ++i;
+      continue;
+    }
+    if (t.text == "template") {
+      if (is_punct(toks[i + 1], "<")) {
+        const std::size_t a = try_skip_angles(toks, i + 1);
+        i = (a == i + 1) ? i + 1 : a;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (t.text == "namespace") {
+      std::size_t j = i + 1;
+      std::string name;
+      while (is_ident(toks[j]) || is_punct(toks[j], "::")) {
+        name += toks[j].text;
+        ++j;
+      }
+      if (is_punct(toks[j], "{")) {
+        stack.push_back({'n', name});
+        i = j + 1;
+      } else {
+        i = skip_to_semi(toks, j);
+      }
+      continue;
+    }
+    if (t.text == "using" || t.text == "typedef" || t.text == "friend" ||
+        t.text == "static_assert") {
+      i = skip_to_semi(toks, i);
+      continue;
+    }
+    if (t.text == "enum") {
+      std::size_t j = i + 1;
+      while (toks[j].kind != TokKind::kEnd && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";")) {
+        ++j;
+      }
+      i = is_punct(toks[j], "{") ? find_matching(toks, j) + 1 : j + 1;
+      continue;
+    }
+    if (t.text == "class" || t.text == "struct" || t.text == "union") {
+      std::size_t j = i + 1;
+      std::string last_ident;
+      while (toks[j].kind != TokKind::kEnd) {
+        if (is_punct(toks[j], "(") || is_punct(toks[j], "[")) {
+          j = find_matching(toks, j) + 1;  // CAPABILITY("..."), [[...]]
+          continue;
+        }
+        if (is_punct(toks[j], "<")) {
+          const std::size_t a = try_skip_angles(toks, j);
+          if (a == j) break;
+          j = a;
+          continue;
+        }
+        if (is_punct(toks[j], ":") || is_punct(toks[j], "{") ||
+            is_punct(toks[j], ";")) {
+          break;
+        }
+        if (is_ident(toks[j]) && toks[j].text != "final" &&
+            toks[j].text != "alignas") {
+          last_ident = toks[j].text;
+        }
+        ++j;
+      }
+      if (is_punct(toks[j], ":")) {  // base clause
+        while (toks[j].kind != TokKind::kEnd && !is_punct(toks[j], "{") &&
+               !is_punct(toks[j], ";")) {
+          if (is_punct(toks[j], "(")) {
+            j = find_matching(toks, j) + 1;
+          } else if (is_punct(toks[j], "<")) {
+            const std::size_t a = try_skip_angles(toks, j);
+            j = (a == j) ? j + 1 : a;
+          } else {
+            ++j;
+          }
+        }
+      }
+      if (is_punct(toks[j], "{")) {
+        stack.push_back({'c', last_ident});
+        i = j + 1;
+      } else {
+        i = is_punct(toks[j], ";") ? j + 1 : j;
+      }
+      continue;
+    }
+    if (t.text == "extern" && toks[i + 1].kind == TokKind::kString &&
+        is_punct(toks[i + 2], "{")) {
+      stack.push_back({'o', ""});
+      i += 3;
+      continue;
+    }
+    if ((t.text == "public" || t.text == "private" || t.text == "protected") &&
+        is_punct(toks[i + 1], ":")) {
+      i += 2;
+      continue;
+    }
+    DeclResult r = parse_decl(fm.lx, i, enclosing_class());
+    if (r.is_def) fm.functions.push_back(std::move(r.def));
+    if (r.hot_decl) fm.hot_decls.push_back(std::move(r.hot_decl_name));
+    i = r.resume > i ? r.resume : i + 1;
+  }
+  return fm;
+}
+
+std::vector<CallSite> collect_calls(const FileModel& fm,
+                                    const FunctionDef& fn) {
+  const std::vector<Token>& toks = fm.lx.tokens;
+  std::vector<CallSite> out;
+  bool in_throw = false;
+  for (std::size_t j = fn.body_begin + 1; j < fn.body_end; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      in_throw = false;
+      continue;
+    }
+    if (!is_ident(t)) continue;
+    if (t.text == "throw") {
+      in_throw = true;
+      continue;
+    }
+    if (keywords().count(t.text) != 0 || qualifier_macros().count(t.text) != 0) {
+      // Skip a cast's/keyword's group so e.g. static_cast<T>(x) never
+      // yields a call named after its operand.
+      continue;
+    }
+    // Identifier chain a::b::c[<T>], call when followed by '('.
+    const std::size_t chain_start = j;
+    std::string name = t.text;
+    std::string qual = t.text;
+    std::size_t k = j + 1;
+    while (is_punct(toks[k], "::") && is_ident(toks[k + 1])) {
+      name = toks[k + 1].text;
+      qual += "::" + toks[k + 1].text;
+      k += 2;
+    }
+    std::size_t after_args = k;
+    if (is_punct(toks[k], "<")) {
+      const std::size_t a = try_skip_angles(toks, k);
+      if (a != k) after_args = a;
+    }
+    if (!is_punct(toks[after_args], "(")) {
+      j = k - 1;
+      continue;
+    }
+    CallSite cs;
+    cs.name = name;
+    cs.qualified = qual;
+    cs.tok = chain_start;
+    cs.line = toks[chain_start].line;
+    cs.zero_args = is_punct(toks[after_args + 1], ")");
+    cs.in_throw = in_throw;
+    // Member call? Walk the receiver chain backwards.
+    std::size_t p = chain_start;
+    if (p > fn.body_begin &&
+        (is_punct(toks[p - 1], ".") || is_punct(toks[p - 1], "->"))) {
+      cs.member = true;
+      std::vector<std::string> parts;
+      std::size_t q = p - 1;
+      while (q > fn.body_begin) {
+        const Token& rt = toks[q - 1];
+        if (is_ident(rt) || rt.kind == TokKind::kNumber) {
+          parts.push_back(rt.text);
+          --q;
+        } else if (is_punct(rt, ".") || is_punct(rt, "->") ||
+                   is_punct(rt, "::")) {
+          parts.push_back(rt.text);
+          --q;
+        } else if (is_punct(rt, ")") || is_punct(rt, "]")) {
+          // fold a trailing call/index group into the receiver, e.g.
+          // Tracer::global().begin(...) or slots_[j].mu
+          std::size_t open = q - 1;
+          int depth = 0;
+          const std::string& closer = rt.text;
+          const std::string opener = closer == ")" ? "(" : "[";
+          while (open > fn.body_begin) {
+            if (is_punct(toks[open], closer.c_str())) ++depth;
+            if (is_punct(toks[open], opener.c_str()) && --depth == 0) break;
+            --open;
+          }
+          parts.push_back(opener + closer);
+          q = open;
+        } else {
+          break;
+        }
+        // Stop once the chain no longer continues leftward.
+        const Token& prev = toks[q - 1];
+        if (!(is_ident(prev) || prev.kind == TokKind::kNumber ||
+              is_punct(prev, ".") || is_punct(prev, "->") ||
+              is_punct(prev, "::") || is_punct(prev, ")") ||
+              is_punct(prev, "]"))) {
+          break;
+        }
+      }
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        cs.receiver += *it;
+      }
+      // The separator itself ('.'/'->') was folded into parts; strip a
+      // trailing one so "slot.mu." reads "slot.mu".
+      while (!cs.receiver.empty() &&
+             (cs.receiver.back() == '.' || cs.receiver.back() == '>')) {
+        if (cs.receiver.back() == '>' && cs.receiver.size() >= 2 &&
+            cs.receiver[cs.receiver.size() - 2] == '-') {
+          cs.receiver.erase(cs.receiver.size() - 2);
+        } else if (cs.receiver.back() == '.') {
+          cs.receiver.pop_back();
+        } else {
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(cs));
+    j = after_args;  // continue inside the argument list (nested calls)
+  }
+  return out;
+}
+
+}  // namespace txconc::lint

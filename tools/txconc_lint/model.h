@@ -1,0 +1,61 @@
+// Structural model over the token stream: function definitions with
+// their enclosing class/namespace context, hot-path annotations, and
+// call-site extraction. This is deliberately an "AST-lite" — a
+// context-stack scan that understands the declaration shapes this repo
+// actually writes (classes, ctor-init lists, operators, TSA attribute
+// macros, trailing qualifiers) — so the rules get function granularity
+// without needing libclang, which the CI container does not ship (see
+// DESIGN.md §15 for the frontend-seam discussion).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace txconc::lint {
+
+struct FunctionDef {
+  std::string name;             ///< f, operator[], ~Foo
+  std::string qualified;        ///< as spelled, e.g. MultiVersionStore::resolve
+  std::string enclosing_class;  ///< innermost class/struct ("" at ns scope)
+  int line = 0;
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index of matching '}'
+  bool hot = false;            ///< declaration carries TXCONC_HOT
+};
+
+struct FileModel {
+  LexedFile lx;
+  std::vector<FunctionDef> functions;
+  /// Names of body-less declarations that carried TXCONC_HOT (a header
+  /// decl marks the out-of-line definition hot as well).
+  std::vector<std::string> hot_decls;
+};
+
+struct CallSite {
+  std::string name;       ///< unqualified callee
+  std::string qualified;  ///< full spelled chain (a::b::f)
+  std::string receiver;   ///< text of the x / x->y chain before . or ->
+  std::size_t tok = 0;    ///< index of the callee-name token
+  int line = 0;
+  bool member = false;     ///< receiver.name(...) or receiver->name(...)
+  bool zero_args = false;  ///< the call is name()
+  bool in_throw = false;   ///< part of a throw-expression (assumed cold)
+};
+
+FileModel build_model(LexedFile lx);
+
+/// Every call site in fn's body (see CallSite; control keywords and
+/// casts excluded).
+std::vector<CallSite> collect_calls(const FileModel& fm,
+                                    const FunctionDef& fn);
+
+/// Index of the token matching the opener at `open` ('(' / '{' / '[');
+/// returns the kEnd index when unbalanced.
+std::size_t find_matching(const std::vector<Token>& toks, std::size_t open);
+
+bool is_cpp_keyword(const std::string& s);
+
+}  // namespace txconc::lint
