@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <span>
 #include <sstream>
 #include <string>
@@ -23,6 +24,7 @@
 #include "core/scheduling.h"
 #include "core/speedup_model.h"
 #include "exec/executor.h"
+#include "obs/critpath.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 #include "workload/account_workload.h"
@@ -664,6 +666,146 @@ void write_bench_obs_json() {
             << analysis::fmt_double(noise_floor_pct, 2) << "%)\n";
 }
 
+// --------------------------------------------- BENCH_profile.json emitter
+
+// Wall-clock attribution per (engine, threads, block_txs) cell: every
+// registry engine runs traced at 1 and 4 threads over the base block and
+// the 1k-tx late-era block, and the critpath profiler's attribution row
+// (threads x wall bucketed into graph build / schedule / tx execute /
+// rework / dependency wait / commit / pool idle / untracked, plus the
+// critical-path chains) is emitted for the measured run. Warm protocol
+// (DESIGN.md §16): the first traced block absorbs tracer buffer
+// registration and chunk allocation as uncovered caller self time, so
+// each cell traces a warmup run plus a measured run into one buffer and
+// profiles the LAST execute_block. scripts/bench_gate asserts per cell
+// that the buckets sum to the budget within 2%, that the untracked share
+// stays under 10%, and that speculative at 1 thread names graph build as
+// the dominant critical-path segment (the DESIGN.md §13.3 finding).
+// Written to TXCONC_BENCH_PROFILE_OUT, default BENCH_profile.json.
+void write_bench_profile_json() {
+  static const ExecFixture fixture;
+  account::RuntimeConfig config;
+  config.charge_fees = false;
+  config.enforce_nonce = false;
+  config.synthetic_work = g_tx_work;
+  config.obs = &obs::global_scope();
+
+  struct Cell {
+    std::size_t block_txs;
+    std::span<const account::AccountTx> block;
+    const account::StateDb* genesis;
+  };
+  const std::vector<Cell> cells = {
+      {fixture.block.size(),
+       {fixture.block.data(), fixture.block.size()},
+       &fixture.genesis},
+      {1000, standard_pool().prefix(1000), &standard_pool().genesis},
+  };
+
+  struct Row {
+    std::string executor;
+    unsigned threads = 1;
+    std::size_t block_txs = 0;
+    obs::BlockProfile profile;
+    std::string error;  ///< non-empty when the cell could not be profiled
+  };
+  std::vector<Row> rows;
+  std::size_t violations = 0;
+  obs::Tracer& tracer = obs::Tracer::global();
+  // occ's wave serialization emits an attempt span per re-execution
+  // (~35k executions per 1k-tx run); two traced runs per cell overflow
+  // the default 64k-event ring on the slot-0 caller thread, and a
+  // wrapped ring drops 'B' events, which makes the trace unanalyzable.
+  tracer.set_ring_capacity(1 << 18);
+
+  for (const Cell& cell : cells) {
+    for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+      const std::vector<unsigned> thread_grid =
+          spec.parallel ? std::vector<unsigned>{1, 4}
+                        : std::vector<unsigned>{1};
+      for (const unsigned threads : thread_grid) {
+        tracer.clear();
+        tracer.enable();
+        {
+          const auto executor = spec.make(threads);
+          for (int run = 0; run < 2; ++run) {  // traced warmup + measured
+            account::StateDb db = *cell.genesis;
+            executor->execute_block(db, cell.block, config);
+          }
+          // Destroying the executor joins its pool: the workers' final
+          // pool_task ends land in the buffers before we serialize.
+        }
+        tracer.disable();
+        std::ostringstream trace;
+        tracer.write_chrome_trace(trace);
+        const obs::ProfileResult result =
+            obs::profile_chrome_trace(trace.str());
+        Row row;
+        row.executor = spec.name;
+        row.threads = threads;
+        row.block_txs = cell.block_txs;
+        std::string violation;
+        if (tracer.dropped() > 0) {
+          row.error = "ring wrapped: " + std::to_string(tracer.dropped()) +
+                      " events dropped (raise set_ring_capacity)";
+        } else if (!result.ok || result.blocks.empty()) {
+          row.error = result.ok ? "no execute_block profiled" : result.error;
+        } else {
+          row.profile = result.blocks.back();  // the measured (warm) run
+          // The 2% sum invariant is a large-block contract: per-block
+          // fixed costs (report assembly, metric flushes) do not
+          // amortize over 124 txs (DESIGN.md §13.2), so the small cells
+          // get a loosened epsilon. scripts/bench_gate applies the same
+          // split.
+          const double eps = cell.block_txs >= 1000 ? 0.02 : 0.05;
+          violation = obs::check_attribution(row.profile, eps);
+        }
+        if (!row.error.empty() || !violation.empty()) {
+          // Leave the evidence behind: the raw trace of a failing cell,
+          // ready for `txconc_profile <file>` / Perfetto.
+          const std::string dump = "profile_" + row.executor + "_t" +
+                                   std::to_string(threads) + "_x" +
+                                   std::to_string(cell.block_txs) +
+                                   ".trace.json";
+          std::ofstream(dump) << trace.str();
+          std::cout << "profile cell " << spec.name << "/t" << threads
+                    << "/x" << cell.block_txs << ": "
+                    << (row.error.empty() ? violation : row.error)
+                    << " (trace dumped to " << dump << ")\n";
+          ++violations;
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  tracer.clear();  // keep the profile cells out of any exported trace
+  tracer.set_ring_capacity(1 << 16);  // back to the default for the smoke
+
+  const char* out_path = std::getenv("TXCONC_BENCH_PROFILE_OUT");
+  if (out_path == nullptr) out_path = "BENCH_profile.json";
+  std::ofstream out(out_path);
+  out << "{\n  \"profile\": \"" << fixture.profile.name << "\",\n"
+      << "  \"hw_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"tx_work\": " << g_tx_work << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"executor\": \"" << row.executor
+        << "\", \"threads\": " << row.threads
+        << ", \"block_txs\": " << row.block_txs;
+    if (!row.error.empty()) {
+      out << ", \"error\": \"" << row.error << "\"";
+    } else {
+      out << ", \"profile\": ";
+      obs::write_profile_json(out, row.profile);
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << " (" << rows.size()
+            << " attribution cells, " << violations << " violation(s))\n";
+}
+
 // ------------------------------------------------------ TXCONC_TRACE smoke
 
 // Run one block through every registered executor with the tracer live,
@@ -676,6 +818,9 @@ bool run_traced_executions(const std::string& path) {
   account::RuntimeConfig config;
   config.charge_fees = false;
   config.enforce_nonce = false;
+  // Heavy enough transactions that per-tx tracer overhead stays a sliver
+  // of the budget; the profiler's sum invariant is checked below.
+  config.synthetic_work = g_tx_work;
   config.obs = &obs::global_scope();
 
   obs::Tracer& tracer = obs::Tracer::global();
@@ -683,8 +828,12 @@ bool run_traced_executions(const std::string& path) {
   tracer.enable();
   for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
     const auto executor = spec.make(spec.parallel ? 4 : 1);
-    account::StateDb db = fixture.genesis;
-    executor->execute_block(db, fixture.block, config);
+    // Two traced runs per engine (DESIGN.md §16 warm protocol): the first
+    // pays worker buffer registration; the profiler checks the second.
+    for (int run = 0; run < 2; ++run) {
+      account::StateDb db = fixture.genesis;
+      executor->execute_block(db, fixture.block, config);
+    }
   }
   tracer.disable();
 
@@ -725,6 +874,36 @@ bool run_traced_executions(const std::string& path) {
   }
   std::cout << "trace OK (" << validation.events << " events, "
             << validation.complete_spans << " spans) -> " << path << "\n";
+
+  // Profile smoke: the same trace must be analyzable, and the warm (last)
+  // block of every engine must satisfy the attribution sum invariant.
+  const obs::ProfileResult profiled = obs::profile_chrome_trace(buffer.str());
+  if (!profiled.ok) {
+    std::cerr << "profile FAILED: " << profiled.error << "\n";
+    return false;
+  }
+  std::map<std::string, const obs::BlockProfile*> warm;
+  for (const obs::BlockProfile& block : profiled.blocks) {
+    warm[block.process] = &block;  // file order: last run wins
+  }
+  for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+    const auto it = warm.find(spec.name);
+    if (it == warm.end()) {
+      std::cerr << "profile FAILED: no execute_block profiled for executor "
+                << spec.name << "\n";
+      return false;
+    }
+    // Small-block epsilon (see write_bench_profile_json): fixed costs
+    // do not amortize over the 124-tx fixture block.
+    const std::string violation =
+        obs::check_attribution(*it->second, /*eps_fraction=*/0.05);
+    if (!violation.empty()) {
+      std::cerr << "profile FAILED: " << violation << "\n";
+      return false;
+    }
+  }
+  std::cout << "profile OK (" << warm.size() << " engines, attribution sum "
+            << "within 5% of threads x wall)\n";
   return true;
 }
 
@@ -764,6 +943,7 @@ int main(int argc, char** argv) {
                           standard_pool().genesis);
   }
   write_bench_obs_json();
+  write_bench_profile_json();
   // TXCONC_TRACE=<file>: re-run every engine traced and self-validate the
   // exported Chrome trace (the tier-1 obs smoke drives this path).
   if (const char* trace_path = std::getenv("TXCONC_TRACE")) {

@@ -3,9 +3,12 @@
 # default runs all):
 #  * tier1 — configure, build (-Wall -Wextra -Wshadow -Werror), ctest,
 #    then an observability smoke: a traced ablation_engines run must
-#    emit a valid, non-empty Chrome trace;
+#    emit a valid, non-empty Chrome trace AND the critpath profiler's
+#    attribution sum invariant must hold for every engine ("profile OK");
 #  * asan  — ASan/UBSan on exec_test + conformance_test + audit_test:
 #    memory errors and UB under the thread pool's chunked parallel_for;
+#    txconc_profile then analyzes the traced exec_test run, driving the
+#    trace parser and span-DAG analyzer over sanitizer-instrumented code;
 #  * tsan  — TSan on the same binaries: data races, with the conformance
 #    schedule perturber widening the interleavings each seed explores;
 #  * tsa   — Clang Thread Safety Analysis: recompiles every library with
@@ -26,9 +29,13 @@
 #    bench/baselines/ by scripts/bench_gate (hardware-portable ratios with
 #    per-metric tolerances), then a negative control re-runs the bench
 #    with TXCONC_BENCH_INJECT_SLOWDOWN_PCT=20 and asserts the gate FAILS —
-#    proving the lane has teeth. After an intentional perf change, refresh
-#    the baselines with
-#      scripts/bench_gate --exec BENCH_exec.json --obs BENCH_obs.json --refresh
+#    proving the lane has teeth. The same fresh run writes
+#    BENCH_profile.json (per-cell wall-clock attribution), gated by
+#    absolute invariants (sum within eps of threads x wall, bounded
+#    untracked share). After an intentional perf change, refresh the
+#    baselines with
+#      scripts/bench_gate --exec BENCH_exec.json --obs BENCH_obs.json \
+#        --profile BENCH_profile.json --refresh
 #    and commit bench/baselines/*.json;
 #  * bench-large — the same bench with TXCONC_BENCH_LARGE=1: adds the
 #    10k-tx concatenated-block cells (reduced reps) and enforces the
@@ -71,11 +78,14 @@ if lane_enabled tier1; then
   ctest --test-dir build --output-on-failure -j"${JOBS}"
   # Observability smoke: a traced bench run must produce a non-empty
   # Chrome trace whose spans the bench's built-in validator accepts
-  # ("trace OK ..."; see bench/ablation_engines.cpp).
+  # ("trace OK ...") and whose critpath profile satisfies the
+  # attribution sum invariant for every registry engine ("profile OK";
+  # see run_traced_executions in bench/ablation_engines.cpp).
   TXCONC_TRACE=build/obs_smoke_trace.json \
     ./build/bench/ablation_engines --benchmark_filter='^$' \
     > build/obs_smoke.log 2>&1
   grep -q "trace OK" build/obs_smoke.log
+  grep -q "profile OK" build/obs_smoke.log
   test -s build/obs_smoke_trace.json
   echo "obs smoke OK: build/obs_smoke_trace.json"
 fi
@@ -89,18 +99,36 @@ if lane_enabled asan; then
   cmake --build build-asan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
     --target obs_test --target trace_propagation_test --target hotpath_test \
-    --target block_stm_test
+    --target block_stm_test --target critpath_test \
+    --target parallel_executor --target txconc_profile
   # Leak checking needs ptrace, which container CI runners often deny; the
   # races/UB we are after are caught without it.
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/obs_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/hotpath_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/block_stm_test
+  # The registry round-trip executes every engine through the global
+  # tracer and runs the profiler over the result.
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/critpath_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/trace_propagation_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/exec_test
   ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
     ./build-asan/tests/conformance_test
   ASAN_OPTIONS=detect_leaks=0 TXCONC_CONFORMANCE_FAST=1 \
     ./build-asan/tests/audit_test
+  # Drive the trace parser and critpath analyzer over sanitizer-built code:
+  # the example's traced multi-engine run feeds the asan txconc_profile.
+  # Thresholds are fully loosened — the strict attribution contract is
+  # gated in the bench lane against warm 2-run traces; here a cold single
+  # run per engine would flake on eps. Exit 2 (unanalyzable trace) still
+  # fails the lane, so parse/repair regressions are caught.
+  ASAN_OPTIONS=detect_leaks=0 \
+    ./build-asan/examples/parallel_executor --trace=build-asan/example_trace.json \
+    > build-asan/example.log 2>&1
+  ASAN_OPTIONS=detect_leaks=0 \
+    ./build-asan/tools/txconc_profile/txconc_profile \
+    --eps=1.0 --untracked-max=1.0 build-asan/example_trace.json \
+    > build-asan/profile.log 2>&1
+  echo "asan txconc_profile OK: build-asan/example_trace.json analyzed"
 fi
 
 # --- TSan lane: races under perturbed schedules ----------------------------
@@ -117,12 +145,15 @@ if lane_enabled tsan; then
   cmake --build build-tsan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
     --target obs_test --target trace_propagation_test --target hotpath_test \
-    --target block_stm_test
+    --target block_stm_test --target critpath_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/obs_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/hotpath_test
   # block_stm_test's concurrent rounds drive the MV store, ESTIMATE
   # suspension, and validation sweep from real pool workers.
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/block_stm_test
+  # Every engine's span emission + the profiler, under perturbed
+  # worker schedules.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/critpath_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_propagation_test
   # exec_test runs with the tracer enabled (TraceEnv in exec_test.cpp):
   # every pool/executor span-emission path executes under TSan.
@@ -212,7 +243,8 @@ if lane_enabled bench; then
   }
   run_bench build/bench-fresh
   scripts/bench_gate --exec build/bench-fresh/BENCH_exec.json \
-    --obs build/bench-fresh/BENCH_obs.json
+    --obs build/bench-fresh/BENCH_obs.json \
+    --profile build/bench-fresh/BENCH_profile.json
   echo "bench gate vs committed baselines: OK"
   # Negative control: the +20% injection must trip the gate. Gate the
   # injected run against the same-session fresh run (not the committed
@@ -250,6 +282,7 @@ if lane_enabled bench-large; then
     TXCONC_BENCH_FAST="${TXCONC_BENCH_FAST:-1}" \
     "${BENCH_BIN}" --benchmark_filter='^$' > bench.log 2>&1)
   grep -q "skipping occ at block_txs=10000" build/bench-large/bench.log
-  scripts/bench_gate --exec build/bench-large/BENCH_exec.json
+  scripts/bench_gate --exec build/bench-large/BENCH_exec.json \
+    --profile build/bench-large/BENCH_profile.json
   echo "bench-large gate OK (10k-tx cells within tolerances + attainment)"
 fi

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/scope.h"
+#include "obs/names.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 
@@ -108,7 +109,8 @@ Block<account::AccountTx> AccountNode::produce_block(
   const obs::ThreadProcessScope proc(trace_process_);
   // Root of the block's causal story: everything downstream — gossip,
   // pbft rounds, cross-shard 2PC, remote re-execution — links back here.
-  const obs::CausalSpan block_span(tracer, "produce_block", "chain");
+  const obs::CausalSpan block_span(tracer, obs::names::kSpanProduceBlock,
+                                   obs::names::kCatChain);
   // Pull candidates by fee priority, then order runnable ones. A candidate
   // whose nonce is not yet current goes back to the pool.
   std::vector<account::AccountTx> candidates =
@@ -120,7 +122,8 @@ Block<account::AccountTx> AccountNode::produce_block(
   std::vector<account::Receipt> receipts;
 
   {
-    const obs::CausalSpan span(tracer, "pack", "chain", block_span.context(),
+    const obs::CausalSpan span(tracer, obs::names::kSpanPack, obs::names::kCatChain,
+                               block_span.context(),
                                static_cast<std::int64_t>(candidates.size()));
     // Multi-pass packing: a transaction with a future nonce becomes
     // runnable once its same-sender predecessor lands, so retry deferrals
@@ -167,12 +170,13 @@ Block<account::AccountTx> AccountNode::produce_block(
     block.header.gas_used += r.gas_used;
   }
   if (config_.commit_state_root) {
-    const obs::CausalSpan span(tracer, "state_root", "chain",
+    const obs::CausalSpan span(tracer, obs::names::kSpanStateRoot, obs::names::kCatChain,
                                block_span.context());
     block.header.state_root = account::build_state_trie(state_).root();
   }
   if (config_.mine) {
-    const obs::CausalSpan span(tracer, "pow", "chain", block_span.context());
+    const obs::CausalSpan span(tracer, obs::names::kSpanPow, obs::names::kCatChain,
+                               block_span.context());
     const auto nonce = mine_header(block.header, config_.mine_budget);
     if (!nonce) {
       state_.revert(pre_block);
@@ -183,9 +187,9 @@ Block<account::AccountTx> AccountNode::produce_block(
   state_.flush_journal();
   ledger_.append(block);
   if (obs::Registry* const registry = node_registry(config_)) {
-    registry->counter("node.blocks_produced").add(1);
-    registry->counter("node.txs_included").add(block.transactions.size());
-    registry->histogram("node.produce_us").observe(elapsed_us(start));
+    registry->counter(obs::names::kMetricNodeBlocksProduced).add(1);
+    registry->counter(obs::names::kMetricNodeTxsIncluded).add(block.transactions.size());
+    registry->histogram(obs::names::kMetricNodeProduceUs).observe(elapsed_us(start));
   }
   if (config_.snapshots != nullptr) config_.snapshots->tick();
   // Fork the context inside the producing span so the flow arrow starts
@@ -201,7 +205,7 @@ void AccountNode::receive_block(const Block<account::AccountTx>& block,
   obs::Tracer* const tracer = node_tracer(config_);
   const obs::ThreadProcessScope proc(trace_process_);
   const obs::CausalSpan block_span(
-      tracer, "receive_block", "chain", trace,
+      tracer, obs::names::kSpanReceiveBlock, obs::names::kCatChain, trace,
       static_cast<std::int64_t>(block.header.height));
   // Structural checks first (linkage + merkle) via a dry append guard.
   const BlockHeader* prev = ledger_.empty() ? nullptr : &ledger_.tip().header;
@@ -231,7 +235,7 @@ void AccountNode::receive_block(const Block<account::AccountTx>& block,
     std::vector<account::Receipt> receipts;
     {
       const obs::CausalSpan span(
-          tracer, "execute", "chain", block_span.context(),
+          tracer, obs::names::kSpanExecute, obs::names::kCatChain, block_span.context(),
           static_cast<std::int64_t>(block.transactions.size()));
       // The executor joins the block's trace through RuntimeConfig::trace
       // (its execute_block span becomes a child of this one).
@@ -255,15 +259,15 @@ void AccountNode::receive_block(const Block<account::AccountTx>& block,
     throw;
   }
   {
-    const obs::CausalSpan span(tracer, "commit", "chain",
+    const obs::CausalSpan span(tracer, obs::names::kSpanCommit, obs::names::kCatChain,
                                block_span.context());
     state_.flush_journal();
     ledger_.append(block);
   }
   if (obs::Registry* const registry = node_registry(config_)) {
-    registry->counter("node.blocks_received").add(1);
-    registry->counter("node.txs_executed").add(block.transactions.size());
-    registry->histogram("node.receive_us").observe(elapsed_us(start));
+    registry->counter(obs::names::kMetricNodeBlocksReceived).add(1);
+    registry->counter(obs::names::kMetricNodeTxsExecuted).add(block.transactions.size());
+    registry->histogram(obs::names::kMetricNodeReceiveUs).observe(elapsed_us(start));
   }
   if (config_.snapshots != nullptr) config_.snapshots->tick();
 }

@@ -40,6 +40,7 @@
 #include "exec/sched_trace.h"
 #include "exec/scratch.h"
 #include "exec/thread_pool.h"
+#include "obs/names.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 
@@ -416,8 +417,10 @@ class BlockStmExecutor final : public BlockExecutor {
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc("block-stm");
     const obs::CausalSpan block_span(
-        tracer, "execute_block", "exec", config.trace,
-        static_cast<std::int64_t>(transactions.size()));
+        tracer, obs::names::kSpanExecuteBlock, obs::names::kCatExec,
+        config.trace, static_cast<std::int64_t>(transactions.size()));
+    emit_thread_budget(tracer,
+                       options_.deterministic ? 1 : pool_.size() + 1);
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -430,8 +433,8 @@ class BlockStmExecutor final : public BlockExecutor {
       // by executing — but the empty span keeps the predict / schedule /
       // execute / commit phase contract every parallel engine shares
       // (bench/ablation_engines validates the set from the trace).
-      const obs::CausalSpan span(tracer, "predict", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanPredict,
+                                 obs::names::kCatExec, block_span.context());
     }
 
     n_ = transactions.size();
@@ -441,15 +444,15 @@ class BlockStmExecutor final : public BlockExecutor {
     report_ = &report;
     tracer_ = tracer;
     {
-      const obs::CausalSpan span(tracer, "schedule", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanSchedule,
+                                 obs::names::kCatExec, block_span.context());
       prepare_block();
     }
 
     const auto exec_start = std::chrono::steady_clock::now();
     if (n_ > 0) {
-      const obs::CausalSpan span(tracer, "execute", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanExecute,
+                                 obs::names::kCatExec, block_span.context());
       if (options_.deterministic) {
         worker_body(0);
       } else {
@@ -464,8 +467,8 @@ class BlockStmExecutor final : public BlockExecutor {
         std::chrono::duration<double>(exec_end - exec_start).count());
 
     {
-      const obs::CausalSpan span(tracer, "commit", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanCommit,
+                                 obs::names::kCatExec, block_span.context());
       commit(state);
     }
     trace.add_phase2(std::chrono::duration<double>(
@@ -494,17 +497,17 @@ class BlockStmExecutor final : public BlockExecutor {
     if (registry != nullptr) {
       // The stall analog for Block-STM is the serial commit walk (phase 2
       // by construction), mirroring occ's attribution.
-      registry->histogram("exec.conflict_stall_us")
+      registry->histogram(obs::names::kMetricExecConflictStallUs)
           .observe(report.sched.phase2_seconds * 1e6);
       obs::Histogram& attempts_hist =
-          registry->histogram("exec.attempts_per_tx");
+          registry->histogram(obs::names::kMetricExecAttemptsPerTx);
       for (const std::uint32_t a : attempts_) {
         attempts_hist.observe(static_cast<double>(a));
       }
-      registry->counter("exec.block_stm_validations")
+      registry->counter(obs::names::kMetricExecBlockStmValidations)
           // ordering: relaxed — quiescent read-back, as above.
           .add(validations_.load(std::memory_order_relaxed));
-      registry->counter("exec.block_stm_aborts")
+      registry->counter(obs::names::kMetricExecBlockStmAborts)
           // ordering: relaxed — quiescent read-back, as above.
           .add(aborts_.load(std::memory_order_relaxed));
     }
@@ -599,6 +602,12 @@ class BlockStmExecutor final : public BlockExecutor {
   }
 
   void worker_loop(unsigned slot) {
+    // Stall visibility: open while this participant spins without a
+    // claimable task (everything executed, validations pending behind
+    // suspended readers), closed the moment it claims work. The
+    // critical-path profiler books the covered time as dependency wait.
+    obs::ToggleSpan wait(tracer_, obs::names::kSpanWait,
+                         obs::names::kCatExec);
     while (!done_.load(std::memory_order_seq_cst)) {
       active_.fetch_add(1, std::memory_order_seq_cst);
       bool ran_task = false;
@@ -610,6 +619,7 @@ class BlockStmExecutor final : public BlockExecutor {
           const std::uint64_t idx =
               val_cursor_.fetch_add(1, std::memory_order_seq_cst);
           if (idx >= n_) continue;
+          wait.close();
           run_validation(static_cast<std::uint32_t>(idx));
           ran_task = true;
           break;
@@ -620,6 +630,7 @@ class BlockStmExecutor final : public BlockExecutor {
         const std::uint32_t j = order_[pos];
         std::uint32_t incarnation = 0;
         if (!try_incarnate(j, incarnation)) continue;
+        wait.close();
         run_execution(slot, j, incarnation);
         ran_task = true;
         break;
@@ -636,6 +647,7 @@ class BlockStmExecutor final : public BlockExecutor {
           done_.store(true, std::memory_order_seq_cst);
           break;
         }
+        wait.open(static_cast<std::int64_t>(slot));
         std::this_thread::yield();
       }
     }
@@ -653,8 +665,8 @@ class BlockStmExecutor final : public BlockExecutor {
 
   void run_execution(unsigned slot_id, std::uint32_t j,
                      std::uint32_t incarnation) {
-    const TXCONC_SPAN_T(tracer_, "attempt", "exec",
-                        static_cast<std::int64_t>(j));
+    const TXCONC_SPAN_T(tracer_, obs::names::kSpanAttempt,
+                        obs::names::kCatExec, static_cast<std::int64_t>(j));
     const std::uint64_t total =
         // ordering: relaxed — statistical counter; the livelock cap only
         // needs an eventually-accurate total, not cross-thread ordering.
@@ -761,6 +773,13 @@ class BlockStmExecutor final : public BlockExecutor {
         registered = true;
       }
     }
+    if (registered) {
+      // Mark the stall for the profiler: this reader is parked until the
+      // blocking transaction finishes (arg = the blocker's index).
+      TXCONC_INSTANT_T(tracer_, obs::names::kEvSuspend,
+                       obs::names::kCatExec,
+                       static_cast<std::int64_t>(blocker));
+    }
     if (!registered) {
       // The blocker finished between our read and now: retry immediately.
       TxSlot& slot = slots_[j];
@@ -773,8 +792,8 @@ class BlockStmExecutor final : public BlockExecutor {
   }
 
   void run_validation(std::uint32_t j) {
-    const TXCONC_SPAN_T(tracer_, "validate", "exec",
-                        static_cast<std::int64_t>(j));
+    const TXCONC_SPAN_T(tracer_, obs::names::kSpanValidate,
+                        obs::names::kCatExec, static_cast<std::int64_t>(j));
     TxSlot& slot = slots_[j];
     // Held for the whole check: keeps the read set stable (no new
     // incarnation can start) and makes concurrent validators of the same

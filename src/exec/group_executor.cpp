@@ -13,6 +13,7 @@
 #include "exec/sched_trace.h"
 #include "exec/scratch.h"
 #include "exec/thread_pool.h"
+#include "obs/names.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 
@@ -66,23 +67,36 @@ std::vector<Address> predicted_addresses(const account::AccountTx& tx,
 PredictedGroups predict_groups(
     std::span<const account::AccountTx> transactions,
     const account::State& state) {
+  return predict_groups(transactions, state, nullptr);
+}
+
+PredictedGroups predict_groups(
+    std::span<const account::AccountTx> transactions,
+    const account::State& state, obs::Tracer* tracer) {
   core::KeyedTdg<Address> tdg;
   std::vector<core::NodeId> sender_node(transactions.size());
 
-  std::vector<Address> scratch;
-  std::unordered_set<Address> seen;
-  for (std::size_t i = 0; i < transactions.size(); ++i) {
-    const account::AccountTx& tx = transactions[i];
-    sender_node[i] = tdg.node(tx.from);
+  {
+    const TXCONC_SPAN_T(tracer, obs::names::kSpanPredictClosure,
+                        obs::names::kCatExec,
+                        static_cast<std::int64_t>(transactions.size()));
+    std::vector<Address> scratch;
+    std::unordered_set<Address> seen;
+    for (std::size_t i = 0; i < transactions.size(); ++i) {
+      const account::AccountTx& tx = transactions[i];
+      sender_node[i] = tdg.node(tx.from);
 
-    scratch.clear();
-    seen.clear();
-    collect_predicted(state, transactions[i], scratch, seen);
-    for (const Address& addr : scratch) {
-      if (addr != tx.from) tdg.add_edge(tx.from, addr);
+      scratch.clear();
+      seen.clear();
+      collect_predicted(state, transactions[i], scratch, seen);
+      for (const Address& addr : scratch) {
+        if (addr != tx.from) tdg.add_edge(tx.from, addr);
+      }
     }
   }
 
+  const TXCONC_SPAN_T(tracer, obs::names::kSpanPredictComponents,
+                      obs::names::kCatExec, -1);
   const core::ComponentSet components =
       core::connected_components_dsu(tdg.graph());
 
@@ -116,8 +130,9 @@ class GroupExecutor final : public BlockExecutor {
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc(label_);
     const obs::CausalSpan block_span(
-        tracer, "execute_block", "exec", config.trace,
-        static_cast<std::int64_t>(transactions.size()));
+        tracer, obs::names::kSpanExecuteBlock, obs::names::kCatExec,
+        config.trace, static_cast<std::int64_t>(transactions.size()));
+    emit_thread_budget(tracer, pool_.size() + 1);
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -130,9 +145,9 @@ class GroupExecutor final : public BlockExecutor {
     PredictedGroups groups;
     std::vector<std::vector<std::size_t>> jobs;
     {
-      const obs::CausalSpan span(tracer, "predict", "exec",
-                                 block_span.context());
-      groups = predict_groups(transactions, state);
+      const obs::CausalSpan span(tracer, obs::names::kSpanPredict,
+                                 obs::names::kCatExec, block_span.context());
+      groups = predict_groups(transactions, state, tracer);
       std::vector<std::vector<std::size_t>> members(groups.num_components());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         members[groups.component_of_tx[i]].push_back(i);
@@ -146,8 +161,8 @@ class GroupExecutor final : public BlockExecutor {
 
     core::Schedule schedule;
     {
-      const obs::CausalSpan span(tracer, "schedule", "exec",
-                                 block_span.context(),
+      const obs::CausalSpan span(tracer, obs::names::kSpanSchedule,
+                                 obs::names::kCatExec, block_span.context(),
                                  static_cast<std::int64_t>(jobs.size()));
       std::vector<double> costs;
       costs.reserve(jobs.size());
@@ -168,8 +183,8 @@ class GroupExecutor final : public BlockExecutor {
       scratch_.resize(schedule.assignment.size());
     }
     {
-      const obs::CausalSpan span(tracer, "execute", "exec",
-                                 block_span.context(),
+      const obs::CausalSpan span(tracer, obs::names::kSpanExecute,
+                                 obs::names::kCatExec, block_span.context(),
                                  static_cast<std::int64_t>(transactions.size()));
       pool_.parallel_for(schedule.assignment.size(), [&](std::size_t core_id) {
         if (schedule.assignment[core_id].empty()) return;
@@ -177,7 +192,8 @@ class GroupExecutor final : public BlockExecutor {
         ws.overlay.reset(state);
         for (std::size_t job_index : schedule.assignment[core_id]) {
           for (std::size_t tx_index : jobs[job_index]) {
-            const TXCONC_SPAN_T(tracer, "attempt", "exec",
+            const TXCONC_SPAN_T(tracer, obs::names::kSpanAttempt,
+                                obs::names::kCatExec,
                                 static_cast<std::int64_t>(tx_index));
             account::apply_transaction_into(ws.overlay,
                                             transactions[tx_index], config,
@@ -189,8 +205,8 @@ class GroupExecutor final : public BlockExecutor {
     }
     trace.phase_boundary();
     {
-      const obs::CausalSpan span(tracer, "commit", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanCommit,
+                                 obs::names::kCatExec, block_span.context());
       // Merged values are final; skip the undo journal.
       const account::JournalPause pause(state);
       for (std::size_t core_id = 0; core_id < schedule.assignment.size();
@@ -215,14 +231,14 @@ class GroupExecutor final : public BlockExecutor {
       // Serial dwell for group concurrency: the overlay-merge tail; the
       // in-phase-1 stall (cores idling behind the longest component) is
       // visible separately via exec.largest_component_txs.
-      registry->histogram("exec.conflict_stall_us")
+      registry->histogram(obs::names::kMetricExecConflictStallUs)
           .observe(report.sched.phase2_seconds * 1e6);
       obs::Histogram& attempts_hist =
-          registry->histogram("exec.attempts_per_tx");
+          registry->histogram(obs::names::kMetricExecAttemptsPerTx);
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         attempts_hist.observe(1.0);  // groups never re-execute
       }
-      registry->histogram("exec.largest_component_txs")
+      registry->histogram(obs::names::kMetricExecLargestComponentTxs)
           .observe(static_cast<double>(lcc));
     }
     record_block_metrics(registry, report);

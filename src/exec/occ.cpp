@@ -19,6 +19,7 @@
 #include "exec/sched_trace.h"
 #include "exec/scratch.h"
 #include "exec/thread_pool.h"
+#include "obs/names.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 
@@ -41,8 +42,9 @@ class OccExecutor final : public BlockExecutor {
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc("occ");
     const obs::CausalSpan block_span(
-        tracer, "execute_block", "exec", config.trace,
-        static_cast<std::int64_t>(transactions.size()));
+        tracer, obs::names::kSpanExecuteBlock, obs::names::kCatExec,
+        config.trace, static_cast<std::int64_t>(transactions.size()));
+    emit_thread_budget(tracer, pool_.size() + 1);
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -65,17 +67,17 @@ class OccExecutor final : public BlockExecutor {
     // deferred predecessor forces a retry.
     PredictedGroups groups;
     {
-      const obs::CausalSpan span(tracer, "predict", "exec",
-                                 block_span.context());
-      groups = predict_groups(transactions, state);
+      const obs::CausalSpan span(tracer, obs::names::kSpanPredict,
+                                 obs::names::kCatExec, block_span.context());
+      groups = predict_groups(transactions, state, tracer);
     }
 
     pending_.resize(transactions.size());
     {
       // OCC's schedule is trivial — every pending transaction joins the
       // next wave — but the span keeps the engine phase sets uniform.
-      const obs::CausalSpan span(tracer, "schedule", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanSchedule,
+                                 obs::names::kCatExec, block_span.context());
       for (std::size_t i = 0; i < pending_.size(); ++i) pending_[i] = i;
     }
 
@@ -88,11 +90,15 @@ class OccExecutor final : public BlockExecutor {
         // Degenerate fallback: finish the stragglers sequentially. With
         // max_waves >= longest dependency chain this never triggers.
         const auto tail_start = std::chrono::steady_clock::now();
-        const obs::CausalSpan span(tracer, "seq_bin", "exec",
+        const obs::CausalSpan span(tracer, obs::names::kSpanSeqBin,
+                                   obs::names::kCatExec,
                                    block_span.context());
         account::AccessTracker& tail_tracker = scratch_[0].tracker;
         for (std::size_t i : pending_) {
           ++tx_attempts_[i];
+          const TXCONC_SPAN_T(tracer, obs::names::kSpanTx,
+                              obs::names::kCatExec,
+                              static_cast<std::int64_t>(i));
           account::apply_transaction_into(state, transactions[i], config,
                                           report.receipts[i], tail_tracker);
           report.executions += 1;
@@ -111,12 +117,13 @@ class OccExecutor final : public BlockExecutor {
       const auto wave_start = std::chrono::steady_clock::now();
       wave_valid_.assign(pending_.size(), 0);
       {
-        const obs::CausalSpan span(tracer, "execute", "exec",
-                                   block_span.context(),
+        const obs::CausalSpan span(tracer, obs::names::kSpanExecute,
+                                   obs::names::kCatExec, block_span.context(),
                                    static_cast<std::int64_t>(waves));
         const ThreadPool::SlotFn body = [&](unsigned slot, std::size_t k) {
           const std::size_t i = pending_[k];
-          const TXCONC_SPAN_T(tracer, "attempt", "exec",
+          const TXCONC_SPAN_T(tracer, obs::names::kSpanAttempt,
+                              obs::names::kCatExec,
                               static_cast<std::int64_t>(i));
           ++tx_attempts_[i];  // one writer per index per wave
           WorkerScratch& ws = scratch_[slot];
@@ -149,7 +156,8 @@ class OccExecutor final : public BlockExecutor {
       // anything an earlier commit of THIS wave wrote. Commits replay the
       // write logs with the undo journal paused — committed values are
       // final, so journaling them is wasted allocation.
-      const obs::CausalSpan commit_span(tracer, "commit", "exec",
+      const obs::CausalSpan commit_span(tracer, obs::names::kSpanCommit,
+                                        obs::names::kCatExec,
                                         block_span.context(),
                                         static_cast<std::int64_t>(waves));
       wave_writes_.clear();
@@ -206,14 +214,14 @@ class OccExecutor final : public BlockExecutor {
     if (registry != nullptr) {
       // For OCC the conflict stall is the serial dwell: in-order
       // validation plus the degenerate sequential tail (phase 2).
-      registry->histogram("exec.conflict_stall_us")
+      registry->histogram(obs::names::kMetricExecConflictStallUs)
           .observe(report.sched.phase2_seconds * 1e6);
       obs::Histogram& attempts_hist =
-          registry->histogram("exec.attempts_per_tx");
+          registry->histogram(obs::names::kMetricExecAttemptsPerTx);
       for (const std::uint32_t a : tx_attempts_) {
         attempts_hist.observe(static_cast<double>(a));
       }
-      registry->counter("exec.occ_waves").add(waves);
+      registry->counter(obs::names::kMetricExecOccWaves).add(waves);
     }
     record_block_metrics(registry, report);
     return report;

@@ -16,6 +16,10 @@
 #include "account/types.h"
 #include "core/components.h"
 
+namespace txconc::obs {
+class Tracer;
+}
+
 namespace txconc::exec {
 
 /// Per-transaction predicted conflict groups.
@@ -33,6 +37,14 @@ struct PredictedGroups {
 PredictedGroups predict_groups(
     std::span<const account::AccountTx> transactions,
     const account::State& state);
+
+/// Traced variant: emits predict.closure (per-tx reachability walk +
+/// TDG edges) and predict.components (DSU + group fill) sub-spans on
+/// `tracer` so the critical-path profiler can split the graph-build
+/// phase. tracer may be null (falls back to the untraced path).
+PredictedGroups predict_groups(
+    std::span<const account::AccountTx> transactions,
+    const account::State& state, obs::Tracer* tracer);
 
 /// Every address one transaction can possibly touch, as seen by the
 /// a-priori predictor: the sender, the target (or derived creation

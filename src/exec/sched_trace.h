@@ -10,6 +10,8 @@
 #include "exec/executor.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace txconc::exec {
 
@@ -73,18 +75,31 @@ class SchedTrace {
 inline void record_block_metrics(obs::Registry* registry,
                                  const ExecutionReport& report) {
   if (registry == nullptr) return;
-  registry->counter("exec.blocks").add(1);
-  registry->counter("exec.txs").add(report.num_txs);
-  registry->counter("exec.executions").add(report.executions);
-  registry->counter("exec.sequential_txs").add(report.sequential_txs);
-  registry->histogram("exec.block_wall_us")
+  registry->counter(obs::names::kMetricExecBlocks).add(1);
+  registry->counter(obs::names::kMetricExecTxs).add(report.num_txs);
+  registry->counter(obs::names::kMetricExecExecutions)
+      .add(report.executions);
+  registry->counter(obs::names::kMetricExecSequentialTxs)
+      .add(report.sequential_txs);
+  registry->histogram(obs::names::kMetricExecBlockWallUs)
       .observe(report.wall_seconds * 1e6);
-  registry->histogram("exec.phase1_us")
+  registry->histogram(obs::names::kMetricExecPhase1Us)
       .observe(report.sched.phase1_seconds * 1e6);
-  registry->histogram("exec.phase2_us")
+  registry->histogram(obs::names::kMetricExecPhase2Us)
       .observe(report.sched.phase2_seconds * 1e6);
-  registry->histogram("exec.seq_bin_txs")
+  registry->histogram(obs::names::kMetricExecSeqBinTxs)
       .observe(static_cast<double>(report.sequential_txs));
+}
+
+/// Emit the thread-budget instant the critical-path profiler keys on:
+/// arg = participants in this block execution (pool workers + the
+/// caller). Every executor calls this right inside its execute_block
+/// span so the trace carries the denominator of the threads x wall
+/// attribution budget (obs/critpath.h).
+inline void emit_thread_budget(obs::Tracer* tracer,
+                               std::size_t participants) {
+  TXCONC_INSTANT_T(tracer, obs::names::kEvThreads, obs::names::kCatExec,
+                   static_cast<std::int64_t>(participants));
 }
 
 }  // namespace txconc::exec

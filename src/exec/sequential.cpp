@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 #include "exec/sched_trace.h"
+#include "obs/names.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 
@@ -16,8 +17,9 @@ class SequentialExecutor final : public BlockExecutor {
     obs::Tracer* const tracer = obs::tracer(config.obs);
     const obs::ThreadProcessScope proc("sequential");
     const obs::CausalSpan block_span(
-        tracer, "execute_block", "exec", config.trace,
-        static_cast<std::int64_t>(transactions.size()));
+        tracer, obs::names::kSpanExecuteBlock, obs::names::kCatExec,
+        config.trace, static_cast<std::int64_t>(transactions.size()));
+    emit_thread_budget(tracer, 1);
     SchedTrace trace(static_cast<const ThreadPool*>(nullptr));
 
     ExecutionReport report;
@@ -30,10 +32,12 @@ class SequentialExecutor final : public BlockExecutor {
       // (the pre-obs code reported the whole wall as phase2, which made
       // sequential-vs-parallel phase breakdowns incomparable).
       const auto apply_start = std::chrono::steady_clock::now();
-      const obs::CausalSpan span(tracer, "execute", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanExecute,
+                                 obs::names::kCatExec, block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
-        const TXCONC_SPAN_T(tracer, "tx", "exec", static_cast<long long>(i));
+        const TXCONC_SPAN_T(tracer, obs::names::kSpanTx,
+                            obs::names::kCatExec,
+                            static_cast<long long>(i));
         // The into-variant reuses the executor's tracker and the receipt
         // slot's capacity: the baseline benefits from the same
         // runtime-level allocation wins as the parallel engines.
@@ -45,8 +49,8 @@ class SequentialExecutor final : public BlockExecutor {
                            .count());
     }
     {
-      const obs::CausalSpan span(tracer, "commit", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanCommit,
+                                 obs::names::kCatExec, block_span.context());
       state.flush_journal();
     }
 

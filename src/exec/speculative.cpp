@@ -16,6 +16,7 @@
 #include "exec/sched_trace.h"
 #include "exec/scratch.h"
 #include "exec/thread_pool.h"
+#include "obs/names.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 
@@ -51,8 +52,9 @@ class SpeculativeExecutor final : public BlockExecutor {
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc(label_);
     const obs::CausalSpan block_span(
-        tracer, "execute_block", "exec", config.trace,
-        static_cast<std::int64_t>(transactions.size()));
+        tracer, obs::names::kSpanExecuteBlock, obs::names::kCatExec,
+        config.trace, static_cast<std::int64_t>(transactions.size()));
+    emit_thread_budget(tracer, pool_.size() + 1);
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -70,19 +72,19 @@ class SpeculativeExecutor final : public BlockExecutor {
     // stays purely speculative as in [17].
     PredictedGroups groups;
     {
-      const obs::CausalSpan span(tracer, "predict", "exec",
-                                 block_span.context());
-      groups = predict_groups(transactions, state);
+      const obs::CausalSpan span(tracer, obs::names::kSpanPredict,
+                                 obs::names::kCatExec, block_span.context());
+      groups = predict_groups(transactions, state, tracer);
     }
     {
-      const obs::CausalSpan span(tracer, "execute", "exec",
-                                 block_span.context(),
+      const obs::CausalSpan span(tracer, obs::names::kSpanExecute,
+                                 obs::names::kCatExec, block_span.context(),
                                  static_cast<std::int64_t>(transactions.size()));
       speculate(state, transactions, config, report, tracer);
     }
     {
-      const obs::CausalSpan span(tracer, "schedule", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanSchedule,
+                                 obs::names::kCatExec, block_span.context());
       detect_conflicts(transactions, report, groups);
     }
 
@@ -91,8 +93,8 @@ class SpeculativeExecutor final : public BlockExecutor {
     // values are final — pause the undo journal instead of filling it
     // only to flush it.
     {
-      const obs::CausalSpan span(tracer, "commit", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanCommit,
+                                 obs::names::kCatExec, block_span.context());
       const account::JournalPause pause(state);
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         if (!conflicted_[i]) writes_[i].apply_to(state);
@@ -107,13 +109,14 @@ class SpeculativeExecutor final : public BlockExecutor {
     double stall_seconds = 0.0;
     std::size_t bin = 0;
     {
-      const obs::CausalSpan span(tracer, "seq_bin", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanSeqBin,
+                                 obs::names::kCatExec, block_span.context());
       account::AccessTracker& bin_tracker = scratch_[0].tracker;
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         if (!conflicted_[i]) continue;
         ++bin;
-        const TXCONC_SPAN_T(tracer, "tx", "exec",
+        const TXCONC_SPAN_T(tracer, obs::names::kSpanTx,
+                            obs::names::kCatExec,
                             static_cast<std::int64_t>(i));
         if (registry != nullptr) {
           const auto apply_start = std::chrono::steady_clock::now();
@@ -130,10 +133,10 @@ class SpeculativeExecutor final : public BlockExecutor {
       state.flush_journal();
     }
     if (registry != nullptr) {
-      registry->histogram("exec.conflict_stall_us")
+      registry->histogram(obs::names::kMetricExecConflictStallUs)
           .observe(stall_seconds * 1e6);
       obs::Histogram& attempts_hist =
-          registry->histogram("exec.attempts_per_tx");
+          registry->histogram(obs::names::kMetricExecAttemptsPerTx);
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         attempts_hist.observe(conflicted_[i] ? 2.0 : 1.0);
       }
@@ -171,7 +174,8 @@ class SpeculativeExecutor final : public BlockExecutor {
     tracked.track_accesses = true;
 
     const ThreadPool::SlotFn body = [&](unsigned slot, std::size_t i) {
-      const TXCONC_SPAN_T(tracer, "attempt", "exec",
+      const TXCONC_SPAN_T(tracer, obs::names::kSpanAttempt,
+                          obs::names::kCatExec,
                           static_cast<std::int64_t>(i));
       WorkerScratch& ws = scratch_[slot];
       // The cheap non-throwing precheck screens out stale-nonce /
@@ -357,8 +361,9 @@ class OracleExecutor final : public BlockExecutor {
     obs::Registry* const registry = obs::metrics(config.obs);
     const obs::ThreadProcessScope proc("oracle-speculative");
     const obs::CausalSpan block_span(
-        tracer, "execute_block", "exec", config.trace,
-        static_cast<std::int64_t>(transactions.size()));
+        tracer, obs::names::kSpanExecuteBlock, obs::names::kCatExec,
+        config.trace, static_cast<std::int64_t>(transactions.size()));
+    emit_thread_budget(tracer, pool_.size() + 1);
     SchedTrace trace(&pool_);
 
     ExecutionReport report;
@@ -375,15 +380,15 @@ class OracleExecutor final : public BlockExecutor {
     // exactly once.
     PredictedGroups groups;
     {
-      const obs::CausalSpan span(tracer, "predict", "exec",
-                                 block_span.context());
-      groups = predict_groups(transactions, state);
+      const obs::CausalSpan span(tracer, obs::names::kSpanPredict,
+                                 obs::names::kCatExec, block_span.context());
+      groups = predict_groups(transactions, state, tracer);
     }
     {
       // The oracle's schedule is the predicted component partition itself:
       // singleton components run concurrently, the rest go to the bin.
-      const obs::CausalSpan span(tracer, "schedule", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanSchedule,
+                                 obs::names::kCatExec, block_span.context());
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         conflicted_[i] =
             groups.component_sizes[groups.component_of_tx[i]] >= 2 ? 1 : 0;
@@ -398,13 +403,14 @@ class OracleExecutor final : public BlockExecutor {
     account::RuntimeConfig tracked = config;
     tracked.track_accesses = true;
     {
-      const obs::CausalSpan span(tracer, "execute", "exec",
-                                 block_span.context(),
+      const obs::CausalSpan span(tracer, obs::names::kSpanExecute,
+                                 obs::names::kCatExec, block_span.context(),
                                  static_cast<std::int64_t>(transactions.size()));
       for (WorkerScratch& ws : scratch_) ws.overlay.reset(state);
       const ThreadPool::SlotFn body = [&](unsigned slot, std::size_t i) {
         if (conflicted_[i]) return;
-        const TXCONC_SPAN_T(tracer, "attempt", "exec",
+        const TXCONC_SPAN_T(tracer, obs::names::kSpanAttempt,
+                            obs::names::kCatExec,
                             static_cast<std::int64_t>(i));
         WorkerScratch& ws = scratch_[slot];
         account::apply_transaction_into(ws.overlay, transactions[i], tracked,
@@ -417,8 +423,8 @@ class OracleExecutor final : public BlockExecutor {
       if (!conflicted_[i]) ++concurrent;
     }
     {
-      const obs::CausalSpan span(tracer, "commit", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanCommit,
+                                 obs::names::kCatExec, block_span.context());
       const account::JournalPause pause(state);
       for (WorkerScratch& ws : scratch_) {
         if (ws.overlay.dirty()) ws.overlay.apply_to(state);
@@ -431,13 +437,14 @@ class OracleExecutor final : public BlockExecutor {
     double stall_seconds = 0.0;
     std::size_t bin = 0;
     {
-      const obs::CausalSpan span(tracer, "seq_bin", "exec",
-                                 block_span.context());
+      const obs::CausalSpan span(tracer, obs::names::kSpanSeqBin,
+                                 obs::names::kCatExec, block_span.context());
       account::AccessTracker& bin_tracker = scratch_[0].tracker;
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         if (!conflicted_[i]) continue;
         ++bin;
-        const TXCONC_SPAN_T(tracer, "tx", "exec",
+        const TXCONC_SPAN_T(tracer, obs::names::kSpanTx,
+                            obs::names::kCatExec,
                             static_cast<std::int64_t>(i));
         if (registry != nullptr) {
           const auto apply_start = std::chrono::steady_clock::now();
@@ -454,10 +461,10 @@ class OracleExecutor final : public BlockExecutor {
       state.flush_journal();
     }
     if (registry != nullptr) {
-      registry->histogram("exec.conflict_stall_us")
+      registry->histogram(obs::names::kMetricExecConflictStallUs)
           .observe(stall_seconds * 1e6);
       obs::Histogram& attempts_hist =
-          registry->histogram("exec.attempts_per_tx");
+          registry->histogram(obs::names::kMetricExecAttemptsPerTx);
       for (std::size_t i = 0; i < transactions.size(); ++i) {
         attempts_hist.observe(1.0);  // the oracle never re-executes
       }

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace txconc::exec {
@@ -262,13 +263,14 @@ void ThreadPool::worker_loop(unsigned worker_index) {
       if (idle_since_valid) {
         if (gap_histogram == nullptr) {
           gap_histogram =
-              &obs::Registry::global().histogram("pool.dequeue_gap_us");
+              &obs::Registry::global().histogram(
+                  obs::names::kMetricPoolDequeueGapUs);
         }
         gap_histogram->observe(
             std::chrono::duration<double, std::micro>(now - idle_since)
                 .count());
       }
-      TXCONC_SPAN("pool_task", "pool");
+      TXCONC_SPAN(obs::names::kSpanPoolTask, obs::names::kCatPool);
       task();
       idle_since = std::chrono::steady_clock::now();
       idle_since_valid = true;

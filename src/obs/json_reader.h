@@ -1,0 +1,125 @@
+// Minimal JSON reader shared by the trace validator (obs/trace.cpp) and
+// the critical-path profiler (obs/critpath.cpp). Internal to obs: it
+// handles exactly the subset Chrome trace files use — objects, arrays,
+// strings with escapes, numbers, true/false/null — and reports the first
+// failure with its byte offset instead of throwing.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace txconc::obs::internal {
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    std::string out;
+    if (!consume('"')) return fail("expected string"), out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            pos_ += 4;  // trace labels are ASCII; skip the code point
+            c = '?';
+            break;
+          default: c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string"), out;
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number"), 0.0;
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  /// Skip any value (used for unrecognized object members).
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      consume('{');
+      if (consume('}')) return;
+      do {
+        parse_string();
+        if (!consume(':')) return fail("expected ':'");
+        skip_value();
+      } while (consume(',') && !failed_);
+      if (!consume('}')) fail("expected '}'");
+    } else if (c == '[') {
+      consume('[');
+      if (consume(']')) return;
+      do {
+        skip_value();
+      } while (consume(',') && !failed_);
+      if (!consume(']')) fail("expected ']'");
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    } else {
+      parse_number();
+    }
+  }
+
+  void fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace txconc::obs::internal

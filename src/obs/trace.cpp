@@ -1,7 +1,6 @@
 #include "obs/trace.h"
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <fstream>
 #include <ostream>
@@ -9,6 +8,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "obs/json_reader.h"
 
 namespace txconc::obs {
 
@@ -133,11 +134,11 @@ thread_local ThreadSlot t_slot;
 }  // namespace
 
 Tracer::Tracer(std::size_t max_events_per_thread)
-    : cap_(std::max<std::size_t>(max_events_per_thread,
-                                 ThreadBuffer::kChunkEvents)),
-      // ordering: relaxed — unique-id ticket; no data rides on it.
-      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
-      epoch_ns_(now_ns()) {}
+    // ordering: relaxed — unique-id ticket; no data rides on it.
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(now_ns()),
+      cap_(std::max<std::size_t>(max_events_per_thread,
+                                 ThreadBuffer::kChunkEvents)) {}
 
 Tracer::~Tracer() = default;
 
@@ -154,11 +155,12 @@ Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
       t_slot.generation == generation_.load(std::memory_order_acquire)) {
     return t_slot.buffer.get();
   }
-  auto buffer = std::make_shared<ThreadBuffer>(cap_);
-  buffer->process_at_registration = t_label.process;
-  buffer->worker = t_label.worker;
+  std::shared_ptr<ThreadBuffer> buffer;
   {
     const MutexLock lock(mu_);
+    buffer = std::make_shared<ThreadBuffer>(cap_);
+    buffer->process_at_registration = t_label.process;
+    buffer->worker = t_label.worker;
     buffers_.push_back(buffer);
   }
   t_slot.tracer_id = id_;
@@ -254,6 +256,12 @@ void Tracer::clear() {
   generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
+void Tracer::set_ring_capacity(std::size_t max_events_per_thread) {
+  const MutexLock lock(mu_);
+  cap_ = std::max<std::size_t>(max_events_per_thread,
+                               ThreadBuffer::kChunkEvents);
+}
+
 std::size_t Tracer::event_count(const char* name) const {
   const MutexLock lock(mu_);
   std::size_t count = 0;
@@ -300,11 +308,15 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
 
   // pid assignment: dense ids over the process labels referenced by any
   // event, in first-seen order across buffers (stable for one snapshot).
-  std::unordered_map<const char*, int> pid_of;
+  // Keyed by CONTENT, not pointer: a pool's interned label and a
+  // ThreadProcessScope's string literal must land in the same process or
+  // the profiler would see the workers as a separate engine (and book
+  // every worker as idle).
+  std::unordered_map<std::string_view, int> pid_of;
   std::vector<const char*> pid_labels;
   const auto pid_for = [&](const char* process) {
-    const auto [it, inserted] =
-        pid_of.emplace(process, static_cast<int>(pid_labels.size()));
+    const auto [it, inserted] = pid_of.emplace(
+        std::string_view(process), static_cast<int>(pid_labels.size()));
     if (inserted) pid_labels.push_back(process);
     return it->second;
   };
@@ -399,6 +411,27 @@ SpanGuard::~SpanGuard() {
   if (tracer_ != nullptr) tracer_->end(name_, category_, process_);
 }
 
+ToggleSpan::ToggleSpan(Tracer* tracer, const char* name,
+                       const char* category)
+    : tracer_(tracer), name_(name), category_(category) {}
+
+ToggleSpan::~ToggleSpan() { close(); }
+
+void ToggleSpan::open(std::int64_t arg) {
+  if (open_ || tracer_ == nullptr || !tracer_->enabled()) return;
+  // Like SpanGuard, capture the process at begin so a ThreadProcessScope
+  // ending between open() and close() cannot unbalance the pair.
+  process_ = t_label.process;
+  tracer_->begin(name_, category_, arg);
+  open_ = true;
+}
+
+void ToggleSpan::close() {
+  if (!open_) return;
+  tracer_->end(name_, category_, process_);
+  open_ = false;
+}
+
 CausalSpan::CausalSpan(Tracer* tracer, const char* name, const char* category,
                        const TraceContext& parent, std::int64_t arg)
     : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
@@ -430,119 +463,7 @@ TraceContext CausalSpan::fork() const {
 
 namespace {
 
-/// Minimal JSON reader, sufficient for trace files: objects, arrays,
-/// strings (with escapes), numbers, true/false/null.
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  bool failed() const { return failed_; }
-  const std::string& error() const { return error_; }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  char peek() {
-    skip_ws();
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-
-  std::string parse_string() {
-    skip_ws();
-    std::string out;
-    if (!consume('"')) return fail("expected string"), out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'u':
-            pos_ += 4;  // trace labels are ASCII; skip the code point
-            c = '?';
-            break;
-          default: c = esc;
-        }
-      }
-      out.push_back(c);
-    }
-    if (pos_ >= text_.size()) return fail("unterminated string"), out;
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  double parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("expected number"), 0.0;
-    return std::stod(text_.substr(start, pos_ - start));
-  }
-
-  /// Skip any value (used for unrecognized object members).
-  void skip_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '"') {
-      parse_string();
-    } else if (c == '{') {
-      consume('{');
-      if (consume('}')) return;
-      do {
-        parse_string();
-        if (!consume(':')) return fail("expected ':'");
-        skip_value();
-      } while (consume(',') && !failed_);
-      if (!consume('}')) fail("expected '}'");
-    } else if (c == '[') {
-      consume('[');
-      if (consume(']')) return;
-      do {
-        skip_value();
-      } while (consume(',') && !failed_);
-      if (!consume(']')) fail("expected ']'");
-    } else if (c == 't' || c == 'f' || c == 'n') {
-      while (pos_ < text_.size() &&
-             std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0) {
-        ++pos_;
-      }
-    } else {
-      parse_number();
-    }
-  }
-
-  void fail(const std::string& why) {
-    if (!failed_) {
-      failed_ = true;
-      error_ = why + " at offset " + std::to_string(pos_);
-    }
-  }
-
- private:
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  bool failed_ = false;
-  std::string error_;
-};
+using internal::JsonReader;
 
 struct ParsedEvent {
   std::string name;
@@ -652,12 +573,45 @@ TraceValidation validate_chrome_trace(const std::string& json) {
   }
   if (!saw_array) return fail("no traceEvents array");
 
-  // Balanced B/E per (pid, tid), with monotone timestamps.
-  std::map<std::pair<int, int>, std::vector<std::string>> open;
+  // Balanced B/E per (pid, tid), with monotone timestamps. The open stack
+  // keeps each begin's timestamp so an end can be checked for a negative
+  // duration with a specific message (instead of the generic monotonicity
+  // failure it also implies).
+  struct OpenSpan {
+    std::string name;
+    double ts = 0.0;
+  };
+  std::map<std::pair<int, int>, std::vector<OpenSpan>> open;
   std::map<std::pair<int, int>, double> last_ts;
+  // A tid is one emitting thread's buffer, exported in push order: its
+  // timestamps stay monotone even when a ThreadProcessScope moves the
+  // thread between pids mid-trace, so the check also spans pids.
+  std::map<int, double> last_ts_by_tid;
   for (const ParsedEvent& event : events) {
     const std::pair<int, int> key{event.pid, event.tid};
     if (!event.has_ts) return fail("event without ts: " + event.name);
+    if (event.phase == 'E') {
+      auto& stack = open[key];
+      if (stack.empty()) {
+        return fail("unbalanced 'E' for '" + event.name + "' on pid " +
+                    std::to_string(event.pid) + " tid " +
+                    std::to_string(event.tid) + " with no open span");
+      }
+      if (stack.back().name != event.name) {
+        return fail("unbalanced 'E': got '" + event.name +
+                    "' but innermost open span is '" + stack.back().name +
+                    "' on pid " + std::to_string(event.pid) + " tid " +
+                    std::to_string(event.tid));
+      }
+      if (event.ts < stack.back().ts) {
+        return fail("span '" + event.name + "' has negative duration (E ts " +
+                    std::to_string(event.ts) + " < B ts " +
+                    std::to_string(stack.back().ts) +
+                    "): timestamps not monotone on pid " +
+                    std::to_string(event.pid) + " tid " +
+                    std::to_string(event.tid));
+      }
+    }
     const auto it = last_ts.find(key);
     if (it != last_ts.end() && event.ts < it->second) {
       return fail("timestamps not monotone on pid " +
@@ -665,16 +619,17 @@ TraceValidation validate_chrome_trace(const std::string& json) {
                   std::to_string(event.tid) + " at '" + event.name + "'");
     }
     last_ts[key] = event.ts;
+    const auto tid_it = last_ts_by_tid.find(event.tid);
+    if (tid_it != last_ts_by_tid.end() && event.ts < tid_it->second) {
+      return fail("timestamps not monotone on tid " +
+                  std::to_string(event.tid) + " across pids at '" +
+                  event.name + "'");
+    }
+    last_ts_by_tid[event.tid] = event.ts;
     if (event.phase == 'B') {
-      open[key].push_back(event.name);
+      open[key].push_back(OpenSpan{event.name, event.ts});
     } else if (event.phase == 'E') {
-      auto& stack = open[key];
-      if (stack.empty() || stack.back() != event.name) {
-        return fail("unbalanced 'E' for '" + event.name + "' on pid " +
-                    std::to_string(event.pid) + " tid " +
-                    std::to_string(event.tid));
-      }
-      stack.pop_back();
+      open[key].pop_back();
       ++result.complete_spans;
       const auto name_it = process_names.find(event.pid);
       const std::string process = name_it != process_names.end()
@@ -685,7 +640,7 @@ TraceValidation validate_chrome_trace(const std::string& json) {
   }
   for (const auto& [key, stack] : open) {
     if (!stack.empty()) {
-      return fail("span '" + stack.back() + "' never closed on pid " +
+      return fail("span '" + stack.back().name + "' never closed on pid " +
                   std::to_string(key.first) + " tid " +
                   std::to_string(key.second));
     }

@@ -166,6 +166,14 @@ class Tracer {
   /// re-register on their next emission. Call quiescently.
   void clear();
 
+  /// Raise/lower the per-thread ring cap for buffers registered from now
+  /// on (existing buffers keep their size — call clear() first so every
+  /// thread re-registers). Deep-profiling runs (e.g. the bench's
+  /// attribution cells, where occ emits an attempt span per wave
+  /// re-execution) need more than the default before the ring wraps and
+  /// drops 'B' events. Call quiescently, like clear().
+  void set_ring_capacity(std::size_t max_events_per_thread);
+
   /// Events currently held (optionally only those named `name`).
   std::size_t event_count(const char* name = nullptr) const;
   /// Events lost to ring wrap-around across all buffers.
@@ -186,13 +194,13 @@ class Tracer {
  private:
   ThreadBuffer* buffer_for_this_thread();
 
-  const std::size_t cap_;
   const std::uint64_t id_;  ///< process-unique, guards thread-local reuse
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> generation_{0};  ///< bumped by clear()
   std::uint64_t epoch_ns_;                    ///< construction timestamp
 
   mutable Mutex mu_;
+  std::size_t cap_ GUARDED_BY(mu_);  ///< ring cap for NEW buffers
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
 };
 
@@ -214,6 +222,35 @@ class SpanGuard {
   const char* name_;
   const char* category_;
   const char* process_;
+};
+
+/// Manually toggled span for sites where the open/close points are not
+/// lexical scopes — e.g. a scheduler participant opening a "wait" span on
+/// a fruitless claim pass and closing it when work arrives. The pair is
+/// still enforced: open() while open and close() while closed are no-ops,
+/// and the destructor closes an open span, so traces stay balanced.
+/// Null-safe and allocation-free like SpanGuard; the enabled check runs
+/// per open() so a tracer enabled mid-lifetime is picked up.
+class ToggleSpan {
+ public:
+  ToggleSpan(Tracer* tracer, const char* name, const char* category);
+  ~ToggleSpan();
+
+  ToggleSpan(const ToggleSpan&) = delete;
+  ToggleSpan& operator=(const ToggleSpan&) = delete;
+
+  /// Emit the begin event (no-op when already open or tracer off).
+  void open(std::int64_t arg = -1);
+  /// Emit the matching end event (no-op when not open).
+  void close();
+  bool is_open() const { return open_; }
+
+ private:
+  Tracer* const tracer_;
+  const char* name_;
+  const char* category_;
+  const char* process_ = nullptr;  ///< captured at open()
+  bool open_ = false;
 };
 
 /// RAII span that participates in causal tracing (see obs/context.h).

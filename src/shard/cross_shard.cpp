@@ -3,6 +3,7 @@
 #include "chain/block.h"
 #include "common/error.h"
 #include "obs/scope.h"
+#include "obs/names.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 
@@ -69,15 +70,17 @@ CrossShardOutcome CrossShardCoordinator::transfer(
     const obs::TraceContext& trace) {
   const MutexLock lock(mu_);
   obs::Tracer* const tracer = shard_tracer(config_);
-  const obs::CausalSpan xfer_span(tracer, "xshard_transfer", "shard", trace);
+  const obs::CausalSpan xfer_span(tracer, obs::names::kSpanXshardTransfer,
+                                  obs::names::kCatShard, trace);
   obs::Registry* const registry = shard_registry(config_);
   const auto finish = [&](CrossShardOutcome outcome) {
     if (registry != nullptr) {
-      registry->counter("xshard.transfers").add(1);
-      registry->counter(outcome.committed ? "xshard.commits"
-                                          : "xshard.aborts")
+      registry->counter(obs::names::kMetricXshardTransfers).add(1);
+      registry->counter(outcome.committed
+                            ? obs::names::kMetricXshardCommits
+                            : obs::names::kMetricXshardAborts)
           .add(1);
-      registry->histogram("xshard.latency_s").observe(outcome.latency_seconds);
+      registry->histogram(obs::names::kMetricXshardLatencyS).observe(outcome.latency_seconds);
     }
     if (config_.snapshots != nullptr) config_.snapshots->tick();
     return outcome;
@@ -116,7 +119,7 @@ CrossShardOutcome CrossShardCoordinator::transfer(
   // Phase 1 — the source committee validates and locks the funds.
   account::StateDb& source_state = states_[source];
   {
-    const obs::CausalSpan span(tracer, "xshard_lock", "shard",
+    const obs::CausalSpan span(tracer, obs::names::kSpanXshardLock, obs::names::kCatShard,
                                xfer_span.context(),
                                static_cast<std::int64_t>(source));
     const PbftOutcome lock_round =
@@ -136,7 +139,7 @@ CrossShardOutcome CrossShardCoordinator::transfer(
 
   // Phase 2 — the destination committee verifies the proof and credits.
   {
-    const obs::CausalSpan span(tracer, "xshard_redeem", "shard",
+    const obs::CausalSpan span(tracer, obs::names::kSpanXshardRedeem, obs::names::kCatShard,
                                xfer_span.context(),
                                static_cast<std::int64_t>(dest));
     const PbftOutcome redeem_round =
@@ -146,7 +149,7 @@ CrossShardOutcome CrossShardCoordinator::transfer(
   if (force_dest_reject) {
     // Abort path: the client presents the rejection back to the source
     // committee, which unlocks the escrowed funds (one more round).
-    const obs::CausalSpan span(tracer, "xshard_unlock", "shard",
+    const obs::CausalSpan span(tracer, obs::names::kSpanXshardUnlock, obs::names::kCatShard,
                                xfer_span.context(),
                                static_cast<std::int64_t>(source));
     const PbftOutcome unlock_round =

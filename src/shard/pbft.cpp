@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 
@@ -33,13 +34,14 @@ PbftOutcome PbftSimulator::run_round(const obs::TraceContext& trace) {
   obs::Tracer* tracer = obs::tracer(config_.obs);
   if (tracer == nullptr) tracer = &obs::Tracer::global();
   const obs::CausalSpan round_span(
-      tracer, "pbft_round", "shard", trace,
+      tracer, obs::names::kSpanPbftRound, obs::names::kCatShard, trace,
       static_cast<std::int64_t>(config_.committee_size));
   PbftOutcome outcome;
   // Pre-prepare: the leader proposes — view changes until an honest one
   // drives the round through.
   {
-    const obs::CausalSpan span(tracer, "pbft_pre_prepare", "shard",
+    const obs::CausalSpan span(tracer, obs::names::kSpanPbftPrePrepare,
+                               obs::names::kCatShard,
                                round_span.context());
     while (rng_.bernoulli(config_.faulty_leader_probability)) {
       ++outcome.view_changes;
@@ -52,11 +54,11 @@ PbftOutcome PbftSimulator::run_round(const obs::TraceContext& trace) {
   // Prepare and commit: modeled all-to-all phases; the spans carry the
   // causal linkage of the modeled rounds into the trace.
   {
-    const obs::CausalSpan span(tracer, "pbft_prepare", "shard",
+    const obs::CausalSpan span(tracer, obs::names::kSpanPbftPrepare, obs::names::kCatShard,
                                round_span.context());
   }
   {
-    const obs::CausalSpan span(tracer, "pbft_commit", "shard",
+    const obs::CausalSpan span(tracer, obs::names::kSpanPbftCommit, obs::names::kCatShard,
                                round_span.context());
   }
   outcome.latency_seconds += pbft_round_latency(config_);
@@ -66,9 +68,9 @@ PbftOutcome PbftSimulator::run_round(const obs::TraceContext& trace) {
     registry = &obs::Registry::global();
   }
   if (registry != nullptr) {
-    registry->counter("pbft.rounds").add(1);
-    registry->counter("pbft.messages").add(outcome.messages);
-    registry->counter("pbft.view_changes").add(outcome.view_changes);
+    registry->counter(obs::names::kMetricPbftRounds).add(1);
+    registry->counter(obs::names::kMetricPbftMessages).add(outcome.messages);
+    registry->counter(obs::names::kMetricPbftViewChanges).add(outcome.view_changes);
   }
   return outcome;
 }

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "obs/scope.h"
+#include "obs/names.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 
@@ -36,7 +37,7 @@ EpochResult ZilliqaSimulator::run_epoch(
   obs::Tracer* tracer = obs::tracer(config_.pbft.obs);
   if (tracer == nullptr) tracer = &obs::Tracer::global();
   const obs::CausalSpan epoch_span(
-      tracer, "epoch", "shard", trace,
+      tracer, obs::names::kSpanEpoch, obs::names::kCatShard, trace,
       static_cast<std::int64_t>(pending.size()));
   EpochResult result;
   result.micro_blocks.resize(config_.num_shards);
@@ -83,12 +84,12 @@ EpochResult ZilliqaSimulator::run_epoch(
     registry = &obs::Registry::global();
   }
   if (registry != nullptr) {
-    registry->counter("shard.epochs").add(1);
-    registry->counter("shard.messages").add(result.total_messages);
-    registry->counter("shard.rejected_cross_shard")
+    registry->counter(obs::names::kMetricShardEpochs).add(1);
+    registry->counter(obs::names::kMetricShardMessages).add(result.total_messages);
+    registry->counter(obs::names::kMetricShardRejectedCrossShard)
         .add(result.rejected_cross_shard.size());
-    registry->counter("shard.final_block_txs").add(result.final_block.size());
-    registry->histogram("shard.epoch_latency_s")
+    registry->counter(obs::names::kMetricShardFinalBlockTxs).add(result.final_block.size());
+    registry->histogram(obs::names::kMetricShardEpochLatencyS)
         .observe(result.latency_seconds);
   }
   if (config_.snapshots != nullptr) config_.snapshots->tick();
