@@ -24,6 +24,8 @@
 #include "core/scheduling.h"
 #include "core/speedup_model.h"
 #include "exec/executor.h"
+#include "exec/predict.h"
+#include "obs/contention.h"
 #include "obs/critpath.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
@@ -417,6 +419,15 @@ void write_bench_exec_json() {
   std::vector<Row> rows;
   const double inject = injected_slowdown_factor();
 
+  // Cells deliberately not measured, recorded structurally so consumers
+  // (and scripts/bench_gate) can tell an exclusion from a missing row.
+  struct Exclusion {
+    std::string executor;
+    std::size_t block_txs;
+    std::string reason;
+  };
+  std::vector<Exclusion> excluded;
+
   for (const Cell& cell : cells) {
     // The 10k+ cells cost ~100x a base-block rep; 3 reps keep the CI
     // bench-large lane inside its budget while the gate's ratios stay
@@ -434,6 +445,8 @@ void write_bench_exec_json() {
         // the 124/1000 cells; don't leave the gap unlogged.
         std::cout << "skipping occ at block_txs=" << cell.block_txs
                   << " (wave serialization: see the 1000-tx cells)\n";
+        excluded.push_back({spec.name, cell.block_txs,
+                            "wave serialization: see the 1000-tx cells"});
         continue;
       }
       const std::vector<unsigned> thread_grid =
@@ -480,6 +493,13 @@ void write_bench_exec_json() {
     out << (i > 0 ? ", " : "") << cells[i].block_txs;
   }
   out << "],\n"
+      << "  \"excluded_engines\": [";
+  for (std::size_t i = 0; i < excluded.size(); ++i) {
+    out << (i > 0 ? ", " : "") << "{\"executor\": \"" << excluded[i].executor
+        << "\", \"block_txs\": " << excluded[i].block_txs
+        << ", \"reason\": \"" << excluded[i].reason << "\"}";
+  }
+  out << "],\n"
       << "  \"hw_cores\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"tx_work\": " << g_tx_work << ",\n"
       << "  \"reps\": " << bench_reps() << ",\n"
@@ -500,6 +520,193 @@ void write_bench_exec_json() {
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << " (" << rows.size() << " cells over "
             << cells.size() << " block sizes, tx_work=" << g_tx_work << ")\n";
+}
+
+// -------------------------------------- BENCH_contention.json emitter
+
+// Measured-contention artifact: every registry engine over a {1,4}-thread
+// x {base,1000}-tx grid, each cell explained by the contention layer
+// (obs/contention.h) from the engine's own observed access sets —
+// measured c/l at slot and address granularity, prediction quality of the
+// a-priori closures, per-reason abort taxonomy and top hot keys — next to
+// the sketch's wall overhead (instrumented vs sketch-off run, median of
+// the same warm-rep protocol as the exec emitter). intent_c/l come from
+// analysis::analyze_account_block over the same transactions and
+// receipts: a fully independent implementation of the paper's address
+// TDG, so agreement with measured_c_address is a real cross-check, gated
+// by scripts/bench_gate --contend. Written to TXCONC_BENCH_CONTENTION_OUT,
+// default BENCH_contention.json.
+void write_bench_contention_json() {
+  static const ExecFixture fixture;
+  account::RuntimeConfig config;
+  config.charge_fees = false;
+  config.enforce_nonce = false;
+  config.synthetic_work = g_tx_work;
+
+  struct Cell {
+    std::size_t block_txs;
+    std::span<const account::AccountTx> block;
+    const account::StateDb* genesis;
+  };
+  std::vector<Cell> cells;
+  cells.push_back({fixture.block.size(),
+                   {fixture.block.data(), fixture.block.size()},
+                   &fixture.genesis});
+  cells.push_back(
+      {1000, standard_pool().prefix(1000), &standard_pool().genesis});
+
+  struct Row {
+    std::string executor;
+    unsigned threads = 1;
+    std::size_t block_txs = 0;
+    int reps = 0;
+    obs::BlockContention contention;
+    double intent_c = 0.0;
+    double intent_l = 0.0;
+    double wall_on = 0.0;   ///< median wall, sink + recorder installed
+    double wall_off = 0.0;  ///< median wall, sketch off (exec-bench config)
+    double overhead = 0.0;  ///< wall_on / wall_off
+  };
+  std::vector<Row> rows;
+
+  for (const Cell& cell : cells) {
+    // Generator intent for this cell: the analysis pipeline's address-TDG
+    // conflict rates over the receipts of one sequential execution.
+    double intent_c = 0.0;
+    double intent_l = 0.0;
+    {
+      const auto sequential = exec::make_executor("sequential", 1);
+      account::StateDb db = *cell.genesis;
+      account::RuntimeConfig tracked = config;
+      tracked.track_accesses = true;
+      const exec::ExecutionReport report =
+          sequential->execute_block(db, cell.block, tracked);
+      const core::ConflictStats intent =
+          analysis::analyze_account_block(cell.block, report.receipts);
+      intent_c = intent.single_rate();
+      intent_l = intent.group_rate();
+    }
+    // The 1k cells pay the occ wave serialization twice (on/off); cap
+    // their reps like the exec emitter caps its 10k cells.
+    const int reps =
+        cell.block_txs >= 1000 ? std::min(bench_reps(), 5) : bench_reps();
+    const int warmup = bench_warmup();
+    for (const exec::ExecutorSpec& spec : exec::executor_registry()) {
+      const std::vector<unsigned> thread_grid =
+          spec.parallel ? std::vector<unsigned>{1, 4}
+                        : std::vector<unsigned>{1};
+      for (const unsigned threads : thread_grid) {
+        const auto executor = spec.make(threads);
+        Row row;
+        row.executor = spec.name;
+        row.threads = threads;
+        row.block_txs = cell.block_txs;
+        row.reps = reps;
+
+        obs::ContentionObserver observer;
+        obs::Scope scope;
+        scope.contention = &observer.sink();
+        account::RuntimeConfig instrumented = config;
+        instrumented.recorder = &observer;
+        instrumented.obs = &scope;
+        row.wall_on =
+            bench::measure_reps(reps, warmup, [&] {
+              account::StateDb db = *cell.genesis;
+              observer.begin_block(cell.block);
+              for (std::size_t i = 0; i < cell.block.size(); ++i) {
+                const std::vector<Address> closure =
+                    exec::predicted_addresses(cell.block[i], db);
+                observer.set_predicted(i, closure);
+              }
+              const exec::ExecutionReport report =
+                  executor->execute_block(db, cell.block, instrumented);
+              row.contention = observer.finish_block(report.receipts);
+              row.contention.engine_abort_totals = report.abort_reasons;
+              // wall_seconds covers execute_block only: the closure walk
+              // and the cold finish_block analysis stay untimed, so the
+              // on/off delta isolates the in-execution sketch feeding.
+              return report.wall_seconds;
+            }).median_seconds;
+        row.wall_off = bench::measure_reps(reps, warmup, [&] {
+                         account::StateDb db = *cell.genesis;
+                         return executor->execute_block(db, cell.block, config)
+                             .wall_seconds;
+                       }).median_seconds;
+        row.overhead =
+            row.wall_off > 0.0 ? row.wall_on / row.wall_off : 0.0;
+        row.intent_c = intent_c;
+        row.intent_l = intent_l;
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  const char* out_path = std::getenv("TXCONC_BENCH_CONTENTION_OUT");
+  if (out_path == nullptr) out_path = "BENCH_contention.json";
+  std::ofstream out(out_path);
+  out << "{\n  \"profile\": \"" << fixture.profile.name << "\",\n"
+      << "  \"block_sizes\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out << (i > 0 ? ", " : "") << cells[i].block_txs;
+  }
+  out << "],\n"
+      << "  \"hw_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"tx_work\": " << g_tx_work << ",\n"
+      << "  \"sketch_k\": " << obs::SpaceSavingSketch::kDefaultK << ",\n"
+      << "  \"warmup\": " << bench_warmup() << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const obs::BlockContention& c = row.contention;
+    std::uint64_t engine_total = 0;
+    std::uint64_t sink_total = 0;
+    for (std::size_t r = 0; r < obs::kNumAbortReasons; ++r) {
+      engine_total += c.engine_abort_totals[r];
+      sink_total += c.sink_abort_totals[r];
+    }
+    out << "    {\"executor\": \"" << row.executor
+        << "\", \"threads\": " << row.threads
+        << ", \"block_txs\": " << row.block_txs << ", \"reps\": " << row.reps
+        << ",\n     \"measured_c\": " << c.measured_c
+        << ", \"measured_l\": " << c.measured_l
+        << ", \"measured_c_address\": " << c.measured_c_address
+        << ", \"measured_l_address\": " << c.measured_l_address
+        << ",\n     \"intent_c\": " << row.intent_c
+        << ", \"intent_l\": " << row.intent_l
+        << ",\n     \"precision\": " << c.precision
+        << ", \"recall\": " << c.recall
+        << ", \"over_approx\": " << c.over_approx
+        << ",\n     \"total_touches\": " << c.total_touches
+        << ", \"engine_abort_total\": " << engine_total
+        << ", \"sink_abort_total\": " << sink_total << ", \"aborts\": {";
+    bool first_reason = true;
+    for (std::size_t r = 0; r < obs::kNumAbortReasons; ++r) {
+      if (c.engine_abort_totals[r] == 0) continue;
+      out << (first_reason ? "" : ", ") << "\""
+          << obs::abort_reason_name(static_cast<obs::AbortReason>(r))
+          << "\": " << c.engine_abort_totals[r];
+      first_reason = false;
+    }
+    out << "},\n     \"hot_keys\": [";
+    const std::size_t top = std::min<std::size_t>(5, c.hot_keys.size());
+    for (std::size_t k = 0; k < top; ++k) {
+      const obs::HotKey& key = c.hot_keys[k];
+      out << (k > 0 ? ", " : "") << "{\"addr\": \""
+          << key.key.addr.short_hex() << "\", \"channel\": \""
+          << obs::touch_channel_name(key.key.channel)
+          << "\", \"slot\": " << key.key.slot
+          << ", \"count\": " << key.count << ", \"error\": " << key.error
+          << "}";
+    }
+    out << "],\n     \"wall_seconds\": " << row.wall_on
+        << ", \"wall_seconds_off\": " << row.wall_off
+        << ", \"sketch_overhead\": " << row.overhead << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << " (" << rows.size()
+            << " contention cells over " << cells.size()
+            << " block sizes)\n";
 }
 
 // ---------------------------------------------- §V phase breakdown emitter
@@ -944,6 +1151,7 @@ int main(int argc, char** argv) {
   }
   write_bench_obs_json();
   write_bench_profile_json();
+  write_bench_contention_json();
   // TXCONC_TRACE=<file>: re-run every engine traced and self-validate the
   // exported Chrome trace (the tier-1 obs smoke drives this path).
   if (const char* trace_path = std::getenv("TXCONC_TRACE")) {

@@ -11,14 +11,19 @@
 // run only one registered engine (sequential always runs as the oracle).
 // Pass --profile to additionally run the critical-path profiler over the
 // recorded trace and print each engine's stall attribution (each engine
-// replays the block twice so the reported run is warm).
+// replays the block twice so the reported run is warm). Pass --contend to
+// run the contention explainer instead: measured conflict rates, hot keys
+// and per-reason abort attribution from each engine's observed accesses
+// (same warm protocol: the reported run sees warm scratch).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 
 #include "analysis/report.h"
+#include "exec/contention_probe.h"
 #include "exec/executor.h"
+#include "obs/contention.h"
 #include "obs/critpath.h"
 #include "exec/replay.h"
 #include "obs/scope.h"
@@ -44,12 +49,14 @@ std::string registry_names() {
 int usage(const char* argv0, int code) {
   (code == 0 ? std::cout : std::cerr)
       << "usage: " << argv0
-      << " [--trace[=file]] [--profile] [--engine=<name>]\n"
+      << " [--trace[=file]] [--profile] [--contend] [--engine=<name>]\n"
       << "  --trace[=file]   write a Chrome trace (default file:\n"
       << "                   parallel_executor_trace.json) and print the\n"
       << "                   metrics registry\n"
       << "  --profile        profile the trace: per-engine critical path\n"
       << "                   and threads x wall stall attribution\n"
+      << "  --contend        explain each engine's contention: measured\n"
+      << "                   c/l, hot keys, per-reason abort attribution\n"
       << "  --engine=<name>  run only <name> (plus the sequential oracle).\n"
       << "                   registered engines: " << registry_names()
       << "\n";
@@ -62,6 +69,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string engine_filter;
   bool profiling = false;
+  bool contending = false;
   if (const char* env = std::getenv("TXCONC_TRACE")) trace_path = env;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
@@ -70,6 +78,8 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profiling = true;
+    } else if (std::strcmp(argv[i], "--contend") == 0) {
+      contending = true;
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       engine_filter = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
@@ -110,9 +120,11 @@ int main(int argc, char** argv) {
 
   Hash256 expected;
   std::size_t block_size = 0;
+  exec::ContentionProbe probe;
+  std::vector<std::pair<std::string, obs::BlockContention>> contention;
   for (const auto& engine : engines) {
-    if (profiling) {
-      // Warmup replay of the same block: the profiled run below then
+    if (profiling || contending) {
+      // Warmup replay of the same block: the reported run below then
       // sees warm tracer buffers and scratch, so the attribution is not
       // polluted by one-time allocation inside execute_block (the
       // profiler books that caller self-time as `uncovered`).
@@ -121,8 +133,21 @@ int main(int argc, char** argv) {
       warmup.replay_next(*engine);
     }
     exec::HistoryReplayer replayer(profile, 2718, skip);
+    obs::Scope contend_scope = obs::global_scope();
     if (tracing) replayer.set_obs(&obs::global_scope());
+    if (contending) {
+      // Same wiring as tools/txconc_contend: the probe records observed
+      // accesses, the engines attribute aborts through the scope's sink.
+      contend_scope.contention = probe.sink();
+      replayer.set_obs(&contend_scope);
+      replayer.set_block_observer(&probe);
+      replayer.set_access_recorder(probe.recorder());
+    }
     const exec::ExecutionReport report = replayer.replay_next(*engine);
+    if (contending) {
+      contention.emplace_back(engine->name(), probe.blocks().back());
+      probe.clear();
+    }
     block_size = report.num_txs;
     const Hash256 digest = replayer.state().digest();
     if (engine->name() == "sequential") expected = digest;
@@ -198,6 +223,14 @@ int main(int argc, char** argv) {
       if (!violation.empty()) {
         std::cout << "  warning: " << violation << "\n";
       }
+    }
+  }
+  if (contending) {
+    std::cout << "\ncontention explainer (warm run of each engine):\n\n";
+    for (const auto& [name, block] : contention) {
+      std::cout << "== " << name << " ==\n";
+      obs::write_text(std::cout, block);
+      std::cout << "\n";
     }
   }
   return 0;

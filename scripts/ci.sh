@@ -32,7 +32,9 @@
 #    proving the lane has teeth. The same fresh run writes
 #    BENCH_profile.json (per-cell wall-clock attribution), gated by
 #    absolute invariants (sum within eps of threads x wall, bounded
-#    untracked share). After an intentional perf change, refresh the
+#    untracked share), and BENCH_contention.json (measured c/l, hot keys,
+#    prediction quality), gated by --contend with its own doctored-JSON
+#    negative control. After an intentional perf change, refresh the
 #    baselines with
 #      scripts/bench_gate --exec BENCH_exec.json --obs BENCH_obs.json \
 #        --profile BENCH_profile.json --refresh
@@ -99,12 +101,14 @@ if lane_enabled asan; then
   cmake --build build-asan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
     --target obs_test --target trace_propagation_test --target hotpath_test \
-    --target block_stm_test --target critpath_test \
+    --target block_stm_test --target critpath_test --target contention_test \
     --target parallel_executor --target txconc_profile
   # Leak checking needs ptrace, which container CI runners often deny; the
   # races/UB we are after are caught without it.
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/obs_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/hotpath_test
+  # The contention sketch/sink under ASan: lane merges, eviction churn.
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/contention_test
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/block_stm_test
   # The registry round-trip executes every engine through the global
   # tracer and runs the profiler over the result.
@@ -145,9 +149,10 @@ if lane_enabled tsan; then
   cmake --build build-tsan -j"${JOBS}" \
     --target exec_test --target conformance_test --target audit_test \
     --target obs_test --target trace_propagation_test --target hotpath_test \
-    --target block_stm_test --target critpath_test
+    --target block_stm_test --target critpath_test --target contention_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/obs_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/hotpath_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/contention_test
   # block_stm_test's concurrent rounds drive the MV store, ESTIMATE
   # suspension, and validation sweep from real pool workers.
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/block_stm_test
@@ -244,8 +249,28 @@ if lane_enabled bench; then
   run_bench build/bench-fresh
   scripts/bench_gate --exec build/bench-fresh/BENCH_exec.json \
     --obs build/bench-fresh/BENCH_obs.json \
-    --profile build/bench-fresh/BENCH_profile.json
+    --profile build/bench-fresh/BENCH_profile.json \
+    --contend build/bench-fresh/BENCH_contention.json
   echo "bench gate vs committed baselines: OK"
+  # Contention negative control: doctoring one cell's measured conflict
+  # rate away from the generator's intent must trip --contend — proving
+  # the measured-vs-intent check has teeth.
+  python3 - <<'PYEOF'
+import json
+with open("build/bench-fresh/BENCH_contention.json") as f:
+    doc = json.load(f)
+doc["results"][0]["measured_c_address"] += 0.5
+with open("build/bench-fresh/BENCH_contention_doctored.json", "w") as f:
+    json.dump(doc, f)
+PYEOF
+  if scripts/bench_gate \
+       --contend build/bench-fresh/BENCH_contention_doctored.json \
+       > build/bench-fresh/contend_doctored.log 2>&1; then
+    echo "bench lane FAILED: doctored contention cell did not trip --contend"
+    cat build/bench-fresh/contend_doctored.log
+    exit 1
+  fi
+  echo "contend negative control OK: doctored measured_c tripped the gate"
   # Negative control: the +20% injection must trip the gate. Gate the
   # injected run against the same-session fresh run (not the committed
   # baseline) so this check is insulated from host-to-host drift.
@@ -283,6 +308,7 @@ if lane_enabled bench-large; then
     "${BENCH_BIN}" --benchmark_filter='^$' > bench.log 2>&1)
   grep -q "skipping occ at block_txs=10000" build/bench-large/bench.log
   scripts/bench_gate --exec build/bench-large/BENCH_exec.json \
-    --profile build/bench-large/BENCH_profile.json
+    --profile build/bench-large/BENCH_profile.json \
+    --contend build/bench-large/BENCH_contention.json
   echo "bench-large gate OK (10k-tx cells within tolerances + attainment)"
 fi

@@ -226,6 +226,22 @@ namespace {
 using account::AccountTx;
 using account::StorageKey;
 
+/// Map a multi-version coordinate onto the contention sketch's key space
+/// (the channel splits line up by design; obs/contention.h).
+obs::TouchKey touch_key_of(const MvKey& key) {
+  switch (key.channel) {
+    case MvChannel::kBalance:
+      return obs::TouchKey{key.addr, 0, obs::TouchChannel::kBalance};
+    case MvChannel::kNonce:
+      return obs::TouchKey{key.addr, 0, obs::TouchChannel::kNonce};
+    case MvChannel::kCode:
+      return obs::TouchKey{key.addr, 0, obs::TouchChannel::kCode};
+    case MvChannel::kStorage:
+      break;
+  }
+  return obs::TouchKey{key.addr, key.key, obs::TouchChannel::kStorage};
+}
+
 /// One recorded fall-through read: which version the execution observed
 /// for `key` (writer_tx == MultiVersionStore::kBase for base-state reads).
 struct ReadRecord {
@@ -300,7 +316,7 @@ class MvStateView final : public account::State {
 
   MultiVersionStore::Resolution record_read(const MvKey& key) const {
     const MultiVersionStore::Resolution r = store_->resolve(key, reader_);
-    if (r.estimate) throw EstimateAbort{r.tx};
+    if (r.estimate) throw EstimateAbort{r.tx, key};
     reads_->push_back(
         {key, r.found ? r.tx : MultiVersionStore::kBase, r.incarnation});
     return r;
@@ -443,6 +459,7 @@ class BlockStmExecutor final : public BlockExecutor {
     base_ = &state;
     report_ = &report;
     tracer_ = tracer;
+    sink_ = obs::contention(config.obs);
     {
       const obs::CausalSpan span(tracer, obs::names::kSpanSchedule,
                                  obs::names::kCatExec, block_span.context());
@@ -486,6 +503,14 @@ class BlockStmExecutor final : public BlockExecutor {
       report.tx_incarnations[i] = slot.incarnation + 1;
       if (slot.incarnation > 0) report.sequential_txs += 1;
     }
+    report.abort_reasons[static_cast<std::size_t>(
+        obs::AbortReason::kBlockStmEstimateAbort)] =
+        // ordering: relaxed — quiescent read-back after the workers joined.
+        estimate_aborts_.load(std::memory_order_relaxed);
+    report.abort_reasons[static_cast<std::size_t>(
+        obs::AbortReason::kBlockStmValidationFail)] =
+        // ordering: relaxed — quiescent read-back, as above.
+        aborts_.load(std::memory_order_relaxed);
     report.simulated_units = std::ceil(
         static_cast<double>(report.executions) / pool_.size());
     report.simulated_speedup =
@@ -585,8 +610,9 @@ class BlockStmExecutor final : public BlockExecutor {
     // ordering: relaxed — statistical counters reset before the workers
     // start; the parallel_for hand-off publishes them.
     executions_.store(0, std::memory_order_relaxed);
-    validations_.store(0, std::memory_order_relaxed);  // ordering: ditto
-    aborts_.store(0, std::memory_order_relaxed);       // ordering: ditto
+    validations_.store(0, std::memory_order_relaxed);   // ordering: ditto
+    aborts_.store(0, std::memory_order_relaxed);        // ordering: ditto
+    estimate_aborts_.store(0, std::memory_order_relaxed);  // ordering: ditto
   }
 
   /// One scheduler participant: claim and run tasks until the block
@@ -692,6 +718,14 @@ class BlockStmExecutor final : public BlockExecutor {
       finish_execution(slot_id, j, incarnation, /*validity_failed=*/false,
                        &writes_[j]);
     } catch (const EstimateAbort& blocked) {
+      // ordering: relaxed — statistical counter, read quiescently.
+      estimate_aborts_.fetch_add(1, std::memory_order_relaxed);
+      TXCONC_INSTANT_T(tracer_, obs::names::kEvAbort, obs::names::kCatExec,
+                       static_cast<std::int64_t>(j));
+      if (sink_ != nullptr) {
+        sink_->record_abort(obs::AbortReason::kBlockStmEstimateAbort,
+                            touch_key_of(blocked.key));
+      }
       suspend_on(j, blocked.blocking_tx);
     } catch (const ValidationError&) {
       // precheck passed but a concurrent publish changed the view before
@@ -803,6 +837,7 @@ class BlockStmExecutor final : public BlockExecutor {
     // ordering: relaxed — statistical counter, read quiescently.
     validations_.fetch_add(1, std::memory_order_relaxed);
     bool valid = true;
+    const MvKey* bad = nullptr;
     for (const ReadRecord& rec : slot.reads) {
       const MultiVersionStore::Resolution r = store_.resolve(rec.key, j);
       const bool match =
@@ -811,12 +846,19 @@ class BlockStmExecutor final : public BlockExecutor {
                    : (rec.writer_tx == MultiVersionStore::kBase));
       if (!match) {
         valid = false;
+        bad = &rec.key;
         break;
       }
     }
     if (valid) return;
     // ordering: relaxed — statistical counter, read quiescently.
     aborts_.fetch_add(1, std::memory_order_relaxed);
+    TXCONC_INSTANT_T(tracer_, obs::names::kEvAbort, obs::names::kCatExec,
+                     static_cast<std::int64_t>(j));
+    if (sink_ != nullptr) {
+      sink_->record_abort(obs::AbortReason::kBlockStmValidationFail,
+                          touch_key_of(*bad));
+    }
     // Expose ESTIMATE markers so dependents suspend instead of reading
     // doomed values, then requeue this transaction and the validation
     // suffix that may have read them.
@@ -872,6 +914,7 @@ class BlockStmExecutor final : public BlockExecutor {
   const account::StateDb* base_ = nullptr;
   ExecutionReport* report_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::ContentionSink* sink_ = nullptr;
 
   std::atomic<std::uint64_t> exec_cursor_{0};  // dispatch-order position
   std::atomic<std::uint64_t> val_cursor_{0};   // block-order index
@@ -880,6 +923,7 @@ class BlockStmExecutor final : public BlockExecutor {
   std::atomic<std::uint64_t> executions_{0};
   std::atomic<std::uint64_t> validations_{0};
   std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> estimate_aborts_{0};
 };
 
 }  // namespace

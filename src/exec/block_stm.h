@@ -29,16 +29,6 @@
 
 namespace txconc::exec {
 
-/// Thrown by the multi-version view when a read resolves to an ESTIMATE
-/// marker (the blocking transaction aborted and has not re-executed yet).
-/// Deliberately NOT derived from std::exception: the runtime catches
-/// ValidationError/VmError around transaction execution, and this signal
-/// must unwind through apply_transaction_into untouched, back to the
-/// scheduler that suspends the reader on `blocking_tx`.
-struct EstimateAbort {
-  std::uint32_t blocking_tx = 0;
-};
-
 /// Which value channel of an account a multi-version entry covers.
 /// Balance and nonce get their own channels (rather than the tracker's
 /// kBalanceKey aliasing) so a storage slot can never collide with them.
@@ -56,6 +46,19 @@ struct MvKey {
   MvChannel channel = MvChannel::kStorage;
 
   bool operator==(const MvKey&) const = default;
+};
+
+/// Thrown by the multi-version view when a read resolves to an ESTIMATE
+/// marker (the blocking transaction aborted and has not re-executed yet).
+/// Deliberately NOT derived from std::exception: the runtime catches
+/// ValidationError/VmError around transaction execution, and this signal
+/// must unwind through apply_transaction_into untouched, back to the
+/// scheduler that suspends the reader on `blocking_tx`. Carries the
+/// estimated key so the scheduler can attribute the abort to it
+/// (obs::ContentionSink).
+struct EstimateAbort {
+  std::uint32_t blocking_tx = 0;
+  MvKey key;
 };
 
 struct MvKeyHash {

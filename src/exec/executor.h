@@ -16,6 +16,7 @@
 #include "account/runtime.h"
 #include "account/state.h"
 #include "account/types.h"
+#include "obs/contention.h"
 
 namespace txconc::exec {
 
@@ -62,6 +63,11 @@ struct ExecutionReport {
   /// in `executions` / `sequential_txs`.
   std::vector<std::uint32_t> tx_attempts;
   std::vector<std::uint32_t> tx_incarnations;
+  /// Discarded-work tally under the uniform abort taxonomy
+  /// (obs/contention.h): every engine counts why attempts were thrown
+  /// away, whether or not a contention sink is installed. Folded into the
+  /// exec.abort.* registry counters by record_block_metrics.
+  obs::AbortCounts abort_reasons{};
 };
 
 /// Abstract block executor over the account model.

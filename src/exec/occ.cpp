@@ -40,6 +40,7 @@ class OccExecutor final : public BlockExecutor {
       const account::RuntimeConfig& config) override {
     obs::Tracer* const tracer = obs::tracer(config.obs);
     obs::Registry* const registry = obs::metrics(config.obs);
+    obs::ContentionSink* const sink = obs::contention(config.obs);
     const obs::ThreadProcessScope proc("occ");
     const obs::CausalSpan block_span(
         tracer, obs::names::kSpanExecuteBlock, obs::names::kCatExec,
@@ -167,12 +168,23 @@ class OccExecutor final : public BlockExecutor {
         const account::JournalPause pause(state);
         for (std::size_t k = 0; k < pending_.size(); ++k) {
           const std::size_t i = pending_[k];
-          bool clash = !wave_valid_[k] ||
-                       deferred_component_[groups.component_of_tx[i]] != 0;
+          // Abort attribution: why this wave's attempt was discarded, and
+          // which slot (if any) caused it.
+          obs::AbortReason reason = obs::AbortReason::kOccWaveRetry;
+          const account::SlotAccess* hit = nullptr;
+          bool clash = false;
+          if (!wave_valid_[k]) {
+            clash = true;
+            reason = obs::AbortReason::kInvalidAttempt;
+          } else if (deferred_component_[groups.component_of_tx[i]] != 0) {
+            clash = true;
+            reason = obs::AbortReason::kOccDeferred;
+          }
           if (!clash) {
             for (const auto& r : report.receipts[i].reads) {
               if (wave_writes_.contains(r)) {
                 clash = true;
+                hit = &r;
                 break;
               }
             }
@@ -181,6 +193,7 @@ class OccExecutor final : public BlockExecutor {
             for (const auto& w : report.receipts[i].writes) {
               if (wave_writes_.contains(w)) {
                 clash = true;
+                hit = &w;
                 break;
               }
             }
@@ -188,6 +201,17 @@ class OccExecutor final : public BlockExecutor {
           if (clash) {
             retry_.push_back(i);
             deferred_component_[groups.component_of_tx[i]] = 1;
+            ++report.abort_reasons[static_cast<std::size_t>(reason)];
+            TXCONC_INSTANT_T(tracer, obs::names::kEvAbort,
+                             obs::names::kCatExec,
+                             static_cast<std::int64_t>(i));
+            if (sink != nullptr) {
+              if (hit != nullptr) {
+                sink->record_abort(reason, obs::touch_key(*hit));
+              } else {
+                sink->record_abort(reason);
+              }
+            }
             continue;
           }
           writes_[i].apply_to(state);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <string>
 
 #include "exec/executor.h"
 #include "exec/thread_pool.h"
@@ -89,6 +90,13 @@ inline void record_block_metrics(obs::Registry* registry,
       .observe(report.sched.phase2_seconds * 1e6);
   registry->histogram(obs::names::kMetricExecSeqBinTxs)
       .observe(static_cast<double>(report.sequential_txs));
+  for (std::size_t r = 0; r < obs::kNumAbortReasons; ++r) {
+    if (report.abort_reasons[r] == 0) continue;
+    registry
+        ->counter(std::string(obs::names::kMetricExecAbortPrefix) +
+                  obs::abort_reason_name(static_cast<obs::AbortReason>(r)))
+        .add(report.abort_reasons[r]);
+  }
 }
 
 /// Emit the thread-budget instant the critical-path profiler keys on:

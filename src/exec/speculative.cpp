@@ -85,7 +85,8 @@ class SpeculativeExecutor final : public BlockExecutor {
     {
       const obs::CausalSpan span(tracer, obs::names::kSpanSchedule,
                                  obs::names::kCatExec, block_span.context());
-      detect_conflicts(transactions, report, groups);
+      detect_conflicts(transactions, report, groups,
+                       obs::contention(config.obs), tracer);
     }
 
     // Commit the non-conflicted write logs (their access sets are disjoint
@@ -212,8 +213,22 @@ class SpeculativeExecutor final : public BlockExecutor {
   /// a-priori address components bound that overlap, so invalid attempts
   /// poison their whole predicted component.
   void detect_conflicts(std::span<const account::AccountTx> txs,
-                        const ExecutionReport& report,
-                        const PredictedGroups& groups) {
+                        ExecutionReport& report,
+                        const PredictedGroups& groups,
+                        obs::ContentionSink* sink, obs::Tracer* tracer) {
+    // Per-tx abort attribution scratch: which taxonomy reason sent the
+    // transaction to the bin, and (when one exists) the specific key.
+    abort_reason_.assign(txs.size(), kNoAbort);
+    abort_key_.resize(std::max(abort_key_.size(), txs.size()));
+    abort_has_key_.assign(txs.size(), 0);
+    const auto attribute = [&](std::uint32_t tx, obs::AbortReason reason,
+                               const account::SlotAccess* key) {
+      abort_reason_[tx] = static_cast<unsigned char>(reason);
+      if (key != nullptr) {
+        abort_key_[tx] = *key;
+        abort_has_key_[tx] = 1;
+      }
+    };
     if (policy_ == AbortPolicy::kAllConflicted) {
       slot_agg_.clear();
       const auto touch = [&](const account::SlotAccess& slot,
@@ -242,22 +257,25 @@ class SpeculativeExecutor final : public BlockExecutor {
       };
       for (std::uint32_t i = 0; i < txs.size(); ++i) {
         if (valid_[i]) {
-          bool hit = false;
+          const account::SlotAccess* hit = nullptr;
           for (const auto& r : report.receipts[i].reads) {
             if (contended(r)) {
-              hit = true;
+              hit = &r;
               break;
             }
           }
-          if (!hit) {
+          if (hit == nullptr) {
             for (const auto& w : report.receipts[i].writes) {
               if (contended(w)) {
-                hit = true;
+                hit = &w;
                 break;
               }
             }
           }
-          conflicted_[i] = hit ? 1 : 0;
+          conflicted_[i] = hit != nullptr ? 1 : 0;
+          if (hit != nullptr) {
+            attribute(i, obs::AbortReason::kSpecConflict, hit);
+          }
         } else {
           const account::SlotAccess sender{
               txs[i].from, account::AccessTracker::kBalanceKey};
@@ -269,9 +287,19 @@ class SpeculativeExecutor final : public BlockExecutor {
       for (std::size_t i = 0; i < txs.size(); ++i) {
         if (!valid_[i]) poisoned_components_[groups.component_of_tx[i]] = 1;
       }
-      for (std::size_t i = 0; i < txs.size(); ++i) {
+      for (std::uint32_t i = 0; i < txs.size(); ++i) {
         if (poisoned_components_[groups.component_of_tx[i]]) {
           conflicted_[i] = 1;
+          // Cause-based attribution: the whole poisoned component rides on
+          // the invalid attempt, keyed by the invalid tx's sender balance
+          // where that is the tx itself.
+          if (!valid_[i]) {
+            const account::SlotAccess sender{
+                txs[i].from, account::AccessTracker::kBalanceKey};
+            attribute(i, obs::AbortReason::kInvalidAttempt, &sender);
+          } else if (abort_reason_[i] == kNoAbort) {
+            attribute(i, obs::AbortReason::kInvalidAttempt, nullptr);
+          }
         }
       }
     } else {
@@ -296,11 +324,17 @@ class SpeculativeExecutor final : public BlockExecutor {
                       : std::span<const account::SlotAccess>(&sender, 1);
         bool clash = !valid_[i] ||
                      poisoned_components_[groups.component_of_tx[i]] != 0;
+        if (!valid_[i]) {
+          attribute(i, obs::AbortReason::kInvalidAttempt, &sender);
+        } else if (clash) {
+          attribute(i, obs::AbortReason::kInvalidAttempt, nullptr);
+        }
         if (!clash) {
           for (const auto& r : reads) {
             if (committed_writes_.contains(r) ||
                 poisoned_slots_.contains(r)) {
               clash = true;
+              attribute(i, obs::AbortReason::kFwwPoisoned, &r);
               break;
             }
           }
@@ -310,6 +344,7 @@ class SpeculativeExecutor final : public BlockExecutor {
             if (committed_writes_.contains(w) ||
                 poisoned_slots_.contains(w)) {
               clash = true;
+              attribute(i, obs::AbortReason::kFwwPoisoned, &w);
               break;
             }
           }
@@ -331,6 +366,23 @@ class SpeculativeExecutor final : public BlockExecutor {
     for (std::size_t i = 0; i < txs.size(); ++i) {
       if (!valid_[i]) conflicted_[i] = 1;
     }
+    // Surface the attribution: taxonomy tallies in the report, instants
+    // on the trace, key-level counts into the contention sink (when one
+    // is installed through the Scope).
+    for (std::uint32_t i = 0; i < txs.size(); ++i) {
+      if (abort_reason_[i] == kNoAbort) continue;
+      const auto reason = static_cast<obs::AbortReason>(abort_reason_[i]);
+      ++report.abort_reasons[static_cast<std::size_t>(reason)];
+      TXCONC_INSTANT_T(tracer, obs::names::kEvAbort, obs::names::kCatExec,
+                       static_cast<std::int64_t>(i));
+      if (sink != nullptr) {
+        if (abort_has_key_[i]) {
+          sink->record_abort(reason, obs::touch_key(abort_key_[i]));
+        } else {
+          sink->record_abort(reason);
+        }
+      }
+    }
   }
 
   const char* label_;  // string literal; doubles as the trace process
@@ -346,6 +398,12 @@ class SpeculativeExecutor final : public BlockExecutor {
   SlotAccessTable<SlotAgg> slot_agg_;
   SlotAccessSet committed_writes_;
   SlotAccessSet poisoned_slots_;
+
+  // Abort attribution scratch (per tx; capacity persists across blocks).
+  static constexpr unsigned char kNoAbort = 0xff;
+  std::vector<unsigned char> abort_reason_;
+  std::vector<account::SlotAccess> abort_key_;
+  std::vector<unsigned char> abort_has_key_;
 };
 
 class OracleExecutor final : public BlockExecutor {

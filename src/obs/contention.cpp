@@ -1,0 +1,585 @@
+#include "obs/contention.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "account/state.h"
+#include "common/error.h"
+#include "core/components.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace txconc::obs {
+
+// The sketch's balance sentinel and the tracker's must be the same value;
+// touch_key() depends on it.
+static_assert(kBalanceSlotSentinel == account::AccessTracker::kBalanceKey,
+              "balance-channel sentinel drifted from AccessTracker");
+
+const char* abort_reason_name(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kSpecConflict:
+      return "spec_conflict";
+    case AbortReason::kInvalidAttempt:
+      return "invalid_attempt";
+    case AbortReason::kFwwPoisoned:
+      return "fww_poisoned";
+    case AbortReason::kOccWaveRetry:
+      return "occ_wave_retry";
+    case AbortReason::kOccDeferred:
+      return "occ_deferred";
+    case AbortReason::kBlockStmEstimateAbort:
+      return "estimate_abort";
+    case AbortReason::kBlockStmValidationFail:
+      return "validation_fail";
+    case AbortReason::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* touch_channel_name(TouchChannel channel) {
+  switch (channel) {
+    case TouchChannel::kBalance:
+      return "balance";
+    case TouchChannel::kNonce:
+      return "nonce";
+    case TouchChannel::kStorage:
+      return "storage";
+    case TouchChannel::kCode:
+      return "code";
+  }
+  return "unknown";
+}
+
+// --------------------------------------------------------------- sketch
+
+SpaceSavingSketch::SpaceSavingSketch(std::size_t k)
+    : entries_(k == 0 ? 1 : k), index_((k == 0 ? 1 : k) * 2) {}
+
+TXCONC_HOT SpaceSavingSketch::Entry& SpaceSavingSketch::slot_for(
+    const TouchKey& key, std::uint64_t weight) {
+  if (std::uint32_t* idx = index_.find(key)) {
+    Entry& hit = entries_[*idx];
+    hit.count += weight;
+    return hit;
+  }
+  if (live_ < entries_.size()) {
+    Entry& fresh = entries_[live_];
+    fresh.key = key;
+    fresh.count = weight;
+    fresh.error = 0;
+    fresh.reasons = {};
+    index_[key] = static_cast<std::uint32_t>(live_);
+    ++live_;
+    return fresh;
+  }
+  // At capacity: the minimum-count entry hands its slot (and its count,
+  // as the new entry's error bound) to the arriving key.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[victim].count) victim = i;
+  }
+  Entry& taken = entries_[victim];
+  index_.erase(taken.key);
+  ++tombstones_;
+  taken.error = taken.count;
+  taken.count += weight;
+  taken.key = key;
+  taken.reasons = {};
+  // Reclaim tombstones in place well before FlatTable's 3/4 load factor
+  // could make the insert below allocate.
+  if ((live_ + tombstones_) * 2 >= index_.capacity()) rebuild_index();
+  index_[key] = static_cast<std::uint32_t>(victim);
+  return taken;
+}
+
+TXCONC_HOT void SpaceSavingSketch::rebuild_index() {
+  index_.clear();
+  tombstones_ = 0;
+  for (std::size_t i = 0; i < live_; ++i) {
+    index_[entries_[i].key] = static_cast<std::uint32_t>(i);
+  }
+}
+
+TXCONC_HOT void SpaceSavingSketch::admit(const TouchKey& key,
+                                         std::uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+  slot_for(key, weight);
+}
+
+TXCONC_HOT void SpaceSavingSketch::admit_abort(const TouchKey& key,
+                                               AbortReason reason) {
+  total_ += 1;
+  Entry& entry = slot_for(key, 1);
+  ++entry.reasons[static_cast<std::size_t>(reason)];
+}
+
+TXCONC_HOT void SpaceSavingSketch::absorb(const SpaceSavingSketch& other) {
+  for (const Entry& theirs : other.entries()) {
+    if (theirs.count == 0) continue;
+    total_ += theirs.count;
+    Entry& mine = slot_for(theirs.key, theirs.count);
+    mine.error += theirs.error;
+    for (std::size_t r = 0; r < kNumAbortReasons; ++r) {
+      mine.reasons[r] += theirs.reasons[r];
+    }
+  }
+}
+
+TXCONC_HOT void SpaceSavingSketch::clear() {
+  live_ = 0;
+  total_ = 0;
+  tombstones_ = 0;
+  index_.clear();
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::top() const {
+  std::vector<Entry> out(entries().begin(), entries().end());
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.error != b.error) return a.error < b.error;
+    return a.key < b.key;  // deterministic render order among ties
+  });
+  return out;
+}
+
+// ----------------------------------------------------------------- sink
+
+ContentionSink::ContentionSink(std::size_t sketch_k, std::size_t lanes)
+    : merged_touches_(sketch_k), merged_aborts_(sketch_k) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(sketch_k));
+  }
+}
+
+TXCONC_HOT ContentionSink::Lane& ContentionSink::lane() const {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *lanes_[h % lanes_.size()];
+}
+
+TXCONC_HOT void ContentionSink::record_touches(
+    std::span<const account::SlotAccess> reads,
+    std::span<const account::SlotAccess> writes) {
+  Lane& mine = lane();
+  MutexLock lock(mine.mu);
+  for (const account::SlotAccess& r : reads) mine.touches.admit(touch_key(r));
+  for (const account::SlotAccess& w : writes) {
+    mine.touches.admit(touch_key(w));
+  }
+}
+
+TXCONC_HOT void ContentionSink::record_touch(const TouchKey& key) {
+  Lane& mine = lane();
+  MutexLock lock(mine.mu);
+  mine.touches.admit(key);
+}
+
+TXCONC_HOT void ContentionSink::record_abort(AbortReason reason,
+                                             const TouchKey& key) {
+  Lane& mine = lane();
+  MutexLock lock(mine.mu);
+  ++mine.abort_tally[static_cast<std::size_t>(reason)];
+  mine.aborts.admit_abort(key, reason);
+}
+
+TXCONC_HOT void ContentionSink::record_abort(AbortReason reason) {
+  Lane& mine = lane();
+  MutexLock lock(mine.mu);
+  ++mine.abort_tally[static_cast<std::size_t>(reason)];
+}
+
+void ContentionSink::begin_block() {
+  for (auto& lane : lanes_) {
+    MutexLock lock(lane->mu);
+    lane->touches.clear();
+    lane->aborts.clear();
+    lane->abort_tally = {};
+  }
+  merged_touches_.clear();
+  merged_aborts_.clear();
+  merged_abort_totals_ = {};
+}
+
+void ContentionSink::finish_block() {
+  merged_touches_.clear();
+  merged_aborts_.clear();
+  merged_abort_totals_ = {};
+  for (auto& lane : lanes_) {
+    MutexLock lock(lane->mu);
+    merged_touches_.absorb(lane->touches);
+    merged_aborts_.absorb(lane->aborts);
+    for (std::size_t r = 0; r < kNumAbortReasons; ++r) {
+      merged_abort_totals_[r] += lane->abort_tally[r];
+    }
+  }
+}
+
+// ------------------------------------------------------------- observer
+
+ContentionObserver::ContentionObserver(std::size_t sketch_k)
+    : sink_(sketch_k) {}
+
+void ContentionObserver::begin_block(
+    std::span<const account::AccountTx> txs) {
+  txs_ = txs;
+  predicted_.assign(txs.size(), {});
+  has_prediction_ = false;
+  sink_.begin_block();
+}
+
+void ContentionObserver::set_predicted(std::size_t tx_index,
+                                       std::span<const Address> closure) {
+  if (tx_index >= predicted_.size()) {
+    throw UsageError("ContentionObserver::set_predicted: tx out of range");
+  }
+  predicted_[tx_index].assign(closure.begin(), closure.end());
+  has_prediction_ = true;
+}
+
+void ContentionObserver::on_begin(const account::AccountTx&) const {}
+
+void ContentionObserver::on_complete(const account::AccountTx&,
+                                     const account::Receipt& receipt) const {
+  sink_.record_touches(receipt.reads, receipt.writes);
+}
+
+namespace {
+
+std::vector<HotKey> to_hot_keys(const SpaceSavingSketch& sketch) {
+  std::vector<HotKey> out;
+  for (const SpaceSavingSketch::Entry& e : sketch.top()) {
+    if (e.count == 0) continue;
+    out.push_back(HotKey{e.key, e.count, e.error, e.reasons});
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockContention ContentionObserver::finish_block(
+    std::span<const account::Receipt> receipts) {
+  if (receipts.size() != txs_.size()) {
+    throw UsageError("ContentionObserver::finish_block: receipt count "
+                     "mismatch (pass the report's final receipts)");
+  }
+  sink_.finish_block();
+
+  BlockContention block;
+  const std::size_t n = txs_.size();
+  block.num_txs = n;
+
+  // --- measured conflicts, storage-slot granularity -----------------
+  // Transactions conflict when they touch the same (address, slot) and at
+  // least one writes. Union every accessor with the slot's first writer;
+  // same partition as analysis::analyze_account_block_slots, computed
+  // independently from the sink side of the loop.
+  {
+    core::DisjointSets dsu(n);
+    std::unordered_map<account::SlotAccess, std::uint32_t,
+                       account::SlotAccessHash>
+        first_writer;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (const account::SlotAccess& w : receipts[i].writes) {
+        auto [it, fresh] = first_writer.emplace(w, i);
+        if (!fresh) dsu.merge(it->second, i);
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (const account::SlotAccess& r : receipts[i].reads) {
+        auto it = first_writer.find(r);
+        if (it != first_writer.end()) dsu.merge(it->second, i);
+      }
+    }
+    std::unordered_map<std::size_t, std::size_t> component_size;
+    for (std::size_t i = 0; i < n; ++i) ++component_size[dsu.find(i)];
+    std::map<std::size_t, std::size_t> histogram;  // size -> component count
+    for (const auto& [root, size] : component_size) {
+      (void)root;
+      ++histogram[size];
+      block.lcc_txs = std::max(block.lcc_txs, size);
+      if (size >= 2) block.conflicted_txs += size;
+    }
+    block.num_components = component_size.size();
+    for (const auto& [size, count] : histogram) {
+      block.component_histogram.push_back(ComponentBucket{size, count});
+    }
+    if (n > 0) {
+      block.measured_c =
+          static_cast<double>(block.conflicted_txs) / static_cast<double>(n);
+      block.measured_l =
+          static_cast<double>(block.lcc_txs) / static_cast<double>(n);
+    }
+  }
+
+  // --- measured conflicts, address granularity (the paper's TDG) ----
+  // Same edge rules as analysis::build_account_tdg: sender -> receiver
+  // (creations edge to the deployed address) plus every internal tx.
+  {
+    std::unordered_map<Address, std::size_t> id_of;
+    core::DisjointSets dsu(0);
+    auto intern = [&](const Address& a) {
+      auto [it, fresh] = id_of.emplace(a, dsu.size());
+      if (fresh) dsu.add();
+      return it->second;
+    };
+    std::vector<std::size_t> sender_node(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const account::AccountTx& tx = txs_[i];
+      Address to;
+      if (tx.to.has_value()) {
+        to = *tx.to;
+      } else if (receipts[i].created.has_value()) {
+        to = *receipts[i].created;
+      } else {
+        to = Address::derive_contract(tx.from, tx.nonce);
+      }
+      sender_node[i] = intern(tx.from);
+      dsu.merge(sender_node[i], intern(to));
+      for (const account::InternalTx& itx : receipts[i].internal_txs) {
+        dsu.merge(intern(itx.from), intern(itx.to));
+      }
+    }
+    std::unordered_map<std::size_t, std::size_t> txs_per_component;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++txs_per_component[dsu.find(sender_node[i])];
+    }
+    std::size_t conflicted = 0;
+    std::size_t lcc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t members = txs_per_component[dsu.find(sender_node[i])];
+      if (members >= 2) ++conflicted;
+      lcc = std::max(lcc, members);
+    }
+    if (n > 0) {
+      block.measured_c_address =
+          static_cast<double>(conflicted) / static_cast<double>(n);
+      block.measured_l_address =
+          static_cast<double>(lcc) / static_cast<double>(n);
+    }
+  }
+
+  // --- prediction quality -------------------------------------------
+  if (has_prediction_) {
+    block.has_prediction = true;
+    std::unordered_set<Address> predicted;
+    std::unordered_set<Address> observed;
+    for (std::size_t i = 0; i < n; ++i) {
+      predicted.clear();
+      observed.clear();
+      for (const Address& a : predicted_[i]) predicted.insert(a);
+      for (const account::SlotAccess& r : receipts[i].reads) {
+        observed.insert(r.address);
+      }
+      for (const account::SlotAccess& w : receipts[i].writes) {
+        observed.insert(w.address);
+      }
+      block.predicted_addresses += predicted.size();
+      block.observed_addresses += observed.size();
+      for (const Address& a : observed) {
+        if (predicted.count(a) != 0) ++block.overlap_addresses;
+      }
+    }
+    if (block.predicted_addresses > 0) {
+      block.precision = static_cast<double>(block.overlap_addresses) /
+                        static_cast<double>(block.predicted_addresses);
+    }
+    if (block.observed_addresses > 0) {
+      block.recall = static_cast<double>(block.overlap_addresses) /
+                     static_cast<double>(block.observed_addresses);
+      block.over_approx = static_cast<double>(block.predicted_addresses) /
+                          static_cast<double>(block.observed_addresses);
+    }
+  }
+
+  // --- sketch views --------------------------------------------------
+  block.total_touches = sink_.total_touches();
+  block.hot_keys = to_hot_keys(sink_.touches());
+  block.abort_keys = to_hot_keys(sink_.aborts());
+  block.sink_abort_totals = sink_.abort_totals();
+  return block;
+}
+
+// ------------------------------------------------------------ rendering
+
+namespace {
+
+std::string key_label(const TouchKey& key) {
+  std::string out = key.addr.short_hex();
+  out += ' ';
+  out += touch_channel_name(key.channel);
+  if (key.channel == TouchChannel::kStorage) {
+    out += '[';
+    out += std::to_string(key.slot);
+    out += ']';
+  }
+  return out;
+}
+
+void write_reason_json(std::ostream& out, const AbortCounts& counts) {
+  out << '{';
+  bool first = true;
+  for (std::size_t r = 0; r < kNumAbortReasons; ++r) {
+    if (counts[r] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << abort_reason_name(static_cast<AbortReason>(r)) << "\":"
+        << counts[r];
+  }
+  out << '}';
+}
+
+void write_keys_json(std::ostream& out, const std::vector<HotKey>& keys,
+                     std::size_t top_k) {
+  out << '[';
+  for (std::size_t i = 0; i < keys.size() && i < top_k; ++i) {
+    if (i != 0) out << ',';
+    const HotKey& k = keys[i];
+    out << "{\"addr\":\"" << k.key.addr.to_hex() << "\",\"channel\":\""
+        << touch_channel_name(k.key.channel) << "\",\"slot\":" << k.key.slot
+        << ",\"count\":" << k.count << ",\"error\":" << k.error
+        << ",\"reasons\":";
+    write_reason_json(out, k.reasons);
+    out << '}';
+  }
+  out << ']';
+}
+
+std::uint64_t total_of(const AbortCounts& counts) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace
+
+void write_text(std::ostream& out, const BlockContention& block,
+                std::size_t top_k) {
+  out << "block: " << block.num_txs << " txs\n";
+  out << "measured conflict rates (slot granularity): c="
+      << block.measured_c << " l=" << block.measured_l << " ("
+      << block.conflicted_txs << " conflicted, lcc " << block.lcc_txs
+      << " txs, " << block.num_components << " components)\n";
+  out << "measured conflict rates (address TDG):      c="
+      << block.measured_c_address << " l=" << block.measured_l_address
+      << "\n";
+  out << "component histogram:";
+  for (const ComponentBucket& b : block.component_histogram) {
+    out << ' ' << b.size << "x" << b.count;
+  }
+  out << '\n';
+  if (block.has_prediction) {
+    out << "prediction quality: precision=" << block.precision
+        << " recall=" << block.recall << " over_approx=" << block.over_approx
+        << " (predicted " << block.predicted_addresses << ", observed "
+        << block.observed_addresses << ", overlap "
+        << block.overlap_addresses << ")\n";
+  } else {
+    out << "prediction quality: (no predicted closures loaded)\n";
+  }
+  out << "aborts: " << total_of(block.engine_abort_totals)
+      << " reported by the engine";
+  bool any = false;
+  for (std::size_t r = 0; r < kNumAbortReasons; ++r) {
+    if (block.engine_abort_totals[r] == 0) continue;
+    out << (any ? ", " : " — ")
+        << abort_reason_name(static_cast<AbortReason>(r)) << ' '
+        << block.engine_abort_totals[r];
+    any = true;
+  }
+  out << '\n';
+  out << "hot keys (top " << std::min(top_k, block.hot_keys.size()) << " of "
+      << block.total_touches << " touches):\n";
+  for (std::size_t i = 0; i < block.hot_keys.size() && i < top_k; ++i) {
+    const HotKey& k = block.hot_keys[i];
+    out << "  " << key_label(k.key) << "  " << k.count;
+    if (k.error != 0) out << " (+-" << k.error << ")";
+    out << '\n';
+  }
+  if (!block.abort_keys.empty()) {
+    out << "abort attribution (top "
+        << std::min(top_k, block.abort_keys.size()) << "):\n";
+    for (std::size_t i = 0; i < block.abort_keys.size() && i < top_k; ++i) {
+      const HotKey& k = block.abort_keys[i];
+      out << "  " << key_label(k.key) << "  " << k.count << "  ";
+      bool first = true;
+      for (std::size_t r = 0; r < kNumAbortReasons; ++r) {
+        if (k.reasons[r] == 0) continue;
+        if (!first) out << ", ";
+        first = false;
+        out << abort_reason_name(static_cast<AbortReason>(r)) << ' '
+            << k.reasons[r];
+      }
+      out << '\n';
+    }
+  }
+}
+
+void write_json(std::ostream& out, const BlockContention& block,
+                std::size_t top_k) {
+  out << "{\"num_txs\":" << block.num_txs
+      << ",\"measured_c\":" << block.measured_c
+      << ",\"measured_l\":" << block.measured_l
+      << ",\"conflicted_txs\":" << block.conflicted_txs
+      << ",\"lcc_txs\":" << block.lcc_txs
+      << ",\"num_components\":" << block.num_components
+      << ",\"measured_c_address\":" << block.measured_c_address
+      << ",\"measured_l_address\":" << block.measured_l_address
+      << ",\"component_histogram\":[";
+  for (std::size_t i = 0; i < block.component_histogram.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"size\":" << block.component_histogram[i].size
+        << ",\"count\":" << block.component_histogram[i].count << '}';
+  }
+  out << "],\"prediction\":{\"available\":"
+      << (block.has_prediction ? "true" : "false")
+      << ",\"precision\":" << block.precision
+      << ",\"recall\":" << block.recall
+      << ",\"over_approx\":" << block.over_approx
+      << ",\"predicted_addresses\":" << block.predicted_addresses
+      << ",\"observed_addresses\":" << block.observed_addresses
+      << ",\"overlap_addresses\":" << block.overlap_addresses << '}'
+      << ",\"total_touches\":" << block.total_touches
+      << ",\"engine_abort_totals\":";
+  write_reason_json(out, block.engine_abort_totals);
+  out << ",\"sink_abort_totals\":";
+  write_reason_json(out, block.sink_abort_totals);
+  out << ",\"hot_keys\":";
+  write_keys_json(out, block.hot_keys, top_k);
+  out << ",\"abort_keys\":";
+  write_keys_json(out, block.abort_keys, top_k);
+  out << '}';
+}
+
+void record_contention_metrics(Registry* registry,
+                               const BlockContention& block) {
+  if (registry == nullptr) return;
+  registry->gauge(names::kMetricContentionMeasuredC).set(block.measured_c);
+  registry->gauge(names::kMetricContentionMeasuredL).set(block.measured_l);
+  if (block.has_prediction) {
+    registry->gauge(names::kMetricContentionPredPrecision)
+        .set(block.precision);
+    registry->gauge(names::kMetricContentionPredRecall).set(block.recall);
+    registry->gauge(names::kMetricContentionPredOverApprox)
+        .set(block.over_approx);
+  }
+  Histogram& components =
+      registry->histogram(names::kMetricContentionComponentTxs);
+  for (const ComponentBucket& b : block.component_histogram) {
+    for (std::size_t i = 0; i < b.count; ++i) {
+      components.observe(static_cast<double>(b.size));
+    }
+  }
+  registry->counter(names::kMetricContentionTouches)
+      .add(block.total_touches);
+}
+
+}  // namespace txconc::obs

@@ -1,0 +1,377 @@
+// Contention explainer: measured conflict telemetry, hot-key attribution
+// and prediction-quality metrics (DESIGN.md §17).
+//
+// The paper's argument rests on two measured quantities — the single-
+// transaction conflict rate `c` and the group conflict rate `l` — but the
+// runtime only ever sees their *predicted* versions. This layer closes
+// the loop from the engines' side: every execution attempt feeds its
+// observed read/write sets into a lane-sharded, allocation-free
+// SpaceSaving top-k sketch over (address, slot, channel) touches, engines
+// attribute their aborts (speculative conflicts, fww poisonings, OCC wave
+// retries, Block-STM estimate-aborts / validation failures) to the
+// specific keys that caused them, and a per-block observer computes
+// measured `c`, `l`, the component-size histogram and the quality of
+// `exec::predicted_addresses` closures (precision / recall /
+// over-approximation) from the final receipts.
+//
+// Layering: this header depends on common + core + account only. The
+// prediction closures are computed by exec and handed in as data
+// (see exec/contention_probe.h), so obs never links exec.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "account/runtime.h"
+#include "account/types.h"
+#include "common/flat_table.h"
+#include "common/hash.h"
+#include "common/hot_path.h"
+#include "common/thread_annotations.h"
+
+namespace txconc::obs {
+
+class Registry;
+
+// ------------------------------------------------------------ taxonomy
+
+/// Why an execution attempt's work was discarded, uniform across engines.
+/// Extending: add the enumerator before kCount, name it in
+/// abort_reason_name(), record it at the engine's abort site (report +
+/// sink), and the exec.abort.* counters, trace instants, CLI breakdowns
+/// and bench artifact pick it up automatically — see DESIGN.md §17.4.
+enum class AbortReason : std::uint8_t {
+  /// speculative(all-conflicted): tx touched a slot with a writer and
+  /// another accessor in phase 1, so it joins the sequential bin.
+  kSpecConflict = 0,
+  /// speculative: the attempt failed validity (stale nonce/balance); its
+  /// predicted component is poisoned into the sequential bin.
+  kInvalidAttempt,
+  /// speculative(first-writer-wins): tx read or wrote a slot already
+  /// committed or poisoned by an earlier transaction.
+  kFwwPoisoned,
+  /// occ: in-order validation found a read/write clashing with an
+  /// earlier transaction's write in the same wave; tx retries next wave.
+  kOccWaveRetry,
+  /// occ: tx deferred because an earlier member of its predicted
+  /// component already clashed (no specific key).
+  kOccDeferred,
+  /// block-stm: a read hit an ESTIMATE marker and the attempt suspended
+  /// or restarted behind the blocking transaction.
+  kBlockStmEstimateAbort,
+  /// block-stm: read-set validation observed a different version than
+  /// the attempt read; the incarnation is discarded.
+  kBlockStmValidationFail,
+  kCount,
+};
+
+inline constexpr std::size_t kNumAbortReasons =
+    static_cast<std::size_t>(AbortReason::kCount);
+
+/// Stable snake_case identifier ("spec_conflict", ...); doubles as the
+/// exec.abort.<name> counter suffix and the JSON key.
+const char* abort_reason_name(AbortReason reason);
+
+/// Per-reason abort tallies, indexed by AbortReason.
+using AbortCounts = std::array<std::uint64_t, kNumAbortReasons>;
+
+// ------------------------------------------------------------ touch keys
+
+/// Which facet of an account a touch hit, aligned with the multi-version
+/// engines' channel split (exec/block_stm.h) so MvKeys map 1:1.
+enum class TouchChannel : std::uint8_t {
+  kBalance = 0,
+  kNonce,
+  kStorage,
+  kCode,
+};
+
+const char* touch_channel_name(TouchChannel channel);
+
+/// AccessTracker records balance/nonce touches as storage key ~0 (see
+/// account::AccessTracker::kBalanceKey; contention.cpp static_asserts the
+/// two constants agree so the layers cannot drift).
+inline constexpr std::uint64_t kBalanceSlotSentinel = ~std::uint64_t{0};
+
+/// One sketchable key: the (address, slot, channel) triple engines
+/// conflict on.
+struct TouchKey {
+  Address addr;
+  std::uint64_t slot = 0;
+  TouchChannel channel = TouchChannel::kStorage;
+
+  auto operator<=>(const TouchKey&) const = default;
+};
+
+struct TouchKeyHash {
+  std::size_t operator()(const TouchKey& k) const noexcept {
+    std::size_t seed = std::hash<Address>{}(k.addr);
+    std::uint64_t v =
+        k.slot ^ (static_cast<std::uint64_t>(k.channel) << 56);
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    seed ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+            (seed << 6) + (seed >> 2);
+    return seed;
+  }
+};
+
+/// Map one recorded storage-layer access to its sketch key (the balance
+/// sentinel becomes the balance channel).
+inline TouchKey touch_key(const account::SlotAccess& access) {
+  if (access.key == kBalanceSlotSentinel) {
+    return TouchKey{access.address, 0, TouchChannel::kBalance};
+  }
+  return TouchKey{access.address, access.key, TouchChannel::kStorage};
+}
+
+// ------------------------------------------------------------- sketch
+
+/// SpaceSaving top-k heavy-hitter sketch (Metwally et al.) over TouchKeys.
+///
+/// Fixed k counter slots plus a FlatTable index; when a new key arrives at
+/// capacity it evicts the minimum-count entry, inheriting its count as the
+/// `error` bound (true count is in [count - error, count]). The guarantee:
+/// any key with true frequency > total/k is present. Steady state is
+/// allocation-free — the entry array never resizes and the index is
+/// rebuilt in place (epoch clear + reinsert) before tombstones could force
+/// a growth; tests/contention_test.cpp enforces this with a counting
+/// operator new, like hotpath_test does for the engines.
+///
+/// Not thread-safe; ContentionSink shards instances per lane.
+class SpaceSavingSketch {
+ public:
+  struct Entry {
+    TouchKey key;
+    std::uint64_t count = 0;
+    /// Maximum overestimation of count (min-count at takeover time).
+    std::uint64_t error = 0;
+    /// Per-reason attribution (used by the abort sketch; zero for pure
+    /// touch sketches).
+    AbortCounts reasons{};
+  };
+
+  explicit SpaceSavingSketch(std::size_t k = kDefaultK);
+
+  /// Count `weight` touches of `key`.
+  TXCONC_HOT void admit(const TouchKey& key, std::uint64_t weight = 1);
+  /// Count one abort of `reason` attributed to `key`.
+  TXCONC_HOT void admit_abort(const TouchKey& key, AbortReason reason);
+
+  /// Fold another sketch into this one (counts add, errors add for shared
+  /// keys; standard SpaceSaving merge). Allocation-free once warm.
+  TXCONC_HOT void absorb(const SpaceSavingSketch& other);
+
+  /// Logically empty the sketch, retaining capacity.
+  TXCONC_HOT void clear();
+
+  /// Live entries, unsorted (cold-path accessor for merge/report).
+  std::span<const Entry> entries() const { return {entries_.data(), live_}; }
+  /// Entries sorted by descending count (cold path; allocates).
+  std::vector<Entry> top() const;
+
+  std::size_t capacity() const { return entries_.size(); }
+  std::size_t live() const { return live_; }
+  /// Total weight admitted (exact, independent of evictions).
+  std::uint64_t total() const { return total_; }
+
+  static constexpr std::size_t kDefaultK = 32;
+
+ private:
+  TXCONC_HOT Entry& slot_for(const TouchKey& key, std::uint64_t weight);
+  TXCONC_HOT void rebuild_index();
+
+  std::vector<Entry> entries_;  ///< fixed size k after construction
+  std::size_t live_ = 0;
+  std::uint64_t total_ = 0;
+  /// Evictions tombstone the index; rebuild_index() reclaims them in
+  /// place before FlatTable's load factor could trigger a (re)allocation.
+  std::size_t tombstones_ = 0;
+  common::FlatTable<TouchKey, std::uint32_t, TouchKeyHash> index_;
+};
+
+// -------------------------------------------------------------- sink
+
+/// Thread-safe contention event collector, carried next to the tracer and
+/// metrics registry in obs::Scope. Writers (pool workers inside engines
+/// and the access-recorder hook) hash their thread id onto one of a few
+/// mutex-guarded lanes, each holding a private touch sketch, abort sketch
+/// and abort tally — near-zero contention, no registration, and the hot
+/// path stays allocation-free once the lanes are warm. finish_block()
+/// merges the lanes into the block-level view the reports render.
+class ContentionSink {
+ public:
+  explicit ContentionSink(std::size_t sketch_k = SpaceSavingSketch::kDefaultK,
+                          std::size_t lanes = kDefaultLanes);
+
+  // --- hot path (any thread) ---
+
+  /// Record the observed access sets of one execution attempt.
+  TXCONC_HOT void record_touches(
+      std::span<const account::SlotAccess> reads,
+      std::span<const account::SlotAccess> writes);
+  /// Record one touch directly (engines with their own key types).
+  TXCONC_HOT void record_touch(const TouchKey& key);
+  /// Record an abort attributed to a specific key.
+  TXCONC_HOT void record_abort(AbortReason reason, const TouchKey& key);
+  /// Record an abort with no attributable key (e.g. occ's deferred
+  /// components): counted in the totals, absent from the key sketch.
+  TXCONC_HOT void record_abort(AbortReason reason);
+
+  // --- block lifecycle (one thread, between executions) ---
+
+  /// Reset every lane and the merged view for a new block.
+  void begin_block();
+  /// Merge the lanes into the block-level sketches/tallies.
+  void finish_block();
+
+  /// Merged views (valid after finish_block()).
+  const SpaceSavingSketch& touches() const { return merged_touches_; }
+  const SpaceSavingSketch& aborts() const { return merged_aborts_; }
+  const AbortCounts& abort_totals() const { return merged_abort_totals_; }
+  std::uint64_t total_touches() const { return merged_touches_.total(); }
+
+  static constexpr std::size_t kDefaultLanes = 8;
+
+ private:
+  struct Lane {
+    Mutex mu;
+    SpaceSavingSketch touches GUARDED_BY(mu);
+    SpaceSavingSketch aborts GUARDED_BY(mu);
+    AbortCounts abort_tally GUARDED_BY(mu){};
+
+    explicit Lane(std::size_t sketch_k) : touches(sketch_k), aborts(sketch_k) {}
+  };
+
+  TXCONC_HOT Lane& lane() const;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  SpaceSavingSketch merged_touches_;
+  SpaceSavingSketch merged_aborts_;
+  AbortCounts merged_abort_totals_{};
+};
+
+// ----------------------------------------------------- per-block report
+
+/// One bar of the observed component-size histogram: `count` components
+/// of `size` transactions each (size 1 = unconflicted singletons).
+struct ComponentBucket {
+  std::size_t size = 0;
+  std::size_t count = 0;
+};
+
+/// One rendered heavy hitter.
+struct HotKey {
+  TouchKey key;
+  std::uint64_t count = 0;
+  std::uint64_t error = 0;
+  AbortCounts reasons{};
+};
+
+/// Everything the contention explainer can say about one executed block.
+struct BlockContention {
+  std::size_t num_txs = 0;
+
+  /// Measured conflicts at storage-slot granularity (Saraph & Herlihy):
+  /// two transactions conflict when they touch the same (address, slot)
+  /// and at least one writes — computed from the final receipts' recorded
+  /// access sets, not from any prediction.
+  std::size_t conflicted_txs = 0;
+  std::size_t lcc_txs = 0;
+  std::size_t num_components = 0;
+  double measured_c = 0.0;
+  double measured_l = 0.0;
+  std::vector<ComponentBucket> component_histogram;
+
+  /// Measured conflicts at address granularity (the paper's TDG over
+  /// sender/receiver/internal-tx edges) — directly comparable to the
+  /// workload generator's calibrated intent via
+  /// analysis::analyze_account_block (the bench_gate --contend check).
+  double measured_c_address = 0.0;
+  double measured_l_address = 0.0;
+
+  /// Quality of the predicted closures vs the observed address sets,
+  /// micro-averaged over transactions: precision = |P∩O|/|P|, recall =
+  /// |P∩O|/|O|, over_approx = |P|/|O|. Sound prediction ⇒ recall 1.
+  std::uint64_t predicted_addresses = 0;
+  std::uint64_t observed_addresses = 0;
+  std::uint64_t overlap_addresses = 0;
+  double precision = 1.0;
+  double recall = 1.0;
+  double over_approx = 1.0;
+  bool has_prediction = false;
+
+  /// Heavy hitters (descending count) and abort attribution.
+  std::uint64_t total_touches = 0;
+  std::vector<HotKey> hot_keys;
+  std::vector<HotKey> abort_keys;
+  /// Aborts attributed through the sink (key-level, may undercount
+  /// keyless reasons) vs the engine's authoritative report tallies.
+  AbortCounts sink_abort_totals{};
+  AbortCounts engine_abort_totals{};
+};
+
+// ---------------------------------------------------------- observer
+
+/// The per-block driver: an account::AccessRecorder that feeds every
+/// execution attempt's observed access sets into the sink, plus the cold
+/// post-block analysis producing a BlockContention. Install it through
+/// RuntimeConfig::recorder (or HistoryReplayer::set_access_recorder) and
+/// point Scope::contention at sink() so engines can attribute aborts.
+///
+/// Lifecycle per block: begin_block(txs) → [engine runs; hooks and abort
+/// sites fire concurrently] → finish_block(receipts). Prediction closures
+/// are optional data, loaded with set_predicted (exec computes them; see
+/// exec/contention_probe.h).
+class ContentionObserver final : public account::AccessRecorder {
+ public:
+  explicit ContentionObserver(
+      std::size_t sketch_k = SpaceSavingSketch::kDefaultK);
+
+  ContentionSink& sink() { return sink_; }
+  const ContentionSink& sink() const { return sink_; }
+
+  void begin_block(std::span<const account::AccountTx> txs);
+  /// Load transaction `tx_index`'s predicted address closure.
+  void set_predicted(std::size_t tx_index, std::span<const Address> closure);
+  /// Merge the sink and compute the block's measured metrics from the
+  /// final receipts (cold path; allocates freely).
+  BlockContention finish_block(std::span<const account::Receipt> receipts);
+
+  // AccessRecorder: fires per execution attempt from every pool worker.
+  void on_begin(const account::AccountTx& tx) const override;
+  void on_complete(const account::AccountTx& tx,
+                   const account::Receipt& receipt) const override;
+
+ private:
+  mutable ContentionSink sink_;
+  std::span<const account::AccountTx> txs_;
+  std::vector<std::vector<Address>> predicted_;
+  bool has_prediction_ = false;
+};
+
+// ---------------------------------------------------------- rendering
+
+/// Human-readable report (txconc_contend default, parallel_executor
+/// --contend).
+void write_text(std::ostream& out, const BlockContention& block,
+                std::size_t top_k = 10);
+/// Machine-readable report (txconc_contend --format=json; the bench
+/// artifact embeds the same shape per cell).
+void write_json(std::ostream& out, const BlockContention& block,
+                std::size_t top_k = 10);
+
+/// Fold one block's contention summary into the metrics registry
+/// (exec.contention.* gauges/histograms; null-safe).
+void record_contention_metrics(Registry* registry,
+                               const BlockContention& block);
+
+}  // namespace txconc::obs

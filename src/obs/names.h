@@ -53,6 +53,10 @@ inline constexpr const char* kSpanPoolTask = "pool_task";
 inline constexpr const char* kEvThreads = "threads";
 /// Block-STM reader suspended on an ESTIMATE marker; arg = blocking tx.
 inline constexpr const char* kEvSuspend = "suspend";
+/// One discarded execution attempt at an engine abort site; arg = tx
+/// index. The abort reason lands in the exec.abort.* counters and the
+/// contention sink's key attribution (obs/contention.h).
+inline constexpr const char* kEvAbort = "abort";
 
 // ----------------------------------------------------------- chain spans
 inline constexpr const char* kSpanProduceBlock = "produce_block";
@@ -93,6 +97,25 @@ inline constexpr const char* kMetricExecBlockStmValidations =
     "exec.block_stm_validations";
 inline constexpr const char* kMetricExecBlockStmAborts =
     "exec.block_stm_aborts";
+/// Per-reason abort counters: kMetricExecAbortPrefix +
+/// obs::abort_reason_name(reason), e.g. "exec.abort.spec_conflict".
+inline constexpr const char* kMetricExecAbortPrefix = "exec.abort.";
+// Contention explainer (obs/contention.h, DESIGN.md §17): measured
+// conflict rates, prediction quality and hot-key telemetry per block.
+inline constexpr const char* kMetricContentionMeasuredC =
+    "exec.contention.measured_c";
+inline constexpr const char* kMetricContentionMeasuredL =
+    "exec.contention.measured_l";
+inline constexpr const char* kMetricContentionPredPrecision =
+    "exec.contention.pred_precision";
+inline constexpr const char* kMetricContentionPredRecall =
+    "exec.contention.pred_recall";
+inline constexpr const char* kMetricContentionPredOverApprox =
+    "exec.contention.pred_over_approx";
+inline constexpr const char* kMetricContentionComponentTxs =
+    "exec.contention.component_txs";
+inline constexpr const char* kMetricContentionTouches =
+    "exec.contention.touches";
 inline constexpr const char* kMetricPoolDequeueGapUs = "pool.dequeue_gap_us";
 inline constexpr const char* kMetricNodeBlocksProduced =
     "node.blocks_produced";

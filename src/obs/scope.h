@@ -12,9 +12,14 @@
 
 namespace txconc::obs {
 
+class ContentionSink;  // hot-key / abort attribution, see obs/contention.h
+
 struct Scope {
   Tracer* tracer = nullptr;
   Registry* metrics = nullptr;
+  /// Contention explainer sink (null = disabled): engines feed abort
+  /// attribution into it and the access-recorder hook feeds touches.
+  ContentionSink* contention = nullptr;
 };
 
 /// Null-safe accessors for the pointer carried in RuntimeConfig.
@@ -23,6 +28,9 @@ inline Tracer* tracer(const Scope* scope) {
 }
 inline Registry* metrics(const Scope* scope) {
   return scope != nullptr ? scope->metrics : nullptr;
+}
+inline ContentionSink* contention(const Scope* scope) {
+  return scope != nullptr ? scope->contention : nullptr;
 }
 
 /// The default scope: global tracer + global registry. Benches and

@@ -1,0 +1,18 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+#include "obs/contention.h"
+
+void attribute_abort_by_hand(obs::SpaceSavingSketch& sketch,
+                             const obs::TouchKey& key) {
+  // BAD: SpaceSavingSketch is not thread-safe; engine code must route
+  // touches through ContentionSink::record_* (lane-sharded, locked).
+  sketch.admit(key);
+}
+
+struct EngineScratch {
+  obs::SpaceSavingSketch* abort_sketch = nullptr;
+};
+
+void poke_abort_sketch(EngineScratch& scratch, const obs::TouchKey& key) {
+  // BAD: same, through a pointer receiver.
+  scratch.abort_sketch->admit_abort(key, obs::AbortReason::kSpecConflict);
+}

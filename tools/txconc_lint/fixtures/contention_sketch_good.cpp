@@ -1,0 +1,19 @@
+// txconc-lint fixture (lexed by lint_test, never compiled).
+#include "obs/contention.h"
+
+void attribute_abort(obs::ContentionSink* sink, const obs::TouchKey& key) {
+  // The sink is the sanctioned feeding point: lane-sharded and locked.
+  if (sink != nullptr) {
+    sink->record_abort(obs::AbortReason::kSpecConflict, key);
+  }
+}
+
+struct AdmissionQueue {
+  void admit(int job) { (void)job; }
+};
+
+void enqueue(AdmissionQueue& queue) {
+  // A non-sketch receiver with a method named admit stays allowed: the
+  // rule keys on the receiver expression, not the bare method name.
+  queue.admit(7);
+}

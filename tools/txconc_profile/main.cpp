@@ -1,7 +1,7 @@
 // txconc-profile CLI: trace-driven critical-path + stall attribution.
 //
 //   txconc_profile [--format=text|json] [--top=K] [--eps=F]
-//                  [--untracked-max=F] <trace.json>...
+//                  [--untracked-max=F] [--engine=<name>] <trace.json>...
 //
 // Each input is a Chrome trace written by obs::Tracer (TXCONC_TRACE=...
 // or Tracer::write_chrome_trace_file). The trace is validated first,
@@ -23,7 +23,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: txconc_profile [--format=text|json] [--top=K] "
-               "[--eps=F] [--untracked-max=F] <trace.json>...\n";
+               "[--eps=F] [--untracked-max=F] [--engine=<name>] "
+               "<trace.json>...\n";
   return 2;
 }
 
@@ -31,6 +32,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string format = "text";
+  std::string engine_filter;
   std::size_t top_k = 4;
   double eps = 0.02;
   double untracked_max = 0.10;
@@ -47,6 +49,12 @@ int main(int argc, char** argv) {
       eps = std::stod(arg.substr(6));
     } else if (arg.rfind("--untracked-max=", 0) == 0) {
       untracked_max = std::stod(arg.substr(16));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      // Profile only the blocks this engine executed (the trace process
+      // name set by obs::ThreadProcessScope). Multi-engine traces like
+      // parallel_executor's carry every engine side by side.
+      engine_filter = arg.substr(9);
+      if (engine_filter.empty()) return usage();
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else {
@@ -57,6 +65,7 @@ int main(int argc, char** argv) {
 
   bool gate_failed = false;
   bool json_first = true;
+  std::size_t matched = 0;
   if (format == "json") std::cout << "[";
   for (const std::string& path : inputs) {
     std::ifstream in(path);
@@ -83,6 +92,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (const txconc::obs::BlockProfile& block : result.blocks) {
+      if (!engine_filter.empty() && block.process != engine_filter) continue;
+      ++matched;
       const std::string violation =
           txconc::obs::check_attribution(block, eps, untracked_max);
       if (format == "json") {
@@ -100,5 +111,10 @@ int main(int argc, char** argv) {
     }
   }
   if (format == "json") std::cout << "\n]\n";
+  if (!engine_filter.empty() && matched == 0) {
+    std::cerr << "txconc_profile: no blocks from engine '" << engine_filter
+              << "' in the given traces\n";
+    return 2;
+  }
   return gate_failed ? 1 : 0;
 }
