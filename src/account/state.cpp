@@ -100,9 +100,21 @@ void StateDb::set_storage(const Address& addr, StorageKey key,
   rec.storage[key] = value;
 }
 
-Snapshot StateDb::snapshot() const { return journal_.size(); }
+Snapshot StateDb::snapshot() const {
+  if (!journaling_) {
+    // A snapshot taken now could not undo the writes it is meant to cover:
+    // they skip the journal. Failing loudly here keeps a rollback path that
+    // sneaks under a commit-phase JournalPause (e.g. a validity-failed
+    // replay reaching VM execution) from silently persisting partial writes.
+    throw UsageError("StateDb::snapshot: journaling is paused");
+  }
+  return journal_.size();
+}
 
 void StateDb::revert(Snapshot snap) {
+  if (!journaling_) {
+    throw UsageError("StateDb::revert: journaling is paused");
+  }
   if (snap > journal_.size()) {
     throw UsageError("StateDb::revert: snapshot from the future");
   }

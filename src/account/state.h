@@ -138,8 +138,10 @@ class StateDb final : public State {
   /// Drop the journal (changes become permanent; snapshots invalidated).
   TXCONC_HOT void flush_journal();
 
-  /// Toggle undo journaling. While off, writes skip the journal entirely;
-  /// snapshots taken before the pause cannot revert past it. The engines'
+  /// Toggle undo journaling. While off, writes skip the journal entirely,
+  /// and snapshot()/revert() throw UsageError: a rollback attempted during
+  /// a pause could not see the paused writes and would silently persist
+  /// them. The engines'
   /// commit phases use this (via JournalPause) because committed overlay
   /// values are never rolled back — journaling them only to flush is pure
   /// allocation traffic on the hot path.

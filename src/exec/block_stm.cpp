@@ -549,11 +549,17 @@ class BlockStmExecutor final : public BlockExecutor {
     std::vector<std::uint32_t> resume;
   };
 
-  static void decrease(std::atomic<std::uint64_t>& cursor,
-                       std::uint64_t target) {
+  void decrease(std::atomic<std::uint64_t>& cursor, std::uint64_t target) {
     std::uint64_t cur = cursor.load(std::memory_order_seq_cst);
-    while (cur > target && !cursor.compare_exchange_weak(
-                               cur, target, std::memory_order_seq_cst)) {
+    while (cur > target) {
+      if (cursor.compare_exchange_weak(cur, target,
+                                       std::memory_order_seq_cst)) {
+        // Every successful rewind bumps the monotone counter AFTER the
+        // cursor moves; the done check's double-collect of this counter
+        // (see worker_loop) is what makes quiescence detection sound.
+        rewind_cnt_.fetch_add(1, std::memory_order_seq_cst);
+        break;
+      }
     }
   }
 
@@ -606,6 +612,7 @@ class BlockStmExecutor final : public BlockExecutor {
     exec_cursor_.store(0, std::memory_order_seq_cst);
     val_cursor_.store(options_.validate ? 0 : n_, std::memory_order_seq_cst);
     active_.store(0, std::memory_order_seq_cst);
+    rewind_cnt_.store(0, std::memory_order_seq_cst);
     done_.store(n_ == 0, std::memory_order_seq_cst);
     // ordering: relaxed — statistical counters reset before the workers
     // start; the parallel_for hand-off publishes them.
@@ -664,12 +671,22 @@ class BlockStmExecutor final : public BlockExecutor {
       active_.fetch_sub(1, std::memory_order_seq_cst);
       if (!ran_task) {
         // Idle: the block is done when both cursors are exhausted and no
-        // task that could rewind them is in flight. Every rewind happens
-        // before its task's active_ release, so this check cannot race a
-        // pending rewind.
+        // task that could rewind them is in flight. Reading the cursors,
+        // then active_, is not enough on its own: a task still holding
+        // active_ can rewind a cursor after we sampled it and release
+        // active_ before we sample that, making a rewound transaction look
+        // complete. The double-collect of rewind_cnt_ around the whole
+        // check closes that window (Block-STM's decrease_cnt mechanism):
+        // any rewind landing inside the bracket changes the counter, and a
+        // rewind whose counter bump lands after the second collect belongs
+        // to a task whose active_ release also lands after it — so the
+        // active_ == 0 read would have failed instead.
+        const std::uint64_t rewinds =
+            rewind_cnt_.load(std::memory_order_seq_cst);
         if (exec_cursor_.load(std::memory_order_seq_cst) >= n_ &&
             val_cursor_.load(std::memory_order_seq_cst) >= n_ &&
-            active_.load(std::memory_order_seq_cst) == 0) {
+            active_.load(std::memory_order_seq_cst) == 0 &&
+            rewind_cnt_.load(std::memory_order_seq_cst) == rewinds) {
           done_.store(true, std::memory_order_seq_cst);
           break;
         }
@@ -919,6 +936,7 @@ class BlockStmExecutor final : public BlockExecutor {
   std::atomic<std::uint64_t> exec_cursor_{0};  // dispatch-order position
   std::atomic<std::uint64_t> val_cursor_{0};   // block-order index
   std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> rewind_cnt_{0};  // monotone within a block
   std::atomic<bool> done_{false};
   std::atomic<std::uint64_t> executions_{0};
   std::atomic<std::uint64_t> validations_{0};

@@ -149,6 +149,14 @@ class MultiVersionStore {
   };
 
   static constexpr std::size_t kNumShards = 16;
+  /// Shard ids come from the hash's TOP log2(kNumShards) bits: each shard's
+  /// FlatTable masks the same hash by a power-of-two capacity (low bits), so
+  /// taking the low bits here would leave every key within a shard sharing
+  /// its probe starting point and cluster the linear probes.
+  static constexpr unsigned kShardShift = sizeof(std::size_t) * 8 - 4;
+  static_assert(std::size_t{1} << (sizeof(std::size_t) * 8 - kShardShift) ==
+                    kNumShards,
+                "kShardShift must keep exactly log2(kNumShards) top bits");
 
   struct Shard {
     mutable Mutex mu;
@@ -167,10 +175,10 @@ class MultiVersionStore {
   };
 
   TXCONC_HOT Shard& shard_for(const MvKey& key) {
-    return shards_[MvKeyHash{}(key) % kNumShards];
+    return shards_[MvKeyHash{}(key) >> kShardShift];
   }
   TXCONC_HOT const Shard& shard_for(const MvKey& key) const {
-    return shards_[MvKeyHash{}(key) % kNumShards];
+    return shards_[MvKeyHash{}(key) >> kShardShift];
   }
 
   Shard shards_[kNumShards];

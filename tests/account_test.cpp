@@ -983,6 +983,20 @@ TEST(JournalPauseTest, PausedWritesSurviveRevert) {
   EXPECT_EQ(db.balance(addr(3)), 75u);  // paused write is permanent
 }
 
+TEST(JournalPauseTest, SnapshotAndRevertThrowWhilePaused) {
+  // A snapshot taken while journaling is paused could not undo the writes
+  // it covers (they skip the journal), so a rollback path sneaking under a
+  // commit-phase JournalPause must fail loudly instead of silently
+  // persisting partial writes.
+  StateDb db;
+  db.set_balance(addr(1), 100);
+  const Snapshot snap = db.snapshot();
+  const JournalPause pause(db);
+  EXPECT_THROW(db.snapshot(), UsageError);
+  EXPECT_THROW(db.revert(snap), UsageError);
+  EXPECT_EQ(db.balance(addr(1)), 100u);  // the failed revert touched nothing
+}
+
 TEST(ReceiptReset, ClearsFieldsButKeepsCapacity) {
   Receipt receipt;
   receipt.success = true;
